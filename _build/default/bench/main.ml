@@ -1,0 +1,992 @@
+(* The Demaq benchmark harness.
+
+   The CIDR 2007 paper is a vision paper with no quantitative tables; its
+   performance content is the set of design claims in §2-§4. Each bench
+   below (B1-B10, indexed in DESIGN.md §5) regenerates the comparison one
+   of those claims implies, prints a paper-style table, and registers a
+   Bechamel micro-benchmark. Absolute numbers depend on this machine; the
+   *shape* (who wins, how the gap scales) is the reproduction target and
+   is recorded in EXPERIMENTS.md.
+
+   Run with:  dune exec bench/main.exe            (all benches)
+              dune exec bench/main.exe -- B3 B7   (a selection)
+              dune exec bench/main.exe -- --quick (smaller sweeps)
+*)
+
+module Tree = Demaq.Xml.Tree
+module Value = Demaq.Value
+module Store = Demaq.Store.Message_store
+module Wal = Demaq.Store.Wal
+module Btree = Demaq.Store.Btree
+module Lock = Demaq.Store.Lock_manager
+module Defs = Demaq.Mq.Defs
+module Qm = Demaq.Mq.Queue_manager
+module Message = Demaq.Message
+module Xq = Demaq.Xquery.Parser
+module Net = Demaq.Network
+module S = Demaq.Server
+module Ctx = Demaq.Baseline.Context_engine
+
+let quick = ref false
+let scale n = if !quick then max 1 (n / 5) else n
+
+let time_it f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let secs f =
+  let _, t = time_it f in
+  t
+
+let headline id claim =
+  Printf.printf "\n%s\n%s  %s\n%s\n" (String.make 78 '=') id claim
+    (String.make 78 '=')
+
+let table_header cols =
+  let line =
+    String.concat " | " (List.map (fun (name, width) -> Printf.sprintf "%*s" width name) cols)
+  in
+  Printf.printf "%s\n%s\n" line (String.make (String.length line) '-')
+
+let row cells = print_endline (String.concat " | " cells)
+
+let cell width fmt = Printf.ksprintf (fun s -> Printf.sprintf "%*s" width s) fmt
+
+(* Bechamel registry: one Test.make per bench. *)
+let bechamel_tests : Bechamel.Test.t list ref = ref []
+
+let register_bechamel name fn =
+  bechamel_tests :=
+    !bechamel_tests @ [ Bechamel.Test.make ~name (Bechamel.Staged.stage fn) ]
+
+(* ------------------------------------------------------------------ *)
+(* Shared workload builders                                            *)
+(* ------------------------------------------------------------------ *)
+
+let order_payload key i =
+  Printf.sprintf
+    "<order><orderID>%s</orderID><seq>%d</seq><customer>c%d</customer><item>glue</item></order>"
+    key i (i mod 7)
+
+(* A queue manager with one queue, one computed property and one slicing,
+   loaded with [n] messages over [keys] distinct slice keys. *)
+let sliced_fixture ~n ~keys =
+  let st = Store.open_store Store.default_config in
+  let qm = Qm.create st in
+  Qm.add_queue qm (Defs.queue "orders");
+  Qm.add_property qm
+    {
+      Defs.pname = "orderID";
+      ptype = Value.T_string;
+      disposition = Defs.Fixed;
+      per_queue = [ ([ "orders" ], Xq.parse "//orderID") ];
+    };
+  Qm.add_slicing qm { Defs.sname = "byOrder"; slice_property = "orderID" };
+  let txn = Store.begin_txn st in
+  for i = 1 to n do
+    let key = Printf.sprintf "k%d" (i mod keys) in
+    match
+      Qm.enqueue qm txn ~queue:"orders"
+        ~payload:(Demaq.xml (order_payload key i))
+        ()
+    with
+    | Ok _ -> ()
+    | Error e -> failwith (Qm.error_to_string e)
+  done;
+  Store.commit txn;
+  qm
+
+(* ------------------------------------------------------------------ *)
+(* B1: materialized slice index vs scan (§4.3)                         *)
+(* ------------------------------------------------------------------ *)
+
+let b1 () =
+  headline "B1 slice_access"
+    "materialized slices (B-tree) vs merging the slice definition into rules (scan)";
+  table_header
+    [ ("messages", 9); ("keys", 6); ("index us/lookup", 16); ("scan us/lookup", 15);
+      ("speedup", 8) ];
+  List.iter
+    (fun n ->
+      let keys = max 4 (n / 20) in
+      let qm = sliced_fixture ~n ~keys in
+      let lookups = 200 in
+      let bench use_index =
+        secs (fun () ->
+            for i = 1 to lookups do
+              ignore
+                (Qm.slice_messages qm ~use_index
+                   ~slicing:"byOrder"
+                   ~key:(Printf.sprintf "k%d" (i mod keys))
+                   ())
+            done)
+      in
+      let t_index = bench true and t_scan = bench false in
+      row
+        [
+          cell 9 "%d" n; cell 6 "%d" keys;
+          cell 16 "%.1f" (t_index *. 1e6 /. float lookups);
+          cell 15 "%.1f" (t_scan *. 1e6 /. float lookups);
+          cell 8 "%.1fx" (t_scan /. t_index);
+        ])
+    [ scale 200; scale 1000; scale 4000 ];
+  let qm = sliced_fixture ~n:(scale 1000) ~keys:50 in
+  register_bechamel "B1/slice-index-lookup" (fun () ->
+      ignore (Qm.slice_messages qm ~use_index:true ~slicing:"byOrder" ~key:"k7" ()));
+  register_bechamel "B1/slice-scan-lookup" (fun () ->
+      ignore (Qm.slice_messages qm ~use_index:false ~slicing:"byOrder" ~key:"k7" ()))
+
+(* ------------------------------------------------------------------ *)
+(* B2: merged per-queue plans vs per-rule evaluation (§4.4.1)          *)
+(* ------------------------------------------------------------------ *)
+
+(* [rules] rules spread over 4 distinct conditions: a realistic rule set
+   where several reactions share a trigger condition. The merged plan
+   factors each shared condition into a single evaluation (§3.3/§4.4.1);
+   per-rule evaluation re-tests it for every rule. *)
+let b2_program rules =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    "create queue in kind basic mode persistent\ncreate queue out kind basic mode persistent\n";
+  for i = 1 to rules do
+    Buffer.add_string buf
+      (Printf.sprintf
+         "create rule r%d for in if (//order[seq mod %d = 0][customer != 'nobody']) then do enqueue <hit n=\"%d\"/> into out\n"
+         i ((i mod 4) + 1) i)
+  done;
+  Buffer.contents buf
+
+let b2_run ~rules ~messages ~merged =
+  let cfg = { S.default_config with S.merged_plans = merged } in
+  let srv = S.deploy ~config:cfg (b2_program rules) in
+  for i = 1 to messages do
+    ignore (S.inject srv ~queue:"in" (Demaq.xml (order_payload "k" i)))
+  done;
+  secs (fun () -> ignore (S.run srv))
+
+let b2 () =
+  headline "B2 rule_merging"
+    "one merged execution plan per queue vs independent per-rule evaluation";
+  table_header
+    [ ("rules", 6); ("messages", 9); ("per-rule msg/s", 15); ("merged msg/s", 13);
+      ("speedup", 8) ];
+  List.iter
+    (fun rules ->
+      let messages = scale 400 in
+      let t_per_rule = b2_run ~rules ~messages ~merged:false in
+      let t_merged = b2_run ~rules ~messages ~merged:true in
+      row
+        [
+          cell 6 "%d" rules; cell 9 "%d" messages;
+          cell 15 "%.0f" (float messages /. t_per_rule);
+          cell 13 "%.0f" (float messages /. t_merged);
+          cell 8 "%.2fx" (t_per_rule /. t_merged);
+        ])
+    [ 2; 8; 32 ];
+  register_bechamel "B2/per-rule-16rules-20msgs" (fun () ->
+      ignore (b2_run ~rules:16 ~messages:20 ~merged:false));
+  register_bechamel "B2/merged-16rules-20msgs" (fun () ->
+      ignore (b2_run ~rules:16 ~messages:20 ~merged:true))
+
+(* ------------------------------------------------------------------ *)
+(* B3: slice-granularity vs queue-granularity locking (§4.3)           *)
+(* ------------------------------------------------------------------ *)
+
+(* Simulated concurrency: [txns] transactions each want to process one
+   message of the same queue; a transaction locks either the whole queue
+   or just its message's slice. Execution proceeds in rounds: every
+   still-pending transaction tries to acquire its lock; the ones that
+   succeed complete this round. Effective parallelism = txns / rounds. *)
+let b3_simulate ~txns ~keys granularity =
+  let lm = Lock.create () in
+  let pending = ref (List.init txns (fun i -> (i + 1, Printf.sprintf "k%d" (i mod keys)))) in
+  let rounds = ref 0 in
+  let conflicts = ref 0 in
+  while !pending <> [] do
+    incr rounds;
+    let winners =
+      List.filter
+        (fun (txn, key) ->
+          let resource =
+            match granularity with
+            | `Queue -> Lock.Queue_lock "orders"
+            | `Slice -> Lock.Slice_lock ("byOrder", key)
+          in
+          match Lock.acquire lm ~txn resource Lock.Exclusive with
+          | Lock.Granted -> true
+          | Lock.Conflict _ ->
+            incr conflicts;
+            false)
+        !pending
+    in
+    (* the granted transactions commit and release at end of round *)
+    List.iter (fun (txn, _) -> Lock.release_all lm ~txn) winners;
+    pending := List.filter (fun t -> not (List.mem t winners)) !pending
+  done;
+  (!rounds, !conflicts)
+
+let b3 () =
+  headline "B3 slice_locking"
+    "slice-granularity locks admit more concurrency than queue-level locks";
+  table_header
+    [ ("txns", 6); ("slice keys", 10); ("queue-lock rounds", 17);
+      ("slice-lock rounds", 17); ("parallelism", 11) ];
+  List.iter
+    (fun keys ->
+      let txns = scale 200 in
+      let q_rounds, _ = b3_simulate ~txns ~keys `Queue in
+      let s_rounds, _ = b3_simulate ~txns ~keys `Slice in
+      row
+        [
+          cell 6 "%d" txns; cell 10 "%d" keys;
+          cell 17 "%d" q_rounds; cell 17 "%d" s_rounds;
+          cell 11 "%.1fx" (float q_rounds /. float s_rounds);
+        ])
+    [ 2; 10; 50 ];
+  register_bechamel "B3/queue-locks-100txn" (fun () ->
+      ignore (b3_simulate ~txns:100 ~keys:10 `Queue));
+  register_bechamel "B3/slice-locks-100txn" (fun () ->
+      ignore (b3_simulate ~txns:100 ~keys:10 `Slice))
+
+(* ------------------------------------------------------------------ *)
+(* B4: state as messages vs per-instance contexts with dehydration     *)
+(* (§2.1)                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let b4_demaq ~instances ~steps =
+  let program = {|
+    create queue proc kind basic mode persistent
+    create queue out kind basic mode persistent
+    create property pid as xs:string fixed queue proc value //pid
+    create slicing byInstance on pid
+    create rule track for byInstance
+      if (qs:message()//step = "last") then
+        do enqueue <done>
+            <pid>{string(qs:slicekey())}</pid>
+            <steps>{count(qs:slice())}</steps>
+          </done> into out
+  |} in
+  let srv = S.deploy program in
+  secs (fun () ->
+      for s = 1 to steps do
+        for i = 1 to instances do
+          let step = if s = steps then "last" else string_of_int s in
+          ignore
+            (S.inject srv ~queue:"proc"
+               (Demaq.xml
+                  (Printf.sprintf "<m><pid>p%d</pid><step>%s</step><data>%s</data></m>" i
+                     step (String.make 40 'x'))))
+        done;
+        ignore (S.run srv)
+      done)
+
+let b4_context ~instances ~steps ~dehydrate =
+  let correlate msg = Tree.tree_string_value (Option.get (Tree.find_child msg "pid")) in
+  let step ~context ~msg =
+    (* append the message into the monolithic context, BPEL-variable style *)
+    let children =
+      match context with Tree.Element e -> e.Tree.children | _ -> []
+    in
+    let context' =
+      Tree.Element
+        { name = Demaq.Xml.Name.make "context"; attrs = []; children = children @ [ msg ] }
+    in
+    let outputs =
+      match Tree.find_child msg "step" with
+      | Some s when Tree.tree_string_value s = "last" ->
+        [ Tree.elem "done" [ Tree.text (string_of_int (List.length children + 1)) ] ]
+      | _ -> []
+    in
+    (context', outputs)
+  in
+  let engine = Ctx.create ~dehydrate ~correlate ~step () in
+  secs (fun () ->
+      for s = 1 to steps do
+        for i = 1 to instances do
+          let stepname = if s = steps then "last" else string_of_int s in
+          ignore
+            (Ctx.deliver engine
+               (Demaq.xml
+                  (Printf.sprintf "<m><pid>p%d</pid><step>%s</step><data>%s</data></m>" i
+                     stepname (String.make 40 'x'))))
+        done
+      done)
+
+let b4 () =
+  headline "B4 state_as_messages"
+    "queues-as-state vs BPEL-style instance contexts with a dehydration store";
+  table_header
+    [ ("instances", 9); ("steps", 6); ("demaq ms", 9); ("contexts ms", 11);
+      ("dehydrated ms", 13) ];
+  List.iter
+    (fun steps ->
+      let instances = scale 50 in
+      let t_demaq = b4_demaq ~instances ~steps in
+      let t_live = b4_context ~instances ~steps ~dehydrate:false in
+      let t_dehyd = b4_context ~instances ~steps ~dehydrate:true in
+      row
+        [
+          cell 9 "%d" instances; cell 6 "%d" steps;
+          cell 9 "%.1f" (t_demaq *. 1e3);
+          cell 11 "%.1f" (t_live *. 1e3);
+          cell 13 "%.1f" (t_dehyd *. 1e3);
+        ])
+    [ 2; 8; 24 ];
+  register_bechamel "B4/demaq-10x4" (fun () -> ignore (b4_demaq ~instances:10 ~steps:4));
+  register_bechamel "B4/dehydration-10x4" (fun () ->
+      ignore (b4_context ~instances:10 ~steps:4 ~dehydrate:true))
+
+(* ------------------------------------------------------------------ *)
+(* B5: decoupled retention GC vs eager per-message cleanup (§2.3.3)    *)
+(* ------------------------------------------------------------------ *)
+
+let b5_program = {|
+  create queue in kind basic mode persistent
+  create queue out kind basic mode persistent
+  create rule fwd for in if (//m) then do enqueue <ack/> into out
+|}
+
+let b5_run ~messages ~gc_every =
+  let cfg = { S.default_config with S.gc_every } in
+  let srv = S.deploy ~config:cfg b5_program in
+  for i = 1 to messages do
+    ignore (S.inject srv ~queue:"in" (Demaq.xml (Printf.sprintf "<m n='%d'/>" i)))
+  done;
+  let t = secs (fun () -> ignore (S.run srv)) in
+  let t_gc = secs (fun () -> ignore (S.gc srv)) in
+  (t, t_gc)
+
+let b5 () =
+  headline "B5 retention_gc"
+    "deferred, decoupled garbage collection vs eager per-message cleanup";
+  table_header
+    [ ("messages", 9); ("eager total ms", 14); ("deferred proc ms", 16);
+      ("deferred gc ms", 14); ("speedup", 8) ];
+  List.iter
+    (fun messages ->
+      let t_eager, _ = b5_run ~messages ~gc_every:1 in
+      let t_def, t_def_gc = b5_run ~messages ~gc_every:0 in
+      row
+        [
+          cell 9 "%d" messages;
+          cell 14 "%.1f" (t_eager *. 1e3);
+          cell 16 "%.1f" (t_def *. 1e3);
+          cell 14 "%.1f" (t_def_gc *. 1e3);
+          cell 8 "%.1fx" (t_eager /. (t_def +. t_def_gc));
+        ])
+    [ scale 200; scale 800; scale 2000 ];
+  register_bechamel "B5/eager-gc-100msgs" (fun () ->
+      ignore (b5_run ~messages:100 ~gc_every:1));
+  register_bechamel "B5/deferred-gc-100msgs" (fun () ->
+      ignore (b5_run ~messages:100 ~gc_every:0))
+
+(* ------------------------------------------------------------------ *)
+(* B6: append-only logging without deletion records (§4.1)             *)
+(* ------------------------------------------------------------------ *)
+
+let b6_dir tag =
+  let dir = Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "demaq-bench-b6-%s-%d" tag (Unix.getpid ())) in
+  if Sys.file_exists dir then
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  dir
+
+let b6_run ~messages ~log_deletions =
+  let dir = b6_dir (if log_deletions then "logged" else "unlogged") in
+  let cfg = Store.durable_config ~sync:Wal.Sync_never ~log_deletions dir in
+  let st = Store.open_store cfg in
+  (* insert, process and retire every message: retirement is what either
+     hits the log (mode A) or is left to be re-derived (mode B) *)
+  let txn = Store.begin_txn st in
+  let rids =
+    List.init messages (fun i ->
+        Store.insert txn ~queue:"q"
+          ~payload:(Printf.sprintf "<m n='%d'>%s</m>" i (String.make 64 'y'))
+          ~extra:"" ~enqueued_at:i ~durable:true)
+  in
+  Store.commit txn;
+  List.iter
+    (fun rid ->
+      let txn = Store.begin_txn st in
+      Store.mark_processed txn rid;
+      Store.delete txn rid;
+      Store.commit txn)
+    rids;
+  let wal_bytes = (Store.stats st).Store.wal_bytes in
+  Store.close st;
+  let t_recover = secs (fun () -> Store.close (Store.open_store cfg)) in
+  (wal_bytes, t_recover)
+
+let b6 () =
+  headline "B6 recovery"
+    "not logging deletions (retention is re-derived) shrinks the log (§4.1)";
+  table_header
+    [ ("messages", 9); ("log KB (deletes logged)", 23);
+      ("log KB (re-derived)", 19); ("recover ms A", 12); ("recover ms B", 12) ];
+  List.iter
+    (fun messages ->
+      let bytes_a, rec_a = b6_run ~messages ~log_deletions:true in
+      let bytes_b, rec_b = b6_run ~messages ~log_deletions:false in
+      row
+        [
+          cell 9 "%d" messages;
+          cell 23 "%.1f" (float bytes_a /. 1024.);
+          cell 19 "%.1f" (float bytes_b /. 1024.);
+          cell 12 "%.2f" (rec_a *. 1e3);
+          cell 12 "%.2f" (rec_b *. 1e3);
+        ])
+    [ scale 500; scale 2000 ];
+  register_bechamel "B6/retire-with-delete-log" (fun () ->
+      ignore (b6_run ~messages:50 ~log_deletions:true));
+  register_bechamel "B6/retire-rederived" (fun () ->
+      ignore (b6_run ~messages:50 ~log_deletions:false))
+
+(* ------------------------------------------------------------------ *)
+(* B7: priority scheduling vs FIFO (§4.4.2)                            *)
+(* ------------------------------------------------------------------ *)
+
+let b7_program priority = Printf.sprintf {|
+  create queue bulk kind basic mode persistent priority 0
+  create queue urgent kind basic mode persistent priority %d
+  create queue out kind basic mode persistent
+  create rule rb for bulk if (//m) then do enqueue <b/> into out
+  create rule ru for urgent if (//m) then do enqueue <u/> into out
+|} priority
+
+let b7_delay ~backlog ~priority =
+  let srv = S.deploy (b7_program priority) in
+  for i = 1 to backlog do
+    ignore (S.inject srv ~queue:"bulk" (Demaq.xml (Printf.sprintf "<m n='%d'/>" i)))
+  done;
+  ignore (S.inject srv ~queue:"urgent" (Demaq.xml "<m/>"));
+  (* count messages processed before the urgent one *)
+  let position = ref 0 in
+  let found = ref false in
+  while not !found do
+    match S.step srv with
+    | S.Processed m ->
+      if m.Message.queue = "urgent" then found := true else incr position
+    | S.Idle -> found := true
+  done;
+  !position
+
+let b7 () =
+  headline "B7 scheduler_priority"
+    "priority scheduling lets urgent messages overtake an older backlog";
+  table_header
+    [ ("backlog", 8); ("FIFO delay (msgs)", 17); ("priority delay (msgs)", 21) ];
+  List.iter
+    (fun backlog ->
+      let fifo = b7_delay ~backlog ~priority:0 in
+      let prio = b7_delay ~backlog ~priority:10 in
+      row [ cell 8 "%d" backlog; cell 17 "%d" fifo; cell 21 "%d" prio ])
+    [ scale 100; scale 1000; scale 4000 ];
+  register_bechamel "B7/priority-urgent-under-backlog" (fun () ->
+      ignore (b7_delay ~backlog:100 ~priority:10))
+
+(* ------------------------------------------------------------------ *)
+(* B8: property precomputation at enqueue vs recomputing on access     *)
+(* (§2.2 / §4.4.1 fixed-property inlining)                             *)
+(* ------------------------------------------------------------------ *)
+
+let b8_program = {|
+  create queue in kind basic mode persistent
+  create queue out kind basic mode persistent
+  create property oid as xs:string fixed queue in value //deep//orderID
+  create rule classify for in
+    if (qs:property("oid") and
+        qs:property("oid") != "none" and
+        string-length(qs:property("oid")) > 2) then
+      do enqueue <routed>{qs:property("oid")}</routed> into out
+|}
+
+let b8_payload depth i =
+  let rec nest d inner = if d = 0 then inner else "<deep>" ^ nest (d - 1) inner ^ "</deep>" in
+  Printf.sprintf "<m>%s<pad>%s</pad></m>"
+    (nest depth (Printf.sprintf "<orderID>ord-%d</orderID>" i))
+    (String.make 200 'z')
+
+let b8_run ~messages ~depth ~optimize =
+  let cfg = { S.default_config with S.optimize } in
+  let srv = S.deploy ~config:cfg b8_program in
+  for i = 1 to messages do
+    ignore (S.inject srv ~queue:"in" (Demaq.xml (b8_payload depth i)))
+  done;
+  secs (fun () -> ignore (S.run srv))
+
+let b8 () =
+  headline "B8 fixed_property_inlining"
+    "stored property lookup vs inlining the value expression (recompute per access)";
+  table_header
+    [ ("messages", 9); ("nesting", 8); ("lookup ms", 10); ("inlined ms", 11);
+      ("inline cost", 11) ];
+  List.iter
+    (fun depth ->
+      let messages = scale 300 in
+      let t_lookup = b8_run ~messages ~depth ~optimize:false in
+      let t_inline = b8_run ~messages ~depth ~optimize:true in
+      row
+        [
+          cell 9 "%d" messages; cell 8 "%d" depth;
+          cell 10 "%.1f" (t_lookup *. 1e3);
+          cell 11 "%.1f" (t_inline *. 1e3);
+          cell 11 "%.2fx" (t_inline /. t_lookup);
+        ])
+    [ 1; 8; 24 ];
+  register_bechamel "B8/stored-property-lookup" (fun () ->
+      ignore (b8_run ~messages:30 ~depth:8 ~optimize:false));
+  register_bechamel "B8/inlined-property-recompute" (fun () ->
+      ignore (b8_run ~messages:30 ~depth:8 ~optimize:true))
+
+(* ------------------------------------------------------------------ *)
+(* B9: end-to-end procurement throughput (§1/§4 viability)             *)
+(* ------------------------------------------------------------------ *)
+
+let b9_program = {|
+create queue crm kind basic mode persistent
+create queue finance kind basic mode persistent
+create queue legal kind basic mode persistent
+create queue supplier kind outgoingGateway mode persistent
+create queue supplierIn kind incomingGateway mode persistent
+create queue customer kind outgoingGateway mode persistent
+create property requestID as xs:string fixed
+  queue crm, customer value //requestID
+  queue supplierIn value //requestID
+create slicing requestMsgs on requestID
+create rule forkChecks for crm
+  if (//offerRequest) then
+    let $rid := string(//offerRequest/requestID)
+    return (
+      do enqueue <creditCheck><requestID>{$rid}</requestID></creditCheck> into finance,
+      do enqueue <restrictionCheck><requestID>{$rid}</requestID></restrictionCheck> into legal,
+      do enqueue <capacityRequest><requestID>{$rid}</requestID></capacityRequest> into supplier
+    )
+create rule credit for finance
+  if (//creditCheck) then
+    do enqueue <customerInfoResult><requestID>{string(//requestID)}</requestID><accept/></customerInfoResult> into crm
+create rule legalCheck for legal
+  if (//restrictionCheck) then
+    do enqueue <restrictionsResult><requestID>{string(//requestID)}</requestID></restrictionsResult> into crm
+create rule capacity for supplierIn
+  if (//capacityResult) then
+    do enqueue <capacityResult><requestID>{string(//requestID)}</requestID><accept/></capacityResult> into crm
+create rule joinOrder for requestMsgs
+  if (qs:slice()[/customerInfoResult] and qs:slice()[/restrictionsResult] and
+      qs:slice()[/capacityResult] and not(qs:slice()[/offer])) then
+    do enqueue <offer><requestID>{string(qs:slicekey())}</requestID></offer> into customer
+create rule cleanup for requestMsgs
+  if (qs:slice()[/offer]) then do reset
+|}
+
+let b9_world () =
+  let net = Net.create () in
+  Net.register net ~name:"supplier" ~handler:(fun ~sender:_ body ->
+      match Tree.find_child body "requestID" with
+      | Some rid -> [ Tree.elem "capacityResult" [ rid ] ]
+      | None -> []);
+  Net.register net ~name:"customer" ~handler:(fun ~sender:_ _ -> []);
+  let srv = S.deploy ~network:net b9_program in
+  S.bind_gateway srv ~queue:"supplier" ~endpoint:"supplier" ~replies_to:"supplierIn" ();
+  S.bind_gateway srv ~queue:"customer" ~endpoint:"customer" ();
+  srv
+
+let b9_run requests =
+  let srv = b9_world () in
+  let t =
+    secs (fun () ->
+        for i = 1 to requests do
+          ignore
+            (S.inject srv ~queue:"crm"
+               (Demaq.xml
+                  (Printf.sprintf
+                     "<offerRequest><requestID>r%d</requestID><customerID>c%d</customerID></offerRequest>"
+                     i (i mod 20))));
+          ignore (S.run srv)
+        done;
+        ignore (S.gc srv))
+  in
+  let st = S.stats srv in
+  (t, st.S.processed)
+
+let b9 () =
+  headline "B9 throughput_e2e"
+    "full procurement pipeline (fork, gateways, slicing join, reset, GC)";
+  table_header
+    [ ("requests", 9); ("messages", 9); ("total s", 8); ("requests/s", 11);
+      ("messages/s", 11) ];
+  List.iter
+    (fun requests ->
+      let t, processed = b9_run requests in
+      row
+        [
+          cell 9 "%d" requests; cell 9 "%d" processed;
+          cell 8 "%.2f" t;
+          cell 11 "%.0f" (float requests /. t);
+          cell 11 "%.0f" (float processed /. t);
+        ])
+    [ scale 25; scale 100; scale 400 ];
+  register_bechamel "B9/procurement-request" (fun () -> ignore (b9_run 3))
+
+(* ------------------------------------------------------------------ *)
+(* B10: transient vs persistent queues (§2.1.1)                        *)
+(* ------------------------------------------------------------------ *)
+
+let b10_dir tag =
+  let dir = Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "demaq-bench-b10-%s-%d" tag (Unix.getpid ())) in
+  if Sys.file_exists dir then
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  dir
+
+let b10_run ~messages mode =
+  let st, durable =
+    match mode with
+    | `Transient -> (Store.open_store Store.default_config, false)
+    | `Nosync ->
+      (Store.open_store (Store.durable_config ~sync:Wal.Sync_never (b10_dir "nosync")), true)
+    | `Fsync ->
+      (Store.open_store (Store.durable_config ~sync:Wal.Sync_always (b10_dir "fsync")), true)
+  in
+  let payload = "<m>" ^ String.make 128 'p' ^ "</m>" in
+  let t =
+    secs (fun () ->
+        for i = 1 to messages do
+          let txn = Store.begin_txn st in
+          ignore (Store.insert txn ~queue:"q" ~payload ~extra:"" ~enqueued_at:i ~durable);
+          Store.commit txn
+        done)
+  in
+  Store.close st;
+  t
+
+let b10 () =
+  headline "B10 transient_vs_persistent"
+    "transient queues trade durability for enqueue speed (§2.1.1)";
+  table_header
+    [ ("messages", 9); ("transient msg/s", 15); ("wal msg/s", 12);
+      ("wal+fsync msg/s", 15) ];
+  List.iter
+    (fun messages ->
+      let fsync_messages = min messages 300 in
+      let t_tr = b10_run ~messages `Transient in
+      let t_ns = b10_run ~messages `Nosync in
+      let t_fs = b10_run ~messages:fsync_messages `Fsync in
+      row
+        [
+          cell 9 "%d" messages;
+          cell 15 "%.0f" (float messages /. t_tr);
+          cell 12 "%.0f" (float messages /. t_ns);
+          cell 15 "%.0f" (float fsync_messages /. t_fs);
+        ])
+    [ scale 2000; scale 10000 ];
+  register_bechamel "B10/transient-enqueue" (fun () ->
+      ignore (b10_run ~messages:50 `Transient));
+  register_bechamel "B10/persistent-enqueue" (fun () ->
+      ignore (b10_run ~messages:50 `Nosync))
+
+(* ------------------------------------------------------------------ *)
+(* Ablations: design choices called out in DESIGN.md §7                *)
+(* ------------------------------------------------------------------ *)
+
+(* A1: B-tree node order. The slice index's fan-out trades tree depth
+   against per-node scan cost. *)
+let a1 () =
+  headline "A1 btree_order" "slice-index B-tree fan-out ablation";
+  table_header [ ("order", 6); ("height", 7); ("insert us", 10); ("lookup us", 10) ];
+  let n = scale 20000 in
+  List.iter
+    (fun order ->
+      let t = Btree.create ~order () in
+      let t_insert =
+        secs (fun () ->
+            for i = 1 to n do
+              Btree.add t (Printf.sprintf "key-%08d" (i * 7919 mod n)) i
+            done)
+      in
+      let lookups = 20000 in
+      let t_lookup =
+        secs (fun () ->
+            for i = 1 to lookups do
+              ignore (Btree.find t (Printf.sprintf "key-%08d" (i * 104729 mod n)))
+            done)
+      in
+      row
+        [
+          cell 6 "%d" order;
+          cell 7 "%d" (Btree.height t);
+          cell 10 "%.3f" (t_insert *. 1e6 /. float n);
+          cell 10 "%.3f" (t_lookup *. 1e6 /. float lookups);
+        ])
+    [ 4; 16; 64; 256 ];
+  register_bechamel "A1/btree-order-64-insert" (fun () ->
+      let t = Btree.create ~order:64 () in
+      for i = 1 to 500 do
+        Btree.add t (string_of_int i) i
+      done)
+
+(* A2: XML codec throughput — every message crosses the parser and the
+   serializer at least once (store, gateways). *)
+let a2 () =
+  headline "A2 xml_codec" "XML parse/serialize throughput vs document size";
+  table_header
+    [ ("elements", 9); ("bytes", 8); ("parse MB/s", 11); ("serialize MB/s", 14) ];
+  List.iter
+    (fun elems ->
+      let doc =
+        "<doc>"
+        ^ String.concat ""
+            (List.init elems (fun i ->
+                 Printf.sprintf "<item id=\"%d\"><name>part-%d</name><qty>%d</qty></item>"
+                   i i (i mod 9)))
+        ^ "</doc>"
+      in
+      let bytes = String.length doc in
+      let reps = max 1 (scale 400000 / max bytes 1) in
+      let t_parse =
+        secs (fun () -> for _ = 1 to reps do ignore (Demaq.xml doc) done)
+      in
+      let tree = Demaq.xml doc in
+      let t_ser =
+        secs (fun () -> for _ = 1 to reps do ignore (Demaq.xml_to_string tree) done)
+      in
+      let mbs t = float (bytes * reps) /. t /. 1e6 in
+      row
+        [
+          cell 9 "%d" elems; cell 8 "%d" bytes;
+          cell 11 "%.1f" (mbs t_parse);
+          cell 14 "%.1f" (mbs t_ser);
+        ])
+    [ 5; 50; 500 ];
+  register_bechamel "A2/parse-50-elements" (fun () ->
+      ignore
+        (Demaq.xml
+           ("<doc>"
+           ^ String.concat ""
+               (List.init 50 (fun i -> Printf.sprintf "<item>%d</item>" i))
+           ^ "</doc>")))
+
+(* A3: checkpoint interval — frequent checkpoints bound the log and the
+   recovery replay at the cost of snapshot writes. *)
+let a3_dir tag =
+  let dir = Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "demaq-bench-a3-%s-%d" tag (Unix.getpid ())) in
+  if Sys.file_exists dir then
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  dir
+
+let a3 () =
+  headline "A3 checkpoint_interval"
+    "checkpoint frequency: ingest cost vs log size vs recovery time";
+  table_header
+    [ ("interval", 9); ("ingest ms", 10); ("final log KB", 12); ("recover ms", 11) ];
+  let messages = scale 3000 in
+  List.iter
+    (fun interval ->
+      let dir = a3_dir (string_of_int interval) in
+      let cfg = Store.durable_config ~sync:Wal.Sync_never dir in
+      let st = Store.open_store cfg in
+      let t_ingest =
+        secs (fun () ->
+            for i = 1 to messages do
+              let txn = Store.begin_txn st in
+              ignore
+                (Store.insert txn ~queue:"q"
+                   ~payload:(Printf.sprintf "<m n='%d'>%s</m>" i (String.make 64 'c'))
+                   ~extra:"" ~enqueued_at:i ~durable:true);
+              Store.commit txn;
+              if interval > 0 && i mod interval = 0 then Store.checkpoint st
+            done)
+      in
+      let log_kb = float (Store.stats st).Store.wal_bytes /. 1024. in
+      Store.close st;
+      let t_recover = secs (fun () -> Store.close (Store.open_store cfg)) in
+      row
+        [
+          (if interval = 0 then cell 9 "never" else cell 9 "%d" interval);
+          cell 10 "%.1f" (t_ingest *. 1e3);
+          cell 12 "%.1f" log_kb;
+          cell 11 "%.2f" (t_recover *. 1e3);
+        ])
+    [ 0; 2000; 500; 100 ];
+  register_bechamel "A3/checkpoint" (fun () ->
+      let dir = a3_dir "bech" in
+      let st = Store.open_store (Store.durable_config ~sync:Wal.Sync_never dir) in
+      let txn = Store.begin_txn st in
+      for i = 1 to 50 do
+        ignore (Store.insert txn ~queue:"q" ~payload:"<m/>" ~extra:"" ~enqueued_at:i ~durable:true)
+      done;
+      Store.commit txn;
+      Store.checkpoint st;
+      Store.close st)
+
+(* A4: condition pre-filtering (XML filtering, §4.4.1). A brokering rule
+   set where each rule triggers on one message type: without the filter
+   every message evaluates every rule. *)
+let a4_program rules =
+  "create queue in kind basic mode persistent\ncreate queue out kind basic mode persistent\n"
+  ^ String.concat "\n"
+      (List.init rules (fun i ->
+           Printf.sprintf
+             "create rule r%d for in if (//type%d and //priority) then do enqueue <hit n=\"%d\"/> into out"
+             i i i))
+
+let a4_run ~rules ~messages ~use_prefilter =
+  let cfg = { S.default_config with S.use_prefilter } in
+  let srv = S.deploy ~config:cfg (a4_program rules) in
+  for i = 1 to messages do
+    ignore
+      (S.inject srv ~queue:"in"
+         (Demaq.xml
+            (Printf.sprintf "<msg><type%d/><priority/><pad>%s</pad></msg>"
+               (i mod rules) (String.make 100 'f'))))
+  done;
+  secs (fun () -> ignore (S.run srv))
+
+let a4 () =
+  headline "A4 condition_prefilter"
+    "XML-filtering fast path: skip rules whose required elements are absent";
+  table_header
+    [ ("rules", 6); ("messages", 9); ("no filter msg/s", 15);
+      ("filtered msg/s", 14); ("speedup", 8) ];
+  List.iter
+    (fun rules ->
+      let messages = scale 400 in
+      let t_off = a4_run ~rules ~messages ~use_prefilter:false in
+      let t_on = a4_run ~rules ~messages ~use_prefilter:true in
+      row
+        [
+          cell 6 "%d" rules; cell 9 "%d" messages;
+          cell 15 "%.0f" (float messages /. t_off);
+          cell 14 "%.0f" (float messages /. t_on);
+          cell 8 "%.2fx" (t_off /. t_on);
+        ])
+    [ 4; 16; 64 ];
+  register_bechamel "A4/broker-nofilter" (fun () ->
+      ignore (a4_run ~rules:16 ~messages:20 ~use_prefilter:false));
+  register_bechamel "A4/broker-filtered" (fun () ->
+      ignore (a4_run ~rules:16 ~messages:20 ~use_prefilter:true))
+
+(* A5: large-payload spill. Bodies above the threshold live in the
+   slotted-page heap file; the working set holds only references. *)
+let a5_dir tag =
+  let dir = Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "demaq-bench-a5-%s-%d" tag (Unix.getpid ())) in
+  if Sys.file_exists dir then
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  dir
+
+let a5_run ~messages ~payload_bytes ~spill =
+  let dir = a5_dir (if spill then "spill" else "inline") in
+  let cfg =
+    if spill then Store.durable_config ~sync:Wal.Sync_never ~spill_threshold:512 dir
+    else Store.durable_config ~sync:Wal.Sync_never dir
+  in
+  let st = Store.open_store cfg in
+  let payload = "<blob>" ^ String.make payload_bytes 'D' ^ "</blob>" in
+  let t_insert =
+    secs (fun () ->
+        for i = 1 to messages do
+          let txn = Store.begin_txn st in
+          ignore (Store.insert txn ~queue:"q" ~payload ~extra:"" ~enqueued_at:i ~durable:true);
+          Store.commit txn
+        done)
+  in
+  let inline_bytes = (Store.stats st).Store.inline_bytes in
+  (* random-access read-back of 200 bodies *)
+  let rids = Store.queue_rids st "q" in
+  let arr = Array.of_list rids in
+  let t_read =
+    secs (fun () ->
+        for i = 1 to 200 do
+          let m = Option.get (Store.get st arr.(i * 7919 mod Array.length arr)) in
+          ignore (Store.payload st m)
+        done)
+  in
+  Store.close st;
+  (t_insert, t_read, inline_bytes)
+
+let a5 () =
+  headline "A5 payload_spill"
+    "out-of-line storage of large message bodies (heap file + buffer pool)";
+  table_header
+    [ ("payload B", 10); ("inline MB in RAM", 16); ("spill MB in RAM", 15);
+      ("spill insert ms", 15); ("spill read us", 13) ];
+  List.iter
+    (fun payload_bytes ->
+      let messages = scale 500 in
+      let _, _, inline_mem = a5_run ~messages ~payload_bytes ~spill:false in
+      let t_ins, t_read, spill_mem = a5_run ~messages ~payload_bytes ~spill:true in
+      row
+        [
+          cell 10 "%d" payload_bytes;
+          cell 16 "%.2f" (float inline_mem /. 1e6);
+          cell 15 "%.2f" (float spill_mem /. 1e6);
+          cell 15 "%.1f" (t_ins *. 1e3);
+          cell 13 "%.1f" (t_read *. 1e6 /. 200.);
+        ])
+    [ 1000; 8000; 64000 ];
+  register_bechamel "A5/spill-insert-8k" (fun () ->
+      ignore (a5_run ~messages:20 ~payload_bytes:8000 ~spill:true));
+  register_bechamel "A5/inline-insert-8k" (fun () ->
+      ignore (a5_run ~messages:20 ~payload_bytes:8000 ~spill:false))
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel run                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let run_bechamel () =
+  let open Bechamel in
+  let open Toolkit in
+  headline "Bechamel" "micro-benchmark estimates (ns per run, OLS fit)";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:500
+      ~quota:(Time.second (if !quick then 0.1 else 0.3))
+      ~kde:None ~stabilize:true ()
+  in
+  List.iter
+    (fun test ->
+      let raw = Benchmark.all cfg instances test in
+      let results = Analyze.all ols Instance.monotonic_clock raw in
+      let names = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) results []) in
+      List.iter
+        (fun name ->
+          match Analyze.OLS.estimates (Hashtbl.find results name) with
+          | Some (e :: _) -> Printf.printf "  %-45s %14.0f ns/run\n" name e
+          | _ -> Printf.printf "  %-45s   (no estimate)\n" name)
+        names)
+    !bechamel_tests
+
+(* ------------------------------------------------------------------ *)
+
+let all_benches =
+  [ ("B1", b1); ("B2", b2); ("B3", b3); ("B4", b4); ("B5", b5); ("B6", b6);
+    ("B7", b7); ("B8", b8); ("B9", b9); ("B10", b10);
+    ("A1", a1); ("A2", a2); ("A3", a3); ("A4", a4); ("A5", a5) ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let args =
+    List.filter
+      (fun a ->
+        if a = "--quick" then begin
+          quick := true;
+          false
+        end
+        else true)
+      args
+  in
+  let selected =
+    if args = [] then all_benches
+    else List.filter (fun (id, _) -> List.mem id args) all_benches
+  in
+  Printf.printf
+    "Demaq benchmark suite — regenerating the paper's performance claims\n";
+  Printf.printf "(see DESIGN.md section 5 for the bench index, EXPERIMENTS.md for results)\n";
+  let _, total = time_it (fun () -> List.iter (fun (_, f) -> f ()) selected) in
+  if args = [] then run_bechamel ();
+  Printf.printf "\ntotal bench time: %.1f s\n" total

@@ -1,0 +1,364 @@
+(* demaqd: the Demaq server command line.
+
+   demaqd check FILE            parse + static analysis
+   demaqd explain FILE          print the compiled execution plans
+   demaqd run FILE [options]    deploy and process messages
+
+   In run mode, messages are read from stdin, one per line, in the form
+
+     <queue-name> <xml-document>
+
+   (or bare XML documents with --queue). After the input is drained the
+   engine runs to quiescence and prints the contents of every queue. *)
+
+module S = Demaq.Server
+module Store = Demaq.Store.Message_store
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+(* ---- check ---- *)
+
+let check_cmd file =
+  match Demaq.Lang.Qdl.parse_program_result (read_file file) with
+  | Error msg ->
+    Printf.eprintf "parse error: %s\n" msg;
+    1
+  | Ok program ->
+    let result = Demaq.Lang.Analysis.analyze program in
+    List.iter
+      (fun d -> Format.printf "%a@." Demaq.Lang.Analysis.pp_diagnostic d)
+      result.Demaq.Lang.Analysis.diagnostics;
+    let q = List.length (Demaq.Lang.Qdl.queues program) in
+    let p = List.length (Demaq.Lang.Qdl.properties program) in
+    let s = List.length (Demaq.Lang.Qdl.slicings program) in
+    let r = List.length (Demaq.Lang.Qdl.rules program) in
+    Printf.printf "%s: %d queues, %d properties, %d slicings, %d rules: %s\n" file q p
+      s r
+      (if result.Demaq.Lang.Analysis.ok then "OK" else "ERRORS");
+    if result.Demaq.Lang.Analysis.ok then 0 else 1
+
+(* ---- explain ---- *)
+
+let explain_cmd file =
+  match Demaq.Lang.Qdl.parse_program_result (read_file file) with
+  | Error msg ->
+    Printf.eprintf "parse error: %s\n" msg;
+    1
+  | Ok program ->
+    print_string (Demaq.Lang.Compiler.explain (Demaq.Lang.Compiler.compile program));
+    0
+
+(* ---- run ---- *)
+
+let run_cmd file default_queue store_dir show_stats gc_at_end advance =
+  let store =
+    match store_dir with
+    | Some dir -> Store.open_store (Store.durable_config dir)
+    | None -> Store.open_store Store.default_config
+  in
+  match S.deploy ~store (read_file file) with
+  | exception S.Deployment_error msg ->
+    Printf.eprintf "deployment failed:\n%s\n" msg;
+    1
+  | srv ->
+    let inject queue xml_text =
+      match Demaq.xml xml_text with
+      | exception Demaq.Xml.Parser.Parse_error { msg; _ } ->
+        Printf.eprintf "bad XML (%s): %s\n" msg xml_text
+      | payload -> (
+        match Demaq.inject srv ~queue payload with
+        | Ok _ -> ()
+        | Error e ->
+          Printf.eprintf "rejected: %s\n" (Demaq.Mq.Queue_manager.error_to_string e))
+    in
+    (try
+       while true do
+         let line = String.trim (input_line stdin) in
+         if line <> "" then
+           if String.length line > 0 && line.[0] = '<' then
+             match default_queue with
+             | Some q -> inject q line
+             | None ->
+               Printf.eprintf
+                 "no target queue: use '<queue> <xml>' lines or --queue\n"
+           else
+             match String.index_opt line ' ' with
+             | Some i ->
+               inject (String.sub line 0 i)
+                 (String.trim (String.sub line i (String.length line - i)))
+             | None -> Printf.eprintf "cannot parse input line: %s\n" line
+       done
+     with End_of_file -> ());
+    let processed = S.run srv in
+    if advance > 0 then begin
+      S.advance_time srv advance;
+      ignore (S.run srv)
+    end;
+    Printf.printf "processed %d messages\n" processed;
+    let qm = S.queue_manager srv in
+    List.iter
+      (fun (q : Demaq.Mq.Defs.queue_def) ->
+        let messages = S.queue_contents srv q.Demaq.Mq.Defs.qname in
+        if messages <> [] then begin
+          Printf.printf "\nqueue %s (%d):\n" q.Demaq.Mq.Defs.qname
+            (List.length messages);
+          List.iter
+            (fun m ->
+              Printf.printf "  %s\n" (Demaq.xml_to_string (Demaq.Message.body m)))
+            messages
+        end)
+      (List.sort compare (Demaq.Mq.Queue_manager.queue_defs qm));
+    if gc_at_end then Printf.printf "\ngc collected %d messages\n" (S.gc srv);
+    if show_stats then begin
+      let st = S.stats srv in
+      Printf.printf
+        "\nstats: processed=%d rule-evals=%d created=%d errors=%d timers=%d gc=%d\n"
+        st.S.processed st.S.rule_evaluations st.S.messages_created
+        st.S.errors_raised st.S.timers_fired st.S.gc_collected
+    end;
+    Store.close store;
+    0
+
+(* ---- query ---- *)
+
+let query_cmd expr context_file =
+  let context =
+    match context_file with
+    | Some path -> Some (Demaq.xml (read_file path))
+    | None ->
+      if Unix.isatty Unix.stdin then None
+      else begin
+        let buf = Buffer.create 1024 in
+        (try
+           while true do
+             Buffer.add_channel buf stdin 1
+           done
+         with End_of_file -> ());
+        let text = String.trim (Buffer.contents buf) in
+        if text = "" then None else Some (Demaq.xml text)
+      end
+  in
+  match Demaq.Xquery.Eval.run ?context expr with
+  | value, updates ->
+    List.iter
+      (fun item ->
+        match item with
+        | Demaq.Value.Node n -> (
+          match Demaq.Tree.node_tree n with
+          | Some t -> print_endline (Demaq.xml_to_string t)
+          | None -> print_endline (Demaq.Tree.string_value n))
+        | Demaq.Value.Atom a -> print_endline (Demaq.Value.string_of_atomic a))
+      value;
+    List.iter
+      (fun u -> Format.printf "pending update: %a@." Demaq.Xquery.Update.pp u)
+      updates;
+    0
+  | exception Demaq.Xquery.Parser.Syntax_error { pos; msg } ->
+    Printf.eprintf "syntax error at offset %d: %s
+" pos msg;
+    1
+  | exception Demaq.Xquery.Context.Eval_error msg ->
+    Printf.eprintf "evaluation error: %s
+" msg;
+    1
+  | exception Demaq.Xml.Parser.Parse_error { line; col; msg } ->
+    Printf.eprintf "XML error at %d:%d: %s
+" line col msg;
+    1
+
+(* ---- repl ---- *)
+
+let repl_help = {|commands:
+  inject <queue> <xml>     deliver a message and run to quiescence
+  run                      process pending messages
+  step                     process one message
+  advance <ticks>          advance the virtual clock (fires echo timers)
+  queues                   list queues and their sizes
+  show <queue>             print a queue's messages
+  gc                       run the retention garbage collector
+  evolve <<EOF ... EOF     apply an evolution script (heredoc style)
+  explain                  print the compiled plans
+  trace                    recent rule activations (needs trace capacity)
+  stats                    engine statistics
+  help                     this text
+  quit                     exit|}
+
+let repl_cmd file =
+  let config = { S.default_config with S.trace_capacity = 200 } in
+  match S.deploy ~config (read_file file) with
+  | exception S.Deployment_error msg ->
+    Printf.eprintf "deployment failed:
+%s
+" msg;
+    1
+  | srv ->
+    let interactive = Unix.isatty Unix.stdin in
+    if interactive then
+      Printf.printf "demaqd repl — %s deployed; 'help' for commands
+" file;
+    let prompt () = if interactive then (print_string "demaq> "; flush stdout) in
+    let rec read_heredoc acc =
+      match input_line stdin with
+      | "EOF" -> String.concat "
+" (List.rev acc)
+      | line -> read_heredoc (line :: acc)
+      | exception End_of_file -> String.concat "
+" (List.rev acc)
+    in
+    let quit = ref false in
+    while not !quit do
+      prompt ();
+      match input_line stdin with
+      | exception End_of_file -> quit := true
+      | line -> (
+        let line = String.trim line in
+        let word, rest =
+          match String.index_opt line ' ' with
+          | Some i ->
+            ( String.sub line 0 i,
+              String.trim (String.sub line i (String.length line - i)) )
+          | None -> (line, "")
+        in
+        match word with
+        | "" -> ()
+        | "quit" | "exit" -> quit := true
+        | "help" -> print_endline repl_help
+        | "inject" -> (
+          match String.index_opt rest ' ' with
+          | None -> print_endline "usage: inject <queue> <xml>"
+          | Some i ->
+            let queue = String.sub rest 0 i in
+            let body = String.trim (String.sub rest i (String.length rest - i)) in
+            (match Demaq.xml body with
+             | exception Demaq.Xml.Parser.Parse_error { msg; _ } ->
+               Printf.printf "bad XML: %s
+" msg
+             | payload -> (
+               match Demaq.inject srv ~queue payload with
+               | Ok m -> Printf.printf "enqueued rid %d; %d processed
+"
+                           m.Demaq.Message.rid (S.run srv)
+               | Error e ->
+                 print_endline (Demaq.Mq.Queue_manager.error_to_string e))))
+        | "run" -> Printf.printf "%d processed
+" (S.run srv)
+        | "step" -> (
+          match S.step srv with
+          | S.Processed m ->
+            Printf.printf "processed rid %d from %s
+" m.Demaq.Message.rid
+              m.Demaq.Message.queue
+          | S.Idle -> print_endline "idle")
+        | "advance" -> (
+          match int_of_string_opt rest with
+          | Some n ->
+            S.advance_time srv n;
+            Printf.printf "clock now %d; %d processed
+"
+              (Demaq.Engine.Clock.now (S.clock srv))
+              (S.run srv)
+          | None -> print_endline "usage: advance <ticks>")
+        | "queues" ->
+          List.iter
+            (fun (q : Demaq.Mq.Defs.queue_def) ->
+              Printf.printf "  %-20s %-16s %d messages
+" q.Demaq.Mq.Defs.qname
+                (Demaq.Mq.Defs.kind_to_string q.Demaq.Mq.Defs.kind)
+                (List.length (S.queue_contents srv q.Demaq.Mq.Defs.qname)))
+            (List.sort compare (Demaq.Mq.Queue_manager.queue_defs (S.queue_manager srv)))
+        | "show" ->
+          List.iter
+            (fun m ->
+              Printf.printf "  [%d]%s %s
+" m.Demaq.Message.rid
+                (if m.Demaq.Message.processed then "*" else " ")
+                (Demaq.xml_to_string (Demaq.Message.body m)))
+            (S.queue_contents srv rest)
+        | "gc" -> Printf.printf "collected %d
+" (S.gc srv)
+        | "explain" -> print_string (S.explain srv)
+        | "evolve" -> (
+          let script = if rest = "<<EOF" || rest = "" then read_heredoc [] else rest in
+          match S.evolve srv script with
+          | Ok () -> print_endline "evolved"
+          | Error msg -> Printf.printf "rejected:
+%s
+" msg)
+        | "stats" ->
+          let st = S.stats srv in
+          Printf.printf
+            "processed=%d evals=%d created=%d errors=%d transmissions=%d timers=%d gc=%d prefilter-skips=%d
+"
+            st.S.processed st.S.rule_evaluations st.S.messages_created
+            st.S.errors_raised st.S.transmissions st.S.timers_fired
+            st.S.gc_collected st.S.prefilter_skips
+        | other -> Printf.printf "unknown command %S; try 'help'
+" other)
+    done;
+    0
+
+(* ---- command line ---- *)
+
+open Cmdliner
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Demaq program")
+
+let check_t = Term.(const check_cmd $ file_arg)
+
+let explain_t = Term.(const explain_cmd $ file_arg)
+
+let queue_arg =
+  Arg.(value & opt (some string) None
+       & info [ "q"; "queue" ] ~docv:"QUEUE" ~doc:"Default queue for bare XML input")
+
+let store_arg =
+  Arg.(value & opt (some string) None
+       & info [ "store" ] ~docv:"DIR" ~doc:"Durable message store directory")
+
+let stats_arg = Arg.(value & flag & info [ "stats" ] ~doc:"Print engine statistics")
+let gc_arg = Arg.(value & flag & info [ "gc" ] ~doc:"Run the retention GC at the end")
+
+let advance_arg =
+  Arg.(value & opt int 0
+       & info [ "advance" ] ~docv:"TICKS"
+           ~doc:"Advance the virtual clock after the input drains (fires echo timers)")
+
+let run_t =
+  Term.(const run_cmd $ file_arg $ queue_arg $ store_arg $ stats_arg $ gc_arg
+        $ advance_arg)
+
+let expr_arg =
+  Arg.(required & pos 0 (some string) None
+       & info [] ~docv:"EXPR" ~doc:"QML/XQuery expression")
+
+let context_arg =
+  Arg.(value & opt (some file) None
+       & info [ "context" ] ~docv:"FILE"
+           ~doc:"XML document used as the context item (default: stdin)")
+
+let query_t = Term.(const query_cmd $ expr_arg $ context_arg)
+
+let cmds =
+  [
+    Cmd.v (Cmd.info "check" ~doc:"Parse and analyze a Demaq program") check_t;
+    Cmd.v (Cmd.info "explain" ~doc:"Print the compiled execution plans") explain_t;
+    Cmd.v (Cmd.info "run" ~doc:"Deploy a program and process stdin messages") run_t;
+    Cmd.v
+      (Cmd.info "query" ~doc:"Evaluate a QML expression against an XML document")
+      query_t;
+    Cmd.v
+      (Cmd.info "repl" ~doc:"Deploy a program and drive it interactively")
+      Term.(const repl_cmd $ file_arg);
+  ]
+
+let () =
+  let info =
+    Cmd.info "demaqd" ~version:"1.0.0"
+      ~doc:"Declarative XML message processing (Demaq, CIDR 2007)"
+  in
+  exit (Cmd.eval' (Cmd.group info cmds))

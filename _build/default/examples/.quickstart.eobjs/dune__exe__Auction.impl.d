@@ -1,0 +1,1 @@
+examples/auction.ml: Demaq List Printf

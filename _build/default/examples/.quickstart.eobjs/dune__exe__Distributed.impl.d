@@ -1,0 +1,1 @@
+examples/distributed.ml: Demaq List Printf

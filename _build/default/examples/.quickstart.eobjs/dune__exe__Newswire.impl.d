@@ -1,0 +1,1 @@
+examples/newswire.ml: Demaq List Printf

@@ -1,0 +1,1 @@
+examples/procurement.ml: Demaq List Printf

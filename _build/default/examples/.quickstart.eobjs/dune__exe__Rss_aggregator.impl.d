@@ -1,0 +1,1 @@
+examples/rss_aggregator.ml: Demaq List Printf

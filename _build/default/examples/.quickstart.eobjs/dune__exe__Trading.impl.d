@@ -1,0 +1,1 @@
+examples/trading.ml: Demaq List Printf

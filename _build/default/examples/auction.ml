@@ -1,0 +1,147 @@
+(* An auction house on Demaq: another asynchronous "Active Web" workload.
+
+   Auctions open with a deadline; bids arrive asynchronously and are
+   grouped per auction with a slicing; an echo-queue timeout closes the
+   auction, the winning bid is computed declaratively over the slice, and
+   the winner is notified through a gateway. Audit requirements keep every
+   bid retained until the auction's slice is reset after archiving.
+
+   Run with:  dune exec examples/auction.exe
+*)
+
+module Tree = Demaq.Xml.Tree
+module Net = Demaq.Network
+module S = Demaq.Server
+
+let program = {|
+create queue auctions kind basic mode persistent priority 5
+create queue bids kind basic mode persistent
+create queue deadlines kind echo mode persistent
+create queue closing kind basic mode persistent priority 10
+create queue results kind basic mode persistent
+create queue notify kind outgoingGateway mode persistent
+create queue audit kind basic mode persistent
+
+create property auctionID as xs:string fixed
+  queue auctions value //auction/id
+  queue bids value //bid/auction
+  queue closing value //close/auction
+  queue results value //result/auction
+create slicing perAuction on auctionID
+
+(: opening an auction arms its closing timer :)
+create rule openAuction for auctions
+  if (//auction) then
+    do enqueue <close><auction>{string(//auction/id)}</auction></close>
+      into deadlines
+      with timeout value //auction/duration
+      with target value "closing"
+
+(: reject bids below the reserve price immediately :)
+create rule vetBid for bids
+  if (//bid) then
+    let $auction := qs:queue("auctions")//auction[id = string(qs:message()//bid/auction)]
+    return
+      if (exists($auction) and number(//bid/amount) < number($auction/reserve)) then
+        do enqueue <rejected>
+            <auction>{string(//bid/auction)}</auction>
+            <bidder>{string(//bid/bidder)}</bidder>
+            <reason>below reserve</reason>
+          </rejected> into audit
+      else ()
+
+(: the deadline fires: compute the winner over the auction's slice :)
+create rule closeAuction for perAuction
+  if (qs:slice()[/close] and not(qs:slice()[/result])) then
+    let $auction := qs:queue("auctions")//auction[id = string(qs:slicekey())]
+    let $valid := qs:slice()//bid[number(amount) >= number($auction/reserve)]
+    let $best := $valid[number(amount) = max(for $b in $valid return number($b/amount))][1]
+    return
+      if (exists($best)) then
+        do enqueue <result>
+            <auction>{string(qs:slicekey())}</auction>
+            <winner>{string($best/bidder)}</winner>
+            <price>{string($best/amount)}</price>
+          </result> into results
+      else
+        do enqueue <result>
+            <auction>{string(qs:slicekey())}</auction>
+            <unsold/>
+          </result> into results
+
+(: notify the winner and archive, then release the slice for GC :)
+create rule announce for results
+  if (//result/winner) then
+    do enqueue <congratulations>
+        <auction>{string(//result/auction)}</auction>
+        <bidder>{string(//result/winner)}</bidder>
+        <price>{string(//result/price)}</price>
+      </congratulations> into notify
+
+create rule archive for perAuction
+  if (qs:slice()[/result]) then (
+    do enqueue <archived>{qs:slice()/result/*}</archived> into audit,
+    do reset
+  )
+|}
+
+let () =
+  let net = Net.create () in
+  let notifications = ref [] in
+  Net.register net ~name:"notify" ~handler:(fun ~sender:_ body ->
+      notifications := !notifications @ [ body ];
+      []);
+  let srv = S.deploy ~network:net program in
+  S.bind_gateway srv ~queue:"notify" ~endpoint:"notify" ();
+
+  let inject queue payload =
+    match Demaq.inject srv ~queue (Demaq.xml payload) with
+    | Ok _ -> ()
+    | Error e -> failwith (Demaq.Mq.Queue_manager.error_to_string e)
+  in
+
+  print_endline "opening auction lot-1 (reserve 100, duration 50 ticks)";
+  inject "auctions"
+    "<auction><id>lot-1</id><reserve>100</reserve><duration>50</duration></auction>";
+  ignore (S.run srv);
+
+  print_endline "bids: alice 90 (below reserve), bob 120, carol 150, dave 150 (tie, later)";
+  inject "bids" "<bid><auction>lot-1</auction><bidder>alice</bidder><amount>90</amount></bid>";
+  inject "bids" "<bid><auction>lot-1</auction><bidder>bob</bidder><amount>120</amount></bid>";
+  inject "bids" "<bid><auction>lot-1</auction><bidder>carol</bidder><amount>150</amount></bid>";
+  inject "bids" "<bid><auction>lot-1</auction><bidder>dave</bidder><amount>150</amount></bid>";
+  ignore (S.run srv);
+  Printf.printf "audit entries so far: %d (the below-reserve rejection)\n"
+    (List.length (S.queue_contents srv "audit"));
+
+  print_endline "\nadvancing virtual time past the deadline...";
+  S.advance_time srv 51;
+  ignore (S.run srv);
+
+  (match !notifications with
+   | [ n ] ->
+     Printf.printf "winner notified: %s\n" (Demaq.xml_to_string n)
+   | l -> Printf.printf "unexpected notifications: %d\n" (List.length l));
+
+  print_endline "\naudit queue:";
+  List.iter
+    (fun m -> print_endline ("  " ^ Demaq.xml_to_string (Demaq.Message.body m)))
+    (S.queue_contents srv "audit");
+
+  (* the archive rule reset the slice: bids can now be garbage collected *)
+  Printf.printf "\ngc reclaimed %d messages\n" (S.gc srv);
+  Printf.printf "bids retained after archive: %d\n"
+    (List.length (S.queue_contents srv "bids"));
+
+  (* an unsold auction *)
+  print_endline "\nopening auction lot-2 (reserve 1000), one low bid";
+  inject "auctions"
+    "<auction><id>lot-2</id><reserve>1000</reserve><duration>10</duration></auction>";
+  inject "bids" "<bid><auction>lot-2</auction><bidder>erin</bidder><amount>5</amount></bid>";
+  ignore (S.run srv);
+  S.advance_time srv 11;
+  ignore (S.run srv);
+  List.iter
+    (fun m ->
+      print_endline ("result: " ^ Demaq.xml_to_string (Demaq.Message.body m)))
+    (S.queue_contents srv "results")

@@ -1,0 +1,120 @@
+(* Distribution and zero-downtime evolution.
+
+   §2.1.2 of the paper: "From the point of view of the application rules,
+   there is no difference between gateway queues and regular queues. This
+   also facilitates the distribution of applications over several nodes by
+   replacing local queues with pairs of gateway queues that connect two
+   sites." — here a front-office node and a back-office node each run
+   their own Demaq server, connected only by gateway pairs.
+
+   §5 (future work, implemented here): "dynamic queue and rule evolution,
+   while still guaranteeing correct and reasonable system behavior" — the
+   back office gains a fraud-screening rule at runtime, between two orders,
+   without restarting either node.
+
+   Run with:  dune exec examples/distributed.exe
+*)
+
+module Net = Demaq.Network
+module S = Demaq.Server
+
+(* The front office takes orders and forwards them; results come back. *)
+let front_program = {|
+  create queue orders kind basic mode persistent
+  create queue toBack kind outgoingGateway mode persistent
+  create queue fromBack kind incomingGateway mode persistent
+  create queue customers kind basic mode persistent
+
+  create rule forward for orders
+    if (//order) then do enqueue <process>{//order/*}</process> into toBack
+
+  create rule deliver for fromBack
+    if (//processed or //rejected) then
+      do enqueue <notice>{/*}</notice> into customers
+|}
+
+(* The back office prices orders. *)
+let back_program = {|
+  create queue inbox kind incomingGateway mode persistent
+  create queue toFront kind outgoingGateway mode persistent
+
+  create rule price for inbox
+    if (//process) then
+      do enqueue <processed>
+          <id>{string(//id)}</id>
+          <charge>{number(//amount) * 1.1}</charge>
+        </processed> into toFront
+|}
+
+(* Applied at runtime: screen expensive orders before pricing. *)
+let fraud_screen_evolution = {|
+  create rule screen for inbox
+    if (//process[number(amount) > 1000]) then
+      do enqueue <rejected>
+          <id>{string(//id)}</id>
+          <reason>manual review required</reason>
+        </rejected> into toFront
+  drop rule price
+  create rule price for inbox
+    if (//process[number(amount) <= 1000]) then
+      do enqueue <processed>
+          <id>{string(//id)}</id>
+          <charge>{number(//amount) * 1.1}</charge>
+        </processed> into toFront
+|}
+
+let settle nodes =
+  let rec go rounds =
+    if rounds > 0 then begin
+      let processed = List.fold_left (fun acc n -> acc + S.run n) 0 nodes in
+      if processed > 0 then go (rounds - 1)
+    end
+  in
+  go 20
+
+let () =
+  let net = Net.create () in
+  let front = S.deploy ~network:net front_program in
+  let back = S.deploy ~network:net back_program in
+  (match S.expose back ~name:"back-office" ~queue:"inbox" with
+   | Ok () -> ()
+   | Error e -> failwith e);
+  (match S.expose front ~name:"front-office" ~queue:"fromBack" with
+   | Ok () -> ()
+   | Error e -> failwith e);
+  S.bind_gateway front ~queue:"toBack" ~endpoint:"back-office" ();
+  S.bind_gateway back ~queue:"toFront" ~endpoint:"front-office" ();
+
+  let order id amount =
+    match
+      S.inject front ~queue:"orders"
+        (Demaq.xml
+           (Printf.sprintf "<order><id>%s</id><amount>%d</amount></order>" id amount))
+    with
+    | Ok _ -> ()
+    | Error e -> failwith (Demaq.Mq.Queue_manager.error_to_string e)
+  in
+
+  print_endline "order o1 (amount 400) placed at the front office...";
+  order "o1" 400;
+  settle [ front; back ];
+
+  print_endline "\nevolving the BACK office at runtime: fraud screen + price cap";
+  (match S.evolve back fraud_screen_evolution with
+   | Ok () -> print_endline "evolution applied without restarting either node"
+   | Error e -> failwith e);
+
+  print_endline "\norder o2 (amount 5000) and o3 (amount 120) placed...";
+  order "o2" 5000;
+  order "o3" 120;
+  settle [ front; back ];
+
+  print_endline "\ncustomer notices at the front office:";
+  List.iter
+    (fun m -> print_endline ("  " ^ Demaq.xml_to_string (Demaq.Message.body m)))
+    (S.queue_contents front "customers");
+
+  let fs = S.stats front and bs = S.stats back in
+  Printf.printf
+    "\nfront: processed=%d transmissions=%d | back: processed=%d transmissions=%d\n"
+    fs.S.processed fs.S.transmissions bs.S.processed bs.S.transmissions

@@ -1,0 +1,115 @@
+(* Multi-media news distribution — the paper's introduction cites the
+   IPTC's news architecture as the other industry running on XML
+   messaging. This node is a newswire hub:
+
+   - agencies file newsItems (some embargoed until a future tick);
+   - a slicing groups all versions of the same story (event id), so a
+     correction supersedes earlier copy declaratively;
+   - embargoed items wait in an echo queue and release themselves when the
+     embargo tick passes;
+   - topic rules fan out publishable items to subscriber gateways;
+   - the story slice is reset once a kill notice arrives, letting the GC
+     reclaim every version.
+
+   Run with:  dune exec examples/newswire.exe
+*)
+
+module Tree = Demaq.Xml.Tree
+module Net = Demaq.Network
+module S = Demaq.Server
+
+let program = {|
+create queue wire kind incomingGateway mode persistent
+create queue embargoed kind echo mode persistent
+create queue publishable kind basic mode persistent
+create queue sports kind outgoingGateway mode persistent
+create queue finance kind outgoingGateway mode persistent
+create queue spiked kind basic mode persistent
+
+create property eventID as xs:string fixed
+  queue wire value //newsItem/event
+  queue publishable value //newsItem/event
+create slicing stories on eventID
+
+(: embargo handling: future-dated items park in the echo queue with the
+   remaining delay; everything else is publishable immediately :)
+create rule admit for wire
+  if (//newsItem) then
+    if (number(//newsItem/embargo) > current-dateTime()) then
+      do enqueue <newsItem>{//newsItem/*}</newsItem> into embargoed
+        with timeout value //newsItem/embargo - current-dateTime()
+        with target value "publishable"
+    else
+      do enqueue <newsItem>{//newsItem/*}</newsItem> into publishable
+
+(: only the latest version of a story goes out: a version is stale if the
+   slice holds a higher version number :)
+create rule routeSports for publishable
+  if (//newsItem[topic = "sports"]
+      and not(qs:queue()[//event = string(qs:message()//event)]
+                        [number(//version) > number(qs:message()//version)])) then
+    do enqueue <bulletin>{//newsItem/headline}{//newsItem/version}</bulletin> into sports
+
+create rule routeFinance for publishable
+  if (//newsItem[topic = "finance"]
+      and not(qs:queue()[//event = string(qs:message()//event)]
+                        [number(//version) > number(qs:message()//version)])) then
+    do enqueue <bulletin>{//newsItem/headline}{//newsItem/version}</bulletin> into finance
+
+(: a kill notice spikes the story: log it and release the slice :)
+create rule kill for stories
+  if (qs:message()//newsItem/kill) then (
+    do enqueue <spike><event>{string(qs:slicekey())}</event></spike> into spiked,
+    do reset
+  )
+|}
+
+let news_item ~event ~version ~topic ~headline ?(embargo = 0) ?(kill = false) () =
+  Printf.sprintf
+    "<newsItem><event>%s</event><version>%d</version><topic>%s</topic><headline>%s</headline><embargo>%d</embargo>%s</newsItem>"
+    event version topic headline embargo (if kill then "<kill/>" else "")
+
+let () =
+  let net = Net.create () in
+  let sports = ref [] and finance = ref [] in
+  Net.register net ~name:"sports" ~handler:(fun ~sender:_ b -> sports := !sports @ [ b ]; []);
+  Net.register net ~name:"finance" ~handler:(fun ~sender:_ b -> finance := !finance @ [ b ]; []);
+  let srv = S.deploy ~network:net program in
+  S.bind_gateway srv ~queue:"sports" ~endpoint:"sports" ();
+  S.bind_gateway srv ~queue:"finance" ~endpoint:"finance" ();
+  let file payload =
+    match S.inject srv ~queue:"wire" (Demaq.xml payload) with
+    | Ok _ -> ()
+    | Error e -> failwith (Demaq.Mq.Queue_manager.error_to_string e)
+  in
+  let show label inbox =
+    List.iter (fun b -> Printf.printf "  %-8s %s\n" label (Demaq.xml_to_string b)) !inbox;
+    inbox := []
+  in
+
+  print_endline "wire: cup final result (sports), rate decision embargoed to t=50 (finance)";
+  file (news_item ~event:"cup-final" ~version:1 ~topic:"sports" ~headline:"Home side wins" ());
+  file (news_item ~event:"rate-decision" ~version:1 ~topic:"finance"
+          ~headline:"Rates unchanged" ~embargo:50 ());
+  ignore (S.run srv);
+  show "sports" sports;
+  Printf.printf "  finance deliveries so far: %d (embargoed)\n" (List.length !finance);
+
+  print_endline "\na correction for the cup final (version 2) supersedes version 1:";
+  file (news_item ~event:"cup-final" ~version:2 ~topic:"sports"
+          ~headline:"Home side wins after extra time" ());
+  ignore (S.run srv);
+  show "sports" sports;
+
+  print_endline "\nclock passes the embargo (t=51): the rate decision releases itself";
+  S.advance_time srv 51;
+  ignore (S.run srv);
+  show "finance" finance;
+
+  print_endline "\nkill notice spikes the cup-final story; GC reclaims all versions";
+  file (news_item ~event:"cup-final" ~version:3 ~topic:"sports" ~headline:"" ~kill:true ());
+  ignore (S.run srv);
+  List.iter
+    (fun m -> Printf.printf "  spiked: %s\n" (Demaq.xml_to_string (Demaq.Message.body m)))
+    (S.queue_contents srv "spiked");
+  Printf.printf "  gc reclaimed %d messages\n" (S.gc srv)

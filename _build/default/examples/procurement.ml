@@ -1,0 +1,206 @@
+(* The paper's running example (§3, Figs. 3-10): a distributed procurement
+   scenario from the chemical industry. An offer request fans out into
+   three parallel checks (credit rating, export restrictions, supplier
+   capacity), a slicing joins the parallel control flows, the offer is
+   priced against master data, invoices are monitored with echo-queue
+   timeouts, and transport failures are compensated by postal mail.
+
+   Run with:  dune exec examples/procurement.exe
+*)
+
+module Tree = Demaq.Xml.Tree
+module Net = Demaq.Network
+module S = Demaq.Server
+
+let program = {|
+create queue crm kind basic mode persistent
+create queue finance kind basic mode persistent
+create queue legal kind basic mode persistent
+create queue invoices kind basic mode persistent
+create queue supplier kind outgoingGateway mode persistent
+  interface supplier.wsdl port CapacityRequestPort
+  using WS-ReliableMessaging policy wsrmpol.xml
+create queue supplierIn kind incomingGateway mode persistent
+create queue customer kind outgoingGateway mode persistent
+create queue postalService kind outgoingGateway mode persistent
+create queue echoQueue kind echo mode persistent
+create queue crmErrors kind basic mode persistent
+
+create property requestID as xs:string fixed
+  queue crm, customer value //requestID
+  queue supplierIn value //requestID
+create slicing requestMsgs on requestID
+
+create property messageRequestID as xs:string fixed
+  queue invoices, finance value //requestID
+create slicing invoiceRetention on messageRequestID
+
+(: Example 3.1 -- fork the three checks (Fig. 5) :)
+create rule forkChecks for crm
+  if (//offerRequest) then
+    let $rid := string(//offerRequest/requestID)
+    let $cid := string(//offerRequest/customerID)
+    return (
+      do enqueue <creditCheck><requestID>{$rid}</requestID><customerID>{$cid}</customerID></creditCheck>
+        into finance,
+      do enqueue <restrictionCheck><requestID>{$rid}</requestID><items>{//offerRequest/items/item}</items></restrictionCheck>
+        into legal,
+      do enqueue <capacityRequest><requestID>{$rid}</requestID></capacityRequest>
+        into supplier with Sender value "demaq-node"
+    )
+
+(: Example 3.2 -- credit rating against the invoices queue (Fig. 6) :)
+create rule creditRating for finance
+  if (//creditCheck) then
+    let $cid := string(//creditCheck/customerID)
+    let $unpaid := qs:queue("invoices")[//customerID = $cid][not(//paid)]
+    return
+      if (count($unpaid) < 2) then
+        do enqueue <customerInfoResult><requestID>{string(//creditCheck/requestID)}</requestID><accept/></customerInfoResult> into crm
+      else
+        do enqueue <customerInfoResult><requestID>{string(//creditCheck/requestID)}</requestID><reject/></customerInfoResult> into crm
+
+create rule exportRestrictions for legal
+  if (//restrictionCheck) then
+    do enqueue <restrictionsResult>
+        <requestID>{string(//restrictionCheck/requestID)}</requestID>
+        {//restrictionCheck/items/item[. = "plutonium"]/<restrictedItem/>}
+      </restrictionsResult> into crm
+
+create rule capacityReply for supplierIn
+  if (//capacityResult) then
+    do enqueue <capacityResult><requestID>{string(//requestID)}</requestID>{//accept}{//reject}</capacityResult> into crm
+
+(: Example 3.3 -- join the parallel checks with a slicing (Fig. 7) :)
+create rule joinOrder for requestMsgs
+  if (qs:slice()[/customerInfoResult] and
+      qs:slice()[/restrictionsResult] and
+      qs:slice()[/capacityResult] and
+      not(qs:slice()[/offer] or qs:slice()[/refusal])) then
+    if (qs:slice()[/customerInfoResult/accept] and
+        not(qs:slice()[/restrictionsResult//restrictedItem]) and
+        qs:slice()[/capacityResult//accept]) then
+      let $request := qs:queue("crm")/offerRequest
+      let $items := $request[//requestID = qs:slicekey()]/items
+      let $pricelist := collection("crm")[/pricelist]
+      let $offer := <offer>
+          <requestID>{string(qs:slicekey())}</requestID>
+          {$items}
+          <total>{sum(for $i in $items/item return number($pricelist//price[@item = string($i)]))}</total>
+        </offer>
+      return do enqueue $offer into customer
+    else
+      do enqueue <refusal><requestID>{string(qs:slicekey())}</requestID></refusal> into customer
+
+(: Fig. 8 -- release the request's slice once it is answered :)
+create rule cleanupRequest for requestMsgs
+  if (qs:slice()[/offer] or qs:slice()[/refusal]) then
+    do reset
+
+(: Example 3.4 -- payment monitoring via the echo queue (Fig. 9) :)
+create rule resetPayedInvoices for invoiceRetention
+  if (qs:slice()[//timeoutNotification] and qs:slice()[/paymentConfirmation]) then
+    do reset
+
+create rule startPaymentTimer for invoices
+  if (//invoice) then
+    do enqueue <timeoutNotification><requestID>{string(//requestID)}</requestID></timeoutNotification>
+      into echoQueue with timeout value 30 with target value "finance"
+
+create rule checkPayment for finance
+  if (//timeoutNotification) then
+    let $mRID := qs:message()//requestID
+    let $payments := qs:queue()[/paymentConfirmation]
+    return
+      if (not($payments[//requestID = $mRID])) then
+        let $invoice := qs:queue("invoices")[//requestID = $mRID]
+        let $reminder := <reminder><requestID>{string($mRID)}</requestID>{$invoice//amount}</reminder>
+        return do enqueue $reminder into customer
+      else ()
+
+(: Example 3.5 -- dead-link compensation (Fig. 10) :)
+create rule confirmOrder for crm errorqueue crmErrors
+  if (//customerOrder) then
+    let $confirmation := <confirmation>{//orderID}</confirmation>
+    return do enqueue $confirmation into customer
+
+create rule deadLink for crmErrors
+  if (/error/disconnectedTransport) then
+    let $orders := qs:queue("crm")//customerOrder
+    let $initialOrderID := /error/initialMessage//orderID
+    let $address := $orders[orderID = $initialOrderID]/address
+    let $requestMail := <sendMessage>{$address}{/error/initialMessage/*}</sendMessage>
+    return do enqueue $requestMail into postalService
+|}
+
+let section title = Printf.printf "\n=== %s ===\n" title
+
+let show_deliveries label inbox =
+  List.iter
+    (fun t -> Printf.printf "%-14s <- %s\n" label (Demaq.xml_to_string t))
+    !inbox;
+  inbox := []
+
+let () =
+  let net = Net.create () in
+  let customer_inbox = ref [] and postal_inbox = ref [] in
+  Net.register net ~name:"supplier" ~handler:(fun ~sender:_ body ->
+      match Tree.find_child body "requestID" with
+      | Some rid -> [ Tree.elem "capacityResult" [ rid; Tree.elem "accept" [] ] ]
+      | None -> []);
+  Net.register net ~name:"customer" ~handler:(fun ~sender:_ body ->
+      customer_inbox := !customer_inbox @ [ body ];
+      []);
+  Net.register net ~name:"postalService" ~handler:(fun ~sender:_ body ->
+      postal_inbox := !postal_inbox @ [ body ];
+      []);
+
+  let srv = S.deploy ~network:net program in
+  S.bind_gateway srv ~queue:"supplier" ~endpoint:"supplier" ~replies_to:"supplierIn" ();
+  S.bind_gateway srv ~queue:"customer" ~endpoint:"customer" ();
+  S.bind_gateway srv ~queue:"postalService" ~endpoint:"postalService" ();
+  S.set_collection srv "crm"
+    [ Demaq.xml
+        {|<pricelist><price item="glue">5</price><price item="paint">12</price></pricelist>|} ];
+
+  let inject queue payload =
+    match Demaq.inject srv ~queue (Demaq.xml payload) with
+    | Ok _ -> ()
+    | Error e -> failwith (Demaq.Mq.Queue_manager.error_to_string e)
+  in
+
+  section "1. Offer request -> parallel checks -> priced offer (Figs. 3-7)";
+  inject "crm"
+    "<offerRequest><requestID>r1</requestID><customerID>c7</customerID><items><item>glue</item><item>paint</item></items></offerRequest>";
+  ignore (S.run srv);
+  show_deliveries "customer" customer_inbox;
+
+  section "2. Restricted item -> refusal (Fig. 7, else branch)";
+  inject "crm"
+    "<offerRequest><requestID>r2</requestID><customerID>c7</customerID><items><item>plutonium</item></items></offerRequest>";
+  ignore (S.run srv);
+  show_deliveries "customer" customer_inbox;
+
+  section "3. Invoice timeout -> payment reminder (Fig. 9)";
+  inject "invoices"
+    "<invoice><requestID>inv1</requestID><customerID>c7</customerID><amount>250</amount></invoice>";
+  ignore (S.run srv);
+  S.advance_time srv 31;
+  ignore (S.run srv);
+  show_deliveries "customer" customer_inbox;
+
+  section "4. Customer endpoint down -> snail mail compensation (Fig. 10)";
+  Net.set_connected net "customer" false;
+  inject "crm"
+    "<customerOrder><orderID>o77</orderID><address>12 Main St</address></customerOrder>";
+  ignore (S.run srv);
+  show_deliveries "postalService" postal_inbox;
+
+  section "5. Retention: slice resets let the GC reclaim answered requests";
+  Printf.printf "collected %d messages\n" (S.gc srv);
+
+  let st = S.stats srv in
+  Printf.printf
+    "\nstats: processed=%d rule-evals=%d created=%d errors=%d transmissions=%d timers=%d\n"
+    st.S.processed st.S.rule_evaluations st.S.messages_created st.S.errors_raised
+    st.S.transmissions st.S.timers_fired

@@ -1,0 +1,45 @@
+(* Quickstart: the smallest useful Demaq application.
+
+   A single queue of incoming orders and one declarative rule that
+   acknowledges each order. Run with:
+
+     dune exec examples/quickstart.exe
+*)
+
+module S = Demaq.Server
+
+let program = {|
+  create queue orders kind basic mode persistent
+  create queue acks kind basic mode persistent
+
+  create rule acknowledge for orders
+    if (//order) then
+      do enqueue <ack>
+          <orderID>{string(//order/id)}</orderID>
+          <items>{count(//order/item)}</items>
+        </ack> into acks
+|}
+
+let () =
+  (* 1. Deploy the program (parses QDL + QML, compiles the rules). *)
+  let server = Demaq.deploy program in
+
+  (* 2. Deliver some external messages. *)
+  List.iter
+    (fun payload ->
+      match Demaq.inject server ~queue:"orders" (Demaq.xml payload) with
+      | Ok _ -> ()
+      | Error e -> failwith (Demaq.Mq.Queue_manager.error_to_string e))
+    [
+      "<order><id>1</id><item>glue</item><item>paint</item></order>";
+      "<order><id>2</id><item>brushes</item></order>";
+    ];
+
+  (* 3. Let the engine process everything that is pending. *)
+  let processed = S.run server in
+  Printf.printf "processed %d messages\n\n" processed;
+
+  (* 4. Inspect the results. *)
+  List.iter
+    (fun m -> print_endline (Demaq.xml_pretty (Demaq.Message.body m)))
+    (S.queue_contents server "acks")

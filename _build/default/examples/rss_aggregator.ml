@@ -1,0 +1,116 @@
+(* An "Active Web" scenario from the paper's introduction: event
+   notification with RSS/Atom feeds. The node subscribes to several feeds,
+   deduplicates entries across feeds with a slicing keyed on the entry
+   link, filters by topic, and publishes a digest to subscribers when a
+   periodic echo-queue tick fires.
+
+   Run with:  dune exec examples/rss_aggregator.exe
+*)
+
+module Tree = Demaq.Xml.Tree
+module Net = Demaq.Network
+module S = Demaq.Server
+
+let program = {|
+create queue feedIn kind incomingGateway mode persistent
+create queue fresh kind basic mode persistent
+create queue digestTicks kind echo mode persistent
+create queue digestTrigger kind basic mode persistent
+create queue subscribers kind outgoingGateway mode persistent
+
+(: one slice per entry link: the first copy is "fresh", later copies of
+   the same story from other feeds are duplicates :)
+create property link as xs:string fixed
+  queue feedIn value //entry/link
+  queue fresh value //entry/link
+create slicing stories on link
+
+(: deduplicate: forward a story's entry the first time its slice is seen
+   without a <fresh> marker; the marker joins the slice itself, so later
+   copies (and the marker's own processing) are guarded out :)
+create rule dedup for stories
+  if (qs:message()//entry and not(qs:slice()[/fresh])) then
+    do enqueue <fresh>{qs:message()//entry}</fresh> into fresh
+
+(: periodic digest: collect the fresh database-tagged stories :)
+create rule digest for digestTrigger
+  if (//tick) then
+    let $stories := qs:queue("fresh")//entry[category = "databases"]
+    return
+      if (exists($stories)) then (
+        do enqueue <digest>
+            <count>{count($stories)}</count>
+            {for $s in $stories order by string($s/title) return <story>{$s/title}{$s/link}</story>}
+          </digest> into subscribers,
+        (: release all published stories for garbage collection :)
+        for $s in qs:queue("fresh")/fresh
+        return do reset slicing stories key string($s//link)
+      )
+      else ()
+
+(: keep the digest timer ticking: each tick re-arms the next one :)
+create rule rearm for digestTrigger
+  if (//tick) then
+    do enqueue <tick/> into digestTicks
+      with timeout value 60
+      with target value "digestTrigger"
+|}
+
+let entry ~feed ~title ~link ~category =
+  Printf.sprintf
+    "<post><feed>%s</feed><entry><title>%s</title><link>%s</link><category>%s</category></entry></post>"
+    feed title link category
+
+let () =
+  let net = Net.create () in
+  let delivered = ref [] in
+  Net.register net ~name:"subscribers" ~handler:(fun ~sender:_ body ->
+      delivered := !delivered @ [ body ];
+      []);
+  let srv = S.deploy ~network:net program in
+  S.bind_gateway srv ~queue:"subscribers" ~endpoint:"subscribers" ();
+
+  let inject queue payload =
+    match Demaq.inject srv ~queue (Demaq.xml payload) with
+    | Ok _ -> ()
+    | Error e -> failwith (Demaq.Mq.Queue_manager.error_to_string e)
+  in
+
+  (* arm the first digest tick *)
+  (match
+     S.inject srv
+       ~props:[ ("timeout", Demaq.Value.Integer 60); ("target", Demaq.Value.String "digestTrigger") ]
+       ~queue:"digestTicks" (Demaq.xml "<tick/>")
+   with
+   | Ok _ -> ()
+   | Error e -> failwith (Demaq.Mq.Queue_manager.error_to_string e));
+
+  (* three feeds deliver overlapping stories *)
+  inject "feedIn" (entry ~feed:"planet-db" ~title:"Vector engines" ~link:"http://x/1" ~category:"databases");
+  inject "feedIn" (entry ~feed:"hackernews" ~title:"Vector engines" ~link:"http://x/1" ~category:"databases");
+  inject "feedIn" (entry ~feed:"planet-db" ~title:"Queues are databases" ~link:"http://x/2" ~category:"databases");
+  inject "feedIn" (entry ~feed:"misc" ~title:"Sourdough tips" ~link:"http://x/3" ~category:"cooking");
+  ignore (S.run srv);
+  Printf.printf "fresh stories after dedup: %d of 4 posts (1 duplicate suppressed)\n"
+    (List.length (S.queue_contents srv "fresh"));
+
+  (* the digest tick fires after 60 ticks of virtual time *)
+  S.advance_time srv 61;
+  ignore (S.run srv);
+  (match !delivered with
+   | [ digest ] ->
+     print_endline "digest pushed to subscribers:";
+     print_endline (Demaq.xml_pretty digest)
+   | l -> Printf.printf "unexpected deliveries: %d\n" (List.length l));
+
+  (* published stories were released; the GC reclaims them *)
+  Printf.printf "\ngc reclaimed %d messages\n" (S.gc srv);
+
+  (* a late duplicate of a published story is NOT fresh again: its slice
+     key is new-lifetime, so it counts as the first of a new lifetime *)
+  delivered := [];
+  inject "feedIn" (entry ~feed:"late" ~title:"Vector engines" ~link:"http://x/1" ~category:"databases");
+  S.advance_time srv 61;
+  ignore (S.run srv);
+  Printf.printf "second digest deliveries: %d (the story re-publishes in its new lifetime)\n"
+    (List.length !delivered)

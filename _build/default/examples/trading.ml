@@ -1,0 +1,156 @@
+(* Securities trading — the paper's introduction names "industry sectors
+   as diverse as securities trading [FIX protocol]" as early adopters of
+   XML messaging. This example is a miniature continuous-double-auction
+   matching engine written entirely as Demaq rules:
+
+   - FIX-style NewOrderSingle messages arrive at an incoming gateway;
+   - a slicing groups the book per symbol;
+   - a matching rule crosses the best bid against the best ask whenever a
+     new order arrives in a symbol's slice;
+   - fills are reported as ExecutionReport messages through an outgoing
+     gateway, and the day is closed by an echo-queue timer that expires
+     unfilled orders.
+
+   Run with:  dune exec examples/trading.exe
+*)
+
+module Tree = Demaq.Xml.Tree
+module Net = Demaq.Network
+module S = Demaq.Server
+
+let program = {|
+create queue ordersIn kind incomingGateway mode persistent
+create queue book kind basic mode persistent
+create queue fills kind basic mode persistent
+create queue reports kind outgoingGateway mode persistent
+create queue sessionClock kind echo mode persistent
+create queue sessionEnd kind basic mode persistent priority 10
+
+create property symbol as xs:string fixed
+  queue book value //order/symbol
+  queue fills value //fill/symbol
+create slicing perSymbol on symbol
+
+(: admit well-formed orders to the book :)
+create rule admit for ordersIn
+  if (//NewOrderSingle) then
+    do enqueue <order>
+        <id>{string(//ClOrdID)}</id>
+        <symbol>{string(//Symbol)}</symbol>
+        <side>{string(//Side)}</side>
+        <price>{string(//Price)}</price>
+        <qty>{string(//OrderQty)}</qty>
+      </order> into book
+
+(: the matching rule: on any change in a symbol's slice, cross the best
+   bid with the best ask while they overlap. One fill per activation; the
+   fill message re-enters the slice and re-triggers matching, so crossing
+   books drain one trade at a time — each trade is its own transaction. :)
+create rule match for perSymbol
+  if (qs:slice()[/order]) then
+    let $filled := qs:slice()//fill/orderID
+    let $live := qs:slice()//order[not(id = $filled)]
+    let $bids := $live[side = "buy"]
+    let $asks := $live[side = "sell"]
+    let $bestBid := ($bids[number(price) = max(for $b in $bids return number($b/price))])[1]
+    let $bestAsk := ($asks[number(price) = min(for $a in $asks return number($a/price))])[1]
+    return
+      if (exists($bestBid) and exists($bestAsk)
+          and number($bestBid/price) >= number($bestAsk/price)) then
+        let $px := number($bestAsk/price)
+        return (
+          do enqueue <fill>
+              <symbol>{string(qs:slicekey())}</symbol>
+              <orderID>{string($bestBid/id)}</orderID>
+              <price>{$px}</price>
+            </fill> into fills,
+          do enqueue <fill>
+              <symbol>{string(qs:slicekey())}</symbol>
+              <orderID>{string($bestAsk/id)}</orderID>
+              <price>{$px}</price>
+            </fill> into fills
+        )
+      else ()
+
+(: publish each fill as a FIX-ish ExecutionReport :)
+create rule report for fills
+  if (//fill) then
+    do enqueue <ExecutionReport>
+        <ClOrdID>{string(//fill/orderID)}</ClOrdID>
+        <Symbol>{string(//fill/symbol)}</Symbol>
+        <LastPx>{string(//fill/price)}</LastPx>
+        <ExecType>FILL</ExecType>
+      </ExecutionReport> into reports
+
+(: end of session: expire resting unfilled orders and release the books :)
+create rule closeSession for sessionEnd
+  if (//close) then (
+    for $o in qs:queue("book")//order
+        [not(qs:queue("fills")//fill/orderID = id)]
+    return do enqueue <ExecutionReport>
+        <ClOrdID>{string($o/id)}</ClOrdID>
+        <Symbol>{string($o/symbol)}</Symbol>
+        <ExecType>EXPIRED</ExecType>
+      </ExecutionReport> into reports,
+    for $sym in distinct-values(qs:queue("book")//order/symbol)
+    return do reset slicing perSymbol key $sym
+  )
+|}
+
+let fix_order ~id ~symbol ~side ~price ~qty =
+  Printf.sprintf
+    "<NewOrderSingle><ClOrdID>%s</ClOrdID><Symbol>%s</Symbol><Side>%s</Side><Price>%d</Price><OrderQty>%d</OrderQty></NewOrderSingle>"
+    id symbol side price qty
+
+let () =
+  let net = Net.create () in
+  let tape = ref [] in
+  Net.register net ~name:"reports" ~handler:(fun ~sender:_ body ->
+      tape := !tape @ [ body ];
+      []);
+  let srv = S.deploy ~network:net program in
+  S.bind_gateway srv ~queue:"reports" ~endpoint:"reports" ();
+  let inject payload =
+    match S.inject srv ~queue:"ordersIn" (Demaq.xml payload) with
+    | Ok _ -> ()
+    | Error e -> failwith (Demaq.Mq.Queue_manager.error_to_string e)
+  in
+
+  (* arm the session-close timer: 100 ticks *)
+  (match
+     S.inject srv
+       ~props:[ ("timeout", Demaq.Value.Integer 100);
+                ("target", Demaq.Value.String "sessionEnd") ]
+       ~queue:"sessionClock" (Demaq.xml "<close/>")
+   with
+   | Ok _ -> ()
+   | Error e -> failwith (Demaq.Mq.Queue_manager.error_to_string e));
+
+  print_endline "order flow: ACME and GLOB books";
+  inject (fix_order ~id:"o1" ~symbol:"ACME" ~side:"buy" ~price:99 ~qty:10);
+  inject (fix_order ~id:"o2" ~symbol:"ACME" ~side:"sell" ~price:101 ~qty:10);
+  inject (fix_order ~id:"o3" ~symbol:"GLOB" ~side:"sell" ~price:55 ~qty:5);
+  ignore (S.run srv);
+  Printf.printf "  after 3 orders: %d executions (books don't cross yet)\n"
+    (List.length !tape);
+
+  inject (fix_order ~id:"o4" ~symbol:"ACME" ~side:"buy" ~price:101 ~qty:10);
+  ignore (S.run srv);
+  print_endline "  o4 (buy ACME @101) crosses o2 (sell @101):";
+  List.iter (fun t -> print_endline ("    " ^ Demaq.xml_to_string t)) !tape;
+
+  tape := [];
+  inject (fix_order ~id:"o5" ~symbol:"GLOB" ~side:"buy" ~price:60 ~qty:5);
+  ignore (S.run srv);
+  Printf.printf "  GLOB crosses independently: %d reports\n" (List.length !tape);
+
+  tape := [];
+  print_endline "\nsession close (echo timer fires at tick 100):";
+  S.advance_time srv 101;
+  ignore (S.run srv);
+  List.iter (fun t -> print_endline ("  " ^ Demaq.xml_to_string t)) !tape;
+
+  Printf.printf "\ngc after session close reclaimed %d messages\n" (S.gc srv);
+  let st = S.stats srv in
+  Printf.printf "stats: processed=%d evals=%d prefilter-skips=%d\n" st.S.processed
+    st.S.rule_evaluations st.S.prefilter_skips

@@ -1,0 +1,1 @@
+lib/baseline/context_engine.ml: Demaq_xml Hashtbl String

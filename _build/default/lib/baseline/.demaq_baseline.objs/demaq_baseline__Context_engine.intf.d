@@ -1,0 +1,1 @@
+lib/baseline/context_engine.mli: Demaq_xml

@@ -1,0 +1,90 @@
+(* The comparison system for benchmark B4: a BPEL-style process engine that
+   keeps one monolithic runtime context per process instance (§2.1 of the
+   paper: "Contexts that include these variable bindings have to be kept
+   for each active process instance, which leads to scalability issues if
+   the number of processes is large. ... the Oracle BPEL Process Manager
+   stores application contexts in a relational database system (dehydration
+   store) and reacquires them when processing continues").
+
+   With [dehydrate = true] every delivery serializes/parses the whole
+   context document (the dehydration store round trip); with [false] the
+   contexts stay live in memory. Demaq's "everything is a message" model is
+   the contrast: state queries touch only the messages a rule asks for. *)
+
+module Tree = Demaq_xml.Tree
+module Serializer = Demaq_xml.Serializer
+module Xml_parser = Demaq_xml.Parser
+
+type stats = {
+  deliveries : int;
+  instances : int;
+  rehydrations : int;
+  dehydrated_bytes : int;  (* cumulative serialize+parse volume *)
+}
+
+type t = {
+  correlate : Tree.tree -> string;
+  step : context:Tree.tree -> msg:Tree.tree -> Tree.tree * Tree.tree list;
+  initial : Tree.tree;
+  dehydrate : bool;
+  live : (string, Tree.tree) Hashtbl.t;
+  dehydrated : (string, string) Hashtbl.t;
+  mutable s_deliveries : int;
+  mutable s_rehydrations : int;
+  mutable s_bytes : int;
+}
+
+let create ?(dehydrate = true) ?(initial = Tree.elem "context" []) ~correlate ~step
+    () =
+  {
+    correlate;
+    step;
+    initial;
+    dehydrate;
+    live = Hashtbl.create 256;
+    dehydrated = Hashtbl.create 256;
+    s_deliveries = 0;
+    s_rehydrations = 0;
+    s_bytes = 0;
+  }
+
+let load t key =
+  if t.dehydrate then begin
+    match Hashtbl.find_opt t.dehydrated key with
+    | Some serialized ->
+      t.s_rehydrations <- t.s_rehydrations + 1;
+      t.s_bytes <- t.s_bytes + String.length serialized;
+      Xml_parser.parse serialized
+    | None -> t.initial
+  end
+  else
+    match Hashtbl.find_opt t.live key with
+    | Some ctx -> ctx
+    | None -> t.initial
+
+let save t key ctx =
+  if t.dehydrate then begin
+    let serialized = Serializer.to_string ctx in
+    t.s_bytes <- t.s_bytes + String.length serialized;
+    Hashtbl.replace t.dehydrated key serialized
+  end
+  else Hashtbl.replace t.live key ctx
+
+let deliver t msg =
+  t.s_deliveries <- t.s_deliveries + 1;
+  let key = t.correlate msg in
+  let ctx = load t key in
+  let ctx', outputs = t.step ~context:ctx ~msg in
+  save t key ctx';
+  outputs
+
+let instance_count t =
+  if t.dehydrate then Hashtbl.length t.dehydrated else Hashtbl.length t.live
+
+let stats t =
+  {
+    deliveries = t.s_deliveries;
+    instances = instance_count t;
+    rehydrations = t.s_rehydrations;
+    dehydrated_bytes = t.s_bytes;
+  }

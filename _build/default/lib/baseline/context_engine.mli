@@ -1,0 +1,43 @@
+(** The comparison system for benchmark B4: a BPEL-style process engine
+    keeping one monolithic runtime context per process instance (§2.1 of
+    the paper: per-instance variable bindings "have to be kept for each
+    active process instance, which leads to scalability issues"; the
+    Oracle BPEL Process Manager's dehydration store is the cited
+    workaround).
+
+    With [dehydrate = true] every delivery serializes and re-parses the
+    whole context document — the dehydration-store round trip; with
+    [false] contexts stay live in memory. Demaq's "everything is a
+    message" model is the contrast measured in bench B4. *)
+
+type t
+
+val create :
+  ?dehydrate:bool ->
+  ?initial:Demaq_xml.Tree.tree ->
+  correlate:(Demaq_xml.Tree.tree -> string) ->
+  step:
+    (context:Demaq_xml.Tree.tree ->
+     msg:Demaq_xml.Tree.tree ->
+     Demaq_xml.Tree.tree * Demaq_xml.Tree.tree list) ->
+  unit ->
+  t
+(** [correlate] maps a message to its process-instance key; [step] folds a
+    message into the instance context and returns the new context plus any
+    output messages. [dehydrate] defaults to [true]; [initial] is the
+    context of a fresh instance (default [<context/>]). *)
+
+val deliver : t -> Demaq_xml.Tree.tree -> Demaq_xml.Tree.tree list
+(** Route a message to its instance (rehydrating if necessary), run the
+    step, store the new context, return the outputs. *)
+
+val instance_count : t -> int
+
+type stats = {
+  deliveries : int;
+  instances : int;
+  rehydrations : int;  (** dehydration-store loads *)
+  dehydrated_bytes : int;  (** cumulative serialize + parse volume *)
+}
+
+val stats : t -> stats

@@ -1,0 +1,1 @@
+lib/engine/errors.ml: Demaq_net Demaq_xml List

@@ -1,0 +1,1 @@
+lib/engine/errors.mli: Demaq_net Demaq_xml

@@ -1,0 +1,1 @@
+lib/engine/scheduler.ml: Heap List Option

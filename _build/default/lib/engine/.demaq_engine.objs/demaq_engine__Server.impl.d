@@ -1,0 +1,1 @@
+lib/engine/server.ml: Clock Demaq_lang Demaq_mq Demaq_net Demaq_store Demaq_xml Demaq_xquery Errors Format Hashtbl List Logs Option Printf Queue Scheduler String Timer_wheel

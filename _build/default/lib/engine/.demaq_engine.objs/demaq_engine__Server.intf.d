@@ -1,0 +1,1 @@
+lib/engine/server.mli: Clock Demaq_mq Demaq_net Demaq_store Demaq_xml Demaq_xquery Format

@@ -1,0 +1,1 @@
+lib/engine/timer_wheel.mli:

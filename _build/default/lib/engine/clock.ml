@@ -1,0 +1,11 @@
+(* The engine's virtual clock. Demaq models time-based behaviour (echo
+   queues, §2.1.3) through this injectable tick counter, which keeps tests
+   and benchmarks deterministic; a deployment can drive it from wall-clock
+   time instead. *)
+
+type t = { mutable now : int }
+
+let create ?(start = 0) () = { now = start }
+let now t = t.now
+let advance t ticks = t.now <- t.now + max 0 ticks
+let set t tick = if tick > t.now then t.now <- tick

@@ -1,0 +1,16 @@
+(** The engine's virtual clock.
+
+    Demaq models time-based behaviour (echo queues §2.1.3, time-based
+    conditions §5) through this injectable tick counter, which keeps tests
+    and benchmarks deterministic; a deployment can drive it from
+    wall-clock time instead. The clock never goes backwards. *)
+
+type t
+
+val create : ?start:int -> unit -> t
+val now : t -> int
+val advance : t -> int -> unit
+(** Move forward by a number of ticks (negative amounts are ignored). *)
+
+val set : t -> int -> unit
+(** Jump forward to an absolute tick; ignored if it is in the past. *)

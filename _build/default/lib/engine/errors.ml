@@ -1,0 +1,57 @@
+(* Error messages (§3.6): "errors are represented by XML messages sent to
+   error queues. ... The error message not only contains an error
+   specification according to a predefined schema, but may also contain
+   (a reference to) the data which caused the error."
+
+   The error schema mirrors Fig. 10 of the paper, which navigates
+   [/error/disconnectedTransport] and [/error/initialMessage//orderID]:
+   the error kind is an empty child element named after the kind, and the
+   triggering message payload is embedded under <initialMessage>. *)
+
+module Tree = Demaq_xml.Tree
+
+type kind =
+  | Evaluation_error  (* XQuery dynamic errors (application-program related) *)
+  | Schema_violation  (* message-related: invalid document for target queue *)
+  | Unknown_queue
+  | Property_error
+  | Interface_violation
+      (* message is not a valid input of the gateway's WSDL port (§2.1.2) *)
+  | Disconnected_transport  (* network-related, Fig. 10 *)
+  | Delivery_timeout
+  | Name_resolution_error
+  | System_error
+
+let kind_element = function
+  | Evaluation_error -> "evaluationError"
+  | Schema_violation -> "schemaViolation"
+  | Unknown_queue -> "unknownQueue"
+  | Property_error -> "propertyError"
+  | Interface_violation -> "interfaceViolation"
+  | Disconnected_transport -> "disconnectedTransport"
+  | Delivery_timeout -> "deliveryTimeout"
+  | Name_resolution_error -> "nameResolutionError"
+  | System_error -> "systemError"
+
+let to_xml ~kind ~description ?rule ?queue ?initial_message () =
+  let optional name = function
+    | Some v -> [ Tree.elem name [ Tree.text v ] ]
+    | None -> []
+  in
+  Tree.elem "error"
+    (List.concat
+       [
+         [ Tree.elem (kind_element kind) [] ];
+         [ Tree.elem "description" [ Tree.text description ] ];
+         optional "rule" rule;
+         optional "queue" queue;
+         (match initial_message with
+          | Some payload -> [ Tree.elem "initialMessage" [ payload ] ]
+          | None -> []);
+       ])
+
+let of_network_failure (f : Demaq_net.Network.failure) =
+  match f with
+  | Demaq_net.Network.Disconnected _ -> Disconnected_transport
+  | Demaq_net.Network.Timeout _ -> Delivery_timeout
+  | Demaq_net.Network.Name_resolution _ -> Name_resolution_error

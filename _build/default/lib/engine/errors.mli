@@ -1,0 +1,34 @@
+(** Error messages (§3.6): "errors are represented by XML messages sent to
+    error queues."
+
+    The error schema mirrors Fig. 10 of the paper, which navigates
+    [/error/disconnectedTransport] and [/error/initialMessage//orderID]:
+    the kind is an empty child element named after it, and the triggering
+    message payload is embedded under [<initialMessage>]. *)
+
+type kind =
+  | Evaluation_error
+      (** XQuery dynamic errors — "application program related" *)
+  | Schema_violation  (** message-related: invalid document for a queue *)
+  | Unknown_queue
+  | Property_error
+  | Interface_violation
+      (** not a valid input of the gateway's WSDL port (§2.1.2) *)
+  | Disconnected_transport  (** network-related (Fig. 10) *)
+  | Delivery_timeout
+  | Name_resolution_error
+  | System_error
+
+val kind_element : kind -> string
+(** The element name of the kind marker, e.g. ["disconnectedTransport"]. *)
+
+val to_xml :
+  kind:kind ->
+  description:string ->
+  ?rule:string ->
+  ?queue:string ->
+  ?initial_message:Demaq_xml.Tree.tree ->
+  unit ->
+  Demaq_xml.Tree.tree
+
+val of_network_failure : Demaq_net.Network.failure -> kind

@@ -1,0 +1,64 @@
+(* A binary min-heap over an explicit ordering, used by the message
+   scheduler and the echo-queue timer wheel. *)
+
+type 'a t = {
+  cmp : 'a -> 'a -> int;
+  mutable data : 'a array;
+  mutable size : int;
+}
+
+let create cmp = { cmp; data = [||]; size = 0 }
+
+let length h = h.size
+let is_empty h = h.size = 0
+
+let swap h i j =
+  let tmp = h.data.(i) in
+  h.data.(i) <- h.data.(j);
+  h.data.(j) <- tmp
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if h.cmp h.data.(i) h.data.(parent) < 0 then begin
+      swap h i parent;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < h.size && h.cmp h.data.(l) h.data.(!smallest) < 0 then smallest := l;
+  if r < h.size && h.cmp h.data.(r) h.data.(!smallest) < 0 then smallest := r;
+  if !smallest <> i then begin
+    swap h i !smallest;
+    sift_down h !smallest
+  end
+
+let push h x =
+  if h.size = Array.length h.data then begin
+    let cap = max 8 (2 * Array.length h.data) in
+    let bigger = Array.make cap x in
+    Array.blit h.data 0 bigger 0 h.size;
+    h.data <- bigger
+  end;
+  h.data.(h.size) <- x;
+  h.size <- h.size + 1;
+  sift_up h (h.size - 1)
+
+let peek h = if h.size = 0 then None else Some h.data.(0)
+
+let pop h =
+  if h.size = 0 then None
+  else begin
+    let top = h.data.(0) in
+    h.size <- h.size - 1;
+    if h.size > 0 then begin
+      h.data.(0) <- h.data.(h.size);
+      sift_down h 0
+    end;
+    Some top
+  end
+
+let to_list h = Array.to_list (Array.sub h.data 0 h.size)

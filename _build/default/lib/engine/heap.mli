@@ -1,0 +1,20 @@
+(** A binary min-heap over an explicit ordering.
+
+    Backs the message scheduler and the echo-queue timer wheel. Push and
+    pop are O(log n); peek is O(1). *)
+
+type 'a t
+
+val create : ('a -> 'a -> int) -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val push : 'a t -> 'a -> unit
+
+val peek : 'a t -> 'a option
+(** The minimum element, not removed. *)
+
+val pop : 'a t -> 'a option
+(** Remove and return the minimum element. *)
+
+val to_list : 'a t -> 'a list
+(** The live elements in internal (heap array) order. *)

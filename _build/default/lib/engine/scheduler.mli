@@ -1,0 +1,25 @@
+(** The message scheduler (§4.4.2): "maintains a list of all unprocessed
+    messages and chooses the next message to be handled, considering both
+    their temporal ordering and the priority of the containing queues."
+
+    A binary heap ordered by (queue priority descending, arrival sequence
+    ascending): higher-priority messages overtake older lower-priority
+    ones; FIFO holds within a priority level. All operations are
+    O(log n). *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> priority:int -> int -> unit
+(** Schedule a message rid at the given queue priority. *)
+
+val pop : t -> int option
+(** The next rid per the scheduling order, removing it. *)
+
+val peek : t -> int option
+val length : t -> int
+val is_empty : t -> bool
+
+val pending_rids : t -> int list
+(** All scheduled rids in heap (not scheduling) order; for diagnostics. *)

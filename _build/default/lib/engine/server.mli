@@ -1,0 +1,171 @@
+(** The Demaq server: deploys a program (QDL declarations + QML rules) and
+    executes the §3.1 model: each unprocessed message is processed exactly
+    once, in scheduler order; processing evaluates all rules that pertain
+    to the message's queue (and the slices that contain it), collects the
+    pending update list, and applies it — all in a single transaction
+    against the message store. *)
+
+module Tree := Demaq_xml.Tree
+module Value := Demaq_xquery.Value
+module Store := Demaq_store.Message_store
+
+type config = {
+  merged_plans : bool;
+      (** evaluate one merged plan per queue instead of per-rule plans
+          (§4.4.1; benchmark B2). Per-rule is the default because it gives
+          precise rule-level error attribution. *)
+  use_slice_index : bool;
+      (** serve [qs:slice()] from the materialized B-tree index rather than
+          scanning the underlying queues (§4.3; benchmark B1) *)
+  lock_granularity : [ `Queue | `Slice ];
+      (** lock whole queues or individual slices per transaction (§4.3;
+          benchmark B3) *)
+  use_prefilter : bool;
+      (** skip evaluating rules whose condition requires element names the
+          triggering message does not contain (XML filtering, §4.4.1;
+          benchmark A4) *)
+  trace_capacity : int;
+      (** keep the last N rule activations for inspection (§2.3.3 names
+          "tracing system behavior" as a retention concern); 0 disables *)
+  gc_every : int;
+      (** run the retention GC after every N processed messages;
+          0 disables automatic GC ("physical cleanup is decoupled from
+          message processing", §2.3.3) *)
+  system_error_queue : string option;
+      (** last-resort error queue (§3.6 "system level") *)
+  optimize : bool;  (** enable the rule compiler's rewrites *)
+  node_name : string;  (** this node's transport address *)
+}
+
+val default_config : config
+
+type t
+
+exception Deployment_error of string
+
+val deploy :
+  ?config:config ->
+  ?store:Store.t ->
+  ?network:Demaq_net.Network.t ->
+  string ->
+  t
+(** Parse, analyze and compile the program text, register all definitions,
+    and recover scheduler/timer state from the store (all unprocessed
+    messages are rescheduled; pending echo timeouts are re-registered).
+    @raise Deployment_error when parsing or semantic analysis fails. *)
+
+val queue_manager : t -> Demaq_mq.Queue_manager.t
+val store : t -> Store.t
+val clock : t -> Clock.t
+val network : t -> Demaq_net.Network.t
+val config : t -> config
+val explain : t -> string
+(** The compiled execution plans, printed. *)
+
+(** {1 Gateways} *)
+
+val bind_gateway :
+  t -> queue:string -> ?endpoint:string -> ?replies_to:string -> unit -> unit
+(** Route an outgoing gateway queue to a named network endpoint (default:
+    the queue name) and optionally deliver the endpoint's replies into an
+    incoming gateway queue. *)
+
+val register_interface : t -> file:string -> string -> (unit, string) result
+(** Register the contents of a WSDL file named by a gateway queue's
+    [interface <file> port <name>] declaration (§2.1.2). Once registered,
+    outgoing messages on that gateway are validated as inputs of the
+    declared port; violations become [interfaceViolation] error
+    messages. *)
+
+val set_collection : t -> string -> Tree.tree list -> unit
+
+(** {1 Driving the node} *)
+
+val inject :
+  t ->
+  ?props:(string * Value.atomic) list ->
+  queue:string ->
+  Tree.tree ->
+  (Demaq_mq.Message.t, Demaq_mq.Queue_manager.error) result
+(** Deliver an external message into a queue (e.g. a request arriving at an
+    incoming gateway), in its own transaction. *)
+
+type step_result = Processed of Demaq_mq.Message.t | Idle
+
+val step : t -> step_result
+(** Process the next scheduled message (§3.1), or report an empty agenda. *)
+
+val pump_gateways : t -> int
+(** Transmit pending messages in outgoing gateway queues; returns the
+    number of transmissions attempted. Network failures become error
+    messages routed per §3.6. *)
+
+val advance_time : t -> int -> unit
+(** Advance the virtual clock and fire due echo-queue timeouts (§2.1.3). *)
+
+val run : ?max_steps:int -> t -> int
+(** Alternate {!step} and {!pump_gateways} until the node is quiescent (or
+    the step bound is hit); returns the number of messages processed. Does
+    not advance time. *)
+
+val gc : t -> int
+(** Run the retention garbage collector (§2.3.3); returns collected count. *)
+
+(** {1 Introspection} *)
+
+type stats = {
+  processed : int;
+  rule_evaluations : int;
+  messages_created : int;
+  errors_raised : int;
+  transmissions : int;
+  timers_fired : int;
+  gc_collected : int;
+  prefilter_skips : int;
+}
+
+val stats : t -> stats
+val pending_messages : t -> int
+
+(** {1 Execution tracing} *)
+
+type trace_entry = {
+  tr_tick : int;  (** virtual-clock time of the activation *)
+  tr_rule : string;
+  tr_trigger : int;  (** rid of the triggering message *)
+  tr_queue : string;
+  tr_updates : int;  (** pending updates the evaluation produced *)
+  tr_skipped : bool;  (** suppressed by the condition pre-filter *)
+}
+
+val trace : t -> trace_entry list
+(** The most recent rule activations, newest first, bounded by
+    [trace_capacity]. *)
+
+val pp_trace_entry : Format.formatter -> trace_entry -> unit
+val queue_contents : t -> string -> Demaq_mq.Message.t list
+
+(** {1 Dynamic evolution (paper §5 future work)} *)
+
+val evolve : t -> string -> (unit, string) result
+(** Apply an incremental QDL/QML script — additional [create] statements
+    and [drop rule <name>] statements — to the running server. The
+    combined program is re-analyzed and recompiled atomically; stored
+    messages, scheduler state and timers are untouched. New rules apply to
+    every message processed from now on; new properties and slicings only
+    affect messages enqueued after the evolution (property values and
+    slice memberships are fixed at creation, §2.2).
+
+    Evolution changes the {e running} server only: program text is not
+    persisted in the store, so a process that re-deploys after a restart
+    must re-apply its evolution scripts (or deploy the evolved program
+    text) — the same contract as the paper's static deployment model. *)
+
+(** {1 Distribution (§2.1.2)} *)
+
+val expose : t -> name:string -> queue:string -> (unit, string) result
+(** Publish one of this server's incoming gateway queues as a named
+    endpoint on its network, so that another node's outgoing gateway can
+    send to it ("replacing local queues with pairs of gateway queues that
+    connect two sites"). The sending node's address arrives in the
+    [system-sender] property. *)

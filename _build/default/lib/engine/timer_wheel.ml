@@ -1,0 +1,33 @@
+(* Timers backing the echo queues (§2.1.3): a message placed into an echo
+   queue is re-enqueued into a target queue once its timeout expires. The
+   wheel stores (due-tick, echo-message rid, target queue) and releases the
+   due entries as the virtual clock advances. *)
+
+type entry = { due : int; seq : int; rid : int; target : string }
+
+type t = { heap : entry Heap.t; mutable next_seq : int }
+
+let compare_entries a b =
+  let c = compare a.due b.due in
+  if c <> 0 then c else compare a.seq b.seq
+
+let create () = { heap = Heap.create compare_entries; next_seq = 0 }
+
+let schedule t ~due ~rid ~target =
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  Heap.push t.heap { due; seq; rid; target }
+
+(* All entries due at or before [now], in firing order. *)
+let due_entries t ~now =
+  let rec go acc =
+    match Heap.peek t.heap with
+    | Some e when e.due <= now ->
+      ignore (Heap.pop t.heap);
+      go ((e.rid, e.target) :: acc)
+    | _ -> List.rev acc
+  in
+  go []
+
+let next_due t = Option.map (fun e -> e.due) (Heap.peek t.heap)
+let pending t = Heap.length t.heap

@@ -1,0 +1,21 @@
+(** Timers backing the echo queues (§2.1.3): a message placed into an echo
+    queue reappears in its target queue once its timeout expires.
+
+    Entries are (due tick, echo-message rid, target queue) in a binary
+    heap; ties fire in registration order. The engine re-registers pending
+    timers from unprocessed echo-queue messages after a restart. *)
+
+type t
+
+val create : unit -> t
+
+val schedule : t -> due:int -> rid:int -> target:string -> unit
+
+val due_entries : t -> now:int -> (int * string) list
+(** Remove and return all (rid, target) entries due at or before [now],
+    in firing order. *)
+
+val next_due : t -> int option
+(** The earliest pending deadline, if any. *)
+
+val pending : t -> int

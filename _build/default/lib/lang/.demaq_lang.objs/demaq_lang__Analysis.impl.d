@@ -1,0 +1,1 @@
+lib/lang/analysis.ml: Demaq_mq Demaq_xquery Format List Qdl

@@ -1,0 +1,1 @@
+lib/lang/analysis.mli: Demaq_xquery Format Qdl

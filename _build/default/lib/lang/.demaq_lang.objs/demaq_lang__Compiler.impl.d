@@ -1,0 +1,1 @@
+lib/lang/compiler.ml: Buffer Demaq_mq Demaq_xquery Hashtbl List Option Prefilter Printf Qdl String

@@ -1,0 +1,1 @@
+lib/lang/compiler.mli: Demaq_xquery Qdl

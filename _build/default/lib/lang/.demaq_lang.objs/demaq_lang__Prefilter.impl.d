@@ -1,0 +1,1 @@
+lib/lang/prefilter.ml: Demaq_xml Demaq_xquery List Set String

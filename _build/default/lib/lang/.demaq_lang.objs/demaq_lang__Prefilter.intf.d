@@ -1,0 +1,1 @@
+lib/lang/prefilter.mli: Demaq_xml Demaq_xquery Set

@@ -1,0 +1,1 @@
+lib/lang/qdl.ml: Demaq_mq Demaq_xml Demaq_xquery Format List Printf

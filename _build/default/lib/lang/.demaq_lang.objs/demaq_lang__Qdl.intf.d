@@ -1,0 +1,1 @@
+lib/lang/qdl.mli: Demaq_mq Demaq_xquery

@@ -1,0 +1,241 @@
+(* The rule compiler (§4.4.1).
+
+   On deployment, the compiler groups rules by the queue (or slicing) they
+   are attached to and rewrites their bodies:
+
+   - fixed-property inlining: a call [qs:property("p")] where [p] is a
+     fixed property with a value expression for the rule's queue is
+     replaced by that expression (the paper: "similar to conventional view
+     merging, fixed properties are inlined");
+   - default-parameter supply: [qs:queue()] becomes
+     [qs:queue("<this queue>")] so the plan no longer depends on implicit
+     rule context;
+   - constant folding of literal boolean/arithmetic subexpressions.
+
+   It can additionally merge all rule bodies of a queue into a single
+   sequence expression ("the rule bodies are combined into a single query
+   by concatenating all pending actions into a single sequence") — the
+   engine evaluates either per-rule plans (precise error attribution) or
+   the merged plan (benchmark B2 measures the difference). *)
+
+module Ast = Demaq_xquery.Ast
+module Value = Demaq_xquery.Value
+module Defs = Demaq_mq.Defs
+
+type compiled_rule = {
+  cr_name : string;
+  cr_error_queue : string option;
+  cr_body : Ast.expr;  (* rewritten *)
+  cr_original : Ast.expr;
+  cr_requirements : string list;
+      (* element names the triggering message must contain for the rule to
+         possibly fire (condition pre-filtering, §4.4.1); empty = always
+         evaluate *)
+}
+
+type plan = {
+  target : string;
+  on_slicing : bool;
+  rules : compiled_rule list;
+  merged : Ast.expr;  (* all rule bodies as one sequence *)
+}
+
+type t = {
+  plans : (string, plan) Hashtbl.t;  (* by target *)
+  program : Qdl.program;
+}
+
+(* ---- rewrites ---- *)
+
+let literal_of_value = function
+  | [ Value.Atom a ] -> Some (Ast.Literal a)
+  | [] -> Some Ast.Empty_seq
+  | _ -> None
+
+let fold_constants expr =
+  Ast.map_expr
+    (fun e ->
+      match e with
+      | Ast.Binary (op, Ast.Literal a, Ast.Literal b) -> (
+        let la = [ Value.Atom a ] and lb = [ Value.Atom b ] in
+        match op with
+        | Ast.And -> Ast.Literal (Value.Boolean (Value.ebv la && Value.ebv lb))
+        | Ast.Or -> Ast.Literal (Value.Boolean (Value.ebv la || Value.ebv lb))
+        | Ast.Gen_cmp c -> Ast.Literal (Value.Boolean (Value.general_compare c la lb))
+        | Ast.Add | Ast.Sub | Ast.Mul | Ast.Div | Ast.Idiv | Ast.Mod -> (
+          let aop =
+            match op with
+            | Ast.Add -> `Add | Ast.Sub -> `Sub | Ast.Mul -> `Mul
+            | Ast.Div -> `Div | Ast.Idiv -> `Idiv | _ -> `Mod
+          in
+          match Value.arith aop la lb with
+          | v -> Option.value ~default:e (literal_of_value v)
+          | exception Value.Type_error _ -> e)
+        | _ -> e)
+      | Ast.If (Ast.Literal (Value.Boolean true), t, _) -> t
+      | Ast.If (Ast.Literal (Value.Boolean false), _, el) -> el
+      | Ast.Call ("fn:not", [ Ast.Literal (Value.Boolean b) ])
+      | Ast.Call ("not", [ Ast.Literal (Value.Boolean b) ]) ->
+        Ast.Literal (Value.Boolean (not b))
+      | e -> e)
+    expr
+
+(* Inline fixed properties: only safe for rules on a physical queue (the
+   property expression for that specific queue is known statically). *)
+let inline_fixed_properties properties queue expr =
+  Ast.map_expr
+    (fun e ->
+      match e with
+      | Ast.Call (("qs:property" | "property"), [ Ast.Literal (Value.String pname) ]) -> (
+        match
+          List.find_opt
+            (fun p -> p.Defs.pname = pname && p.Defs.disposition = Defs.Fixed)
+            properties
+        with
+        | Some p -> (
+          match Defs.property_expr_for p queue with
+          | Some value_expr ->
+            (* The property value is the expression evaluated against the
+               message body, atomized and cast; inline the expression and
+               keep the cast via fn:string/number as appropriate. *)
+            (match p.Defs.ptype with
+             | Value.T_string -> Ast.Call ("fn:string", [ value_expr ])
+             | Value.T_integer | Value.T_decimal -> Ast.Call ("fn:number", [ value_expr ])
+             | Value.T_boolean -> Ast.Call ("fn:boolean", [ value_expr ]))
+          | None -> e)
+        | None -> e)
+      | e -> e)
+    expr
+
+let supply_queue_default queue expr =
+  Ast.map_expr
+    (fun e ->
+      match e with
+      | Ast.Call (("qs:queue" | "queue") as f, []) ->
+        Ast.Call (f, [ Ast.Literal (Value.String queue) ])
+      | e -> e)
+    expr
+
+(* Group [if (c) then a_i else b_i] bodies by structurally equal condition,
+   preserving the first-occurrence order of conditions and the relative
+   order of the actions under each. Rules are independent ECA reactions,
+   so reordering whole rule bodies is sound; the pending-update order
+   within one rule is preserved. *)
+let factor_conditions bodies =
+  let groups : (Ast.expr option * Ast.expr list ref) list ref = ref [] in
+  let condition_of = function
+    | Ast.If (c, _, _) -> Some c
+    | _ -> None
+  in
+  List.iter
+    (fun body ->
+      let cond = condition_of body in
+      match List.find_opt (fun (c, _) -> c = cond && c <> None) !groups with
+      | Some (_, bucket) -> bucket := body :: !bucket
+      | None -> groups := !groups @ [ (cond, ref [ body ]) ])
+    bodies;
+  let merged_group (cond, bucket) =
+    match cond, List.rev !bucket with
+    | Some c, (_ :: _ :: _ as members) ->
+      (* several rules share the condition: evaluate it once *)
+      let thens = List.map (function Ast.If (_, t, _) -> t | e -> e) members in
+      let elses =
+        List.filter_map
+          (function Ast.If (_, _, Ast.Empty_seq) -> None | Ast.If (_, _, e) -> Some e | _ -> None)
+          members
+      in
+      let else_branch =
+        match elses with [] -> Ast.Empty_seq | es -> Ast.Sequence es
+      in
+      [ Ast.If (c, Ast.Sequence thens, else_branch) ]
+    | _, members -> members
+  in
+  Ast.Sequence (List.concat_map merged_group !groups)
+
+(* ---- compilation ---- *)
+
+let compile_rule ~properties ~on_slicing ~target (r : Qdl.rule_def) =
+  let body = r.Qdl.body in
+  let body = if on_slicing then body else supply_queue_default target body in
+  let body = if on_slicing then body else inline_fixed_properties properties target body in
+  let body = fold_constants body in
+  {
+    cr_name = r.Qdl.rname;
+    cr_error_queue = r.Qdl.rule_error_queue;
+    cr_body = body;
+    cr_original = r.Qdl.body;
+    cr_requirements = Prefilter.rule_requirements body;
+  }
+
+let compile ?(optimize = true) (program : Qdl.program) : t =
+  let slicing_names = List.map (fun s -> s.Defs.sname) (Qdl.slicings program) in
+  let properties = Qdl.properties program in
+  let plans = Hashtbl.create 16 in
+  List.iter
+    (fun (r : Qdl.rule_def) ->
+      let target = r.Qdl.target in
+      let on_slicing = List.mem target slicing_names in
+      let compiled =
+        if optimize then compile_rule ~properties ~on_slicing ~target r
+        else
+          {
+            cr_name = r.Qdl.rname;
+            cr_error_queue = r.Qdl.rule_error_queue;
+            cr_body = r.Qdl.body;
+            cr_original = r.Qdl.body;
+            cr_requirements = [];
+          }
+      in
+      let plan =
+        match Hashtbl.find_opt plans target with
+        | Some p -> { p with rules = p.rules @ [ compiled ] }
+        | None -> { target; on_slicing; rules = [ compiled ]; merged = Ast.Empty_seq }
+      in
+      Hashtbl.replace plans target plan)
+    (Qdl.rules program);
+  (* Build the merged plan per target, factoring identical conditions:
+     §3.3 makes every rule body a conditional expression precisely "to
+     facilitate the detection and optimization of conditions by the rule
+     compiler". Rules of one queue that test the same condition share a
+     single evaluation of it in the merged plan. *)
+  Hashtbl.iter
+    (fun target plan ->
+      let merged =
+        if optimize then factor_conditions (List.map (fun r -> r.cr_body) plan.rules)
+        else Ast.Sequence (List.map (fun r -> r.cr_body) plan.rules)
+      in
+      Hashtbl.replace plans target { plan with merged })
+    plans;
+  { plans; program }
+
+let plan_for t target = Hashtbl.find_opt t.plans target
+let source_program t = t.program
+
+let plans t =
+  List.sort
+    (fun a b -> compare a.target b.target)
+    (Hashtbl.fold (fun _ p acc -> p :: acc) t.plans [])
+
+let explain t =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun p ->
+      Buffer.add_string buf
+        (Printf.sprintf "plan for %s%s (%d rule%s):\n" p.target
+           (if p.on_slicing then " [slicing]" else "")
+           (List.length p.rules)
+           (if List.length p.rules = 1 then "" else "s"));
+      List.iter
+        (fun r ->
+          Buffer.add_string buf
+            (Printf.sprintf "  rule %s%s%s:\n    %s\n" r.cr_name
+               (match r.cr_error_queue with
+                | Some q -> " (errors -> " ^ q ^ ")"
+                | None -> "")
+               (match r.cr_requirements with
+                | [] -> ""
+                | names -> " [requires <" ^ String.concat ">, <" names ^ ">]")
+               (Demaq_xquery.Pp.to_string r.cr_body)))
+        p.rules)
+    (plans t);
+  Buffer.contents buf

@@ -1,0 +1,56 @@
+(** The rule compiler (§4.4.1).
+
+    On deployment the compiler groups rules by their target queue or
+    slicing and rewrites their bodies:
+
+    - {e fixed-property inlining}: [qs:property("p")] for a fixed property
+      becomes its value expression for the rule's queue ("similar to
+      conventional view merging, fixed properties are inlined");
+    - {e default-parameter supply}: [qs:queue()] becomes
+      [qs:queue("<this queue>")];
+    - {e constant folding} of literal subexpressions;
+    - {e condition pre-filter extraction} ({!Prefilter}): the element
+      names a rule's condition requires of the triggering message;
+    - {e merged plans with shared-condition factoring}: all rule bodies of
+      a target concatenated into one sequence expression, with rules that
+      test structurally identical conditions sharing a single evaluation
+      (§3.3 motivates the mandatory conditional shape of rule bodies with
+      exactly this optimization). *)
+
+type compiled_rule = {
+  cr_name : string;
+  cr_error_queue : string option;  (** rule-level error queue (§3.6) *)
+  cr_body : Demaq_xquery.Ast.expr;  (** rewritten *)
+  cr_original : Demaq_xquery.Ast.expr;  (** as written *)
+  cr_requirements : string list;
+      (** element names the triggering message must contain for the rule
+          to possibly fire; empty = always evaluate *)
+}
+
+type plan = {
+  target : string;  (** queue or slicing name *)
+  on_slicing : bool;
+  rules : compiled_rule list;  (** declaration order *)
+  merged : Demaq_xquery.Ast.expr;  (** the single merged plan *)
+}
+
+type t
+
+val compile : ?optimize:bool -> Qdl.program -> t
+(** [optimize:false] keeps rule bodies verbatim (benchmarks B2/B8). *)
+
+val plan_for : t -> string -> plan option
+val plans : t -> plan list
+(** All plans, sorted by target name. *)
+
+val source_program : t -> Qdl.program
+(** The program the plans were compiled from (used by runtime
+    evolution). *)
+
+val explain : t -> string
+(** Human-readable plan dump, including per-rule error queues and
+    pre-filter requirements. *)
+
+val factor_conditions : Demaq_xquery.Ast.expr list -> Demaq_xquery.Ast.expr
+(** Merge rule bodies, evaluating structurally identical top-level
+    conditions once. Exposed for tests. *)

@@ -1,0 +1,92 @@
+(* Condition pre-filtering (§4.4.1: "a variety of existing techniques can
+   be leveraged to improve processing performance, including XML filtering
+   [Diao & Franklin, VLDB'03]").
+
+   A conservative static analysis extracts, for each rule, a set of element
+   local names that MUST occur in the triggering message for the rule's
+   condition to possibly hold. At runtime the engine intersects this with
+   the message's element-name set (computed once per message) and skips the
+   full XQuery evaluation when a required name is missing — the common case
+   in brokering workloads where each message type triggers few of many
+   rules.
+
+   Soundness argument: a name is required only when derived from a path
+   rooted at the triggering message (context item, [/], [qs:message()])
+   whose effective boolean value or comparison operand must be non-empty
+   for the condition to be true. [and] unions requirements, [or]
+   intersects them; anything else contributes nothing (conservative). *)
+
+module Ast = Demaq_xquery.Ast
+
+(* Does a path expression start at the triggering message? *)
+let rec rooted_at_message = function
+  | Ast.Root | Ast.Context_item -> true
+  | Ast.Call (("qs:message" | "message"), []) -> true
+  | Ast.Axis_step _ -> true  (* relative step: context = the message *)
+  | Ast.Path (base, _) -> rooted_at_message base
+  | Ast.Filter (e, _) -> rooted_at_message e
+  | _ -> false
+
+(* Names required for [path] (rooted at the message) to be non-empty.
+   Every child/descendant name-test step along the spine is required. *)
+let rec path_names = function
+  | Ast.Path (base, step) -> path_names base @ path_names step
+  | Ast.Axis_step ((Ast.Child | Ast.Descendant | Ast.Descendant_or_self), Ast.Name_test n, _) ->
+    [ n ]
+  | Ast.Filter (e, _) -> path_names e
+  | _ -> []
+
+let inter a b = List.filter (fun x -> List.mem x b) a
+
+(* Names that must occur in the message for [expr]'s EBV to be true. *)
+let rec required_names expr =
+  match expr with
+  | Ast.Path _ | Ast.Axis_step _ | Ast.Filter _ ->
+    if rooted_at_message expr then path_names expr else []
+  | Ast.Binary (Ast.And, a, b) -> required_names a @ required_names b
+  | Ast.Binary (Ast.Or, a, b) -> inter (required_names a) (required_names b)
+  | Ast.Binary ((Ast.Gen_cmp _ | Ast.Val_cmp _), a, b) ->
+    (* both operands must be non-empty for the comparison to hold *)
+    operand_names a @ operand_names b
+  | Ast.Call (("fn:exists" | "exists" | "fn:boolean" | "boolean"), [ e ]) ->
+    required_names e
+  | _ -> []
+
+(* Names required for an expression used as a comparison operand to be
+   non-empty; literals and anything non-path require nothing. *)
+and operand_names expr =
+  match expr with
+  | Ast.Path _ | Ast.Axis_step _ | Ast.Filter _ ->
+    if rooted_at_message expr then path_names expr else []
+  | Ast.Call (("fn:string" | "string" | "fn:number" | "number" | "fn:data" | "data"), [ e ]) ->
+    operand_names e
+  | _ -> []
+
+(* The names a whole rule body requires. Only the guard of a top-level
+   conditional can be used, and only when the else-branch performs no
+   updates (otherwise the rule does work even when the guard fails). *)
+let rule_requirements body =
+  match body with
+  | Ast.If (cond, _, else_branch) when not (Ast.contains_update else_branch) ->
+    List.sort_uniq compare (required_names cond)
+  | _ -> []
+
+(* ---- runtime side ---- *)
+
+module Names = Set.Make (String)
+
+(* All element local names occurring in a message body (the filter's
+   document synopsis); computed once per message and cached by the
+   engine. *)
+let element_names tree =
+  let rec go acc = function
+    | Demaq_xml.Tree.Element e ->
+      List.fold_left go
+        (Names.add (Demaq_xml.Name.local e.Demaq_xml.Tree.name) acc)
+        e.Demaq_xml.Tree.children
+    | _ -> acc
+  in
+  go Names.empty tree
+
+let may_match ~requirements ~names =
+  List.for_all (fun n -> Names.mem n names) requirements

@@ -1,0 +1,31 @@
+(** Condition pre-filtering (§4.4.1 points to "XML filtering" à la Diao &
+    Franklin for high-volume message brokering).
+
+    A conservative static analysis extracts, per rule, a set of element
+    local names that MUST occur in the triggering message for the rule's
+    condition to possibly hold. At runtime the engine intersects it with
+    the message's element-name synopsis and skips the full XQuery
+    evaluation when a required name is missing.
+
+    Soundness: a name is required only when derived from a path rooted at
+    the triggering message ([.], [/], [qs:message()]) whose effective
+    boolean value or comparison operand must be non-empty for the
+    condition to be true; [and] unions requirements, [or] intersects
+    them, everything else contributes nothing. *)
+
+val rule_requirements : Demaq_xquery.Ast.expr -> string list
+(** Requirements of a whole rule body: uses the guard of a top-level
+    conditional whose else-branch performs no updates; sorted, distinct.
+    [[]] means "always evaluate". *)
+
+val required_names : Demaq_xquery.Ast.expr -> string list
+(** Requirements of a boolean condition (not deduplicated). *)
+
+module Names : Set.S with type elt = string
+
+val element_names : Demaq_xml.Tree.tree -> Names.t
+(** All element local names occurring in a message body (the per-message
+    synopsis; the engine computes it once and caches it by rid). *)
+
+val may_match : requirements:string list -> names:Names.t -> bool
+(** False only when the rule provably cannot fire on this message. *)

@@ -1,0 +1,183 @@
+module P = Demaq_xquery.Parser
+module Value = Demaq_xquery.Value
+module Defs = Demaq_mq.Defs
+module Schema = Demaq_xml.Schema
+
+type rule_def = {
+  rname : string;
+  target : string;
+  rule_error_queue : string option;
+  body : Demaq_xquery.Ast.expr;
+}
+
+type statement =
+  | Create_queue of Defs.queue_def
+  | Create_property of Defs.property_def
+  | Create_slicing of Defs.slicing_def
+  | Create_rule of rule_def
+  | Drop_rule of string
+
+type program = statement list
+
+exception Qdl_error of string
+
+let fail src st fmt =
+  Format.kasprintf
+    (fun msg ->
+      raise (Qdl_error (Printf.sprintf "%s (%s)" msg (P.error_position src (P.state_pos st)))))
+    fmt
+
+let expect src st kw =
+  if not (P.accept_name st kw) then fail src st "expected keyword '%s'" kw
+
+let parse_kind src st =
+  match P.read_name st with
+  | "basic" -> Defs.Basic
+  | "incomingGateway" -> Defs.Incoming_gateway
+  | "outgoingGateway" -> Defs.Outgoing_gateway
+  | "echo" -> Defs.Echo
+  | k -> fail src st "unknown queue kind: %s" k
+
+let parse_mode src st =
+  match P.read_name st with
+  | "persistent" -> Defs.Persistent
+  | "transient" -> Defs.Transient
+  | m -> fail src st "unknown queue mode: %s" m
+
+let parse_queue src st =
+  let qname = P.read_name st in
+  expect src st "kind";
+  let kind = parse_kind src st in
+  expect src st "mode";
+  let mode = parse_mode src st in
+  let priority = ref 0 in
+  let schema = ref None in
+  let interface = ref None in
+  let port = ref None in
+  let extensions = ref [] in
+  let error_queue = ref None in
+  let rec options () =
+    match P.peek_name st with
+    | Some "priority" ->
+      ignore (P.accept_name st "priority");
+      priority := P.read_int st;
+      options ()
+    | Some "schema" ->
+      ignore (P.accept_name st "schema");
+      let text = P.read_braced_raw st in
+      (match Schema.parse text with
+       | Ok s -> schema := Some s
+       | Error e -> fail src st "bad schema for queue %s: %s" qname e);
+      options ()
+    | Some "interface" ->
+      ignore (P.accept_name st "interface");
+      interface := Some (P.read_name st);
+      expect src st "port";
+      port := Some (P.read_name st);
+      options ()
+    | Some "using" ->
+      ignore (P.accept_name st "using");
+      let ext = P.read_name st in
+      expect src st "policy";
+      let policy = P.read_name st in
+      extensions := (ext, policy) :: !extensions;
+      options ()
+    | Some "errorqueue" ->
+      ignore (P.accept_name st "errorqueue");
+      error_queue := Some (P.read_name st);
+      options ()
+    | _ -> ()
+  in
+  options ();
+  {
+    Defs.qname;
+    kind;
+    mode;
+    priority = !priority;
+    schema = !schema;
+    interface = !interface;
+    port = !port;
+    extensions = List.rev !extensions;
+    error_queue = !error_queue;
+  }
+
+let parse_property src st =
+  let pname = P.read_name st in
+  expect src st "as";
+  let tyname = P.read_name st in
+  let ptype =
+    match Value.atomic_type_of_string tyname with
+    | Ok ty -> ty
+    | Error e -> fail src st "%s" e
+  in
+  let disposition =
+    if P.accept_name st "fixed" then Defs.Fixed
+    else if P.accept_name st "inherited" then Defs.Inherited
+    else Defs.Free
+  in
+  let rec groups acc =
+    if P.accept_name st "queue" then begin
+      let rec names acc =
+        let n = P.read_name st in
+        if P.accept_punct st "," then names (n :: acc) else List.rev (n :: acc)
+      in
+      let queue_names = names [] in
+      expect src st "value";
+      let expr = P.parse_expr_single st in
+      groups ((queue_names, expr) :: acc)
+    end
+    else List.rev acc
+  in
+  let per_queue = groups [] in
+  if per_queue = [] then
+    fail src st "property %s: expected at least one 'queue ... value ...' group" pname;
+  { Defs.pname; ptype; disposition; per_queue }
+
+let parse_slicing src st =
+  let sname = P.read_name st in
+  expect src st "on";
+  let slice_property = P.read_name st in
+  { Defs.sname; slice_property }
+
+let parse_rule _src st =
+  let rname = P.read_name st in
+  if not (P.accept_name st "for") then
+    raise (Qdl_error (Printf.sprintf "rule %s: expected 'for'" rname));
+  let target = P.read_name st in
+  let rule_error_queue =
+    if P.accept_name st "errorqueue" then Some (P.read_name st) else None
+  in
+  let body = P.parse_expr_single st in
+  { rname; target; rule_error_queue; body }
+
+let parse_program src =
+  let st = P.state_of_string src in
+  let rec go acc =
+    if P.at_eof st then List.rev acc
+    else if P.accept_name st "drop" then begin
+      expect src st "rule";
+      go (Drop_rule (P.read_name st) :: acc)
+    end
+    else begin
+      expect src st "create";
+      match P.read_name st with
+      | "queue" -> go (Create_queue (parse_queue src st) :: acc)
+      | "property" -> go (Create_property (parse_property src st) :: acc)
+      | "slicing" -> go (Create_slicing (parse_slicing src st) :: acc)
+      | "rule" -> go (Create_rule (parse_rule src st) :: acc)
+      | other -> fail src st "cannot create '%s' (expected queue, property, slicing or rule)" other
+    end
+  in
+  try go [] with
+  | P.Syntax_error { pos; msg } ->
+    raise (Qdl_error (Printf.sprintf "%s (%s)" msg (P.error_position src pos)))
+
+let parse_program_result src =
+  match parse_program src with
+  | p -> Ok p
+  | exception Qdl_error msg -> Error msg
+
+let queues p = List.filter_map (function Create_queue q -> Some q | _ -> None) p
+let properties p = List.filter_map (function Create_property q -> Some q | _ -> None) p
+let slicings p = List.filter_map (function Create_slicing s -> Some s | _ -> None) p
+let rules p = List.filter_map (function Create_rule r -> Some r | _ -> None) p

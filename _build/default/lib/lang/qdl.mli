@@ -1,0 +1,52 @@
+(** Parser for Demaq application programs: QDL declarations (queues,
+    properties, slicings) and QML rules, in the concrete syntax of the
+    paper. A program is a sequence of [create] statements:
+
+    {v
+    create queue finance kind basic mode persistent
+    create queue supplier kind outgoingGateway mode persistent
+      interface supplier.wsdl port CapacityRequestPort
+      using WS-ReliableMessaging policy wsrmpol.xml
+    create queue echoQueue kind echo mode persistent
+    create property orderID as xs:string fixed
+      queue order value //orderID
+      queue confirmation value /confirmedOrder/ID
+    create slicing orders on orderID
+    create rule joinOrder for requestMsgs if (...) then ... else ...
+    v}
+
+    Extensions beyond the listings in the paper (the paper names the
+    features but shows no concrete syntax): [priority <int>] and
+    [errorqueue <name>] and [schema { ... }] options on queues; the schema
+    body uses {!Demaq_xml.Schema}'s textual syntax. *)
+
+type rule_def = {
+  rname : string;
+  target : string;  (** queue or slicing name *)
+  rule_error_queue : string option;
+  body : Demaq_xquery.Ast.expr;
+}
+
+type statement =
+  | Create_queue of Demaq_mq.Defs.queue_def
+  | Create_property of Demaq_mq.Defs.property_def
+  | Create_slicing of Demaq_mq.Defs.slicing_def
+  | Create_rule of rule_def
+  | Drop_rule of string
+      (** [drop rule <name>]: only meaningful in evolution scripts applied
+          to a running server (paper §5, "dynamic queue and rule
+          evolution") *)
+
+type program = statement list
+
+exception Qdl_error of string
+
+val parse_program : string -> program
+(** @raise Qdl_error with position information on malformed input. *)
+
+val parse_program_result : string -> (program, string) result
+
+val queues : program -> Demaq_mq.Defs.queue_def list
+val properties : program -> Demaq_mq.Defs.property_def list
+val slicings : program -> Demaq_mq.Defs.slicing_def list
+val rules : program -> rule_def list

@@ -1,0 +1,1 @@
+lib/mq/defs.ml: Demaq_xml Demaq_xquery List

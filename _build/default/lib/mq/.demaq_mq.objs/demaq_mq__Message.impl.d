@@ -1,0 +1,1 @@
+lib/mq/message.ml: Buffer Demaq_store Demaq_xml Demaq_xquery Lazy List Printf String

@@ -1,0 +1,1 @@
+lib/mq/message.mli: Demaq_store Demaq_xml Demaq_xquery Lazy

@@ -1,0 +1,1 @@
+lib/mq/queue_manager.ml: Defs Demaq_store Demaq_xml Demaq_xquery Hashtbl List Message Option Printf

@@ -1,0 +1,1 @@
+lib/mq/queue_manager.mli: Defs Demaq_store Demaq_xml Demaq_xquery Message

@@ -1,0 +1,81 @@
+(* Declarations produced by the Queue Definition Language (§2 of the
+   paper): queues, properties, and slicings. The QDL parser in
+   [Demaq_lang] builds these; the queue manager interprets them. *)
+
+module Schema = Demaq_xml.Schema
+module Value = Demaq_xquery.Value
+module Ast = Demaq_xquery.Ast
+
+(* ---- queues (§2.1) ---- *)
+
+type kind =
+  | Basic  (* local message storage *)
+  | Incoming_gateway  (* messages received from remote endpoints *)
+  | Outgoing_gateway  (* messages to be sent to remote endpoints *)
+  | Echo  (* time-based queue: re-enqueues after a timeout (§2.1.3) *)
+
+let kind_to_string = function
+  | Basic -> "basic"
+  | Incoming_gateway -> "incomingGateway"
+  | Outgoing_gateway -> "outgoingGateway"
+  | Echo -> "echo"
+
+type mode = Persistent | Transient
+
+let mode_to_string = function Persistent -> "persistent" | Transient -> "transient"
+
+type queue_def = {
+  qname : string;
+  kind : kind;
+  mode : mode;
+  priority : int;  (* higher = processed first; default 0 *)
+  schema : Schema.t option;  (* structural validation of enqueued messages *)
+  interface : string option;  (* WSDL file reference (informational) *)
+  port : string option;
+  extensions : (string * string) list;  (* e.g. WS-ReliableMessaging -> policy *)
+  error_queue : string option;  (* queue-level error queue (§3.6) *)
+}
+
+let queue ?(kind = Basic) ?(mode = Persistent) ?(priority = 0) ?schema ?interface
+    ?port ?(extensions = []) ?error_queue qname =
+  { qname; kind; mode; priority; schema; interface; port; extensions; error_queue }
+
+(* ---- properties (§2.2) ---- *)
+
+type disposition =
+  | Free  (* may be set explicitly at enqueue *)
+  | Fixed  (* always computed; explicit setting is an error *)
+  | Inherited  (* propagates from the triggering message *)
+
+let disposition_to_string = function
+  | Free -> "free"
+  | Fixed -> "fixed"
+  | Inherited -> "inherited"
+
+type property_def = {
+  pname : string;
+  ptype : Value.atomic_type;
+  disposition : disposition;
+  per_queue : (string list * Ast.expr) list;
+      (* queue groups with the value expression evaluated against the
+         message body; a constant expression acts as the default value *)
+}
+
+let property_queues p = List.concat_map fst p.per_queue
+
+let property_expr_for p queue =
+  List.find_map
+    (fun (queues, expr) -> if List.mem queue queues then Some expr else None)
+    p.per_queue
+
+(* ---- slicings (§2.3) ---- *)
+
+type slicing_def = { sname : string; slice_property : string }
+
+(* Well-known system property names (§2.2 "System"). *)
+module Sysprop = struct
+  let rule = "system-rule"  (* name of the rule that created the message *)
+  let timestamp = "system-timestamp"  (* creation tick *)
+  let sender = "system-sender"  (* sender address, incoming gateways *)
+  let connection = "system-connection"  (* connection handle, §2.2 *)
+end

@@ -1,0 +1,107 @@
+(* The queue layer's view of a stored message: parsed payload, typed
+   properties, and slice memberships. Serialized into the store's opaque
+   [extra] blob. *)
+
+module Tree = Demaq_xml.Tree
+module Xml_parser = Demaq_xml.Parser
+module Value = Demaq_xquery.Value
+module Codec = Demaq_store.Codec
+
+type membership = {
+  m_slicing : string;
+  m_key : string;  (* string-encoded slice key *)
+  m_lifetime : int;  (* slice lifetime at insertion (§2.3.2) *)
+}
+
+type t = {
+  rid : int;
+  queue : string;
+  body : Tree.tree Lazy.t;  (* parsed on demand from the stored payload *)
+  props : (string * Value.atomic) list;
+  memberships : membership list;
+  enqueued_at : int;
+  processed : bool;
+}
+
+let body m = Lazy.force m.body
+
+let property m name = List.assoc_opt name m.props
+
+let key_string (a : Value.atomic) = Value.string_of_atomic a
+
+(* ---- extra-blob codec ---- *)
+
+let put_atomic buf (a : Value.atomic) =
+  match a with
+  | Value.Boolean b ->
+    Buffer.add_char buf 'b';
+    Codec.put_bool buf b
+  | Value.Integer i ->
+    Buffer.add_char buf 'i';
+    Codec.put_int buf i
+  | Value.Decimal f ->
+    Buffer.add_char buf 'd';
+    Codec.put_string buf (Printf.sprintf "%h" f)
+  | Value.String s ->
+    Buffer.add_char buf 's';
+    Codec.put_string buf s
+  | Value.Untyped s ->
+    Buffer.add_char buf 'u';
+    Codec.put_string buf s
+
+let get_atomic r =
+  let tag = r.Codec.src.[r.Codec.pos] in
+  r.Codec.pos <- r.Codec.pos + 1;
+  match tag with
+  | 'b' -> Value.Boolean (Codec.get_bool r)
+  | 'i' -> Value.Integer (Codec.get_int r)
+  | 'd' -> Value.Decimal (float_of_string (Codec.get_string r))
+  | 's' -> Value.String (Codec.get_string r)
+  | 'u' -> Value.Untyped (Codec.get_string r)
+  | c -> raise (Codec.Decode_error (Printf.sprintf "bad atomic tag %C" c))
+
+let encode_extra ~props ~memberships =
+  let buf = Buffer.create 128 in
+  Codec.put_list buf
+    (fun buf (name, a) ->
+      Codec.put_string buf name;
+      put_atomic buf a)
+    props;
+  Codec.put_list buf
+    (fun buf m ->
+      Codec.put_string buf m.m_slicing;
+      Codec.put_string buf m.m_key;
+      Codec.put_int buf m.m_lifetime)
+    memberships;
+  Buffer.contents buf
+
+let decode_extra extra =
+  let r = Codec.reader extra in
+  let props =
+    Codec.get_list r (fun r ->
+        let name = Codec.get_string r in
+        let a = get_atomic r in
+        (name, a))
+  in
+  let memberships =
+    Codec.get_list r (fun r ->
+        let m_slicing = Codec.get_string r in
+        let m_key = Codec.get_string r in
+        let m_lifetime = Codec.get_int r in
+        { m_slicing; m_key; m_lifetime })
+  in
+  (props, memberships)
+
+let of_store store (sm : Demaq_store.Message_store.message) =
+  let props, memberships = decode_extra sm.extra in
+  {
+    rid = sm.rid;
+    queue = sm.queue;
+    (* spilled bodies are faulted in through the buffer pool on first
+       access and then held by this record's lazy cell *)
+    body = lazy (Xml_parser.parse (Demaq_store.Message_store.payload store sm));
+    props;
+    memberships;
+    enqueued_at = sm.enqueued_at;
+    processed = sm.processed;
+  }

@@ -1,0 +1,49 @@
+(** The queue layer's view of a stored message: parsed payload, typed
+    properties (§2.2), and slice memberships (§2.3).
+
+    Messages are immutable after creation (the append-only model of
+    §2.3.3); only the [processed] flag, owned by the engine, evolves. The
+    body parses lazily from the stored payload, so scanning a queue by rid
+    does not force XML parsing. *)
+
+type membership = {
+  m_slicing : string;
+  m_key : string;  (** string-encoded slice key *)
+  m_lifetime : int;
+      (** the slice's lifetime counter at insertion; the membership is
+          current while it equals the slice's counter (§2.3.2) *)
+}
+
+type t = {
+  rid : int;
+  queue : string;
+  body : Demaq_xml.Tree.tree Lazy.t;
+  props : (string * Demaq_xquery.Value.atomic) list;
+  memberships : membership list;
+  enqueued_at : int;  (** virtual-clock tick *)
+  processed : bool;
+}
+
+val body : t -> Demaq_xml.Tree.tree
+(** Force the parsed payload. *)
+
+val property : t -> string -> Demaq_xquery.Value.atomic option
+
+val key_string : Demaq_xquery.Value.atomic -> string
+(** The canonical string encoding of a slice key. *)
+
+(** {1 Store blob codec}
+
+    Properties and memberships ride in the store's opaque [extra] blob. *)
+
+val encode_extra :
+  props:(string * Demaq_xquery.Value.atomic) list ->
+  memberships:membership list ->
+  string
+
+val decode_extra :
+  string -> (string * Demaq_xquery.Value.atomic) list * membership list
+
+val of_store : Demaq_store.Message_store.t -> Demaq_store.Message_store.message -> t
+(** Decode a store record (spilled bodies are faulted in lazily through
+    the store's buffer pool). *)

@@ -1,0 +1,356 @@
+module Tree = Demaq_xml.Tree
+module Schema = Demaq_xml.Schema
+module Serializer = Demaq_xml.Serializer
+module Value = Demaq_xquery.Value
+module Eval = Demaq_xquery.Eval
+module Context = Demaq_xquery.Context
+module Store = Demaq_store.Message_store
+module Btree = Demaq_store.Btree
+
+type error =
+  | Unknown_queue of string
+  | Schema_violation of { queue : string; reason : string }
+  | Fixed_property_set of { property : string }
+  | Property_error of { property : string; reason : string }
+
+let error_to_string = function
+  | Unknown_queue q -> Printf.sprintf "unknown queue: %s" q
+  | Schema_violation { queue; reason } ->
+    Printf.sprintf "schema violation on queue %s: %s" queue reason
+  | Fixed_property_set { property } ->
+    Printf.sprintf "fixed property %s may not be set explicitly" property
+  | Property_error { property; reason } ->
+    Printf.sprintf "error computing property %s: %s" property reason
+
+exception Queue_error of error
+
+type t = {
+  store : Store.t;
+  queues : (string, Defs.queue_def) Hashtbl.t;
+  mutable properties : Defs.property_def list;  (* declaration order *)
+  mutable slicings : Defs.slicing_def list;
+  indexes : (string, int Btree.t) Hashtbl.t;  (* slicing -> key -> rids *)
+  collections : (string, Tree.tree list) Hashtbl.t;
+  cache : (int, Message.t) Hashtbl.t;  (* rid -> decoded message *)
+  clock : unit -> int;
+}
+
+let store t = t.store
+
+let default_clock () =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    !n
+
+let index_for t slicing =
+  match Hashtbl.find_opt t.indexes slicing with
+  | Some idx -> idx
+  | None ->
+    let idx = Btree.create () in
+    Hashtbl.replace t.indexes slicing idx;
+    idx
+
+let add_queue t def = Hashtbl.replace t.queues def.Defs.qname def
+let add_property t def = t.properties <- t.properties @ [ def ]
+
+let add_slicing t def =
+  t.slicings <- t.slicings @ [ def ];
+  ignore (index_for t def.Defs.sname)
+
+let find_queue t name = Hashtbl.find_opt t.queues name
+
+let find_slicing t name =
+  List.find_opt (fun s -> s.Defs.sname = name) t.slicings
+
+let queue_defs t = Hashtbl.fold (fun _ d acc -> d :: acc) t.queues []
+let slicing_defs t = t.slicings
+let property_defs t = t.properties
+
+let set_collection t name docs = Hashtbl.replace t.collections name docs
+let collection t name = Option.value ~default:[] (Hashtbl.find_opt t.collections name)
+
+(* ---- message access with cache ---- *)
+
+let of_store_cached t (sm : Store.message) =
+  let m =
+    match Hashtbl.find_opt t.cache sm.rid with
+    | Some m -> m
+    | None ->
+      let m = Message.of_store t.store sm in
+      Hashtbl.replace t.cache sm.rid m;
+      m
+  in
+  (* [processed] may have changed since the cache entry was created. *)
+  if m.Message.processed = sm.processed then m
+  else begin
+    let m = { m with Message.processed = sm.processed } in
+    Hashtbl.replace t.cache sm.rid m;
+    m
+  end
+
+let get t rid =
+  Option.map (of_store_cached t) (Store.get t.store rid)
+
+let queue_messages t queue =
+  List.rev
+    (Store.fold_queue t.store queue (fun acc sm -> of_store_cached t sm :: acc) [])
+
+let queue_length t queue = Store.queue_length t.store queue
+
+let unprocessed t = List.map (of_store_cached t) (Store.unprocessed t.store)
+
+(* ---- slices ---- *)
+
+let membership_current t (m : Message.t) (mem : Message.membership) =
+  ignore m;
+  mem.Message.m_lifetime
+  = Store.slice_lifetime t.store ~slicing:mem.Message.m_slicing ~key:mem.Message.m_key
+
+let message_in_slice t slicing key (m : Message.t) =
+  List.exists
+    (fun mem ->
+      mem.Message.m_slicing = slicing
+      && mem.Message.m_key = key
+      && membership_current t m mem)
+    m.Message.memberships
+
+let slice_messages t ?(use_index = true) ~slicing ~key () =
+  if use_index then
+    let idx = index_for t slicing in
+    let rids = Btree.find idx key in
+    List.filter
+      (fun m -> message_in_slice t slicing key m)
+      (List.filter_map (get t) (List.sort_uniq compare rids))
+  else begin
+    (* Scan baseline (§4.3: merging the slice definition into the rule):
+       walk every queue on which the slicing's property is defined. *)
+    match find_slicing t slicing with
+    | None -> []
+    | Some sdef ->
+      let queues =
+        List.concat_map
+          (fun p ->
+            if p.Defs.pname = sdef.Defs.slice_property then Defs.property_queues p
+            else [])
+          t.properties
+      in
+      List.concat_map
+        (fun q ->
+          List.filter (message_in_slice t slicing key) (queue_messages t q))
+        (List.sort_uniq compare queues)
+  end
+
+let slice_keys t ~slicing =
+  let idx = index_for t slicing in
+  let keys = ref [] in
+  Btree.iter idx (fun k _ -> keys := k :: !keys);
+  List.rev !keys
+
+(* ---- property computation (§2.2) ---- *)
+
+let eval_property_expr t pname expr payload =
+  let env = Demaq_xquery.Context.make () in
+  let env =
+    { env with Context.item = Some (Value.Node (Eval.node_of_tree payload)) }
+  in
+  ignore t;
+  match Eval.eval env expr with
+  | [] -> None
+  | item :: _ -> Some (Value.atomize_item item)
+  | exception Context.Eval_error reason ->
+    raise (Queue_error (Property_error { property = pname; reason }))
+
+let cast_property pname ptype a =
+  match Value.cast ptype a with
+  | Ok a -> a
+  | Error reason -> raise (Queue_error (Property_error { property = pname; reason }))
+
+let compute_properties t ~rule ~trigger ~explicit ~queue ~payload =
+  let defined = ref [] in
+  (* Declared properties, in declaration order. *)
+  List.iter
+    (fun (p : Defs.property_def) ->
+      if List.mem queue (Defs.property_queues p) then begin
+        let explicit_value = List.assoc_opt p.pname explicit in
+        (match p.disposition, explicit_value with
+         | Defs.Fixed, Some _ ->
+           raise (Queue_error (Fixed_property_set { property = p.pname }))
+         | _ -> ());
+        let inherited_value =
+          match p.disposition, trigger with
+          | Defs.Inherited, Some trig -> Message.property trig p.pname
+          | _ -> None
+        in
+        let value =
+          match explicit_value, inherited_value with
+          | Some v, _ -> Some v
+          | None, Some v -> Some v
+          | None, None -> (
+            match Defs.property_expr_for p queue with
+            | Some expr -> eval_property_expr t p.pname expr payload
+            | None -> None)
+        in
+        match value with
+        | Some v -> defined := (p.pname, cast_property p.pname p.ptype v) :: !defined
+        | None -> ()
+      end)
+    t.properties;
+  let declared_names = List.map fst !defined in
+  (* Undeclared explicit properties ride along untyped (used for e.g.
+     gateway addressing and echo timeouts). *)
+  let extra_explicit =
+    List.filter (fun (n, _) -> not (List.mem n declared_names)) explicit
+  in
+  (* System properties (§2.2). *)
+  let system =
+    List.concat
+      [
+        (match rule with Some r -> [ (Defs.Sysprop.rule, Value.String r) ] | None -> []);
+        [ (Defs.Sysprop.timestamp, Value.Integer (t.clock ())) ];
+        (* Connection handles propagate automatically with messages. *)
+        (match trigger with
+         | Some trig -> (
+           match Message.property trig Defs.Sysprop.connection with
+           | Some v when not (List.mem_assoc Defs.Sysprop.connection explicit) ->
+             [ (Defs.Sysprop.connection, v) ]
+           | _ -> [])
+         | None -> []);
+      ]
+  in
+  let system =
+    List.filter (fun (n, _) -> not (List.mem_assoc n extra_explicit)) system
+  in
+  List.rev !defined @ extra_explicit @ system
+
+(* ---- enqueue ---- *)
+
+let memberships_of t props =
+  List.filter_map
+    (fun (s : Defs.slicing_def) ->
+      match List.assoc_opt s.slice_property props with
+      | None -> None
+      | Some v ->
+        let key = Message.key_string v in
+        Some
+          {
+            Message.m_slicing = s.sname;
+            m_key = key;
+            m_lifetime = Store.slice_lifetime t.store ~slicing:s.sname ~key;
+          })
+    t.slicings
+
+let enqueue t txn ?rule ?trigger ?(explicit = []) ~queue ~payload () =
+  match find_queue t queue with
+  | None -> Error (Unknown_queue queue)
+  | Some qdef -> (
+    match
+      (match qdef.schema with
+       | Some schema ->
+         (* The queue schema also restricts the message root to a declared
+            element: an entirely undeclared document does not "conform to
+            the schema" (§2.1.1). *)
+         Schema.root_allowed schema (Schema.declared_names schema) payload
+       | None -> Ok ())
+    with
+    | Error reason -> Error (Schema_violation { queue; reason })
+    | Ok () -> (
+      match compute_properties t ~rule ~trigger ~explicit ~queue ~payload with
+      | exception Queue_error e -> Error e
+      | props ->
+        let memberships = memberships_of t props in
+        let serialized = Serializer.to_string payload in
+        let extra = Message.encode_extra ~props ~memberships in
+        let enqueued_at =
+          match List.assoc_opt Defs.Sysprop.timestamp props with
+          | Some (Value.Integer tick) -> tick
+          | _ -> t.clock ()
+        in
+        let durable = qdef.mode = Defs.Persistent in
+        let rid =
+          Store.insert txn ~queue ~payload:serialized ~extra ~enqueued_at ~durable
+        in
+        List.iter
+          (fun mem ->
+            Btree.add (index_for t mem.Message.m_slicing) mem.Message.m_key rid)
+          memberships;
+        let m =
+          {
+            Message.rid;
+            queue;
+            body = lazy payload;
+            props;
+            memberships;
+            enqueued_at;
+            processed = false;
+          }
+        in
+        Hashtbl.replace t.cache rid m;
+        Ok m))
+
+(* ---- updates ---- *)
+
+let mark_processed _t txn (m : Message.t) = Store.mark_processed txn m.Message.rid
+
+let reset_slice _t txn ~slicing ~key = Store.slice_reset txn ~slicing ~key
+
+(* ---- retention GC (§2.3.3) ---- *)
+
+let deletable t (m : Message.t) =
+  m.Message.processed
+  && List.for_all (fun mem -> not (membership_current t m mem)) m.Message.memberships
+
+let gc t =
+  let doomed = List.filter (deletable t) (List.map (of_store_cached t) (Store.all_messages t.store)) in
+  if doomed = [] then 0
+  else begin
+    let txn = Store.begin_txn t.store in
+    List.iter
+      (fun (m : Message.t) ->
+        Store.delete txn m.Message.rid;
+        Hashtbl.remove t.cache m.Message.rid;
+        List.iter
+          (fun mem ->
+            Btree.remove
+              (index_for t mem.Message.m_slicing)
+              mem.Message.m_key
+              (fun rid -> rid = m.Message.rid))
+          m.Message.memberships)
+      doomed;
+    Store.commit txn;
+    List.length doomed
+  end
+
+let rebuild_indexes t =
+  Hashtbl.iter (fun _ idx -> Btree.clear idx) t.indexes;
+  List.iter
+    (fun sm ->
+      let m = of_store_cached t sm in
+      List.iter
+        (fun mem ->
+          Btree.add (index_for t mem.Message.m_slicing) mem.Message.m_key
+            m.Message.rid)
+        m.Message.memberships)
+    (Store.all_messages t.store)
+
+let index_stats t =
+  Hashtbl.fold
+    (fun name idx acc -> (name, Btree.cardinal idx, Btree.height idx) :: acc)
+    t.indexes []
+
+let create ?clock store =
+  let clock = match clock with Some c -> c | None -> default_clock () in
+  let t =
+    {
+      store;
+      queues = Hashtbl.create 16;
+      properties = [];
+      slicings = [];
+      indexes = Hashtbl.create 8;
+      collections = Hashtbl.create 8;
+      cache = Hashtbl.create 1024;
+      clock;
+    }
+  in
+  rebuild_indexes t;
+  t

@@ -1,0 +1,109 @@
+(** The queue subsystem: interprets QDL declarations over the message store.
+
+    Responsibilities (paper §2): enqueue with schema validation and
+    property computation (explicit / system / inherited / computed values),
+    slice membership tracking, materialized slice indexes (B-tree by slice
+    key, §4.3), slice resets, and the retention garbage collector
+    (a message is removable once it is processed and every slice that
+    contains it has been reset, §2.3.3). *)
+
+module Tree := Demaq_xml.Tree
+module Value := Demaq_xquery.Value
+module Store := Demaq_store.Message_store
+
+type error =
+  | Unknown_queue of string
+  | Schema_violation of { queue : string; reason : string }
+  | Fixed_property_set of { property : string }
+  | Property_error of { property : string; reason : string }
+
+val error_to_string : error -> string
+
+exception Queue_error of error
+
+type t
+
+val create : ?clock:(unit -> int) -> Store.t -> t
+(** [clock] supplies the virtual time tick used for the system timestamp
+    property (defaults to a counter incremented per enqueue). *)
+
+val store : t -> Store.t
+
+(** {1 Definitions} *)
+
+val add_queue : t -> Defs.queue_def -> unit
+val add_property : t -> Defs.property_def -> unit
+val add_slicing : t -> Defs.slicing_def -> unit
+
+val find_queue : t -> string -> Defs.queue_def option
+val find_slicing : t -> string -> Defs.slicing_def option
+val queue_defs : t -> Defs.queue_def list
+val slicing_defs : t -> Defs.slicing_def list
+val property_defs : t -> Defs.property_def list
+
+val set_collection : t -> string -> Tree.tree list -> unit
+(** Master data exposed to rules via [fn:collection] (§3.5.2). *)
+
+val collection : t -> string -> Tree.tree list
+
+(** {1 Enqueue} *)
+
+val enqueue :
+  t ->
+  Store.txn ->
+  ?rule:string ->
+  ?trigger:Message.t ->
+  ?explicit:(string * Value.atomic) list ->
+  queue:string ->
+  payload:Tree.tree ->
+  unit ->
+  (Message.t, error) result
+(** Computes properties (precedence: explicit, then inherited from
+    [trigger], then the per-queue value expression), validates against the
+    queue schema, records slice memberships at the slices' current
+    lifetimes, and inserts the message. Durable iff the queue is
+    persistent and the store is durable. *)
+
+(** {1 Reads} *)
+
+val get : t -> int -> Message.t option
+val queue_messages : t -> string -> Message.t list
+(** Live messages of the queue, arrival order. *)
+
+val queue_length : t -> string -> int
+val unprocessed : t -> Message.t list
+
+val slice_messages : t -> ?use_index:bool -> slicing:string -> key:string -> unit
+  -> Message.t list
+(** Messages of the slice's current lifetime. [use_index=true] (default)
+    walks the materialized B-tree; [false] scans the underlying queues
+    (the "merge the slice definition into the rules" baseline of §4.3). *)
+
+val slice_keys : t -> slicing:string -> string list
+(** Distinct keys currently present in the slicing's index. *)
+
+val membership_current : t -> Message.t -> Message.membership -> bool
+
+(** {1 Updates} *)
+
+val mark_processed : t -> Store.txn -> Message.t -> unit
+
+val reset_slice : t -> Store.txn -> slicing:string -> key:string -> unit
+(** Begin a new lifetime: existing members become invisible (§2.3.2). *)
+
+(** {1 Maintenance} *)
+
+val deletable : t -> Message.t -> bool
+(** §2.3.3: processed and contained in no current slice lifetime. *)
+
+val gc : t -> int
+(** Collect all deletable messages in one transaction; returns the count.
+    Index entries and cache entries for the collected messages are
+    dropped. *)
+
+val rebuild_indexes : t -> unit
+(** Rebuild all slice indexes from the store (after recovery: index data is
+    derived, §4.1). Called automatically by {!create}. *)
+
+val index_stats : t -> (string * int * int) list
+(** Per slicing: (name, distinct keys, B-tree height). *)

@@ -1,0 +1,1 @@
+lib/net/network.ml: Demaq_xml Hashtbl List Printf Random Soap String

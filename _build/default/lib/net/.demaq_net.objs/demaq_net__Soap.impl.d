@@ -1,0 +1,1 @@
+lib/net/soap.ml: Demaq_xml

@@ -1,0 +1,1 @@
+lib/net/soap.mli: Demaq_xml

@@ -1,0 +1,1 @@
+lib/net/wsdl.ml: Demaq_xml List Option Printf String

@@ -1,0 +1,1 @@
+lib/net/wsdl.mli: Demaq_xml

@@ -1,0 +1,160 @@
+module Tree = Demaq_xml.Tree
+module Serializer = Demaq_xml.Serializer
+module Xml_parser = Demaq_xml.Parser
+
+type failure =
+  | Name_resolution of string
+  | Disconnected of string
+  | Timeout of string
+
+let failure_to_string = function
+  | Name_resolution host -> Printf.sprintf "cannot resolve endpoint %s" host
+  | Disconnected host -> Printf.sprintf "transport endpoint %s is disconnected" host
+  | Timeout host -> Printf.sprintf "delivery to %s timed out" host
+
+type send_result =
+  | Sent of Tree.tree list
+  | Lost
+  | Failed of failure
+
+type endpoint = {
+  mutable handler : sender:string -> Tree.tree -> Tree.tree list;
+  mutable connected : bool;
+  mutable drop_rate : float;
+}
+
+type stats = {
+  attempts : int;
+  delivered : int;
+  dropped : int;
+  duplicates : int;
+  failures : int;
+  bytes : int;
+}
+
+type t = {
+  endpoints : (string, endpoint) Hashtbl.t;
+  rng : Random.State.t;
+  max_retries : int;
+  mutable attempts : int;
+  mutable delivered : int;
+  mutable dropped : int;
+  mutable duplicates : int;
+  mutable failures : int;
+  mutable bytes : int;
+  mutable log : string list;  (* reversed *)
+  mutable log_len : int;
+}
+
+let create ?(seed = 42) ?(max_retries = 5) () =
+  {
+    endpoints = Hashtbl.create 16;
+    rng = Random.State.make [| seed |];
+    max_retries;
+    attempts = 0;
+    delivered = 0;
+    dropped = 0;
+    duplicates = 0;
+    failures = 0;
+    bytes = 0;
+    log = [];
+    log_len = 0;
+  }
+
+let register t ~name ~handler =
+  Hashtbl.replace t.endpoints name { handler; connected = true; drop_rate = 0.0 }
+
+let unregister t name = Hashtbl.remove t.endpoints name
+
+let with_endpoint t name f =
+  match Hashtbl.find_opt t.endpoints name with
+  | Some ep -> f ep
+  | None -> invalid_arg (Printf.sprintf "no endpoint named %s" name)
+
+let set_connected t name connected =
+  with_endpoint t name (fun ep -> ep.connected <- connected)
+
+let set_drop_rate t name rate =
+  with_endpoint t name (fun ep -> ep.drop_rate <- rate)
+
+let log_wire t s =
+  t.log <- s :: t.log;
+  t.log_len <- t.log_len + 1;
+  if t.log_len > 1000 then begin
+    t.log <- List.filteri (fun i _ -> i < 1000) t.log;
+    t.log_len <- 1000
+  end
+
+(* One transmission attempt: serialize, maybe drop, deserialize, invoke. *)
+let attempt t ep ~from_ ~to_ payload =
+  t.attempts <- t.attempts + 1;
+  let envelope =
+    Soap.envelope ~headers:[ Soap.header_field "From" from_; Soap.header_field "To" to_ ]
+      payload
+  in
+  let wire = Serializer.to_string envelope in
+  t.bytes <- t.bytes + String.length wire;
+  log_wire t wire;
+  if ep.drop_rate > 0.0 && Random.State.float t.rng 1.0 < ep.drop_rate then begin
+    t.dropped <- t.dropped + 1;
+    None
+  end
+  else begin
+    t.delivered <- t.delivered + 1;
+    (* The receiving side parses the wire form back into a tree: the
+       round-trip is part of what the gateway path must exercise. *)
+    let received = Xml_parser.parse wire in
+    let body = Soap.body received in
+    Some (ep.handler ~sender:from_ body)
+  end
+
+let send t ?(reliable = false) ~from_ ~to_ payload =
+  match Hashtbl.find_opt t.endpoints to_ with
+  | None ->
+    t.failures <- t.failures + 1;
+    Failed (Name_resolution to_)
+  | Some ep ->
+    if not ep.connected then begin
+      t.failures <- t.failures + 1;
+      Failed (Disconnected to_)
+    end
+    else if not reliable then begin
+      match attempt t ep ~from_ ~to_ payload with
+      | Some replies -> Sent replies
+      | None -> Lost
+    end
+    else begin
+      (* At-least-once: retry until delivered or retries exhausted. A late
+         duplicate delivery after a success is simulated by counting every
+         delivery past the first. *)
+      let rec go tries delivered_replies deliveries =
+        if tries > t.max_retries then
+          match delivered_replies with
+          | Some replies ->
+            if deliveries > 1 then t.duplicates <- t.duplicates + (deliveries - 1);
+            Sent replies
+          | None ->
+            t.failures <- t.failures + 1;
+            Failed (Timeout to_)
+        else
+          match attempt t ep ~from_ ~to_ payload with
+          | Some replies -> (
+            match delivered_replies with
+            | Some _ -> go (t.max_retries + 1) delivered_replies (deliveries + 1)
+            | None -> go (t.max_retries + 1) (Some replies) (deliveries + 1))
+          | None -> go (tries + 1) delivered_replies deliveries
+      in
+      go 1 None 0
+    end
+
+let stats t =
+  {
+    attempts = t.attempts;
+    delivered = t.delivered;
+    dropped = t.dropped;
+    duplicates = t.duplicates;
+    failures = t.failures;
+    bytes = t.bytes;
+  }
+
+let wire_log t = List.rev t.log

@@ -1,0 +1,65 @@
+(** The simulated communication subsystem.
+
+    Substitute for the paper's Web-Service transport stack (§4.2): an
+    in-process registry of remote endpoints with scripted handlers,
+    deterministic failure injection (disconnected endpoints, dropped
+    packets, unresolvable names), and two delivery semantics:
+
+    - best-effort: a dropped message is silently lost;
+    - reliable (WS-ReliableMessaging stand-in): delivery is retried up to a
+      bounded number of times and reports a timeout failure if every
+      attempt is dropped. Retries can deliver duplicates, which is faithful
+      to at-least-once semantics.
+
+    Messages travel as serialized SOAP envelopes, so the gateway path
+    exercises real XML serialization and parsing on both sides. *)
+
+module Tree := Demaq_xml.Tree
+
+type failure =
+  | Name_resolution of string  (** no such endpoint *)
+  | Disconnected of string  (** endpoint exists but is down *)
+  | Timeout of string  (** reliable delivery exhausted its retries *)
+
+val failure_to_string : failure -> string
+
+type send_result =
+  | Sent of Tree.tree list  (** delivered; replies from the endpoint *)
+  | Lost  (** best-effort send dropped on the wire *)
+  | Failed of failure
+
+type t
+
+val create : ?seed:int -> ?max_retries:int -> unit -> t
+(** [seed] makes the drop lottery deterministic (default 42).
+    [max_retries] bounds reliable redelivery (default 5). *)
+
+val register :
+  t -> name:string -> handler:(sender:string -> Tree.tree -> Tree.tree list) -> unit
+(** Scripted remote endpoint: receives the payload (SOAP body) and returns
+    reply payloads, which the transport routes back to the sender. *)
+
+val unregister : t -> string -> unit
+val set_connected : t -> string -> bool -> unit
+val set_drop_rate : t -> string -> float -> unit
+(** Probability in [0, 1] that one transmission attempt is dropped. *)
+
+val send :
+  t -> ?reliable:bool -> from_:string -> to_:string -> Tree.tree -> send_result
+(** Wrap the payload in a SOAP envelope, push it across the simulated wire,
+    invoke the endpoint handler, and return its replies (unwrapped). *)
+
+type stats = {
+  attempts : int;  (** transmissions including retries *)
+  delivered : int;
+  dropped : int;
+  duplicates : int;  (** redundant deliveries caused by retries *)
+  failures : int;
+  bytes : int;  (** serialized envelope bytes pushed over the wire *)
+}
+
+val stats : t -> stats
+
+val wire_log : t -> string list
+(** Serialized envelopes in transmission order (most recent last); for
+    tests and debugging. Capped at the last 1000 entries. *)

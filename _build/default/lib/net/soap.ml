@@ -1,0 +1,51 @@
+(* SOAP 1.2-style envelopes for gateway traffic (§4.2: "Demaq provides
+   SOAP bindings to transport protocols such as HTTP and SMTP"). The
+   simulated transport exchanges serialized envelopes so that the gateway
+   path exercises real serialization and parsing. *)
+
+module Tree = Demaq_xml.Tree
+module Name = Demaq_xml.Name
+
+let soap_ns = "http://www.w3.org/2003/05/soap-envelope"
+
+let envelope ?(headers = []) body =
+  Tree.elem_ns
+    (Name.make ~uri:soap_ns "Envelope")
+    [
+      Tree.elem_ns (Name.make ~uri:soap_ns "Header") headers;
+      Tree.elem_ns (Name.make ~uri:soap_ns "Body") [ body ];
+    ]
+
+let header_field name value =
+  Tree.elem name [ Tree.text value ]
+
+(* Extract the (single) body payload of an envelope; returns the input
+   unchanged when it is not a SOAP envelope (plain-XML transport). *)
+let body tree =
+  match tree with
+  | Tree.Element e when Name.local e.Tree.name = "Envelope" -> (
+    match Tree.find_child tree "Body" with
+    | Some b -> (
+      match Tree.child_elements b with
+      | [ payload ] -> payload
+      | _ -> tree)
+    | None -> tree)
+  | t -> t
+
+let headers tree =
+  match Tree.find_child tree "Header" with
+  | Some h -> Tree.child_elements h
+  | None -> []
+
+let fault ~code ~reason =
+  Tree.elem_ns
+    (Name.make ~uri:soap_ns "Fault")
+    [
+      Tree.elem "Code" [ Tree.text code ];
+      Tree.elem "Reason" [ Tree.text reason ];
+    ]
+
+let is_fault tree =
+  match Tree.element_name (body tree) with
+  | Some n -> Name.local n = "Fault"
+  | None -> false

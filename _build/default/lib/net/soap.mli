@@ -1,0 +1,23 @@
+(** SOAP 1.2-style envelopes for gateway traffic (§4.2: "Demaq provides
+    SOAP bindings to transport protocols such as HTTP and SMTP").
+
+    The simulated transport exchanges serialized envelopes so the gateway
+    path exercises real XML serialization and parsing on both sides. *)
+
+val soap_ns : string
+
+val envelope :
+  ?headers:Demaq_xml.Tree.tree list -> Demaq_xml.Tree.tree -> Demaq_xml.Tree.tree
+(** Wrap a payload in [<Envelope><Header>…</Header><Body>…</Body>]. *)
+
+val header_field : string -> string -> Demaq_xml.Tree.tree
+(** A simple text-valued header element. *)
+
+val body : Demaq_xml.Tree.tree -> Demaq_xml.Tree.tree
+(** The single payload of an envelope's [<Body>]; non-envelope trees pass
+    through unchanged (plain-XML transport). *)
+
+val headers : Demaq_xml.Tree.tree -> Demaq_xml.Tree.tree list
+
+val fault : code:string -> reason:string -> Demaq_xml.Tree.tree
+val is_fault : Demaq_xml.Tree.tree -> bool

@@ -1,0 +1,93 @@
+(* A miniature WSDL 1.1 model (§2.1.2: gateway queues "import the
+   supplier's interface definition from a WSDL file"). Enough structure to
+   make the [interface <file> port <name>] declaration functional: the
+   engine validates that messages leaving through a gateway are valid
+   inputs of an operation of the declared port.
+
+   Accepted document shape (namespaces ignored, local names only):
+
+   {v
+   <definitions name="SupplierService">
+     <portType name="CapacityRequestPort">
+       <operation name="requestCapacity">
+         <input element="capacityRequest"/>
+         <output element="capacityResult"/>
+       </operation>
+     </portType>
+   </definitions>
+   v} *)
+
+module Tree = Demaq_xml.Tree
+module Name = Demaq_xml.Name
+
+type operation = {
+  op_name : string;
+  input_element : string option;
+  output_element : string option;
+}
+
+type port = { port_name : string; operations : operation list }
+
+type t = { service : string; ports : port list }
+
+let local tree =
+  match Tree.element_name tree with Some n -> Name.local n | None -> ""
+
+let attr tree name = Tree.attribute_value tree name
+
+let parse_tree tree =
+  if local tree <> "definitions" then Error "WSDL: expected <definitions>"
+  else begin
+    let ports =
+      List.filter_map
+        (fun pt ->
+          if local pt <> "portType" then None
+          else
+            match attr pt "name" with
+            | None -> None
+            | Some port_name ->
+              let operations =
+                List.filter_map
+                  (fun op ->
+                    if local op <> "operation" then None
+                    else
+                      match attr op "name" with
+                      | None -> None
+                      | Some op_name ->
+                        let element_of tag =
+                          Option.bind (Tree.find_child op tag) (fun io ->
+                              attr io "element")
+                        in
+                        Some
+                          {
+                            op_name;
+                            input_element = element_of "input";
+                            output_element = element_of "output";
+                          })
+                  (Tree.child_elements pt)
+              in
+              Some { port_name; operations })
+        (Tree.child_elements tree)
+    in
+    if ports = [] then Error "WSDL: no portType definitions"
+    else
+      Ok { service = Option.value ~default:"" (attr tree "name"); ports }
+  end
+
+let parse text =
+  match Demaq_xml.Parser.parse text with
+  | tree -> parse_tree tree
+  | exception Demaq_xml.Parser.Parse_error { line; col; msg } ->
+    Error (Printf.sprintf "WSDL: XML error at %d:%d: %s" line col msg)
+
+let find_port t name = List.find_opt (fun p -> p.port_name = name) t.ports
+
+(* Is a message with the given root element a valid input of some
+   operation of the port? *)
+let accepts_input port root_element =
+  List.exists (fun op -> op.input_element = Some root_element) port.operations
+
+let input_elements port =
+  List.filter_map (fun op -> op.input_element) port.operations
+
+let expected_inputs port = String.concat ", " (input_elements port)

@@ -1,0 +1,32 @@
+(** A miniature WSDL 1.1 model (§2.1.2: gateway queues "import the
+    supplier's interface definition from a WSDL file").
+
+    Covers exactly what makes the QDL [interface <file> port <name>]
+    declaration functional: named port types whose operations declare
+    input/output message elements. Namespaces are ignored (local names
+    only). *)
+
+type operation = {
+  op_name : string;
+  input_element : string option;  (** root element of the request *)
+  output_element : string option;
+}
+
+type port = { port_name : string; operations : operation list }
+
+type t = { service : string; ports : port list }
+
+val parse : string -> (t, string) result
+(** Parse a [<definitions>] document. *)
+
+val parse_tree : Demaq_xml.Tree.tree -> (t, string) result
+
+val find_port : t -> string -> port option
+
+val accepts_input : port -> string -> bool
+(** Is a message with this root element a valid input of some operation of
+    the port? *)
+
+val input_elements : port -> string list
+val expected_inputs : port -> string
+(** Comma-separated {!input_elements}, for error messages. *)

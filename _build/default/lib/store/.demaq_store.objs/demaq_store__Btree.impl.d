@@ -1,0 +1,1 @@
+lib/store/btree.ml: Array List Result String

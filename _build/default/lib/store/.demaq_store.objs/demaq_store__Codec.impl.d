@@ -1,0 +1,1 @@
+lib/store/codec.ml: Buffer Bytes Int64 List String

@@ -1,0 +1,1 @@
+lib/store/crc32.ml: Array Char Lazy String

@@ -1,0 +1,1 @@
+lib/store/crc32.mli:

@@ -1,0 +1,1 @@
+lib/store/heap_file.ml: Buffer Bytes Char Fun Int32 Int64 List Pager Printf String

@@ -1,0 +1,1 @@
+lib/store/heap_file.mli: Pager

@@ -1,0 +1,1 @@
+lib/store/lock_manager.mli:

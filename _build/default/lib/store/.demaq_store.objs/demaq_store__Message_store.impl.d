@@ -1,0 +1,1 @@
+lib/store/message_store.ml: Buffer Codec Filename Hashtbl Heap_file List Lock_manager Option String Sys Unix Vec Wal

@@ -1,0 +1,1 @@
+lib/store/message_store.mli: Heap_file Lock_manager Wal

@@ -1,0 +1,1 @@
+lib/store/pager.ml: Array Bytes Fun Hashtbl Printf Unix

@@ -1,0 +1,1 @@
+lib/store/wal.ml: Buffer Codec Crc32 Printf String Sys Unix

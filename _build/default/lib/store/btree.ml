@@ -1,0 +1,205 @@
+type 'a node =
+  | Leaf of 'a leaf
+  | Internal of 'a internal
+
+and 'a leaf = {
+  mutable keys : string array;
+  mutable vals : 'a list array;  (* parallel to keys *)
+  mutable next : 'a leaf option;  (* leaf chaining for range scans *)
+}
+
+and 'a internal = {
+  mutable seps : string array;  (* n separators *)
+  mutable children : 'a node array;  (* n+1 children *)
+}
+
+type 'a t = { order : int; mutable root : 'a node; mutable cardinal : int }
+
+let create ?(order = 32) () =
+  if order < 4 then invalid_arg "Btree.create: order must be >= 4";
+  { order; root = Leaf { keys = [||]; vals = [||]; next = None }; cardinal = 0 }
+
+(* Index of the child to descend into for [key]: the first separator
+   greater than [key] determines the child. Keys equal to a separator go
+   right (separators are the first key of the right subtree). *)
+let child_index seps key =
+  let n = Array.length seps in
+  let rec go i = if i >= n || String.compare key seps.(i) < 0 then i else go (i + 1) in
+  go 0
+
+let array_insert a i x =
+  let n = Array.length a in
+  Array.init (n + 1) (fun j -> if j < i then a.(j) else if j = i then x else a.(j - 1))
+
+let array_remove a i =
+  let n = Array.length a in
+  Array.init (n - 1) (fun j -> if j < i then a.(j) else a.(j + 1))
+
+let key_position keys key =
+  (* binary search: index of first key >= key *)
+  let lo = ref 0 and hi = ref (Array.length keys) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if String.compare keys.(mid) key < 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let rec find_leaf node key =
+  match node with
+  | Leaf l -> l
+  | Internal i -> find_leaf i.children.(child_index i.seps key) key
+
+let find t key =
+  let l = find_leaf t.root key in
+  let i = key_position l.keys key in
+  if i < Array.length l.keys && l.keys.(i) = key then l.vals.(i) else []
+
+let mem t key = find t key <> []
+
+(* Insert returns an optional (separator, right-sibling) split. *)
+let rec insert_node order node key v =
+  match node with
+  | Leaf l ->
+    let i = key_position l.keys key in
+    if i < Array.length l.keys && l.keys.(i) = key then begin
+      l.vals.(i) <- l.vals.(i) @ [ v ];
+      `No_split
+    end
+    else begin
+      l.keys <- array_insert l.keys i key;
+      l.vals <- array_insert l.vals i [ v ];
+      if Array.length l.keys <= order then `New_key
+      else begin
+        (* split leaf *)
+        let mid = Array.length l.keys / 2 in
+        let rkeys = Array.sub l.keys mid (Array.length l.keys - mid) in
+        let rvals = Array.sub l.vals mid (Array.length l.vals - mid) in
+        let right = { keys = rkeys; vals = rvals; next = l.next } in
+        l.keys <- Array.sub l.keys 0 mid;
+        l.vals <- Array.sub l.vals 0 mid;
+        l.next <- Some right;
+        `Split (rkeys.(0), Leaf right)
+      end
+    end
+  | Internal n -> (
+    let ci = child_index n.seps key in
+    match insert_node order n.children.(ci) key v with
+    | `No_split -> `No_split
+    | `New_key -> `New_key
+    | `Split (sep, right) ->
+      n.seps <- array_insert n.seps ci sep;
+      n.children <- array_insert n.children (ci + 1) right;
+      if Array.length n.seps <= order then `New_key
+      else begin
+        let mid = Array.length n.seps / 2 in
+        let sep_up = n.seps.(mid) in
+        let rseps = Array.sub n.seps (mid + 1) (Array.length n.seps - mid - 1) in
+        let rchildren =
+          Array.sub n.children (mid + 1) (Array.length n.children - mid - 1)
+        in
+        let right = Internal { seps = rseps; children = rchildren } in
+        n.seps <- Array.sub n.seps 0 mid;
+        n.children <- Array.sub n.children 0 (mid + 1);
+        `Split (sep_up, right)
+      end)
+
+let add t key v =
+  match insert_node t.order t.root key v with
+  | `No_split -> ()
+  | `New_key -> t.cardinal <- t.cardinal + 1
+  | `Split (sep, right) ->
+    t.cardinal <- t.cardinal + 1;
+    t.root <- Internal { seps = [| sep |]; children = [| t.root; right |] }
+
+let remove t key p =
+  let l = find_leaf t.root key in
+  let i = key_position l.keys key in
+  if i < Array.length l.keys && l.keys.(i) = key then begin
+    let kept = List.filter (fun v -> not (p v)) l.vals.(i) in
+    if kept = [] then begin
+      l.keys <- array_remove l.keys i;
+      l.vals <- array_remove l.vals i;
+      t.cardinal <- t.cardinal - 1
+      (* Lazy deletion: internal separators may now point at an absent key,
+         which is harmless for search correctness. *)
+    end
+    else l.vals.(i) <- kept
+  end
+
+let rec leftmost_leaf = function
+  | Leaf l -> l
+  | Internal n -> leftmost_leaf n.children.(0)
+
+let iter t f =
+  let rec go l =
+    Array.iteri (fun i k -> f k l.vals.(i)) l.keys;
+    match l.next with Some next -> go next | None -> ()
+  in
+  go (leftmost_leaf t.root)
+
+let range t ?lo ?hi () =
+  let start =
+    match lo with Some k -> find_leaf t.root k | None -> leftmost_leaf t.root
+  in
+  let acc = ref [] in
+  let stop = ref false in
+  let rec go l =
+    Array.iteri
+      (fun i k ->
+        if not !stop then begin
+          let ge_lo = match lo with Some b -> String.compare k b >= 0 | None -> true in
+          let le_hi = match hi with Some b -> String.compare k b <= 0 | None -> true in
+          if not le_hi then stop := true
+          else if ge_lo then acc := (k, l.vals.(i)) :: !acc
+        end)
+      l.keys;
+    if not !stop then match l.next with Some next -> go next | None -> ()
+  in
+  go start;
+  List.rev !acc
+
+let cardinal t = t.cardinal
+
+let height t =
+  let rec go n = function Leaf _ -> n | Internal i -> go (n + 1) i.children.(0) in
+  go 1 t.root
+
+let clear t =
+  t.root <- Leaf { keys = [||]; vals = [||]; next = None };
+  t.cardinal <- 0
+
+let check_invariants t =
+  let sorted a =
+    let ok = ref true in
+    for i = 0 to Array.length a - 2 do
+      if String.compare a.(i) a.(i + 1) >= 0 then ok := false
+    done;
+    !ok
+  in
+  let rec depth = function
+    | Leaf _ -> Ok 1
+    | Internal n ->
+      if not (sorted n.seps) then Error "separators not sorted"
+      else if Array.length n.children <> Array.length n.seps + 1 then
+        Error "child count mismatch"
+      else
+        Array.fold_left
+          (fun acc c ->
+            match acc, depth c with
+            | Error e, _ | _, Error e -> Error e
+            | Ok None, Ok d -> Ok (Some d)
+            | Ok (Some d), Ok d' ->
+              if d = d' then Ok (Some d) else Error "non-uniform leaf depth")
+          (Ok None) n.children
+        |> Result.map (function Some d -> d + 1 | None -> 1)
+  in
+  let rec leaves_sorted = function
+    | Leaf l -> if sorted l.keys then Ok () else Error "leaf keys not sorted"
+    | Internal n ->
+      Array.fold_left
+        (fun acc c -> match acc with Error _ -> acc | Ok () -> leaves_sorted c)
+        (Ok ()) n.children
+  in
+  match depth t.root with
+  | Error e -> Error e
+  | Ok _ -> leaves_sorted t.root

@@ -1,0 +1,39 @@
+(** An in-memory B+tree with string keys and multi-values.
+
+    Used as the materialized slice index (§4.3 of the paper: "similar to
+    the materialized views concept in RDBMSs, it is possible to maintain a
+    physical representation of the slices, for example using a B-Tree
+    indexed by the slice key"). The tree is rebuilt from the message store
+    at recovery (index data is derived), so it needs no persistence.
+
+    Multiple values per key are supported; deletion of the last value for a
+    key removes the key lazily (no eager rebalancing — underfull nodes are
+    tolerated, as in many production B-trees). *)
+
+type 'a t
+
+val create : ?order:int -> unit -> 'a t
+(** [order] is the maximum number of keys per node (default 32). *)
+
+val add : 'a t -> string -> 'a -> unit
+val remove : 'a t -> string -> ('a -> bool) -> unit
+(** [remove t k p] removes all values under [k] satisfying [p]. *)
+
+val find : 'a t -> string -> 'a list
+(** Values under the key, in insertion order; [[]] if absent. *)
+
+val mem : 'a t -> string -> bool
+
+val range : 'a t -> ?lo:string -> ?hi:string -> unit -> (string * 'a list) list
+(** Entries with [lo <= key <= hi] (each bound optional), in key order. *)
+
+val iter : 'a t -> (string -> 'a list -> unit) -> unit
+val cardinal : 'a t -> int
+(** Number of distinct keys. *)
+
+val height : 'a t -> int
+val clear : 'a t -> unit
+
+val check_invariants : 'a t -> (unit, string) result
+(** For tests: keys sorted within nodes, separator correctness, uniform
+    leaf depth. *)

@@ -1,0 +1,49 @@
+(* Binary record (de)serialization helpers used by the WAL and snapshots.
+   Integers are fixed 8-byte little-endian; strings are length-prefixed. *)
+
+let put_int buf i =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_le b 0 (Int64.of_int i);
+  Buffer.add_bytes buf b
+
+let put_string buf s =
+  put_int buf (String.length s);
+  Buffer.add_string buf s
+
+let put_bool buf b = Buffer.add_char buf (if b then '\001' else '\000')
+
+let put_list buf put items =
+  put_int buf (List.length items);
+  List.iter (put buf) items
+
+type reader = { src : string; mutable pos : int }
+
+exception Decode_error of string
+
+let reader src = { src; pos = 0 }
+
+let get_int r =
+  if r.pos + 8 > String.length r.src then raise (Decode_error "truncated int");
+  let v = Int64.to_int (String.get_int64_le r.src r.pos) in
+  r.pos <- r.pos + 8;
+  v
+
+let get_string r =
+  let n = get_int r in
+  if n < 0 || r.pos + n > String.length r.src then
+    raise (Decode_error "truncated string");
+  let s = String.sub r.src r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+let get_bool r =
+  if r.pos >= String.length r.src then raise (Decode_error "truncated bool");
+  let c = r.src.[r.pos] in
+  r.pos <- r.pos + 1;
+  c <> '\000'
+
+let get_list r get =
+  let n = get_int r in
+  List.init n (fun _ -> get r)
+
+let at_end r = r.pos >= String.length r.src

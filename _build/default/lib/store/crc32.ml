@@ -1,0 +1,20 @@
+(* CRC-32 (IEEE 802.3 polynomial), table-driven. Used to detect torn or
+   corrupted records in the write-ahead log. *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           if !c land 1 = 1 then c := 0xEDB88320 lxor (!c lsr 1)
+           else c := !c lsr 1
+         done;
+         !c))
+
+let string ?(init = 0xFFFFFFFF) s =
+  let t = Lazy.force table in
+  let c = ref init in
+  String.iter
+    (fun ch -> c := t.((!c lxor Char.code ch) land 0xFF) lxor (!c lsr 8))
+    s;
+  !c lxor 0xFFFFFFFF

@@ -1,0 +1,6 @@
+(** CRC-32 (IEEE 802.3 polynomial), table-driven.
+
+    Used to detect torn or corrupted records in the write-ahead log.
+    [string "123456789"] is [0xCBF43926], the standard check value. *)
+
+val string : ?init:int -> string -> int

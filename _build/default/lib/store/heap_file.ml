@@ -1,0 +1,262 @@
+(* Slotted-page heap file.
+
+   Page layout (8192 bytes):
+     0  u16  slot count
+     2  u16  data_start (lowest data offset used on this page)
+     4  u8   page kind: 0 = slotted heap page, 1 = overflow, 2 = free
+     5..15   reserved
+     16      slot directory: 4 bytes per slot (u16 offset, u16 length);
+             offset 0 marks a free slot
+     ...     free space
+     ...     record data, growing downward from the page end
+
+   Records that fit on one page are stored inline, prefixed with an 'I'
+   marker byte. Larger records store a chain head ('L' marker + u32 first
+   overflow page + u64 total length) and their bytes in a chain of
+   dedicated overflow pages:
+     0  u8   kind = 1
+     1  u32  next overflow page + 1 (0 = end of chain)
+     5  u16  fragment length
+     16      fragment bytes
+
+   Free-space bookkeeping (pages with slot room, free page list, record
+   count) is kept in memory and rebuilt by scanning the file at open. *)
+
+type t = {
+  pager : Pager.t;
+  mutable open_pages : int list;  (* slotted pages that may accept inserts *)
+  mutable free_pages : int list;  (* recyclable pages *)
+  mutable records : int;
+}
+
+type rid = { page : int; slot : int }
+
+let rid_to_string rid = Printf.sprintf "%d.%d" rid.page rid.slot
+
+let header_size = 16
+let slot_size = 4
+let page_size = Pager.page_size
+let overflow_capacity = page_size - header_size
+
+let kind_heap = 0
+let kind_overflow = 1
+let kind_free = 2
+
+let get_u16 b off = Bytes.get_uint16_le b off
+let set_u16 b off v = Bytes.set_uint16_le b off v
+let get_u32 b off = Int32.to_int (Bytes.get_int32_le b off)
+let set_u32 b off v = Bytes.set_int32_le b off (Int32.of_int v)
+
+let slot_count b = get_u16 b 0
+let set_slot_count b v = set_u16 b 0 v
+let data_start b = get_u16 b 2
+let set_data_start b v = set_u16 b 2 v
+let page_kind b = Char.code (Bytes.get b 4)
+let set_page_kind b v = Bytes.set b 4 (Char.chr v)
+
+let slot_offset b i = get_u16 b (header_size + (slot_size * i))
+let slot_length b i = get_u16 b (header_size + (slot_size * i) + 2)
+
+let set_slot b i ~offset ~length =
+  set_u16 b (header_size + (slot_size * i)) offset;
+  set_u16 b (header_size + (slot_size * i) + 2) length
+
+let init_heap_page b =
+  Bytes.fill b 0 page_size '\000';
+  set_page_kind b kind_heap;
+  set_data_start b page_size
+
+(* Free contiguous space on a slotted page if one more slot entry is
+   added. *)
+let free_space b =
+  data_start b - (header_size + (slot_size * (slot_count b + 1)))
+
+(* Find a free slot index, or the next fresh one. *)
+let find_slot b =
+  let n = slot_count b in
+  let rec go i = if i >= n then n else if slot_offset b i = 0 then i else go (i + 1) in
+  go 0
+
+let create ?pool_pages path =
+  let pager = Pager.create ?pool_pages path in
+  let t = { pager; open_pages = []; free_pages = []; records = 0 } in
+  for page = 0 to Pager.page_count pager - 1 do
+    Pager.with_page pager page (fun b ->
+        match page_kind b with
+        | k when k = kind_heap ->
+          if free_space b > 8 then t.open_pages <- page :: t.open_pages;
+          for i = 0 to slot_count b - 1 do
+            if slot_offset b i <> 0 then t.records <- t.records + 1
+          done
+        | k when k = kind_free -> t.free_pages <- page :: t.free_pages
+        | _ -> ())
+  done;
+  t
+
+let close t = Pager.close t.pager
+let record_count t = t.records
+let pager_stats t = Pager.stats t.pager
+
+let fresh_page t =
+  match t.free_pages with
+  | page :: rest ->
+    t.free_pages <- rest;
+    page
+  | [] -> Pager.allocate t.pager
+
+(* Store [data] (already marker-prefixed) on some slotted page. *)
+let insert_slotted t data =
+  let need = String.length data in
+  if need + header_size + slot_size > page_size then
+    invalid_arg "Heap_file: inline record too large";
+  let rec pick = function
+    | page :: rest ->
+      let ok = Pager.with_page t.pager page (fun b -> free_space b >= need) in
+      if ok then (page, rest)
+      else begin
+        (* page is full for this record; drop it from the open list if it
+           is nearly full in general *)
+        let still_open = Pager.with_page t.pager page (fun b -> free_space b > 64) in
+        let page', rest' = pick rest in
+        (page', if still_open then page :: rest' else rest')
+      end
+    | [] ->
+      let page = fresh_page t in
+      Pager.update_page t.pager page init_heap_page;
+      (page, [])
+  in
+  let page, others = pick t.open_pages in
+  let slot =
+    Pager.update_page t.pager page (fun b ->
+        let slot = find_slot b in
+        let offset = data_start b - need in
+        Bytes.blit_string data 0 b offset need;
+        set_data_start b offset;
+        set_slot b slot ~offset ~length:need;
+        if slot = slot_count b then set_slot_count b (slot + 1);
+        slot)
+  in
+  t.open_pages <- page :: others;
+  t.records <- t.records + 1;
+  { page; slot }
+
+(* Write [data] into a chain of overflow pages; returns the first page. *)
+let write_chain t data =
+  let len = String.length data in
+  let rec go offset =
+    if offset >= len then 0 (* encoded next+1 = 0 : end *)
+    else begin
+      let frag = min overflow_capacity (len - offset) in
+      let page = fresh_page t in
+      let next = go (offset + frag) in
+      Pager.update_page t.pager page (fun b ->
+          Bytes.fill b 0 page_size '\000';
+          set_page_kind b kind_overflow;
+          set_u32 b 8 next;
+          set_u16 b 12 frag;
+          Bytes.blit_string data offset b header_size frag);
+      page + 1
+    end
+  in
+  go 0 - 1
+
+let inline_limit = page_size / 4
+
+let insert t record =
+  if String.length record <= inline_limit then insert_slotted t ("I" ^ record)
+  else begin
+    let first = write_chain t record in
+    let head = Bytes.create 13 in
+    Bytes.set head 0 'L';
+    set_u32 head 1 first;
+    Bytes.set_int64_le head 5 (Int64.of_int (String.length record));
+    insert_slotted t (Bytes.to_string head)
+  end
+
+let slot_data t rid =
+  Pager.with_page t.pager rid.page (fun b ->
+      if page_kind b <> kind_heap then invalid_arg "Heap_file.read: not a heap page";
+      if rid.slot >= slot_count b || slot_offset b rid.slot = 0 then
+        invalid_arg (Printf.sprintf "Heap_file.read: free rid %s" (rid_to_string rid));
+      Bytes.sub_string b (slot_offset b rid.slot) (slot_length b rid.slot))
+
+let read_chain t first total =
+  let buf = Buffer.create total in
+  let rec go page =
+    if page >= 0 then
+      let next =
+        Pager.with_page t.pager page (fun b ->
+            if page_kind b <> kind_overflow then
+              invalid_arg "Heap_file: corrupt overflow chain";
+            let frag = get_u16 b 12 in
+            Buffer.add_subbytes buf b header_size frag;
+            get_u32 b 8 - 1)
+      in
+      go next
+  in
+  go first;
+  Buffer.contents buf
+
+let read t rid =
+  let data = slot_data t rid in
+  match data.[0] with
+  | 'I' -> String.sub data 1 (String.length data - 1)
+  | 'L' ->
+    let b = Bytes.of_string data in
+    let first = get_u32 b 1 in
+    let total = Int64.to_int (Bytes.get_int64_le b 5) in
+    read_chain t first total
+  | c -> invalid_arg (Printf.sprintf "Heap_file: corrupt record marker %C" c)
+
+let free_chain t first =
+  let rec go page =
+    if page >= 0 then begin
+      let next =
+        Pager.update_page t.pager page (fun b ->
+            let next = get_u32 b 8 - 1 in
+            Bytes.fill b 0 page_size '\000';
+            set_page_kind b kind_free;
+            next)
+      in
+      t.free_pages <- page :: t.free_pages;
+      go next
+    end
+  in
+  go first
+
+let free t rid =
+  let data = slot_data t rid in
+  (match data.[0] with
+   | 'L' ->
+     let b = Bytes.of_string data in
+     free_chain t (get_u32 b 1)
+   | _ -> ());
+  Pager.update_page t.pager rid.page (fun b ->
+      set_slot b rid.slot ~offset:0 ~length:0;
+      (* if the page emptied completely, reset it for reuse *)
+      let all_free =
+        let rec go i = i >= slot_count b || (slot_offset b i = 0 && go (i + 1)) in
+        go 0
+      in
+      if all_free then begin
+        set_slot_count b 0;
+        set_data_start b page_size
+      end);
+  if not (List.mem rid.page t.open_pages) then
+    t.open_pages <- rid.page :: t.open_pages;
+  t.records <- t.records - 1
+
+let iter t f =
+  for page = 0 to Pager.page_count t.pager - 1 do
+    let slots =
+      Pager.with_page t.pager page (fun b ->
+          if page_kind b <> kind_heap then []
+          else
+            List.filter_map
+              (fun i -> if slot_offset b i <> 0 then Some i else None)
+              (List.init (slot_count b) Fun.id))
+    in
+    List.iter (fun slot -> f { page; slot } (read t { page; slot })) slots
+  done
+
+let flush_pages t = Pager.flush t.pager

@@ -1,0 +1,41 @@
+(** A slotted-page heap file over {!Pager}.
+
+    Records are byte strings addressed by a RID (page number, slot index).
+    Each page carries a slot directory growing from the page start and
+    record data growing from the page end — the textbook layout. Records
+    larger than one page are chained across overflow pages transparently.
+
+    The message store uses this as its large-payload store: message bodies
+    above a threshold live here, out of line from the in-memory working
+    set, and are faulted in through the buffer pool on demand. *)
+
+type t
+
+type rid = { page : int; slot : int }
+
+val rid_to_string : rid -> string
+
+val create : ?pool_pages:int -> string -> t
+(** Open (or create) the heap file at the given path. *)
+
+val close : t -> unit
+
+val insert : t -> string -> rid
+(** Store a record; any size is accepted (large records chain overflow
+    pages). *)
+
+val read : t -> rid -> string
+(** @raise Invalid_argument for a free or out-of-range rid. *)
+
+val free : t -> rid -> unit
+(** Release the record's space for reuse (including its overflow chain). *)
+
+val iter : t -> (rid -> string -> unit) -> unit
+(** All live records, in page/slot order. *)
+
+val record_count : t -> int
+
+val pager_stats : t -> Pager.stats
+
+val flush_pages : t -> unit
+(** Write all dirty pages back (used before a store checkpoint). *)

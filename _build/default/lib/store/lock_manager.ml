@@ -1,0 +1,111 @@
+type mode = Shared | Exclusive
+
+type resource =
+  | Queue_lock of string
+  | Slice_lock of string * string
+  | Message_lock of int
+
+let resource_to_string = function
+  | Queue_lock q -> "queue:" ^ q
+  | Slice_lock (s, k) -> Printf.sprintf "slice:%s/%s" s k
+  | Message_lock rid -> Printf.sprintf "message:%d" rid
+
+type entry = { mutable holders : (int * mode) list }
+
+type t = {
+  table : (resource, entry) Hashtbl.t;
+  by_txn : (int, resource list) Hashtbl.t;
+  waiting : (int, resource) Hashtbl.t;  (* txn -> resource it waits for *)
+}
+
+let create () =
+  { table = Hashtbl.create 64; by_txn = Hashtbl.create 16; waiting = Hashtbl.create 16 }
+
+type outcome = Granted | Conflict of int list
+
+let compatible m1 m2 =
+  match m1, m2 with Shared, Shared -> true | _ -> false
+
+let note_held t txn resource =
+  let existing = Option.value ~default:[] (Hashtbl.find_opt t.by_txn txn) in
+  if not (List.mem resource existing) then
+    Hashtbl.replace t.by_txn txn (resource :: existing)
+
+let acquire t ~txn resource mode =
+  let entry =
+    match Hashtbl.find_opt t.table resource with
+    | Some e -> e
+    | None ->
+      let e = { holders = [] } in
+      Hashtbl.replace t.table resource e;
+      e
+  in
+  let others = List.filter (fun (id, _) -> id <> txn) entry.holders in
+  let mine = List.filter (fun (id, _) -> id = txn) entry.holders in
+  let conflicting = List.filter (fun (_, m) -> not (compatible mode m)) others in
+  if conflicting <> [] then Conflict (List.map fst conflicting)
+  else begin
+    (* Grant, merging with any lock we already hold (upgrade keeps the
+       stronger mode). *)
+    let merged_mode =
+      match mine with
+      | (_, Exclusive) :: _ -> Exclusive
+      | _ -> mode
+    in
+    entry.holders <- (txn, merged_mode) :: others;
+    note_held t txn resource;
+    Granted
+  end
+
+let release_all t ~txn =
+  (match Hashtbl.find_opt t.by_txn txn with
+   | None -> ()
+   | Some resources ->
+     List.iter
+       (fun r ->
+         match Hashtbl.find_opt t.table r with
+         | None -> ()
+         | Some e ->
+           e.holders <- List.filter (fun (id, _) -> id <> txn) e.holders;
+           if e.holders = [] then Hashtbl.remove t.table r)
+       resources;
+     Hashtbl.remove t.by_txn txn);
+  Hashtbl.remove t.waiting txn
+
+let held t ~txn =
+  match Hashtbl.find_opt t.by_txn txn with
+  | None -> []
+  | Some resources ->
+    List.filter_map
+      (fun r ->
+        match Hashtbl.find_opt t.table r with
+        | None -> None
+        | Some e ->
+          List.find_map (fun (id, m) -> if id = txn then Some (r, m) else None) e.holders)
+      resources
+
+let wait_on t ~txn resource = Hashtbl.replace t.waiting txn resource
+let stop_waiting t ~txn = Hashtbl.remove t.waiting txn
+
+let holders_of t resource =
+  match Hashtbl.find_opt t.table resource with
+  | None -> []
+  | Some e -> List.map fst e.holders
+
+(* Cycle check: starting from the holders of [resource], follow
+   waits-for -> holders edges; a path back to [txn] is a deadlock. *)
+let would_deadlock t ~txn resource =
+  let visited = Hashtbl.create 16 in
+  let rec reachable current =
+    if current = txn then true
+    else if Hashtbl.mem visited current then false
+    else begin
+      Hashtbl.replace visited current ();
+      match Hashtbl.find_opt t.waiting current with
+      | None -> false
+      | Some r -> List.exists reachable (holders_of t r)
+    end
+  in
+  List.exists (fun h -> h <> txn && reachable h) (holders_of t resource)
+
+let active_locks t = Hashtbl.length t.table

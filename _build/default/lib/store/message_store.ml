@@ -1,0 +1,448 @@
+(* Message bodies are kept inline in memory, or spilled out of line to the
+   slotted-page heap file when they exceed the configured threshold — the
+   store then holds only a (page, slot) reference and the body is faulted
+   in through the buffer pool on access. *)
+type stored_payload =
+  | Inline of string
+  | Spilled of Heap_file.rid * int  (* record id in the heap file, length *)
+
+type message = {
+  rid : int;
+  queue : string;
+  mutable stored : stored_payload;
+  extra : string;
+  enqueued_at : int;
+  mutable processed : bool;
+  mutable deleted : bool;
+}
+
+type config = {
+  dir : string option;
+  sync : Wal.sync_mode;
+  log_deletions : bool;
+  spill_threshold : int option;
+      (* payloads strictly larger than this many bytes live in the heap
+         file; None keeps everything in memory. Requires [dir]. *)
+}
+
+let default_config =
+  { dir = None; sync = Wal.Sync_never; log_deletions = false; spill_threshold = None }
+
+let durable_config ?(sync = Wal.Sync_always) ?(log_deletions = false)
+    ?spill_threshold dir =
+  { dir = Some dir; sync; log_deletions; spill_threshold }
+
+type t = {
+  config : config;
+  wal : Wal.t option;
+  heap : Heap_file.t option;  (* large-payload store *)
+  messages : (int, message) Hashtbl.t;
+  queues : (string, int Vec.t) Hashtbl.t;
+  slice_lifetimes : (string * string, int) Hashtbl.t;
+  lock_mgr : Lock_manager.t;
+  mutable next_rid : int;
+  mutable next_txn : int;
+  mutable checkpoints : int;
+}
+
+let payload t m =
+  match m.stored with
+  | Inline s -> s
+  | Spilled (rid, _) -> (
+    match t.heap with
+    | Some heap -> Heap_file.read heap rid
+    | None -> invalid_arg "Message_store.payload: spilled payload without a heap file")
+
+let payload_length m =
+  match m.stored with Inline s -> String.length s | Spilled (_, len) -> len
+
+(* Spill policy: configured, and worth it. *)
+let should_spill t s =
+  match t.config.spill_threshold, t.heap with
+  | Some threshold, Some _ -> String.length s > threshold
+  | _ -> false
+
+let store_payload t s =
+  if should_spill t s then
+    match t.heap with
+    | Some heap -> Spilled (Heap_file.insert heap s, String.length s)
+    | None -> Inline s
+  else Inline s
+
+let locks t = t.lock_mgr
+
+let queue_vec t queue =
+  match Hashtbl.find_opt t.queues queue with
+  | Some v -> v
+  | None ->
+    let v = Vec.create ~dummy:(-1) in
+    Hashtbl.replace t.queues queue v;
+    v
+
+(* ---- applying operations to the in-memory state ---- *)
+
+let apply_insert t ~rid ~queue ~stored ~extra ~enqueued_at =
+  let m = { rid; queue; stored; extra; enqueued_at; processed = false; deleted = false } in
+  Hashtbl.replace t.messages rid m;
+  Vec.push (queue_vec t queue) rid;
+  if rid >= t.next_rid then t.next_rid <- rid + 1;
+  m
+
+let apply_op t (op : Wal.op) =
+  match op with
+  | Wal.Insert { rid; queue; payload; extra; enqueued_at } ->
+    (* recovery replay keeps bodies inline; the next checkpoint re-spills
+       anything above the threshold and the orphan sweep reclaims the
+       pre-crash heap records *)
+    ignore (apply_insert t ~rid ~queue ~stored:(Inline payload) ~extra ~enqueued_at)
+  | Wal.Mark_processed { rid } -> (
+    match Hashtbl.find_opt t.messages rid with
+    | Some m -> m.processed <- true
+    | None -> ())
+  | Wal.Slice_reset { slicing; key; lifetime } ->
+    Hashtbl.replace t.slice_lifetimes (slicing, key) lifetime
+  | Wal.Delete { rid; _ } -> (
+    match Hashtbl.find_opt t.messages rid with
+    | Some m -> m.deleted <- true
+    | None -> ())
+
+(* ---- snapshots ---- *)
+
+let snapshot_path dir = Filename.concat dir "snapshot.bin"
+let wal_path dir = Filename.concat dir "wal.log"
+
+let encode_snapshot t =
+  let buf = Buffer.create 4096 in
+  Codec.put_int buf t.next_rid;
+  let live =
+    Hashtbl.fold (fun _ m acc -> if m.deleted then acc else m :: acc) t.messages []
+  in
+  let live = List.sort (fun a b -> compare a.rid b.rid) live in
+  Codec.put_list buf
+    (fun buf m ->
+      Codec.put_int buf m.rid;
+      Codec.put_string buf m.queue;
+      (* checkpoint is also when late (recovery-replayed) large bodies
+         move out of line *)
+      (match m.stored with
+       | Inline s when should_spill t s ->
+         (match t.heap with
+          | Some heap ->
+            m.stored <- Spilled (Heap_file.insert heap s, String.length s)
+          | None -> ())
+       | _ -> ());
+      (match m.stored with
+       | Inline s ->
+         Codec.put_bool buf false;
+         Codec.put_string buf s
+       | Spilled (hrid, len) ->
+         Codec.put_bool buf true;
+         Codec.put_int buf hrid.Heap_file.page;
+         Codec.put_int buf hrid.Heap_file.slot;
+         Codec.put_int buf len);
+      Codec.put_string buf m.extra;
+      Codec.put_int buf m.enqueued_at;
+      Codec.put_bool buf m.processed)
+    live;
+  let lifetimes =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.slice_lifetimes []
+  in
+  Codec.put_list buf
+    (fun buf ((slicing, key), lifetime) ->
+      Codec.put_string buf slicing;
+      Codec.put_string buf key;
+      Codec.put_int buf lifetime)
+    lifetimes;
+  Buffer.contents buf
+
+let load_snapshot t path =
+  let ic = open_in_bin path in
+  let contents = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let r = Codec.reader contents in
+  t.next_rid <- Codec.get_int r;
+  let messages =
+    Codec.get_list r (fun r ->
+        let rid = Codec.get_int r in
+        let queue = Codec.get_string r in
+        let stored =
+          if Codec.get_bool r then begin
+            let page = Codec.get_int r in
+            let slot = Codec.get_int r in
+            let len = Codec.get_int r in
+            Spilled ({ Heap_file.page; slot }, len)
+          end
+          else Inline (Codec.get_string r)
+        in
+        let extra = Codec.get_string r in
+        let enqueued_at = Codec.get_int r in
+        let processed = Codec.get_bool r in
+        (rid, queue, stored, extra, enqueued_at, processed))
+  in
+  List.iter
+    (fun (rid, queue, stored, extra, enqueued_at, processed) ->
+      let m = apply_insert t ~rid ~queue ~stored ~extra ~enqueued_at in
+      m.processed <- processed)
+    messages;
+  let lifetimes =
+    Codec.get_list r (fun r ->
+        let slicing = Codec.get_string r in
+        let key = Codec.get_string r in
+        let lifetime = Codec.get_int r in
+        ((slicing, key), lifetime))
+  in
+  List.iter (fun (k, v) -> Hashtbl.replace t.slice_lifetimes k v) lifetimes
+
+(* ---- open / recovery ---- *)
+
+(* Reclaim heap records no live message references (left behind when a
+   crash separated the WAL from the heap file). *)
+let sweep_heap_orphans t =
+  match t.heap with
+  | None -> ()
+  | Some heap ->
+    let referenced = Hashtbl.create 64 in
+    Hashtbl.iter
+      (fun _ m ->
+        match m.stored with
+        | Spilled (hrid, _) -> Hashtbl.replace referenced hrid ()
+        | Inline _ -> ())
+      t.messages;
+    let orphans = ref [] in
+    Heap_file.iter heap (fun hrid _ ->
+        if not (Hashtbl.mem referenced hrid) then orphans := hrid :: !orphans);
+    List.iter (Heap_file.free heap) !orphans
+
+let open_store config =
+  let heap =
+    match config.dir, config.spill_threshold with
+    | Some dir, Some _ ->
+      if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+      Some (Heap_file.create (Filename.concat dir "payloads.db"))
+    | _ -> None
+  in
+  let t =
+    {
+      config;
+      wal = None;
+      heap;
+      messages = Hashtbl.create 1024;
+      queues = Hashtbl.create 16;
+      slice_lifetimes = Hashtbl.create 64;
+      lock_mgr = Lock_manager.create ();
+      next_rid = 1;
+      next_txn = 1;
+      checkpoints = 0;
+    }
+  in
+  match config.dir with
+  | None -> t
+  | Some dir ->
+    if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+    if Sys.file_exists (snapshot_path dir) then load_snapshot t (snapshot_path dir);
+    Wal.replay (wal_path dir) (function
+      | Wal.Commit { ops; _ } -> List.iter (apply_op t) ops
+      | Wal.Checkpoint -> ());
+    sweep_heap_orphans t;
+    { t with wal = Some (Wal.open_log ~sync:config.sync (wal_path dir)) }
+
+let close t =
+  Option.iter Wal.close t.wal;
+  Option.iter Heap_file.close t.heap
+
+(* ---- transactions ---- *)
+
+type txn = {
+  id : int;
+  store : t;
+  mutable ops : Wal.op list;  (* reversed; only the durable ones *)
+  mutable undo : (unit -> unit) list;
+  mutable finished : bool;
+}
+
+let begin_txn t =
+  let id = t.next_txn in
+  t.next_txn <- id + 1;
+  { id; store = t; ops = []; undo = []; finished = false }
+
+let txn_id txn = txn.id
+
+let check_active txn =
+  if txn.finished then invalid_arg "transaction already finished"
+
+let insert txn ~queue ~payload ~extra ~enqueued_at ~durable =
+  check_active txn;
+  let t = txn.store in
+  let rid = t.next_rid in
+  let stored = store_payload t payload in
+  ignore (apply_insert t ~rid ~queue ~stored ~extra ~enqueued_at);
+  if durable then
+    txn.ops <- Wal.Insert { rid; queue; payload; extra; enqueued_at } :: txn.ops;
+  txn.undo <-
+    (fun () ->
+      (match stored, t.heap with
+       | Spilled (hrid, _), Some heap -> Heap_file.free heap hrid
+       | _ -> ());
+      Hashtbl.remove t.messages rid;
+      Vec.filter_in_place (fun r -> r <> rid) (queue_vec t queue))
+    :: txn.undo;
+  rid
+
+let mark_processed txn rid =
+  check_active txn;
+  match Hashtbl.find_opt txn.store.messages rid with
+  | None -> ()
+  | Some m ->
+    if not m.processed then begin
+      m.processed <- true;
+      txn.ops <- Wal.Mark_processed { rid } :: txn.ops;
+      txn.undo <- (fun () -> m.processed <- false) :: txn.undo
+    end
+
+let slice_reset txn ~slicing ~key =
+  check_active txn;
+  let t = txn.store in
+  let prev = Option.value ~default:0 (Hashtbl.find_opt t.slice_lifetimes (slicing, key)) in
+  let lifetime = prev + 1 in
+  Hashtbl.replace t.slice_lifetimes (slicing, key) lifetime;
+  txn.ops <- Wal.Slice_reset { slicing; key; lifetime } :: txn.ops;
+  txn.undo <-
+    (fun () -> Hashtbl.replace t.slice_lifetimes (slicing, key) prev) :: txn.undo
+
+let delete txn rid =
+  check_active txn;
+  let t = txn.store in
+  match Hashtbl.find_opt t.messages rid with
+  | None -> ()
+  | Some m ->
+    if not m.deleted then begin
+      m.deleted <- true;
+      if t.config.log_deletions then
+        (* emulate update-in-place logging: the before-image rides along *)
+        txn.ops <- Wal.Delete { rid; image = payload t m } :: txn.ops;
+      txn.undo <- (fun () -> m.deleted <- false) :: txn.undo
+    end
+
+let commit txn =
+  check_active txn;
+  txn.finished <- true;
+  (match txn.store.wal with
+   | Some wal when txn.ops <> [] ->
+     Wal.append wal (Wal.Commit { txn = txn.id; ops = List.rev txn.ops })
+   | _ -> ());
+  Lock_manager.release_all txn.store.lock_mgr ~txn:txn.id
+
+let abort txn =
+  check_active txn;
+  txn.finished <- true;
+  List.iter (fun undo -> undo ()) txn.undo;
+  Lock_manager.release_all txn.store.lock_mgr ~txn:txn.id
+
+(* ---- reads ---- *)
+
+let get t rid =
+  match Hashtbl.find_opt t.messages rid with
+  | Some m when not m.deleted -> Some m
+  | _ -> None
+
+let queue_rids t queue =
+  match Hashtbl.find_opt t.queues queue with
+  | None -> []
+  | Some v ->
+    List.rev
+      (Vec.fold
+         (fun acc rid -> match get t rid with Some _ -> rid :: acc | None -> acc)
+         [] v)
+
+let fold_queue t queue f acc =
+  match Hashtbl.find_opt t.queues queue with
+  | None -> acc
+  | Some v ->
+    Vec.fold
+      (fun acc rid -> match get t rid with Some m -> f acc m | None -> acc)
+      acc v
+
+let queue_length t queue = fold_queue t queue (fun n _ -> n + 1) 0
+
+let all_messages t =
+  let live =
+    Hashtbl.fold (fun _ m acc -> if m.deleted then acc else m :: acc) t.messages []
+  in
+  List.sort (fun a b -> compare a.rid b.rid) live
+
+let slice_lifetime t ~slicing ~key =
+  Option.value ~default:0 (Hashtbl.find_opt t.slice_lifetimes (slicing, key))
+
+let unprocessed t =
+  List.filter (fun m -> not m.processed) (all_messages t)
+
+(* ---- maintenance ---- *)
+
+let drop_tombstones t =
+  let doomed =
+    Hashtbl.fold (fun rid m acc -> if m.deleted then rid :: acc else acc) t.messages []
+  in
+  List.iter
+    (fun rid ->
+      match Hashtbl.find_opt t.messages rid with
+      | None -> ()
+      | Some m ->
+        (match m.stored, t.heap with
+         | Spilled (hrid, _), Some heap -> Heap_file.free heap hrid
+         | _ -> ());
+        Hashtbl.remove t.messages rid;
+        Vec.filter_in_place (fun r -> r <> rid) (queue_vec t m.queue))
+    doomed
+
+let checkpoint t =
+  (match t.config.dir with
+   | None -> ()
+   | Some dir ->
+     (* the snapshot references heap rids: the heap must be durable first *)
+     Option.iter Heap_file.flush_pages t.heap;
+     let tmp = snapshot_path dir ^ ".tmp" in
+     let oc = open_out_bin tmp in
+     output_string oc (encode_snapshot t);
+     flush oc;
+     Unix.fsync (Unix.descr_of_out_channel oc);
+     close_out oc;
+     Sys.rename tmp (snapshot_path dir);
+     Option.iter Wal.reset t.wal);
+  drop_tombstones t;
+  t.checkpoints <- t.checkpoints + 1
+
+type stats = {
+  live_messages : int;
+  tombstones : int;
+  wal_bytes : int;
+  wal_records : int;
+  wal_syncs : int;
+  checkpoints : int;
+  spilled_payloads : int;
+  inline_bytes : int;
+}
+
+let stats t =
+  let live, dead =
+    Hashtbl.fold
+      (fun _ m (live, dead) -> if m.deleted then (live, dead + 1) else (live + 1, dead))
+      t.messages (0, 0)
+  in
+  let spilled, inline_bytes =
+    Hashtbl.fold
+      (fun _ m (spilled, bytes) ->
+        match m.stored with
+        | Spilled _ -> (spilled + 1, bytes)
+        | Inline s -> (spilled, bytes + String.length s))
+      t.messages (0, 0)
+  in
+  {
+    live_messages = live;
+    tombstones = dead;
+    wal_bytes = (match t.wal with Some w -> Wal.bytes_written w | None -> 0);
+    wal_records = (match t.wal with Some w -> Wal.records_written w | None -> 0);
+    wal_syncs = (match t.wal with Some w -> Wal.syncs_performed w | None -> 0);
+    checkpoints = t.checkpoints;
+    spilled_payloads = spilled;
+    inline_bytes;
+  }

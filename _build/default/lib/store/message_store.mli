@@ -1,0 +1,121 @@
+(** The recoverable XML message store (the Natix substitute, §4.1).
+
+    The store keeps the working set in memory and achieves durability with
+    a redo-only write-ahead log plus checkpoint snapshots — the design that
+    Demaq's append-only queue model enables: messages are never modified
+    after creation, so there are no in-place updates to undo on disk.
+
+    A transaction buffers its operations; they are applied to the in-memory
+    state immediately (with undo closures for abort) and written to the log
+    as one atomic, CRC-protected commit record. Recovery loads the latest
+    snapshot and replays the intact prefix of the log.
+
+    The [extra] field of a message is an opaque blob owned by the queue
+    layer (it carries properties and slice memberships); the store never
+    interprets it. *)
+
+type stored_payload =
+  | Inline of string
+  | Spilled of Heap_file.rid * int
+      (** out-of-line body in the heap file (record id, length) *)
+
+type message = private {
+  rid : int;  (** record id, unique and monotonically increasing *)
+  queue : string;
+  mutable stored : stored_payload;  (** serialized XML, possibly out of line *)
+  extra : string;  (** opaque: properties + slice memberships *)
+  enqueued_at : int;  (** virtual-clock tick *)
+  mutable processed : bool;
+  mutable deleted : bool;  (** tombstone until the next checkpoint *)
+}
+
+val payload_length : message -> int
+
+type config = {
+  dir : string option;  (** [None]: purely in-memory, no durability *)
+  sync : Wal.sync_mode;  (** fsync per commit, or leave to the OS *)
+  log_deletions : bool;
+      (** when [false] (the paper's design), GC deletes are not logged;
+          deletable messages are re-derived after recovery *)
+  spill_threshold : int option;
+      (** bodies larger than this many bytes are stored out of line in a
+          slotted-page heap file and faulted in on demand; requires [dir] *)
+}
+
+val default_config : config
+(** In-memory, no logging: for tests and transient stores. *)
+
+val durable_config :
+  ?sync:Wal.sync_mode -> ?log_deletions:bool -> ?spill_threshold:int -> string ->
+  config
+(** Durable store rooted at the given directory. *)
+
+type t
+
+val open_store : config -> t
+(** Opens (and recovers, if durable state exists) a store. *)
+
+val payload : t -> message -> string
+(** The serialized XML body; faulted in through the buffer pool when it
+    was spilled to the heap file. *)
+
+val close : t -> unit
+val locks : t -> Lock_manager.t
+
+(** {1 Transactions} *)
+
+type txn
+
+val begin_txn : t -> txn
+val txn_id : txn -> int
+
+val insert :
+  txn -> queue:string -> payload:string -> extra:string -> enqueued_at:int ->
+  durable:bool -> int
+(** Returns the new message's rid. [durable:false] (transient queues) skips
+    the log; such messages are lost on restart by design (§2.1.1). *)
+
+val mark_processed : txn -> int -> unit
+val slice_reset : txn -> slicing:string -> key:string -> unit
+(** Begins a new lifetime for the slice (§2.3.2). *)
+
+val delete : txn -> int -> unit
+(** Tombstones a message (used by the retention GC). Logged only when the
+    store was configured with [log_deletions = true]. *)
+
+val commit : txn -> unit
+val abort : txn -> unit
+
+(** {1 Reads} *)
+
+val get : t -> int -> message option
+(** Live (non-deleted) message by rid. *)
+
+val queue_rids : t -> string -> int list
+(** Rids of live messages in a queue, in arrival order. *)
+
+val queue_length : t -> string -> int
+val fold_queue : t -> string -> ('a -> message -> 'a) -> 'a -> 'a
+val all_messages : t -> message list
+val slice_lifetime : t -> slicing:string -> key:string -> int
+(** Current lifetime counter of the slice; 0 if never reset. *)
+
+val unprocessed : t -> message list
+
+(** {1 Maintenance} *)
+
+val checkpoint : t -> unit
+(** Writes a snapshot, drops tombstoned messages, truncates the log. *)
+
+type stats = {
+  live_messages : int;
+  tombstones : int;
+  wal_bytes : int;
+  wal_records : int;
+  wal_syncs : int;
+  checkpoints : int;
+  spilled_payloads : int;
+  inline_bytes : int;  (** memory held by inline bodies *)
+}
+
+val stats : t -> stats

@@ -1,0 +1,172 @@
+let page_size = 8192
+
+type frame = {
+  mutable page_no : int;  (* -1 = free frame *)
+  data : Bytes.t;
+  mutable dirty : bool;
+  mutable pins : int;
+  mutable last_use : int;  (* LRU clock *)
+}
+
+type t = {
+  fd : Unix.file_descr;
+  pool : frame array;
+  by_page : (int, int) Hashtbl.t;  (* page number -> frame index *)
+  mutable pages : int;
+  mutable tick : int;
+  mutable pool_hits : int;
+  mutable pool_misses : int;
+  mutable evictions : int;
+  mutable writebacks : int;
+}
+
+type pin = { p_page : int; p_frame : int }
+
+let create ?(pool_pages = 64) path =
+  if pool_pages < 1 then invalid_arg "Pager.create: pool_pages must be >= 1";
+  let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
+  let size = (Unix.fstat fd).Unix.st_size in
+  {
+    fd;
+    pool =
+      Array.init pool_pages (fun _ ->
+          { page_no = -1; data = Bytes.create page_size; dirty = false; pins = 0; last_use = 0 });
+    by_page = Hashtbl.create 64;
+    pages = size / page_size;
+    tick = 0;
+    pool_hits = 0;
+    pool_misses = 0;
+    evictions = 0;
+    writebacks = 0;
+  }
+
+let page_count t = t.pages
+
+let write_frame t frame =
+  ignore (Unix.lseek t.fd (frame.page_no * page_size) Unix.SEEK_SET);
+  let written = Unix.write t.fd frame.data 0 page_size in
+  if written <> page_size then failwith "Pager: short write";
+  t.writebacks <- t.writebacks + 1;
+  frame.dirty <- false
+
+let read_into t page_no frame =
+  ignore (Unix.lseek t.fd (page_no * page_size) Unix.SEEK_SET);
+  let rec fill off =
+    if off < page_size then begin
+      let n = Unix.read t.fd frame.data off (page_size - off) in
+      if n = 0 then Bytes.fill frame.data off (page_size - off) '\000'
+      else fill (off + n)
+    end
+  in
+  fill 0
+
+(* Choose a frame for [page_no]: an existing mapping, a free frame, or the
+   least-recently-used unpinned frame (written back if dirty). *)
+let frame_for t page_no =
+  match Hashtbl.find_opt t.by_page page_no with
+  | Some idx ->
+    t.pool_hits <- t.pool_hits + 1;
+    idx
+  | None ->
+    t.pool_misses <- t.pool_misses + 1;
+    let victim = ref (-1) in
+    Array.iteri
+      (fun i frame ->
+        if frame.pins = 0 then
+          match !victim with
+          | -1 -> victim := i
+          | v ->
+            (* prefer free frames, then oldest use *)
+            let better =
+              (frame.page_no = -1 && t.pool.(v).page_no <> -1)
+              || (frame.page_no <> -1) = (t.pool.(v).page_no <> -1)
+                 && frame.last_use < t.pool.(v).last_use
+            in
+            if better then victim := i)
+      t.pool;
+    (match !victim with
+     | -1 -> invalid_arg "Pager: buffer pool exhausted (all frames pinned)"
+     | idx ->
+       let frame = t.pool.(idx) in
+       if frame.page_no >= 0 then begin
+         if frame.dirty then write_frame t frame;
+         Hashtbl.remove t.by_page frame.page_no;
+         t.evictions <- t.evictions + 1
+       end;
+       frame.page_no <- page_no;
+       frame.dirty <- false;
+       read_into t page_no frame;
+       Hashtbl.replace t.by_page page_no idx;
+       idx)
+
+let allocate t =
+  let page_no = t.pages in
+  t.pages <- t.pages + 1;
+  (* materialize the page in the pool as zeroes; written back on eviction *)
+  let idx = frame_for t page_no in
+  let frame = t.pool.(idx) in
+  Bytes.fill frame.data 0 page_size '\000';
+  frame.dirty <- true;
+  page_no
+
+let pin t page_no =
+  if page_no < 0 || page_no >= t.pages then
+    invalid_arg (Printf.sprintf "Pager.pin: page %d out of range" page_no);
+  let idx = frame_for t page_no in
+  let frame = t.pool.(idx) in
+  frame.pins <- frame.pins + 1;
+  t.tick <- t.tick + 1;
+  frame.last_use <- t.tick;
+  { p_page = page_no; p_frame = idx }
+
+let frame_of t pin =
+  let frame = t.pool.(pin.p_frame) in
+  if frame.page_no <> pin.p_page then invalid_arg "Pager: stale pin";
+  frame
+
+let unpin t pin =
+  let frame = frame_of t pin in
+  if frame.pins <= 0 then invalid_arg "Pager.unpin: not pinned";
+  frame.pins <- frame.pins - 1
+
+let contents t pin = (frame_of t pin).data
+let contents_of = contents
+
+let mark_dirty t pin = (frame_of t pin).dirty <- true
+
+let with_page t page_no f =
+  let p = pin t page_no in
+  Fun.protect ~finally:(fun () -> unpin t p) (fun () -> f (contents_of t p))
+
+let update_page t page_no f =
+  let p = pin t page_no in
+  Fun.protect
+    ~finally:(fun () -> unpin t p)
+    (fun () ->
+      let r = f (contents_of t p) in
+      mark_dirty t p;
+      r)
+
+let flush t =
+  Array.iter (fun frame -> if frame.page_no >= 0 && frame.dirty then write_frame t frame) t.pool
+
+let close t =
+  flush t;
+  Unix.close t.fd
+
+type stats = {
+  pages : int;
+  pool_hits : int;
+  pool_misses : int;
+  evictions : int;
+  writebacks : int;
+}
+
+let stats (t : t) =
+  {
+    pages = t.pages;
+    pool_hits = t.pool_hits;
+    pool_misses = t.pool_misses;
+    evictions = t.evictions;
+    writebacks = t.writebacks;
+  }

@@ -1,0 +1,59 @@
+(** A page file with a pinning buffer pool.
+
+    Fixed-size pages backed by a single file, cached in a bounded pool with
+    LRU eviction and dirty-page write-back. This is the classic database
+    building block under the heap file ({!Heap_file}) that stores large
+    message payloads out of line.
+
+    Concurrency model: single-threaded (like the engine); pins exist to
+    catch use-after-evict bugs, not for thread safety. *)
+
+type t
+
+val page_size : int
+(** 8192 bytes. *)
+
+val create : ?pool_pages:int -> string -> t
+(** Open (or create) the page file at the given path. [pool_pages] bounds
+    the buffer pool (default 64 pages). *)
+
+val close : t -> unit
+(** Flushes all dirty pages. *)
+
+val page_count : t -> int
+
+val allocate : t -> int
+(** Append a fresh zeroed page; returns its page number. *)
+
+type pin
+
+val pin : t -> int -> pin
+(** Fault the page into the pool (evicting an unpinned LRU page if full)
+    and pin it. @raise Invalid_argument for out-of-range page numbers or
+    when every pool frame is pinned. *)
+
+val unpin : t -> pin -> unit
+
+val contents : t -> pin -> Bytes.t
+(** The live frame bytes; mutations must be followed by {!mark_dirty}.
+    @raise Invalid_argument if the pin is stale (its frame was evicted). *)
+
+val mark_dirty : t -> pin -> unit
+
+val with_page : t -> int -> (Bytes.t -> 'a) -> 'a
+(** Pin, read, unpin. *)
+
+val update_page : t -> int -> (Bytes.t -> 'a) -> 'a
+(** Pin, mutate, mark dirty, unpin. *)
+
+val flush : t -> unit
+
+type stats = {
+  pages : int;
+  pool_hits : int;
+  pool_misses : int;
+  evictions : int;
+  writebacks : int;
+}
+
+val stats : t -> stats

@@ -1,0 +1,174 @@
+(* The write-ahead log.
+
+   Demaq's append-only queue model (§2.3.3, §4.1) lets the log stay
+   redo-only: transactions buffer their operations in memory and write one
+   self-contained, CRC-protected [Commit] record at commit time. A record
+   that is fully present in the log is committed; a torn tail is ignored.
+
+   Record framing: [8-byte length][8-byte crc32][body]. *)
+
+type op =
+  | Insert of {
+      rid : int;
+      queue : string;
+      payload : string;
+      extra : string;
+      enqueued_at : int;
+    }
+  | Mark_processed of { rid : int }
+  | Slice_reset of { slicing : string; key : string; lifetime : int }
+  | Delete of { rid : int; image : string }
+      (* [image] is the before-image of the deleted record. Demaq's
+         append-only design never needs it (deletions are re-derived from
+         retention state, §4.1); it is populated only when the store is
+         configured to emulate traditional update-in-place logging, which
+         must retain before-images for undo. *)
+
+type record =
+  | Commit of { txn : int; ops : op list }
+  | Checkpoint
+
+type sync_mode = Sync_always | Sync_never
+
+type t = {
+  path : string;
+  mutable oc : out_channel;
+  mutable fd : Unix.file_descr;
+  sync : sync_mode;
+  mutable bytes : int;
+  mutable records : int;
+  mutable syncs : int;
+}
+
+let encode_op buf op =
+  match op with
+  | Insert { rid; queue; payload; extra; enqueued_at } ->
+    Buffer.add_char buf 'I';
+    Codec.put_int buf rid;
+    Codec.put_string buf queue;
+    Codec.put_string buf payload;
+    Codec.put_string buf extra;
+    Codec.put_int buf enqueued_at
+  | Mark_processed { rid } ->
+    Buffer.add_char buf 'P';
+    Codec.put_int buf rid
+  | Slice_reset { slicing; key; lifetime } ->
+    Buffer.add_char buf 'R';
+    Codec.put_string buf slicing;
+    Codec.put_string buf key;
+    Codec.put_int buf lifetime
+  | Delete { rid; image } ->
+    Buffer.add_char buf 'D';
+    Codec.put_int buf rid;
+    Codec.put_string buf image
+
+let read_tag r =
+  if Codec.at_end r then raise (Codec.Decode_error "missing tag");
+  let tag = r.Codec.src.[r.Codec.pos] in
+  r.Codec.pos <- r.Codec.pos + 1;
+  tag
+
+let decode_op r =
+  match read_tag r with
+  | 'I' ->
+    let rid = Codec.get_int r in
+    let queue = Codec.get_string r in
+    let payload = Codec.get_string r in
+    let extra = Codec.get_string r in
+    let enqueued_at = Codec.get_int r in
+    Insert { rid; queue; payload; extra; enqueued_at }
+  | 'P' -> Mark_processed { rid = Codec.get_int r }
+  | 'R' ->
+    let slicing = Codec.get_string r in
+    let key = Codec.get_string r in
+    let lifetime = Codec.get_int r in
+    Slice_reset { slicing; key; lifetime }
+  | 'D' ->
+    let rid = Codec.get_int r in
+    let image = Codec.get_string r in
+    Delete { rid; image }
+  | c -> raise (Codec.Decode_error (Printf.sprintf "unknown op tag %C" c))
+
+let encode_record rec_ =
+  let buf = Buffer.create 128 in
+  (match rec_ with
+   | Commit { txn; ops } ->
+     Buffer.add_char buf 'C';
+     Codec.put_int buf txn;
+     Codec.put_list buf encode_op ops
+   | Checkpoint -> Buffer.add_char buf 'K');
+  Buffer.contents buf
+
+let decode_record body =
+  let r = Codec.reader body in
+  match read_tag r with
+  | 'C' ->
+    let txn = Codec.get_int r in
+    let ops = Codec.get_list r decode_op in
+    Commit { txn; ops }
+  | 'K' -> Checkpoint
+  | c -> raise (Codec.Decode_error (Printf.sprintf "unknown record tag %C" c))
+
+let open_log ?(sync = Sync_always) path =
+  let oc = open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path in
+  let fd = Unix.descr_of_out_channel oc in
+  let bytes = (Unix.fstat fd).Unix.st_size in
+  { path; oc; fd; sync; bytes; records = 0; syncs = 0 }
+
+let append t rec_ =
+  let body = encode_record rec_ in
+  let frame = Buffer.create (String.length body + 16) in
+  Codec.put_int frame (String.length body);
+  Codec.put_int frame (Crc32.string body);
+  Buffer.add_string frame body;
+  let s = Buffer.contents frame in
+  output_string t.oc s;
+  t.bytes <- t.bytes + String.length s;
+  t.records <- t.records + 1;
+  match t.sync with
+  | Sync_always ->
+    flush t.oc;
+    Unix.fsync t.fd;
+    t.syncs <- t.syncs + 1
+  | Sync_never -> flush t.oc
+
+let bytes_written t = t.bytes
+let records_written t = t.records
+let syncs_performed t = t.syncs
+
+let close t = close_out t.oc
+
+(* Truncate after a checkpoint: the snapshot now covers everything. *)
+let reset t =
+  close_out t.oc;
+  let oc = open_out_gen [ Open_wronly; Open_trunc; Open_creat; Open_binary ] 0o644 t.path in
+  t.oc <- oc;
+  t.fd <- Unix.descr_of_out_channel oc;
+  t.bytes <- 0
+
+(* Replay a log file, invoking [f] on every intact record. Stops silently at
+   the first truncated or corrupt record (torn tail after a crash). *)
+let replay path f =
+  if Sys.file_exists path then begin
+    let ic = open_in_bin path in
+    let size = in_channel_length ic in
+    let contents = really_input_string ic size in
+    close_in ic;
+    let r = Codec.reader contents in
+    let ok = ref true in
+    while !ok && not (Codec.at_end r) do
+      match
+        let len = Codec.get_int r in
+        let crc = Codec.get_int r in
+        if len < 0 || r.Codec.pos + len > String.length contents then None
+        else begin
+          let body = String.sub contents r.Codec.pos len in
+          r.Codec.pos <- r.Codec.pos + len;
+          if Crc32.string body <> crc then None else Some (decode_record body)
+        end
+      with
+      | Some rec_ -> f rec_
+      | None -> ok := false
+      | exception _ -> ok := false
+    done
+  end

@@ -1,0 +1,53 @@
+(** The write-ahead log.
+
+    Demaq's append-only queue model (§2.3.3, §4.1 of the paper) lets the
+    log stay redo-only: transactions buffer their operations in memory and
+    write one self-contained, CRC-protected [Commit] record at commit
+    time. A record fully present in the log is committed; a torn tail
+    (crash mid-write) is detected by length/CRC and ignored.
+
+    Record framing: 8-byte length, 8-byte CRC-32, body. *)
+
+type op =
+  | Insert of {
+      rid : int;
+      queue : string;
+      payload : string;
+      extra : string;
+      enqueued_at : int;
+    }
+  | Mark_processed of { rid : int }
+  | Slice_reset of { slicing : string; key : string; lifetime : int }
+  | Delete of { rid : int; image : string }
+      (** [image] is the before-image of the deleted record. Demaq's
+          append-only design never needs it (deletions are re-derived from
+          retention state, §4.1); it is populated only when the store
+          emulates traditional update-in-place logging (benchmark B6). *)
+
+type record = Commit of { txn : int; ops : op list } | Checkpoint
+
+type sync_mode =
+  | Sync_always  (** fsync per appended record (commit durability) *)
+  | Sync_never  (** leave flushing to the OS page cache *)
+
+type t
+
+val open_log : ?sync:sync_mode -> string -> t
+(** Open (or create) the log file for appending. *)
+
+val append : t -> record -> unit
+val close : t -> unit
+
+val reset : t -> unit
+(** Truncate after a checkpoint: the snapshot now covers everything. *)
+
+val replay : string -> (record -> unit) -> unit
+(** Invoke the callback on every intact record of a log file, stopping
+    silently at the first truncated or corrupt record. Missing files
+    replay as empty. *)
+
+(** {1 Introspection (benchmarks B6/B10)} *)
+
+val bytes_written : t -> int
+val records_written : t -> int
+val syncs_performed : t -> int

@@ -1,0 +1,1 @@
+lib/xml/name.ml: Format Hashtbl Printf String

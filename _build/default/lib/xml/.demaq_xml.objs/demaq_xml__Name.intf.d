@@ -1,0 +1,1 @@
+lib/xml/name.mli: Format

@@ -1,0 +1,1 @@
+lib/xml/parser.ml: Buffer Char List Name Printf String Tree

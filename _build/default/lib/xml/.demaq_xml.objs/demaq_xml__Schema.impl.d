@@ -1,0 +1,1 @@
+lib/xml/schema.ml: List Map Name Printf String Tree

@@ -1,0 +1,1 @@
+lib/xml/schema.mli: Tree

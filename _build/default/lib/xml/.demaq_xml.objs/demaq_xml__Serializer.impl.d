@@ -1,0 +1,1 @@
+lib/xml/serializer.ml: Buffer List Name Printf String Tree

@@ -1,0 +1,26 @@
+type t = { uri : string; local : string }
+
+let make ?(uri = "") local = { uri; local }
+let uri t = t.uri
+let local t = t.local
+let equal a b = String.equal a.uri b.uri && String.equal a.local b.local
+
+let compare a b =
+  let c = String.compare a.uri b.uri in
+  if c <> 0 then c else String.compare a.local b.local
+
+let hash t = Hashtbl.hash (t.uri, t.local)
+
+let to_string t =
+  if t.uri = "" then t.local else Printf.sprintf "{%s}%s" t.uri t.local
+
+let of_string s =
+  if String.length s > 0 && s.[0] = '{' then
+    match String.index_opt s '}' with
+    | Some i ->
+      { uri = String.sub s 1 (i - 1);
+        local = String.sub s (i + 1) (String.length s - i - 1) }
+    | None -> { uri = ""; local = s }
+  else { uri = ""; local = s }
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

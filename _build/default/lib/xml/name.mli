@@ -1,0 +1,28 @@
+(** Qualified XML names.
+
+    A qualified name is a pair of a namespace URI and a local part. The
+    prefix used in the serialized form is not part of the name's identity
+    (per the XML Namespaces recommendation); it is kept separately by the
+    parser/serializer. *)
+
+type t = private { uri : string; local : string }
+
+val make : ?uri:string -> string -> t
+(** [make ?uri local] builds a qualified name. [uri] defaults to the empty
+    string, i.e. "no namespace". *)
+
+val uri : t -> string
+val local : t -> string
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val to_string : t -> string
+(** [to_string n] renders the name in James-Clark notation:
+    ["{uri}local"] when the namespace is non-empty, else just ["local"]. *)
+
+val of_string : string -> t
+(** Inverse of {!to_string}. A leading ["{uri}"] sets the namespace. *)
+
+val pp : Format.formatter -> t -> unit

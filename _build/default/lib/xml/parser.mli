@@ -1,0 +1,24 @@
+(** A namespace-aware, non-validating XML parser.
+
+    Supports elements, attributes, character data, CDATA sections, comments,
+    processing instructions, numeric and predefined entity references, an
+    (ignored) document type declaration and the XML declaration. Namespace
+    prefixes, including [xmlns] / [xmlns:p] declarations and the [xml]
+    prefix, are resolved to URIs during parsing; prefixes themselves are not
+    retained. *)
+
+exception Parse_error of { line : int; col : int; msg : string }
+
+val parse : ?preserve_space:bool -> string -> Tree.tree
+(** [parse s] parses a complete XML document (or a bare element) and returns
+    its root element. Whitespace-only text nodes between elements are
+    dropped unless [preserve_space] is [true] (default [false]).
+
+    @raise Parse_error on malformed input. *)
+
+val parse_document : ?preserve_space:bool -> string -> Tree.document
+(** Like {!parse} but wraps the result as a fresh {!Tree.document}. *)
+
+val parse_result : ?preserve_space:bool -> string -> (Tree.tree, string) result
+(** Exception-free variant of {!parse}; the error string includes the
+    position. *)

@@ -1,0 +1,1 @@
+lib/xquery/ast.ml: List Value

@@ -1,0 +1,1 @@
+lib/xquery/context.ml: Format List Map String Update Value

@@ -1,0 +1,1 @@
+lib/xquery/context.mli: Demaq_xml Format Map String Update Value

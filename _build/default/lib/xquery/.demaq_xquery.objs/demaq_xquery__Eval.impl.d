@@ -1,0 +1,1 @@
+lib/xquery/eval.ml: Ast Buffer Context Demaq_xml Float Functions List Parser Pp Result String Update Value

@@ -1,0 +1,1 @@
+lib/xquery/eval.mli: Ast Context Demaq_xml Update Value

@@ -1,0 +1,1 @@
+lib/xquery/functions.ml: Buffer Context Demaq_xml Float List Logs String Value

@@ -1,0 +1,1 @@
+lib/xquery/functions.mli: Context Value

@@ -1,0 +1,1 @@
+lib/xquery/parser.ml: Ast Buffer Char Format List Option Printf String Value

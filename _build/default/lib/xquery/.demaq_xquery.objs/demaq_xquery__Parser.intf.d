@@ -1,0 +1,1 @@
+lib/xquery/parser.mli: Ast

@@ -1,0 +1,1 @@
+lib/xquery/pp.ml: Ast Format List Printf String Value

@@ -1,0 +1,1 @@
+lib/xquery/pp.mli: Ast Format

@@ -1,0 +1,1 @@
+lib/xquery/update.ml: Demaq_xml Format List Value

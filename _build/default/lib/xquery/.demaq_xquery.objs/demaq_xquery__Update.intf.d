@@ -1,0 +1,1 @@
+lib/xquery/update.mli: Demaq_xml Format Value

@@ -1,0 +1,1 @@
+lib/xquery/value.ml: Bool Demaq_xml Float Format Int List Printf String

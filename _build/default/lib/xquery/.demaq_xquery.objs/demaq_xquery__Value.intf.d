@@ -1,0 +1,1 @@
+lib/xquery/value.mli: Demaq_xml Format

@@ -1,0 +1,16 @@
+(** Pretty-printer for the expression AST.
+
+    Output is valid QML surface syntax: printing an expression and parsing
+    the result yields a semantically equivalent expression (exercised by
+    the parse/print round-trip tests). Used by the plan [explain]
+    output. *)
+
+val pp : Format.formatter -> Ast.expr -> unit
+val to_string : Ast.expr -> string
+
+val seq_type_name : Ast.seq_type -> string
+(** The surface syntax of a sequence type, e.g. ["element(b)+"] . *)
+
+val binop_name : Ast.binop -> string
+val axis_name : Ast.axis -> string
+val test_name : Ast.node_test -> string

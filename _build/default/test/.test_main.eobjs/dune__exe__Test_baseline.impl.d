@@ -1,0 +1,1 @@
+test/test_baseline.ml: Alcotest Demaq List

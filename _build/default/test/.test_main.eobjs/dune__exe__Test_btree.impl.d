@@ -1,0 +1,1 @@
+test/test_btree.ml: Alcotest Demaq List Map Printf QCheck QCheck_alcotest Result String

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array Demaq Filename Format List Printf String Sys Unix

@@ -1,0 +1,1 @@
+test/test_evolution.ml: Alcotest Demaq List String

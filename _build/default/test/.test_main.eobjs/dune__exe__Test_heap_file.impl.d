@@ -1,0 +1,1 @@
+test/test_heap_file.ml: Alcotest Bytes Char Demaq Filename List Printf QCheck QCheck_alcotest String Sys Unix

@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest Demaq List Option Printf String

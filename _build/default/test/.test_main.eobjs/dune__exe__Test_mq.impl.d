@@ -1,0 +1,1 @@
+test/test_mq.ml: Alcotest Array Demaq Filename List Option Printf QCheck QCheck_alcotest Sys Unix

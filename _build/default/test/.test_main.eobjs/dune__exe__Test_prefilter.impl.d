@@ -1,0 +1,1 @@
+test/test_prefilter.ml: Alcotest Demaq List Printf String

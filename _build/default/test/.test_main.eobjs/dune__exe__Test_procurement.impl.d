@@ -1,0 +1,1 @@
+test/test_procurement.ml: Alcotest Demaq List Option Printf String

@@ -1,0 +1,1 @@
+test/test_robustness.ml: Alcotest Array Demaq Filename Fun In_channel List Out_channel Printf QCheck QCheck_alcotest String Sys Unix

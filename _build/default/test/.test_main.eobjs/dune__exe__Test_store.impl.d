@@ -1,0 +1,1 @@
+test/test_store.ml: Alcotest Array Buffer Bytes Demaq Filename List Option Printf QCheck QCheck_alcotest String Sys Unix

@@ -1,0 +1,1 @@
+test/test_time.ml: Alcotest Demaq List Printf String

@@ -1,0 +1,1 @@
+test/test_value.ml: Alcotest Demaq Float List Result String

@@ -1,0 +1,1 @@
+test/test_wsdl.ml: Alcotest Demaq List Option Result String

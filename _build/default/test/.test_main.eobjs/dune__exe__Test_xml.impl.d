@@ -1,0 +1,1 @@
+test/test_xml.ml: Alcotest Demaq List Option QCheck QCheck_alcotest Result String

@@ -1,0 +1,1 @@
+test/test_xquery.ml: Alcotest Demaq Fun List Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_xquery_ext.ml: Alcotest Demaq List String

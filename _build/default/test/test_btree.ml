@@ -1,0 +1,129 @@
+(* Tests for the B+tree slice index. *)
+
+module Btree = Demaq.Store.Btree
+
+let check = Alcotest.check
+let bool_ = Alcotest.bool
+let int_ = Alcotest.int
+
+let key i = Printf.sprintf "k%05d" i
+
+let test_insert_find () =
+  let t = Btree.create ~order:4 () in
+  for i = 1 to 200 do Btree.add t (key i) i done;
+  check int_ "cardinal" 200 (Btree.cardinal t);
+  check bool_ "height grew" true (Btree.height t > 1);
+  for i = 1 to 200 do
+    check bool_ ("find " ^ key i) true (Btree.find t (key i) = [ i ])
+  done;
+  check bool_ "absent" true (Btree.find t "nope" = []);
+  check bool_ "invariants" true (Result.is_ok (Btree.check_invariants t))
+
+let test_multi_values () =
+  let t = Btree.create () in
+  Btree.add t "k" 1;
+  Btree.add t "k" 2;
+  Btree.add t "k" 3;
+  check bool_ "insertion order" true (Btree.find t "k" = [ 1; 2; 3 ]);
+  check int_ "one key" 1 (Btree.cardinal t);
+  Btree.remove t "k" (fun v -> v = 2);
+  check bool_ "partial removal" true (Btree.find t "k" = [ 1; 3 ]);
+  Btree.remove t "k" (fun _ -> true);
+  check bool_ "gone" true (Btree.find t "k" = []);
+  check int_ "no keys" 0 (Btree.cardinal t)
+
+let test_reverse_insert () =
+  let t = Btree.create ~order:4 () in
+  for i = 200 downto 1 do Btree.add t (key i) i done;
+  check bool_ "invariants" true (Result.is_ok (Btree.check_invariants t));
+  let keys = ref [] in
+  Btree.iter t (fun k _ -> keys := k :: !keys);
+  check bool_ "iter sorted" true (List.rev !keys = List.init 200 (fun i -> key (i + 1)))
+
+let test_range () =
+  let t = Btree.create ~order:4 () in
+  for i = 1 to 100 do Btree.add t (key i) i done;
+  let r = Btree.range t ~lo:(key 10) ~hi:(key 15) () in
+  check bool_ "inclusive range" true (List.map fst r = List.map key [ 10; 11; 12; 13; 14; 15 ]);
+  let r = Btree.range t ~hi:(key 3) () in
+  check int_ "open low" 3 (List.length r);
+  let r = Btree.range t ~lo:(key 98) () in
+  check int_ "open high" 3 (List.length r);
+  check int_ "full scan" 100 (List.length (Btree.range t ()))
+
+let test_remove_then_reuse () =
+  let t = Btree.create ~order:4 () in
+  for i = 1 to 50 do Btree.add t (key i) i done;
+  for i = 1 to 50 do Btree.remove t (key i) (fun _ -> true) done;
+  check int_ "empty" 0 (Btree.cardinal t);
+  (* lazy deletion must not break subsequent inserts and lookups *)
+  for i = 1 to 50 do Btree.add t (key i) (i * 10) done;
+  check bool_ "reinsert works" true
+    (List.for_all (fun i -> Btree.find t (key i) = [ i * 10 ]) (List.init 50 (fun i -> i + 1)));
+  check bool_ "invariants" true (Result.is_ok (Btree.check_invariants t))
+
+let test_clear () =
+  let t = Btree.create () in
+  Btree.add t "a" 1;
+  Btree.clear t;
+  check int_ "cleared" 0 (Btree.cardinal t);
+  check bool_ "find empty" true (Btree.find t "a" = [])
+
+let test_bad_order () =
+  match Btree.create ~order:2 () with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+(* qcheck: agreement with Map over random op sequences *)
+
+module Smap = Map.Make (String)
+
+type op = Add of int * int | Remove of int
+
+let gen_ops =
+  QCheck.Gen.(
+    list_size (int_range 0 400)
+      (frequency
+         [
+           (3, map2 (fun k v -> Add (k, v)) (int_bound 60) small_nat);
+           (1, map (fun k -> Remove k) (int_bound 60));
+         ]))
+
+let prop_model =
+  QCheck.Test.make ~name:"btree agrees with Map model" ~count:100
+    (QCheck.make gen_ops)
+    (fun ops ->
+      let t = Btree.create ~order:4 () in
+      let model = ref Smap.empty in
+      List.iter
+        (fun op ->
+          match op with
+          | Add (k, v) ->
+            let k = key k in
+            Btree.add t k v;
+            model :=
+              Smap.update k
+                (function Some vs -> Some (vs @ [ v ]) | None -> Some [ v ])
+                !model
+          | Remove k ->
+            let k = key k in
+            Btree.remove t k (fun _ -> true);
+            model := Smap.remove k !model)
+        ops;
+      Result.is_ok (Btree.check_invariants t)
+      && Smap.for_all (fun k vs -> Btree.find t k = vs) !model
+      && Btree.cardinal t = Smap.cardinal !model
+      && List.map fst (Btree.range t ())
+         = List.map fst (Smap.bindings !model))
+
+let suite =
+  [
+    ("insert and find", `Quick, test_insert_find);
+    ("multi-values per key", `Quick, test_multi_values);
+    ("reverse insertion", `Quick, test_reverse_insert);
+    ("range scans", `Quick, test_range);
+    ("remove then reuse", `Quick, test_remove_then_reuse);
+    ("clear", `Quick, test_clear);
+    ("order validation", `Quick, test_bad_order);
+    QCheck_alcotest.to_alcotest prop_model;
+  ]

@@ -1,0 +1,197 @@
+(* Tests for the page buffer pool and the slotted-page heap file. *)
+
+module Pager = Demaq.Store.Pager
+module Heap_file = Demaq.Store.Heap_file
+
+let check = Alcotest.check
+let bool_ = Alcotest.bool
+let int_ = Alcotest.int
+let string_ = Alcotest.string
+
+let counter = ref 0
+
+let fresh_path tag =
+  incr counter;
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "demaq-heap-%s-%d-%d.db" tag (Unix.getpid ()) !counter)
+
+let with_file tag f =
+  let path = fresh_path tag in
+  if Sys.file_exists path then Sys.remove path;
+  let r = f path in
+  if Sys.file_exists path then Sys.remove path;
+  r
+
+(* ---- pager ---- *)
+
+let test_pager_basic () =
+  with_file "pager" (fun path ->
+      let p = Pager.create ~pool_pages:4 path in
+      check int_ "empty" 0 (Pager.page_count p);
+      let pg = Pager.allocate p in
+      Pager.update_page p pg (fun b -> Bytes.blit_string "hello" 0 b 0 5);
+      check string_ "read back" "hello"
+        (Pager.with_page p pg (fun b -> Bytes.sub_string b 0 5));
+      Pager.close p;
+      (* durable across reopen *)
+      let p2 = Pager.create ~pool_pages:4 path in
+      check int_ "one page" 1 (Pager.page_count p2);
+      check string_ "persisted" "hello"
+        (Pager.with_page p2 pg (fun b -> Bytes.sub_string b 0 5));
+      Pager.close p2)
+
+let test_pager_eviction () =
+  with_file "evict" (fun path ->
+      let p = Pager.create ~pool_pages:2 path in
+      let pages = List.init 10 (fun _ -> Pager.allocate p) in
+      List.iteri
+        (fun i pg -> Pager.update_page p pg (fun b -> Bytes.set_uint16_le b 0 i))
+        pages;
+      (* all still readable despite the tiny pool *)
+      List.iteri
+        (fun i pg ->
+          check int_ (Printf.sprintf "page %d" i) i
+            (Pager.with_page p pg (fun b -> Bytes.get_uint16_le b 0)))
+        pages;
+      let s = Pager.stats p in
+      check bool_ "evictions happened" true (s.Pager.evictions > 0);
+      check bool_ "writebacks happened" true (s.Pager.writebacks > 0);
+      Pager.close p)
+
+let test_pager_pin_guard () =
+  with_file "pin" (fun path ->
+      let p = Pager.create ~pool_pages:2 path in
+      let a = Pager.allocate p and b = Pager.allocate p in
+      let _c = Pager.allocate p in
+      let pa = Pager.pin p a and pb = Pager.pin p b in
+      (* both frames pinned: a third page cannot be faulted *)
+      (match Pager.pin p _c with
+       | _ -> Alcotest.fail "expected pool exhaustion"
+       | exception Invalid_argument _ -> ());
+      Pager.unpin p pa;
+      Pager.unpin p pb;
+      ignore (Pager.pin p _c);
+      Pager.close p)
+
+let test_pager_out_of_range () =
+  with_file "range" (fun path ->
+      let p = Pager.create path in
+      (match Pager.pin p 0 with
+       | _ -> Alcotest.fail "expected range error"
+       | exception Invalid_argument _ -> ());
+      Pager.close p)
+
+(* ---- heap file ---- *)
+
+let test_heap_roundtrip () =
+  with_file "heap" (fun path ->
+      let h = Heap_file.create path in
+      let r1 = Heap_file.insert h "alpha" in
+      let r2 = Heap_file.insert h "beta" in
+      check string_ "r1" "alpha" (Heap_file.read h r1);
+      check string_ "r2" "beta" (Heap_file.read h r2);
+      check int_ "count" 2 (Heap_file.record_count h);
+      Heap_file.close h)
+
+let test_heap_large_records () =
+  with_file "large" (fun path ->
+      let h = Heap_file.create path in
+      let big = String.init 50_000 (fun i -> Char.chr (Char.code 'a' + (i mod 26))) in
+      let huge = String.make 200_000 'z' in
+      let r1 = Heap_file.insert h big in
+      let r2 = Heap_file.insert h "tiny" in
+      let r3 = Heap_file.insert h huge in
+      check bool_ "big roundtrip" true (Heap_file.read h r1 = big);
+      check string_ "tiny" "tiny" (Heap_file.read h r2);
+      check bool_ "huge roundtrip" true (Heap_file.read h r3 = huge);
+      (* chains span many pages *)
+      check bool_ "many pages" true ((Heap_file.pager_stats h).Pager.pages > 25);
+      Heap_file.close h)
+
+let test_heap_free_and_reuse () =
+  with_file "reuse" (fun path ->
+      let h = Heap_file.create path in
+      let big = String.make 100_000 'x' in
+      let r = Heap_file.insert h big in
+      let pages_before = (Heap_file.pager_stats h).Pager.pages in
+      Heap_file.free h r;
+      check int_ "freed" 0 (Heap_file.record_count h);
+      (match Heap_file.read h r with
+       | _ -> Alcotest.fail "expected free-rid error"
+       | exception Invalid_argument _ -> ());
+      (* a second large record reuses the freed chain pages *)
+      let _r2 = Heap_file.insert h big in
+      let pages_after = (Heap_file.pager_stats h).Pager.pages in
+      check int_ "no file growth on reuse" pages_before pages_after;
+      Heap_file.close h)
+
+let test_heap_persistence () =
+  with_file "persist" (fun path ->
+      let h = Heap_file.create path in
+      let rids =
+        List.init 50 (fun i -> (i, Heap_file.insert h (Printf.sprintf "record-%d" i)))
+      in
+      let big_rid = Heap_file.insert h (String.make 30_000 'Q') in
+      Heap_file.free h (List.assoc 10 rids);
+      Heap_file.close h;
+      let h2 = Heap_file.create path in
+      check int_ "count restored" 50 (Heap_file.record_count h2);
+      List.iter
+        (fun (i, rid) ->
+          if i <> 10 then
+            check string_
+              (Printf.sprintf "record %d" i)
+              (Printf.sprintf "record-%d" i)
+              (Heap_file.read h2 rid))
+        rids;
+      check bool_ "big restored" true (Heap_file.read h2 big_rid = String.make 30_000 'Q');
+      (* iter sees exactly the live records *)
+      let seen = ref 0 in
+      Heap_file.iter h2 (fun _ _ -> incr seen);
+      check int_ "iter count" 50 !seen;
+      Heap_file.close h2)
+
+let prop_heap_model =
+  QCheck.Test.make ~name:"heap file agrees with an assoc model" ~count:60
+    QCheck.(
+      small_list
+        (pair (oneofl [ `Insert; `Free ]) (pair small_nat (int_range 0 3000))))
+    (fun script ->
+      with_file "model" (fun path ->
+          let h = Heap_file.create path in
+          let model = ref [] in
+          List.iter
+            (fun (op, (key, size)) ->
+              match op with
+              | `Insert ->
+                let data = String.make size (Char.chr (65 + (key mod 26))) in
+                let rid = Heap_file.insert h data in
+                model := (rid, data) :: !model
+              | `Free -> (
+                match !model with
+                | [] -> ()
+                | l ->
+                  let i = key mod List.length l in
+                  let rid, _ = List.nth l i in
+                  Heap_file.free h rid;
+                  model := List.filteri (fun j _ -> j <> i) l))
+            script;
+          let ok =
+            List.for_all (fun (rid, data) -> Heap_file.read h rid = data) !model
+            && Heap_file.record_count h = List.length !model
+          in
+          Heap_file.close h;
+          ok))
+
+let suite =
+  [
+    ("pager basics and persistence", `Quick, test_pager_basic);
+    ("pager eviction with tiny pool", `Quick, test_pager_eviction);
+    ("pager pin guard", `Quick, test_pager_pin_guard);
+    ("pager range checks", `Quick, test_pager_out_of_range);
+    ("heap roundtrip", `Quick, test_heap_roundtrip);
+    ("heap large records chain", `Quick, test_heap_large_records);
+    ("heap free and reuse", `Quick, test_heap_free_and_reuse);
+    ("heap persistence and iter", `Quick, test_heap_persistence);
+    QCheck_alcotest.to_alcotest prop_heap_model;
+  ]

@@ -1,0 +1,106 @@
+(* Tests for the lock manager: compatibility, upgrades, deadlock detection. *)
+
+module Lock = Demaq.Store.Lock_manager
+
+let check = Alcotest.check
+let bool_ = Alcotest.bool
+let int_ = Alcotest.int
+
+let q = Lock.Queue_lock "q"
+let s1 = Lock.Slice_lock ("orders", "k1")
+let s2 = Lock.Slice_lock ("orders", "k2")
+
+let granted = function Lock.Granted -> true | Lock.Conflict _ -> false
+
+let test_shared_compatible () =
+  let t = Lock.create () in
+  check bool_ "t1 S" true (granted (Lock.acquire t ~txn:1 q Lock.Shared));
+  check bool_ "t2 S" true (granted (Lock.acquire t ~txn:2 q Lock.Shared));
+  match Lock.acquire t ~txn:3 q Lock.Exclusive with
+  | Lock.Conflict holders ->
+    check bool_ "both holders reported" true
+      (List.sort compare holders = [ 1; 2 ])
+  | Lock.Granted -> Alcotest.fail "X granted over S holders"
+
+let test_exclusive_blocks () =
+  let t = Lock.create () in
+  check bool_ "t1 X" true (granted (Lock.acquire t ~txn:1 q Lock.Exclusive));
+  check bool_ "t2 S conflicts" false (granted (Lock.acquire t ~txn:2 q Lock.Shared));
+  check bool_ "t2 X conflicts" false (granted (Lock.acquire t ~txn:2 q Lock.Exclusive))
+
+let test_reentrant_and_upgrade () =
+  let t = Lock.create () in
+  check bool_ "S" true (granted (Lock.acquire t ~txn:1 q Lock.Shared));
+  check bool_ "re-acquire S" true (granted (Lock.acquire t ~txn:1 q Lock.Shared));
+  check bool_ "upgrade to X" true (granted (Lock.acquire t ~txn:1 q Lock.Exclusive));
+  check bool_ "other blocked" false (granted (Lock.acquire t ~txn:2 q Lock.Shared));
+  (* after upgrade, re-acquiring S must not silently downgrade *)
+  check bool_ "S after X" true (granted (Lock.acquire t ~txn:1 q Lock.Shared));
+  check bool_ "other still blocked" false (granted (Lock.acquire t ~txn:2 q Lock.Shared))
+
+let test_upgrade_blocked_by_other_reader () =
+  let t = Lock.create () in
+  ignore (Lock.acquire t ~txn:1 q Lock.Shared);
+  ignore (Lock.acquire t ~txn:2 q Lock.Shared);
+  check bool_ "upgrade blocked" false (granted (Lock.acquire t ~txn:1 q Lock.Exclusive))
+
+let test_release_all () =
+  let t = Lock.create () in
+  ignore (Lock.acquire t ~txn:1 q Lock.Exclusive);
+  ignore (Lock.acquire t ~txn:1 s1 Lock.Exclusive);
+  check int_ "held" 2 (List.length (Lock.held t ~txn:1));
+  Lock.release_all t ~txn:1;
+  check int_ "released" 0 (List.length (Lock.held t ~txn:1));
+  check bool_ "free" true (granted (Lock.acquire t ~txn:2 q Lock.Exclusive));
+  check int_ "table compacted" 1 (Lock.active_locks t)
+
+let test_slice_independence () =
+  (* §4.3: slice locks do not conflict across different keys. *)
+  let t = Lock.create () in
+  check bool_ "t1 slice k1" true (granted (Lock.acquire t ~txn:1 s1 Lock.Exclusive));
+  check bool_ "t2 slice k2" true (granted (Lock.acquire t ~txn:2 s2 Lock.Exclusive));
+  check bool_ "t2 slice k1 conflicts" false (granted (Lock.acquire t ~txn:2 s1 Lock.Exclusive))
+
+let test_deadlock_detection () =
+  let t = Lock.create () in
+  ignore (Lock.acquire t ~txn:1 s1 Lock.Exclusive);
+  ignore (Lock.acquire t ~txn:2 s2 Lock.Exclusive);
+  (* txn 1 waits for s2 (held by 2) *)
+  Lock.wait_on t ~txn:1 s2;
+  (* if txn 2 now waited for s1 (held by 1) we'd have a cycle *)
+  check bool_ "cycle detected" true (Lock.would_deadlock t ~txn:2 s1);
+  (* no cycle for an independent transaction *)
+  check bool_ "no cycle for t3" false (Lock.would_deadlock t ~txn:3 s1);
+  Lock.stop_waiting t ~txn:1;
+  check bool_ "cycle gone after stop_waiting" false (Lock.would_deadlock t ~txn:2 s1)
+
+let test_deadlock_three_party () =
+  let t = Lock.create () in
+  let r1 = Lock.Queue_lock "a"
+  and r2 = Lock.Queue_lock "b"
+  and r3 = Lock.Queue_lock "c" in
+  ignore (Lock.acquire t ~txn:1 r1 Lock.Exclusive);
+  ignore (Lock.acquire t ~txn:2 r2 Lock.Exclusive);
+  ignore (Lock.acquire t ~txn:3 r3 Lock.Exclusive);
+  Lock.wait_on t ~txn:1 r2;
+  Lock.wait_on t ~txn:2 r3;
+  check bool_ "3-cycle detected" true (Lock.would_deadlock t ~txn:3 r1)
+
+let test_resource_names () =
+  check bool_ "queue" true (Lock.resource_to_string q = "queue:q");
+  check bool_ "slice" true (Lock.resource_to_string s1 = "slice:orders/k1");
+  check bool_ "message" true
+    (Lock.resource_to_string (Lock.Message_lock 7) = "message:7")
+
+let suite =
+  [
+    ("shared locks compatible", `Quick, test_shared_compatible);
+    ("exclusive blocks", `Quick, test_exclusive_blocks);
+    ("re-entrant and upgrade", `Quick, test_reentrant_and_upgrade);
+    ("upgrade blocked by other reader", `Quick, test_upgrade_blocked_by_other_reader);
+    ("release all", `Quick, test_release_all);
+    ("slice lock independence", `Quick, test_slice_independence);
+    ("deadlock detection", `Quick, test_deadlock_detection);
+    ("three-party deadlock", `Quick, test_deadlock_three_party);
+    ("resource names", `Quick, test_resource_names);
+  ]

@@ -1,0 +1,23 @@
+let () =
+  Alcotest.run "demaq"
+    [
+      ("xml", Test_xml.suite);
+      ("value", Test_value.suite);
+      ("xquery", Test_xquery.suite);
+      ("xquery-ext", Test_xquery_ext.suite);
+      ("store", Test_store.suite);
+      ("btree", Test_btree.suite);
+      ("heap-file", Test_heap_file.suite);
+      ("locks", Test_locks.suite);
+      ("net", Test_net.suite);
+      ("wsdl", Test_wsdl.suite);
+      ("mq", Test_mq.suite);
+      ("lang", Test_lang.suite);
+      ("engine", Test_engine.suite);
+      ("procurement", Test_procurement.suite);
+      ("baseline", Test_baseline.suite);
+      ("evolution", Test_evolution.suite);
+      ("time", Test_time.suite);
+      ("robustness", Test_robustness.suite);
+      ("prefilter", Test_prefilter.suite);
+    ]

@@ -1,0 +1,140 @@
+(* Tests for the simulated communication subsystem. *)
+
+module Tree = Demaq.Xml.Tree
+module Net = Demaq.Network
+module Soap = Demaq.Net.Soap
+
+let check = Alcotest.check
+let bool_ = Alcotest.bool
+let int_ = Alcotest.int
+let string_ = Alcotest.string
+
+let payload = Tree.elem "ping" [ Tree.text "hello" ]
+
+let echo_endpoint net name =
+  Net.register net ~name ~handler:(fun ~sender body ->
+      [ Tree.elem "pong" [ Tree.text (Tree.tree_string_value body ^ "/" ^ sender) ] ])
+
+let test_delivery () =
+  let net = Net.create () in
+  echo_endpoint net "svc";
+  match Net.send net ~from_:"me" ~to_:"svc" payload with
+  | Net.Sent [ reply ] ->
+    check string_ "reply content" "hello/me" (Tree.tree_string_value reply)
+  | _ -> Alcotest.fail "expected one reply"
+
+let test_soap_roundtrip () =
+  (* The wire format is a SOAP envelope that parses back to the payload. *)
+  let env = Soap.envelope ~headers:[ Soap.header_field "From" "me" ] payload in
+  let wire = Demaq.xml_to_string env in
+  let parsed = Demaq.xml wire in
+  check bool_ "body extracted" true (Tree.equal_tree payload (Soap.body parsed));
+  check int_ "headers" 1 (List.length (Soap.headers parsed));
+  check bool_ "not a fault" true (not (Soap.is_fault parsed));
+  let fault = Soap.envelope (Soap.fault ~code:"Receiver" ~reason:"boom") in
+  check bool_ "fault detected" true (Soap.is_fault fault)
+
+let test_soap_passthrough () =
+  (* non-envelope trees pass through Soap.body unchanged *)
+  check bool_ "passthrough" true (Tree.equal_tree payload (Soap.body payload))
+
+let test_name_resolution_failure () =
+  let net = Net.create () in
+  match Net.send net ~from_:"me" ~to_:"nowhere" payload with
+  | Net.Failed (Net.Name_resolution "nowhere") -> ()
+  | _ -> Alcotest.fail "expected name resolution failure"
+
+let test_disconnected () =
+  let net = Net.create () in
+  echo_endpoint net "svc";
+  Net.set_connected net "svc" false;
+  (match Net.send net ~from_:"me" ~to_:"svc" payload with
+   | Net.Failed (Net.Disconnected "svc") -> ()
+   | _ -> Alcotest.fail "expected disconnect");
+  Net.set_connected net "svc" true;
+  match Net.send net ~from_:"me" ~to_:"svc" payload with
+  | Net.Sent _ -> ()
+  | _ -> Alcotest.fail "expected recovery"
+
+let test_best_effort_drops () =
+  let net = Net.create ~seed:1 () in
+  echo_endpoint net "svc";
+  Net.set_drop_rate net "svc" 1.0;
+  (match Net.send net ~from_:"me" ~to_:"svc" payload with
+   | Net.Lost -> ()
+   | _ -> Alcotest.fail "expected loss");
+  let s = Net.stats net in
+  check int_ "dropped" 1 s.Net.dropped;
+  check int_ "no failure recorded for best effort" 0 s.Net.failures
+
+let test_reliable_retries () =
+  let net = Net.create ~seed:7 ~max_retries:50 () in
+  echo_endpoint net "svc";
+  Net.set_drop_rate net "svc" 0.7;
+  (* with 50 retries at 70% drop, delivery is essentially certain *)
+  (match Net.send net ~reliable:true ~from_:"me" ~to_:"svc" payload with
+   | Net.Sent _ -> ()
+   | _ -> Alcotest.fail "expected reliable delivery");
+  check bool_ "retried" true ((Net.stats net).Net.attempts > 1)
+
+let test_reliable_timeout () =
+  let net = Net.create ~max_retries:3 () in
+  echo_endpoint net "svc";
+  Net.set_drop_rate net "svc" 1.0;
+  match Net.send net ~reliable:true ~from_:"me" ~to_:"svc" payload with
+  | Net.Failed (Net.Timeout "svc") ->
+    check int_ "bounded attempts" 3 (Net.stats net).Net.attempts
+  | _ -> Alcotest.fail "expected timeout"
+
+let test_wire_log () =
+  let net = Net.create () in
+  echo_endpoint net "svc";
+  ignore (Net.send net ~from_:"me" ~to_:"svc" payload);
+  match Net.wire_log net with
+  | [ wire ] ->
+    let parsed = Demaq.xml wire in
+    check bool_ "wire is SOAP" true (Tree.equal_tree payload (Soap.body parsed))
+  | l -> Alcotest.failf "expected one wire entry, got %d" (List.length l)
+
+let test_handler_sees_parsed_tree () =
+  (* Content with escapes must arrive decoded on the far side. *)
+  let net = Net.create () in
+  let received = ref None in
+  Net.register net ~name:"svc" ~handler:(fun ~sender:_ body ->
+      received := Some body;
+      []);
+  let tricky = Tree.elem "m" ~attrs:[ ("a", "x<y&z") ] [ Tree.text "<&>" ] in
+  (match Net.send net ~from_:"me" ~to_:"svc" tricky with
+   | Net.Sent [] -> ()
+   | _ -> Alcotest.fail "expected empty reply");
+  check bool_ "roundtripped" true (Tree.equal_tree tricky (Option.get !received))
+
+let test_stats_bytes () =
+  let net = Net.create () in
+  echo_endpoint net "svc";
+  ignore (Net.send net ~from_:"me" ~to_:"svc" payload);
+  check bool_ "bytes counted" true ((Net.stats net).Net.bytes > 0)
+
+let test_unregister () =
+  let net = Net.create () in
+  echo_endpoint net "svc";
+  Net.unregister net "svc";
+  match Net.send net ~from_:"me" ~to_:"svc" payload with
+  | Net.Failed (Net.Name_resolution _) -> ()
+  | _ -> Alcotest.fail "expected resolution failure after unregister"
+
+let suite =
+  [
+    ("delivery with reply", `Quick, test_delivery);
+    ("soap roundtrip", `Quick, test_soap_roundtrip);
+    ("soap passthrough", `Quick, test_soap_passthrough);
+    ("name resolution failure", `Quick, test_name_resolution_failure);
+    ("disconnect and reconnect", `Quick, test_disconnected);
+    ("best effort drops silently", `Quick, test_best_effort_drops);
+    ("reliable retries", `Quick, test_reliable_retries);
+    ("reliable timeout", `Quick, test_reliable_timeout);
+    ("wire log", `Quick, test_wire_log);
+    ("wire roundtrip decoding", `Quick, test_handler_sees_parsed_tree);
+    ("bytes counted", `Quick, test_stats_bytes);
+    ("unregister", `Quick, test_unregister);
+  ]

@@ -1,0 +1,163 @@
+(* Time-based behaviour (paper §2.1.3 and the §5 discussion of time-based
+   conditions): echo-queue timers, periodic self-rearming ticks, deadline
+   predicates over the virtual clock, and timer ordering. *)
+
+module Value = Demaq.Value
+module Message = Demaq.Message
+module S = Demaq.Server
+
+let check = Alcotest.check
+let bool_ = Alcotest.bool
+let int_ = Alcotest.int
+
+let xml = Demaq.xml
+
+let bodies srv q =
+  List.map (fun m -> Demaq.xml_to_string (Message.body m)) (S.queue_contents srv q)
+
+let inject_ok ?props srv queue payload =
+  match S.inject srv ?props ~queue (xml payload) with
+  | Ok m -> m
+  | Error e -> Alcotest.failf "inject: %s" (Demaq.Mq.Queue_manager.error_to_string e)
+
+(* A deadline sweeper: tasks carry an absolute deadline tick in their body;
+   a periodic tick sweeps the pending queue with a time-based condition
+   comparing against fn:current-dateTime() (the virtual clock). *)
+let sweeper_program = {|
+  create queue pending kind basic mode persistent
+  create queue ticks kind echo mode persistent
+  create queue sweeper kind basic mode persistent
+  create queue expired kind basic mode persistent
+
+  create rule sweep for sweeper
+    if (//tick) then
+      for $t in qs:queue("pending")//task[number(deadline) <= current-dateTime()]
+                [not(qs:queue("expired")//id = id)]
+      return do enqueue <expiredTask>{$t/id}</expiredTask> into expired
+
+  create rule rearm for sweeper
+    if (//tick) then
+      do enqueue <tick/> into ticks
+        with timeout value 10 with target value "sweeper"
+|}
+
+let arm srv =
+  ignore
+    (inject_ok srv
+       ~props:[ ("timeout", Value.Integer 10); ("target", Value.String "sweeper") ]
+       "ticks" "<tick/>")
+
+let test_deadline_sweeper () =
+  let srv = S.deploy sweeper_program in
+  arm srv;
+  ignore (inject_ok srv "pending" "<task><id>t1</id><deadline>15</deadline></task>");
+  ignore (inject_ok srv "pending" "<task><id>t2</id><deadline>55</deadline></task>");
+  ignore (S.run srv);
+  check int_ "nothing expired yet" 0 (List.length (bodies srv "expired"));
+  (* tick at ~10: t1 not due (deadline 15); tick at ~20: t1 due *)
+  S.advance_time srv 25;
+  ignore (S.run srv);
+  check bool_ "t1 expired" true
+    (bodies srv "expired" = [ "<expiredTask><id>t1</id></expiredTask>" ]);
+  (* later, t2 passes its deadline too *)
+  S.advance_time srv 40;
+  ignore (S.run srv);
+  check int_ "both expired" 2 (List.length (bodies srv "expired"))
+
+let test_periodic_rearm () =
+  let srv = S.deploy sweeper_program in
+  arm srv;
+  ignore (S.run srv);
+  (* each advance of 10+ releases exactly one tick which re-arms itself *)
+  for _ = 1 to 5 do
+    S.advance_time srv 12;
+    ignore (S.run srv)
+  done;
+  check bool_ "timer kept firing" true ((S.stats srv).S.timers_fired >= 5)
+
+let test_timer_ordering () =
+  (* two timers with different timeouts must fire in due order even when
+     released by a single large time jump *)
+  let srv =
+    S.deploy
+      {|create queue timers kind echo mode persistent
+        create queue log kind basic mode persistent|}
+  in
+  let send label timeout =
+    ignore
+      (inject_ok srv
+         ~props:[ ("timeout", Value.Integer timeout); ("target", Value.String "log") ]
+         "timers"
+         (Printf.sprintf "<fire>%s</fire>" label))
+  in
+  send "slow" 50;
+  send "fast" 5;
+  send "medium" 20;
+  ignore (S.run srv);
+  S.advance_time srv 100;
+  ignore (S.run srv);
+  check bool_ "due order preserved" true
+    (bodies srv "log"
+     = [ "<fire>fast</fire>"; "<fire>medium</fire>"; "<fire>slow</fire>" ])
+
+let test_current_datetime_advances () =
+  let srv =
+    S.deploy
+      {|create queue in kind basic mode persistent
+        create queue out kind basic mode persistent
+        create rule stamp for in
+          if (//m) then do enqueue <at>{current-dateTime()}</at> into out|}
+  in
+  ignore (inject_ok srv "in" "<m/>");
+  ignore (S.run srv);
+  S.advance_time srv 500;
+  ignore (inject_ok srv "in" "<m/>");
+  ignore (S.run srv);
+  match bodies srv "out" with
+  | [ a; b ] ->
+    let tick s = int_of_string (String.sub s 4 (String.length s - 9)) in
+    check bool_ "clock moved forward by >= 500" true (tick b - tick a >= 500)
+  | l -> Alcotest.failf "expected two stamps, got %d" (List.length l)
+
+let test_timestamp_property_available () =
+  (* the system timestamp property supports age computations in rules *)
+  let srv =
+    S.deploy
+      {|create queue in kind basic mode persistent
+        create queue out kind basic mode persistent
+        create rule age for in
+          if (//m) then
+            do enqueue <age>{current-dateTime() - number(qs:property("system-timestamp"))}</age>
+              into out|}
+  in
+  ignore (inject_ok srv "in" "<m/>");
+  S.advance_time srv 42;
+  ignore (S.run srv);
+  match bodies srv "out" with
+  | [ a ] -> check bool_ ("age computed: " ^ a) true (a = "<age>42</age>")
+  | l -> Alcotest.failf "expected one message, got %d" (List.length l)
+
+let test_zero_timeout_fires_on_next_advance () =
+  let srv =
+    S.deploy
+      {|create queue timers kind echo mode persistent
+        create queue log kind basic mode persistent|}
+  in
+  ignore
+    (inject_ok srv
+       ~props:[ ("timeout", Value.Integer 0); ("target", Value.String "log") ]
+       "timers" "<now/>");
+  ignore (S.run srv);
+  S.advance_time srv 0;
+  ignore (S.run srv);
+  check int_ "fired at once" 1 (List.length (bodies srv "log"))
+
+let suite =
+  [
+    ("deadline sweeper (§5 time-based conditions)", `Quick, test_deadline_sweeper);
+    ("periodic self-rearming tick", `Quick, test_periodic_rearm);
+    ("timers fire in due order", `Quick, test_timer_ordering);
+    ("current-dateTime advances", `Quick, test_current_datetime_advances);
+    ("message age from system timestamp", `Quick, test_timestamp_property_available);
+    ("zero timeout", `Quick, test_zero_timeout_fires_on_next_advance);
+  ]

@@ -1,0 +1,142 @@
+(* Tests for the miniature WSDL model and gateway interface validation
+   (§2.1.2: "we import the supplier's interface definition from a WSDL
+   file"). *)
+
+module Wsdl = Demaq.Net.Wsdl
+module Net = Demaq.Network
+module Tree = Demaq.Xml.Tree
+module Message = Demaq.Message
+module S = Demaq.Server
+
+let check = Alcotest.check
+let bool_ = Alcotest.bool
+let int_ = Alcotest.int
+let string_ = Alcotest.string
+
+let supplier_wsdl = {|
+<definitions name="SupplierService">
+  <portType name="CapacityRequestPort">
+    <operation name="requestCapacity">
+      <input element="capacityRequest"/>
+      <output element="capacityResult"/>
+    </operation>
+    <operation name="cancel">
+      <input element="cancelRequest"/>
+    </operation>
+  </portType>
+  <portType name="StatusPort">
+    <operation name="ping">
+      <input element="statusPing"/>
+      <output element="statusPong"/>
+    </operation>
+  </portType>
+</definitions>
+|}
+
+(* ---- model ---- *)
+
+let parsed () =
+  match Wsdl.parse supplier_wsdl with
+  | Ok w -> w
+  | Error e -> Alcotest.fail e
+
+let test_parse () =
+  let w = parsed () in
+  check string_ "service name" "SupplierService" w.Wsdl.service;
+  check int_ "two ports" 2 (List.length w.Wsdl.ports);
+  let port = Option.get (Wsdl.find_port w "CapacityRequestPort") in
+  check int_ "two operations" 2 (List.length port.Wsdl.operations);
+  check bool_ "accepts request" true (Wsdl.accepts_input port "capacityRequest");
+  check bool_ "accepts cancel" true (Wsdl.accepts_input port "cancelRequest");
+  check bool_ "rejects other" false (Wsdl.accepts_input port "statusPing");
+  check bool_ "unknown port" true (Wsdl.find_port w "Nope" = None)
+
+let test_parse_errors () =
+  check bool_ "not wsdl" true (Result.is_error (Wsdl.parse "<other/>"));
+  check bool_ "no ports" true
+    (Result.is_error (Wsdl.parse "<definitions name=\"x\"><junk/></definitions>"));
+  check bool_ "bad xml" true (Result.is_error (Wsdl.parse "<definitions"))
+
+(* ---- engine integration ---- *)
+
+let program = {|
+  create queue work kind basic mode persistent
+  create queue errs kind basic mode persistent
+  create queue supplier kind outgoingGateway mode persistent
+    interface supplier.wsdl port CapacityRequestPort
+  create rule sendGood for work errorqueue errs
+    if (//good) then do enqueue <capacityRequest><id>1</id></capacityRequest> into supplier
+  create rule sendBad for work errorqueue errs
+    if (//bad) then do enqueue <wrongMessage/> into supplier
+|}
+
+let make () =
+  let net = Net.create () in
+  let delivered = ref 0 in
+  Net.register net ~name:"supplier" ~handler:(fun ~sender:_ _ ->
+      incr delivered;
+      []);
+  let srv = S.deploy ~network:net program in
+  S.bind_gateway srv ~queue:"supplier" ~endpoint:"supplier" ();
+  (match S.register_interface srv ~file:"supplier.wsdl" supplier_wsdl with
+   | Ok () -> ()
+   | Error e -> Alcotest.fail e);
+  (srv, delivered)
+
+let inject srv payload =
+  match S.inject srv ~queue:"work" (Demaq.xml payload) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "%s" (Demaq.Mq.Queue_manager.error_to_string e)
+
+let test_valid_input_transmitted () =
+  let srv, delivered = make () in
+  inject srv "<good/>";
+  ignore (S.run srv);
+  check int_ "delivered" 1 !delivered;
+  check int_ "no errors" 0 (List.length (S.queue_contents srv "errs"))
+
+let test_invalid_input_rejected () =
+  let srv, delivered = make () in
+  inject srv "<bad/>";
+  ignore (S.run srv);
+  check int_ "not delivered" 0 !delivered;
+  match S.queue_contents srv "errs" with
+  | [ err ] ->
+    let body = Demaq.xml_to_string (Message.body err) in
+    let has sub =
+      let n = String.length sub in
+      let rec go i = i + n <= String.length body && (String.sub body i n = sub || go (i + 1)) in
+      go 0
+    in
+    check bool_ "interfaceViolation kind" true (has "<interfaceViolation/>");
+    check bool_ "expected inputs listed" true (has "capacityRequest");
+    check bool_ "routed to creating rule's errorqueue" true (has "<rule>sendBad</rule>")
+  | l -> Alcotest.failf "expected one error, got %d" (List.length l)
+
+let test_unregistered_interface_is_permissive () =
+  (* without register_interface the declaration is informational only *)
+  let net = Net.create () in
+  let delivered = ref 0 in
+  Net.register net ~name:"supplier" ~handler:(fun ~sender:_ _ ->
+      incr delivered;
+      []);
+  let srv = S.deploy ~network:net program in
+  S.bind_gateway srv ~queue:"supplier" ~endpoint:"supplier" ();
+  inject srv "<bad/>";
+  ignore (S.run srv);
+  check int_ "sent without validation" 1 !delivered
+
+let test_register_bad_wsdl () =
+  let srv, _ = make () in
+  check bool_ "rejected" true
+    (Result.is_error (S.register_interface srv ~file:"x.wsdl" "<oops/>"))
+
+let suite =
+  [
+    ("wsdl parse", `Quick, test_parse);
+    ("wsdl parse errors", `Quick, test_parse_errors);
+    ("valid input transmitted", `Quick, test_valid_input_transmitted);
+    ("invalid input becomes error message", `Quick, test_invalid_input_rejected);
+    ("unregistered interface is permissive", `Quick, test_unregistered_interface_is_permissive);
+    ("register bad wsdl", `Quick, test_register_bad_wsdl);
+  ]
