@@ -1,0 +1,82 @@
+(* Deterministic fault injection (see fault.mli). The injection points are
+   counted over the lifetime of the handle, so a test can arm "the 7th rule
+   evaluation anywhere in the workload" and replay it exactly. *)
+
+module Store = Demaq_store.Message_store
+module Network = Demaq_net.Network
+
+exception Injected of string
+
+type t = {
+  rng : Random.State.t;
+  mutable eval_faults : int list;  (* 1-based ordinals that raise *)
+  mutable apply_faults : int list;
+  mutable eval_failure_rate : float;
+  mutable evals : int;
+  mutable applies : int;
+  mutable injected : int;
+}
+
+let create ?(seed = 0) () =
+  {
+    rng = Random.State.make [| seed |];
+    eval_faults = [];
+    apply_faults = [];
+    eval_failure_rate = 0.0;
+    evals = 0;
+    applies = 0;
+    injected = 0;
+  }
+
+let fail_on_eval t n = t.eval_faults <- n :: t.eval_faults
+let fail_on_apply t n = t.apply_faults <- n :: t.apply_faults
+let set_eval_failure_rate t rate = t.eval_failure_rate <- rate
+
+let disarm t =
+  t.eval_faults <- [];
+  t.apply_faults <- [];
+  t.eval_failure_rate <- 0.0
+
+let raise_injected t what n =
+  t.injected <- t.injected + 1;
+  raise (Injected (Printf.sprintf "injected fault: %s #%d" what n))
+
+let before_eval t =
+  t.evals <- t.evals + 1;
+  if List.mem t.evals t.eval_faults then raise_injected t "rule evaluation" t.evals
+  else if
+    t.eval_failure_rate > 0.0
+    && Random.State.float t.rng 1.0 < t.eval_failure_rate
+  then raise_injected t "rule evaluation" t.evals
+
+let before_apply t =
+  t.applies <- t.applies + 1;
+  if List.mem t.applies t.apply_faults then
+    raise_injected t "update application" t.applies
+
+let injected t = t.injected
+let evals t = t.evals
+let applies t = t.applies
+
+(* ---- crash simulation ---- *)
+
+let tear_wal ~dir ~bytes =
+  let path = Filename.concat dir "wal.log" in
+  if Sys.file_exists path then begin
+    let fd = Unix.openfile path [ Unix.O_RDWR ] 0o644 in
+    let len = (Unix.fstat fd).Unix.st_size in
+    Unix.ftruncate fd (max 0 (len - bytes));
+    Unix.close fd
+  end
+
+let crash_restart ?(tear_bytes = 0) config store =
+  Store.close store;
+  (match config.Store.dir with
+   | Some dir when tear_bytes > 0 -> tear_wal ~dir ~bytes:tear_bytes
+   | _ -> ());
+  Store.open_store config
+
+(* ---- network partitions ---- *)
+
+let partition net name = Network.set_connected net name false
+let reconnect net name = Network.set_connected net name true

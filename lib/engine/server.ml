@@ -30,6 +30,8 @@ type config = {
   system_error_queue : string option;
   optimize : bool;
   node_name : string;
+  transmit_retries : int;
+  retry_backoff : int;
 }
 
 let default_config =
@@ -43,6 +45,8 @@ let default_config =
     system_error_queue = None;
     optimize = true;
     node_name = "demaq-node";
+    transmit_retries = 3;
+    retry_backoff = 1;
   }
 
 type gateway_binding = { endpoint : string; replies_to : string option }
@@ -65,6 +69,9 @@ type stats = {
   timers_fired : int;
   gc_collected : int;
   prefilter_skips : int;
+  txn_aborts : int;
+  transmit_retries : int;
+  dead_letters : int;
 }
 
 type t = {
@@ -94,6 +101,14 @@ type t = {
   mutable s_timers_fired : int;
   mutable s_gc_collected : int;
   mutable s_prefilter_skips : int;
+  mutable s_txn_aborts : int;
+  mutable s_transmit_retries : int;
+  mutable s_dead_letters : int;
+  mutable fault : Fault.t option;  (* armed fault-injection points *)
+  mutable blamed_rule : (string * string option) option;
+      (* rule under evaluation/application (name, its error queue), so an
+         exception escaping the transaction keeps rule-level error
+         attribution (§3.6) *)
   mutable trace_log : trace_entry list;  (* newest first, bounded *)
   mutable trace_len : int;
 }
@@ -106,6 +121,29 @@ let clock t = t.clk
 let network t = t.net
 let config t = t.cfg
 let explain t = Compiler.explain t.compiled
+let set_fault t fault = t.fault <- fault
+
+(* Crash safety (§3.1, §3.6): every state change runs inside [in_txn], so
+   that an exception anywhere — evaluator bugs, injected faults, broken
+   endpoint handlers — aborts the transaction and releases its locks via
+   [Store.abort] instead of leaking them. The caller decides how to surface
+   the re-raised exception (usually by routing an error message in a fresh
+   transaction). *)
+let in_txn t f =
+  let txn = Store.begin_txn t.st in
+  match f txn with
+  | v ->
+    Store.commit txn;
+    v
+  | exception e ->
+    t.s_txn_aborts <- t.s_txn_aborts + 1;
+    Store.abort txn;
+    raise e
+
+let exn_description = function
+  | Fault.Injected msg -> msg
+  | Context.Eval_error msg -> msg
+  | e -> Printexc.to_string e
 
 let set_collection t name docs =
   Qm.set_collection t.qm name docs;
@@ -395,6 +433,8 @@ let acquire_locks t txn (m : Message.t) =
 let apply_updates t txn (m : Message.t) tagged =
   List.iter
     (fun (eu, update) ->
+      t.blamed_rule <- Some (eu.eu_rule, eu.eu_error_queue);
+      Option.iter Fault.before_apply t.fault;
       match update with
       | Update.Enqueue { payload; queue; props } ->
         enqueue_internal t txn ~rule:eu.eu_rule ?rule_error_queue:eu.eu_error_queue
@@ -423,12 +463,43 @@ let apply_updates t txn (m : Message.t) tagged =
             ~source_queue:m.Message.queue ~initial_message:(Message.body m) ()))
     tagged
 
+(* Entries in the per-rid caches must die with their message: the retention
+   GC reports what it collected and the engine purges the body/name caches,
+   the sent table, and any stale outbox entries (§2.3.3 decouples physical
+   cleanup from processing, but the caches must not outlive it). *)
+let purge_collected t rids =
+  if rids <> [] then begin
+    let collected = Hashtbl.create (List.length rids) in
+    List.iter
+      (fun rid ->
+        Hashtbl.replace collected rid ();
+        Hashtbl.remove t.node_cache rid;
+        Hashtbl.remove t.name_cache rid;
+        Hashtbl.remove t.sent rid)
+      rids;
+    Hashtbl.iter
+      (fun _ q ->
+        let keep = Queue.create () in
+        Queue.iter (fun rid -> if not (Hashtbl.mem collected rid) then Queue.push rid keep) q;
+        Queue.clear q;
+        Queue.transfer keep q)
+      t.outbox
+  end
+
+let run_gc t =
+  let rids = Qm.gc_collect t.qm in
+  purge_collected t rids;
+  let n = List.length rids in
+  t.s_gc_collected <- t.s_gc_collected + n;
+  n
+
 let process_message t rid =
   match Qm.get t.qm rid with
   | None -> false  (* collected before its turn came *)
   | Some m when m.Message.processed -> false  (* rescheduled duplicate *)
   | Some m ->
-    let txn = Store.begin_txn t.st in
+    t.blamed_rule <- None;
+    let work txn =
     acquire_locks t txn m;
     let units = units_for t m in
     let message_names =
@@ -472,6 +543,8 @@ let process_message t rid =
       List.concat_map
         (fun eu ->
           t.s_rule_evaluations <- t.s_rule_evaluations + 1;
+          t.blamed_rule <- Some (eu.eu_rule, eu.eu_error_queue);
+          Option.iter Fault.before_eval t.fault;
           let host = host_for t m ~slice_ctx:eu.eu_slice_ctx in
           let env = Context.make ~host () in
           let env =
@@ -505,11 +578,36 @@ let process_message t rid =
       | Some { Defs.kind = Defs.Echo; _ } -> true
       | _ -> false
     in
-    if not is_echo then Qm.mark_processed t.qm txn m;
-    Store.commit txn;
+    if not is_echo then Qm.mark_processed t.qm txn m
+    in
+    (match in_txn t work with
+     | () -> ()
+     | exception e ->
+       (* [in_txn] already aborted the transaction and released its locks;
+          §3.6 demands the failure become an error message rather than a
+          wedged engine, so route it and neutralize the trigger in a fresh
+          transaction, then keep processing. *)
+       Log.warn (fun f ->
+           f "processing of #%d aborted: %s" m.Message.rid (exn_description e));
+       let rule, rule_error_queue =
+         match t.blamed_rule with
+         | Some (r, eq) -> (Some r, eq)
+         | None -> (None, None)
+       in
+       (try
+          in_txn t (fun txn ->
+              raise_error t txn ~kind:Errors.Evaluation_error
+                ~description:(exn_description e) ?rule ?rule_error_queue
+                ~source_queue:m.Message.queue
+                ~initial_message:(Message.body m) ();
+              Qm.mark_processed t.qm txn m)
+        with e2 ->
+          Log.err (fun f ->
+              f "error routing for #%d failed: %s" m.Message.rid
+                (exn_description e2))));
     t.s_processed <- t.s_processed + 1;
     if t.cfg.gc_every > 0 && t.s_processed mod t.cfg.gc_every = 0 then
-      t.s_gc_collected <- t.s_gc_collected + Qm.gc t.qm;
+      ignore (run_gc t);
     true
 
 (* ---- public driving API ---- *)
@@ -524,20 +622,21 @@ let rec step t =
     if process_message t rid then Processed (Option.get m) else step t
 
 let inject t ?(props = []) ~queue payload =
-  let txn = Store.begin_txn t.st in
-  match Qm.enqueue t.qm txn ~explicit:props ~queue ~payload () with
-  | Ok m ->
-    t.s_messages_created <- t.s_messages_created + 1;
-    schedule_message t m;
-    note_outgoing t m;
-    (match Qm.find_queue t.qm queue with
-     | Some { Defs.kind = Defs.Echo; _ } -> register_echo_timer t txn m
-     | _ -> ());
-    Store.commit txn;
-    Ok m
-  | Error e ->
-    Store.abort txn;
-    Error e
+  match
+    in_txn t (fun txn ->
+        match Qm.enqueue t.qm txn ~explicit:props ~queue ~payload () with
+        | Ok m ->
+          t.s_messages_created <- t.s_messages_created + 1;
+          schedule_message t m;
+          note_outgoing t m;
+          (match Qm.find_queue t.qm queue with
+           | Some { Defs.kind = Defs.Echo; _ } -> register_echo_timer t txn m
+           | _ -> ());
+          m
+        | Error e -> raise (Qm.Queue_error e))
+  with
+  | m -> Ok m
+  | exception Qm.Queue_error e -> Error e
 
 (* The errorqueue declared on the rule that created a message (used to
    route transport-time failures back to their originator, Fig. 10). *)
@@ -575,9 +674,20 @@ let interface_check t (m : Message.t) (qdef : Defs.queue_def) =
            "message <%s> is not an input of port %s (expected one of: %s)" root
            port.Wsdl.port_name (Wsdl.expected_inputs port))
 
-let transmit t (m : Message.t) (qdef : Defs.queue_def) =
-  Hashtbl.replace t.sent m.Message.rid ();
+(* Bounded exponential backoff before retrying the transmission whose
+   [attempt]th try just failed. *)
+let backoff_delay t attempt = t.cfg.retry_backoff * (1 lsl min (attempt - 1) 16)
+
+(* A failure is worth retrying when the condition is plausibly transient: a
+   partitioned endpoint can reconnect and a timed-out wire can clear, but
+   an unresolvable name stays unresolvable. *)
+let retryable_failure = function
+  | Network.Disconnected _ | Network.Timeout _ -> true
+  | Network.Name_resolution _ -> false
+
+let transmit t ?(attempt = 1) (m : Message.t) (qdef : Defs.queue_def) =
   t.s_transmissions <- t.s_transmissions + 1;
+  if attempt > 1 then t.s_transmit_retries <- t.s_transmit_retries + 1;
   let binding =
     match Hashtbl.find_opt t.bindings m.Message.queue with
     | Some b -> b
@@ -589,24 +699,45 @@ let transmit t (m : Message.t) (qdef : Defs.queue_def) =
     | None -> binding.endpoint
   in
   let reliable = List.mem_assoc "WS-ReliableMessaging" qdef.Defs.extensions in
+  (* Delivery is confirmed only by the transport: the rid enters [t.sent]
+     when the attempt succeeds or the message is given up on — never
+     before, so a failed transmission is not forfeited. *)
+  let dead_letter ~kind ~description =
+    Hashtbl.replace t.sent m.Message.rid ();
+    let creating_rule, rule_error_queue = creating_rule_route t m in
+    in_txn t (fun txn ->
+        raise_error t txn ~kind ~description ?rule:creating_rule
+          ?rule_error_queue ~source_queue:m.Message.queue
+          ~initial_message:(Message.body m) ())
+  in
   match
     match interface_check t m qdef with
     | Error reason -> `Interface_error reason
-    | Ok () ->
-      `Net
-        (Network.send t.net ~reliable ~from_:t.cfg.node_name ~to_:endpoint
-           (Message.body m))
+    | Ok () -> (
+      match
+        Network.send t.net ~reliable ~from_:t.cfg.node_name ~to_:endpoint
+          (Message.body m)
+      with
+      | result -> `Net result
+      | exception e -> `Handler_error (exn_description e))
   with
   | `Interface_error description ->
+    (* permanent: retrying cannot fix a schema mismatch *)
+    Hashtbl.replace t.sent m.Message.rid ();
     let creating_rule, rule_error_queue = creating_rule_route t m in
-    let txn = Store.begin_txn t.st in
-    raise_error t txn ~kind:Errors.Interface_violation ~description
-      ?rule:creating_rule ?rule_error_queue ~source_queue:m.Message.queue
-      ~initial_message:(Message.body m) ();
-    Store.commit txn
+    in_txn t (fun txn ->
+        raise_error t txn ~kind:Errors.Interface_violation ~description
+          ?rule:creating_rule ?rule_error_queue ~source_queue:m.Message.queue
+          ~initial_message:(Message.body m) ())
+  | `Handler_error description ->
+    (* the endpoint handler itself blew up; treat as undeliverable rather
+       than crash the pump loop *)
+    t.s_dead_letters <- t.s_dead_letters + 1;
+    dead_letter ~kind:Errors.System_error ~description
   | `Net result ->
   match result with
   | Network.Sent replies ->
+    Hashtbl.replace t.sent m.Message.rid ();
     (match binding.replies_to with
      | Some incoming ->
        List.iter
@@ -618,23 +749,35 @@ let transmit t (m : Message.t) (qdef : Defs.queue_def) =
            with
            | Ok _ -> ()
            | Error e ->
-             let txn = Store.begin_txn t.st in
-             raise_error t txn ~kind:Errors.Schema_violation
-               ~description:(Qm.error_to_string e) ~source_queue:incoming
-               ~initial_message:reply ();
-             Store.commit txn)
+             in_txn t (fun txn ->
+                 raise_error t txn ~kind:Errors.Schema_violation
+                   ~description:(Qm.error_to_string e) ~source_queue:incoming
+                   ~initial_message:reply ()))
          replies
      | None -> ())
-  | Network.Lost -> ()  (* best-effort send; nobody to tell *)
+  | Network.Lost ->
+    (* best-effort send; nobody to tell *)
+    Hashtbl.replace t.sent m.Message.rid ()
   | Network.Failed failure ->
-    let creating_rule, rule_error_queue = creating_rule_route t m in
-    let txn = Store.begin_txn t.st in
-    raise_error t txn
-      ~kind:(Errors.of_network_failure failure)
-      ~description:(Network.failure_to_string failure)
-      ?rule:creating_rule ?rule_error_queue ~source_queue:m.Message.queue
-      ~initial_message:(Message.body m) ();
-    Store.commit txn
+    if reliable && retryable_failure failure && attempt <= t.cfg.transmit_retries
+    then begin
+      (* re-arm through the timer wheel; the message stays unsent and
+         unforfeited until the retry budget is spent *)
+      let due = Clock.now t.clk + backoff_delay t attempt in
+      Log.debug (fun f ->
+          f "transmission of #%d failed (%s); retry %d/%d at t=%d"
+            m.Message.rid
+            (Network.failure_to_string failure)
+            attempt t.cfg.transmit_retries due);
+      Timer_wheel.schedule_retransmit t.timers ~due ~rid:m.Message.rid
+        ~attempt:(attempt + 1)
+    end
+    else begin
+      if reliable then t.s_dead_letters <- t.s_dead_letters + 1;
+      dead_letter
+        ~kind:(Errors.of_network_failure failure)
+        ~description:(Network.failure_to_string failure)
+    end
 
 let pump_gateways t =
   let count = ref 0 in
@@ -655,37 +798,63 @@ let pump_gateways t =
     (Qm.queue_defs t.qm);
   !count
 
+let fire_echo t ~rid ~target =
+  match Qm.get t.qm rid with
+  | None -> ()
+  | Some echo_msg -> (
+    t.s_timers_fired <- t.s_timers_fired + 1;
+    try
+      in_txn t (fun txn ->
+          enqueue_internal t txn ~trigger:(Some echo_msg) ~explicit:[]
+            ~queue:target ~payload:(Message.body echo_msg)
+            ~origin_queue:echo_msg.Message.queue ();
+          Qm.mark_processed t.qm txn echo_msg)
+    with e ->
+      (* aborted and unlocked by [in_txn]; surface the failure as an error
+         message and retire the echo message so it cannot loop *)
+      Log.warn (fun f -> f "echo timer for #%d aborted: %s" rid (exn_description e));
+      (try
+         in_txn t (fun txn ->
+             raise_error t txn ~kind:Errors.System_error
+               ~description:(exn_description e)
+               ~source_queue:echo_msg.Message.queue
+               ~initial_message:(Message.body echo_msg) ();
+             Qm.mark_processed t.qm txn echo_msg)
+       with e2 ->
+         Log.err (fun f ->
+             f "error routing for echo #%d failed: %s" rid (exn_description e2))))
+
 let advance_time t ticks =
   Clock.advance t.clk ticks;
-  let due = Timer_wheel.due_entries t.timers ~now:(Clock.now t.clk) in
   List.iter
-    (fun (rid, target) ->
-      match Qm.get t.qm rid with
-      | None -> ()
-      | Some echo_msg ->
-        t.s_timers_fired <- t.s_timers_fired + 1;
-        let txn = Store.begin_txn t.st in
-        enqueue_internal t txn ~trigger:(Some echo_msg) ~explicit:[] ~queue:target
-          ~payload:(Message.body echo_msg) ~origin_queue:echo_msg.Message.queue ();
-        Qm.mark_processed t.qm txn echo_msg;
-        Store.commit txn)
-    due
+    (function
+      | Timer_wheel.Echo { rid; target } -> fire_echo t ~rid ~target
+      | Timer_wheel.Retransmit { rid; attempt } -> (
+        match Qm.get t.qm rid with
+        | None -> ()  (* collected while awaiting retry: nothing to deliver *)
+        | Some m -> (
+          match Qm.find_queue t.qm m.Message.queue with
+          | Some qdef -> transmit t ~attempt m qdef
+          | None -> ())))
+    (Timer_wheel.due_entries t.timers ~now:(Clock.now t.clk))
 
 let run ?(max_steps = max_int) t =
   let processed = ref 0 in
   let continue_ = ref true in
+  (* [max_steps] bounds processed messages only: rescheduled duplicates and
+     collected rids are skipped inside [step] without touching the budget. *)
   while !continue_ && !processed < max_steps do
     let sent = pump_gateways t in
     match step t with
     | Processed _ -> incr processed
-    | Idle -> if sent = 0 && pump_gateways t = 0 then continue_ := false
+    | Idle ->
+      (* the pump above already drained the outboxes and an idle step adds
+         nothing to them, so a second pump would find no work *)
+      if sent = 0 then continue_ := false
   done;
   !processed
 
-let gc t =
-  let n = Qm.gc t.qm in
-  t.s_gc_collected <- t.s_gc_collected + n;
-  n
+let gc t = run_gc t
 
 let stats t =
   {
@@ -697,7 +866,18 @@ let stats t =
     timers_fired = t.s_timers_fired;
     gc_collected = t.s_gc_collected;
     prefilter_skips = t.s_prefilter_skips;
+    txn_aborts = t.s_txn_aborts;
+    transmit_retries = t.s_transmit_retries;
+    dead_letters = t.s_dead_letters;
   }
+
+let cache_sizes t =
+  [
+    ("node", Hashtbl.length t.node_cache);
+    ("name", Hashtbl.length t.name_cache);
+    ("sent", Hashtbl.length t.sent);
+    ("outbox", Hashtbl.fold (fun _ q n -> n + Queue.length q) t.outbox 0);
+  ]
 
 let pending_messages t = Scheduler.length t.sched
 let queue_contents t name = Qm.queue_messages t.qm name
@@ -788,11 +968,10 @@ let expose t ~name ~queue =
          with
          | Ok _ -> ()
          | Error e ->
-           let txn = Store.begin_txn t.st in
-           raise_error t txn ~kind:Errors.Schema_violation
-             ~description:(Qm.error_to_string e) ~source_queue:queue
-             ~initial_message:body ();
-           Store.commit txn);
+           in_txn t (fun txn ->
+               raise_error t txn ~kind:Errors.Schema_violation
+                 ~description:(Qm.error_to_string e) ~source_queue:queue
+                 ~initial_message:body ()));
         []);
     Ok ()
   | Some _ -> Error (Printf.sprintf "queue %s is not an incoming gateway" queue)
@@ -857,6 +1036,11 @@ let deploy ?(config = default_config) ?store:st ?network:net program_text =
       s_timers_fired = 0;
       s_gc_collected = 0;
       s_prefilter_skips = 0;
+      s_txn_aborts = 0;
+      s_transmit_retries = 0;
+      s_dead_letters = 0;
+      fault = None;
+      blamed_rule = None;
       trace_log = [];
       trace_len = 0;
     }
@@ -871,9 +1055,13 @@ let deploy ?(config = default_config) ?store:st ?network:net program_text =
         List.iter (note_outgoing t) (Qm.queue_messages qm qdef.Defs.qname))
     (Qm.queue_defs qm);
   let unprocessed = Qm.unprocessed qm in
-  List.iter
-    (fun (m : Message.t) -> Clock.set clk m.Message.enqueued_at)
-    (Qm.unprocessed qm);
+  (* Resume at the MAXIMUM stored timestamp in one step: list order is
+     arrival order, not time order, so folding element-wise assignments
+     could land on a stale tick and fire pending echo timers early. *)
+  Clock.set clk
+    (List.fold_left
+       (fun acc (m : Message.t) -> max acc m.Message.enqueued_at)
+       0 unprocessed);
   List.iter
     (fun (m : Message.t) ->
       match Qm.find_queue qm m.Message.queue with

@@ -35,6 +35,14 @@ type config = {
       (** last-resort error queue (§3.6 "system level") *)
   optimize : bool;  (** enable the rule compiler's rewrites *)
   node_name : string;  (** this node's transport address *)
+  transmit_retries : int;
+      (** retries (beyond the first attempt) granted to a failed reliable
+          transmission before the message is dead-lettered to its error
+          queue chain; retries are re-armed through the timer wheel with
+          bounded exponential backoff *)
+  retry_backoff : int;
+      (** base backoff in virtual-clock ticks; the delay before retry [n]
+          is [retry_backoff * 2^(n-1)] *)
 }
 
 val default_config : config
@@ -105,8 +113,18 @@ val advance_time : t -> int -> unit
 
 val run : ?max_steps:int -> t -> int
 (** Alternate {!step} and {!pump_gateways} until the node is quiescent (or
-    the step bound is hit); returns the number of messages processed. Does
-    not advance time. *)
+    the step bound is hit); returns the number of messages processed.
+    [max_steps] counts processed messages only — rescheduled duplicates and
+    already-collected rids are skipped for free. Does not advance time. *)
+
+(** {1 Fault injection} *)
+
+val set_fault : t -> Fault.t option -> unit
+(** Arm (or clear) deterministic fault injection: the engine consults the
+    handle before every rule evaluation and pending-update application.
+    Injected exceptions must abort the transaction, release all locks,
+    produce an error message (§3.6) and leave the engine running — the
+    crash-recovery suite asserts exactly that. *)
 
 val gc : t -> int
 (** Run the retention garbage collector (§2.3.3); returns collected count. *)
@@ -122,10 +140,21 @@ type stats = {
   timers_fired : int;
   gc_collected : int;
   prefilter_skips : int;
+  txn_aborts : int;
+      (** transactions rolled back because an exception escaped — every one
+          of them released its locks and became an error message *)
+  transmit_retries : int;  (** transmission attempts beyond the first *)
+  dead_letters : int;
+      (** reliable messages given up on after the retry budget (or a
+          crashed endpoint handler) and routed to the error queue chain *)
 }
 
 val stats : t -> stats
 val pending_messages : t -> int
+
+val cache_sizes : t -> (string * int) list
+(** Current entry counts of the per-rid caches ([node], [name], [sent],
+    [outbox]); the retention GC must shrink these alongside the store. *)
 
 (** {1 Execution tracing} *)
 

@@ -1,9 +1,14 @@
-(* Timers backing the echo queues (§2.1.3): a message placed into an echo
-   queue is re-enqueued into a target queue once its timeout expires. The
-   wheel stores (due-tick, echo-message rid, target queue) and releases the
-   due entries as the virtual clock advances. *)
+(* Timers backing the echo queues (§2.1.3) and gateway retransmissions: a
+   message placed into an echo queue is re-enqueued into a target queue
+   once its timeout expires, and a failed reliable transmission is re-armed
+   after its backoff delay. The wheel stores (due-tick, event) and releases
+   the due entries as the virtual clock advances. *)
 
-type entry = { due : int; seq : int; rid : int; target : string }
+type event =
+  | Echo of { rid : int; target : string }
+  | Retransmit of { rid : int; attempt : int }
+
+type entry = { due : int; seq : int; event : event }
 
 type t = { heap : entry Heap.t; mutable next_seq : int }
 
@@ -13,10 +18,15 @@ let compare_entries a b =
 
 let create () = { heap = Heap.create compare_entries; next_seq = 0 }
 
-let schedule t ~due ~rid ~target =
+let push t ~due event =
   let seq = t.next_seq in
   t.next_seq <- seq + 1;
-  Heap.push t.heap { due; seq; rid; target }
+  Heap.push t.heap { due; seq; event }
+
+let schedule t ~due ~rid ~target = push t ~due (Echo { rid; target })
+
+let schedule_retransmit t ~due ~rid ~attempt =
+  push t ~due (Retransmit { rid; attempt })
 
 (* All entries due at or before [now], in firing order. *)
 let due_entries t ~now =
@@ -24,7 +34,7 @@ let due_entries t ~now =
     match Heap.peek t.heap with
     | Some e when e.due <= now ->
       ignore (Heap.pop t.heap);
-      go ((e.rid, e.target) :: acc)
+      go (e.event :: acc)
     | _ -> List.rev acc
   in
   go []

@@ -1,19 +1,31 @@
-(** Timers backing the echo queues (§2.1.3): a message placed into an echo
-    queue reappears in its target queue once its timeout expires.
+(** Timers backing the echo queues (§2.1.3) and gateway retransmissions.
 
-    Entries are (due tick, echo-message rid, target queue) in a binary
-    heap; ties fire in registration order. The engine re-registers pending
-    timers from unprocessed echo-queue messages after a restart. *)
+    A message placed into an echo queue reappears in its target queue once
+    its timeout expires; a failed reliable transmission is retried after
+    its backoff delay. Entries are (due tick, event) in a binary heap; ties
+    fire in registration order. The engine re-registers pending echo timers
+    from unprocessed echo-queue messages after a restart (retransmission
+    state is rebuilt from the gateway outboxes instead). *)
+
+type event =
+  | Echo of { rid : int; target : string }
+      (** re-enqueue echo message [rid] into [target] *)
+  | Retransmit of { rid : int; attempt : int }
+      (** retry transmitting gateway message [rid]; [attempt] is the
+          1-based number of the attempt about to be made *)
 
 type t
 
 val create : unit -> t
 
 val schedule : t -> due:int -> rid:int -> target:string -> unit
+(** Register an echo timeout. *)
 
-val due_entries : t -> now:int -> (int * string) list
-(** Remove and return all (rid, target) entries due at or before [now],
-    in firing order. *)
+val schedule_retransmit : t -> due:int -> rid:int -> attempt:int -> unit
+(** Re-arm a failed reliable transmission. *)
+
+val due_entries : t -> now:int -> event list
+(** Remove and return all events due at or before [now], in firing order. *)
 
 val next_due : t -> int option
 (** The earliest pending deadline, if any. *)

@@ -300,9 +300,9 @@ let deletable t (m : Message.t) =
   m.Message.processed
   && List.for_all (fun mem -> not (membership_current t m mem)) m.Message.memberships
 
-let gc t =
+let gc_collect t =
   let doomed = List.filter (deletable t) (List.map (of_store_cached t) (Store.all_messages t.store)) in
-  if doomed = [] then 0
+  if doomed = [] then []
   else begin
     let txn = Store.begin_txn t.store in
     List.iter
@@ -318,8 +318,10 @@ let gc t =
           m.Message.memberships)
       doomed;
     Store.commit txn;
-    List.length doomed
+    List.map (fun (m : Message.t) -> m.Message.rid) doomed
   end
+
+let gc t = List.length (gc_collect t)
 
 let rebuild_indexes t =
   Hashtbl.iter (fun _ idx -> Btree.clear idx) t.indexes;

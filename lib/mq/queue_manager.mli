@@ -101,6 +101,11 @@ val gc : t -> int
     Index entries and cache entries for the collected messages are
     dropped. *)
 
+val gc_collect : t -> int list
+(** Like {!gc} but returns the rids of the collected messages, so callers
+    holding per-rid caches of their own (the engine's node, name-synopsis
+    and sent tables) can purge them. *)
+
 val rebuild_indexes : t -> unit
 (** Rebuild all slice indexes from the store (after recovery: index data is
     derived, §4.1). Called automatically by {!create}. *)

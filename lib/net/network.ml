@@ -124,25 +124,34 @@ let send t ?(reliable = false) ~from_ ~to_ payload =
       | None -> Lost
     end
     else begin
-      (* At-least-once: retry until delivered or retries exhausted. A late
-         duplicate delivery after a success is simulated by counting every
-         delivery past the first. *)
+      (* At-least-once: retry until acknowledged or retries exhausted. The
+         acknowledgement travels the same lossy wire, so a delivered attempt
+         whose ack is dropped makes the sender retry — and the endpoint
+         handler really is invoked again, so receiver-side deduplication is
+         exercised. Every delivery past the first counts as a duplicate. *)
+      let finish delivered_replies deliveries =
+        match delivered_replies with
+        | Some replies ->
+          if deliveries > 1 then t.duplicates <- t.duplicates + (deliveries - 1);
+          Sent replies
+        | None ->
+          t.failures <- t.failures + 1;
+          Failed (Timeout to_)
+      in
       let rec go tries delivered_replies deliveries =
-        if tries > t.max_retries then
-          match delivered_replies with
-          | Some replies ->
-            if deliveries > 1 then t.duplicates <- t.duplicates + (deliveries - 1);
-            Sent replies
-          | None ->
-            t.failures <- t.failures + 1;
-            Failed (Timeout to_)
+        if tries > t.max_retries then finish delivered_replies deliveries
         else
           match attempt t ep ~from_ ~to_ payload with
-          | Some replies -> (
-            match delivered_replies with
-            | Some _ -> go (t.max_retries + 1) delivered_replies (deliveries + 1)
-            | None -> go (t.max_retries + 1) (Some replies) (deliveries + 1))
           | None -> go (tries + 1) delivered_replies deliveries
+          | Some replies ->
+            let delivered_replies =
+              match delivered_replies with Some _ as r -> r | None -> Some replies
+            in
+            let ack_lost =
+              ep.drop_rate > 0.0 && Random.State.float t.rng 1.0 < ep.drop_rate
+            in
+            if ack_lost then go (tries + 1) delivered_replies (deliveries + 1)
+            else finish delivered_replies (deliveries + 1)
       in
       go 1 None 0
     end

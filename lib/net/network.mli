@@ -8,8 +8,11 @@
     - best-effort: a dropped message is silently lost;
     - reliable (WS-ReliableMessaging stand-in): delivery is retried up to a
       bounded number of times and reports a timeout failure if every
-      attempt is dropped. Retries can deliver duplicates, which is faithful
-      to at-least-once semantics.
+      attempt is dropped. The acknowledgement travels the same lossy wire:
+      when a delivered attempt's ack is lost, the sender retries and the
+      endpoint handler is {e invoked again} — receiver-side deduplication
+      really is exercised, faithful to at-least-once semantics. Every
+      delivery past the first counts in [stats.duplicates].
 
     Messages travel as serialized SOAP envelopes, so the gateway path
     exercises real XML serialization and parsing on both sides. *)

@@ -1,0 +1,302 @@
+(* Crash-safety tests: seeded fault injection (Fault) driven through the
+   engine. The contract under test is the one §3.1/§3.6 imply together:
+   whatever goes wrong while a message is processed — evaluator exceptions,
+   failures while pending updates are applied, torn WAL tails, abrupt
+   restarts, partitioned endpoints — the transaction aborts cleanly, all
+   locks are released, the failure becomes an error message, and the engine
+   keeps running. *)
+
+module Tree = Demaq.Xml.Tree
+module Store = Demaq.Store.Message_store
+module Wal = Demaq.Store.Wal
+module Lock = Demaq.Store.Lock_manager
+module Message = Demaq.Message
+module Net = Demaq.Network
+module S = Demaq.Server
+module Fault = Demaq.Engine.Fault
+module Clock = Demaq.Engine.Clock
+module Value = Demaq.Value
+module Sysprop = Demaq.Mq.Defs.Sysprop
+
+let check = Alcotest.check
+let bool_ = Alcotest.bool
+let int_ = Alcotest.int
+
+let xml = Demaq.xml
+
+let bodies srv q =
+  List.map (fun m -> Demaq.xml_to_string (Message.body m)) (S.queue_contents srv q)
+
+let inject_ok ?props srv queue payload =
+  match S.inject srv ?props ~queue (xml payload) with
+  | Ok m -> m
+  | Error e -> Alcotest.failf "inject: %s" (Demaq.Mq.Queue_manager.error_to_string e)
+
+let active_locks srv = Lock.active_locks (Store.locks (S.store srv))
+
+let fresh_dir tag =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "demaq-crash-%s-%d" tag (Unix.getpid ()))
+  in
+  if Sys.file_exists dir then
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  dir
+
+(* ---- evaluator exceptions ---- *)
+
+let ping_pong = {|
+create queue in kind basic mode persistent
+create queue out kind basic mode persistent
+create queue errs kind basic mode persistent
+create rule pong for in errorqueue errs
+  if (//ping) then do enqueue <pong>{string(//ping)}</pong> into out
+|}
+
+let test_eval_fault_aborts () =
+  (* An arbitrary (non-Eval_error) exception during rule evaluation must
+     abort the transaction, release every lock, surface as an evaluation
+     error message, and leave the engine able to process the next
+     message. *)
+  let srv = S.deploy ping_pong in
+  let f = Fault.create () in
+  Fault.fail_on_eval f 1;
+  S.set_fault srv (Some f);
+  ignore (inject_ok srv "in" "<ping>doomed</ping>");
+  ignore (inject_ok srv "in" "<ping>fine</ping>");
+  ignore (S.run srv);
+  check int_ "fault fired once" 1 (Fault.injected f);
+  check bool_ "transaction aborted" true ((S.stats srv).S.txn_aborts >= 1);
+  check int_ "lock table empty" 0 (active_locks srv);
+  check int_ "failure became an error message" 1 (List.length (bodies srv "errs"));
+  (* the faulted message produced nothing; the next one went through *)
+  check bool_ "engine kept running" true (bodies srv "out" = [ "<pong>fine</pong>" ]);
+  check int_ "idle afterwards" 0 (S.run srv)
+
+let two_rules = {|
+create queue in kind basic mode persistent
+create queue out kind basic mode persistent
+create queue errs kind basic mode persistent
+create rule first for in errorqueue errs
+  if (//ping) then do enqueue <a/> into out
+create rule second for in errorqueue errs
+  if (//ping) then do enqueue <b/> into out
+|}
+
+let test_apply_fault_rolls_back () =
+  (* Both rules evaluate against the snapshot, then both pending updates
+     apply in the same transaction. Failing the second application must
+     also undo the first — no partially applied update list survives. *)
+  let srv = S.deploy two_rules in
+  let f = Fault.create () in
+  Fault.fail_on_apply f 2;
+  S.set_fault srv (Some f);
+  ignore (inject_ok srv "in" "<ping/>");
+  ignore (S.run srv);
+  check int_ "fault fired" 1 (Fault.injected f);
+  check int_ "first enqueue rolled back with the second" 0
+    (List.length (bodies srv "out"));
+  check int_ "error routed" 1 (List.length (bodies srv "errs"));
+  check int_ "lock table empty" 0 (active_locks srv);
+  (* disarmed, the same input processes normally *)
+  Fault.disarm f;
+  ignore (inject_ok srv "in" "<ping/>");
+  ignore (S.run srv);
+  check int_ "both updates applied after disarm" 2 (List.length (bodies srv "out"))
+
+let test_flaky_evaluator_drains () =
+  (* Random evaluator failures under load: every abort routes an error and
+     nothing wedges — the agenda still drains and the lock table ends
+     empty. *)
+  let srv = S.deploy ping_pong in
+  let f = Fault.create ~seed:7 () in
+  Fault.set_eval_failure_rate f 0.3;
+  S.set_fault srv (Some f);
+  for i = 1 to 40 do
+    ignore (inject_ok srv "in" (Printf.sprintf "<ping>%d</ping>" i))
+  done;
+  ignore (S.run srv);
+  check bool_ "some faults actually fired" true (Fault.injected f >= 1);
+  check int_ "aborts match injected faults" (Fault.injected f)
+    (S.stats srv).S.txn_aborts;
+  check int_ "every abort routed an error" (Fault.injected f)
+    (List.length (bodies srv "errs"));
+  check int_ "survivors all produced output" (40 - Fault.injected f)
+    (List.length (bodies srv "out"));
+  check int_ "lock table empty" 0 (active_locks srv);
+  check int_ "agenda drained" 0 (S.pending_messages srv)
+
+(* ---- transmission retry and dead-lettering ---- *)
+
+let gateway_program = {|
+create queue out kind outgoingGateway mode persistent
+  using WS-ReliableMessaging policy pol.xml
+create queue errs kind basic mode persistent
+create queue work kind basic mode persistent
+create rule send for work errorqueue errs
+  if (//order) then do enqueue <request>{string(//order/id)}</request> into out
+|}
+
+let test_retry_after_reconnect () =
+  (* A partitioned endpoint that comes back: the failed transmission is
+     re-armed through the timer wheel and delivered after reconnection —
+     exactly once, with no error message. *)
+  let net = Net.create () in
+  let received = ref [] in
+  Net.register net ~name:"partner" ~handler:(fun ~sender:_ body ->
+      received := Demaq.xml_to_string body :: !received;
+      []);
+  let srv = S.deploy ~network:net gateway_program in
+  S.bind_gateway srv ~queue:"out" ~endpoint:"partner" ();
+  Fault.partition net "partner";
+  ignore (inject_ok srv "work" "<order><id>44</id></order>");
+  ignore (S.run srv);
+  check int_ "nothing delivered while partitioned" 0 (List.length !received);
+  Fault.reconnect net "partner";
+  S.advance_time srv 10;
+  ignore (S.run srv);
+  check bool_ "delivered exactly once after reconnect" true
+    (!received = [ "<request>44</request>" ]);
+  check bool_ "a retry was used" true ((S.stats srv).S.transmit_retries >= 1);
+  check int_ "no dead letter" 0 (S.stats srv).S.dead_letters;
+  check int_ "no error message" 0 (List.length (bodies srv "errs"))
+
+let test_dead_letter_after_exhaustion () =
+  (* An endpoint that never comes back: after the retry budget the message
+     is dead-lettered to the rule's error queue instead of being silently
+     dropped or wedging the engine. *)
+  let net = Net.create () in
+  let received = ref 0 in
+  Net.register net ~name:"partner" ~handler:(fun ~sender:_ _ ->
+      incr received;
+      []);
+  let srv = S.deploy ~network:net gateway_program in
+  S.bind_gateway srv ~queue:"out" ~endpoint:"partner" ();
+  Fault.partition net "partner";
+  ignore (inject_ok srv "work" "<order><id>45</id></order>");
+  ignore (S.run srv);
+  for _ = 1 to 8 do
+    S.advance_time srv 10;
+    ignore (S.run srv)
+  done;
+  check int_ "never delivered" 0 !received;
+  check int_ "dead-lettered once" 1 (S.stats srv).S.dead_letters;
+  check int_ "retry budget spent" (S.config srv).S.transmit_retries
+    (S.stats srv).S.transmit_retries;
+  check int_ "one error message" 1 (List.length (bodies srv "errs"));
+  (* the engine is still alive for ordinary traffic *)
+  Fault.reconnect net "partner";
+  ignore (inject_ok srv "work" "<order><id>46</id></order>");
+  ignore (S.run srv);
+  check int_ "later message delivered" 1 !received
+
+let test_duplicate_delivery_dedup () =
+  (* The reliable transport really re-invokes the endpoint handler when an
+     acknowledgement is lost — duplicates are not just a counter. *)
+  let net = Net.create ~seed:3 () in
+  let invocations = ref 0 in
+  Net.register net ~name:"dup" ~handler:(fun ~sender:_ _ ->
+      incr invocations;
+      []);
+  Net.set_drop_rate net "dup" 0.5;
+  for _ = 1 to 20 do
+    ignore (Net.send net ~reliable:true ~from_:"me" ~to_:"dup" (xml "<m/>"))
+  done;
+  let st = Net.stats net in
+  check bool_ "acks were lost" true (st.Net.duplicates >= 1);
+  check int_ "every delivery hit the handler" st.Net.delivered !invocations;
+  check bool_ "handler saw more than one delivery per message" true
+    (!invocations > st.Net.delivered - st.Net.duplicates)
+
+(* ---- crash/restart ---- *)
+
+let test_crash_restart_exactly_once () =
+  (* Kill-and-redeploy without a checkpoint: committed work is preserved,
+     interrupted work is redone — each input yields exactly one output. *)
+  let dir = fresh_dir "restart" in
+  let cfg = Store.durable_config ~sync:Wal.Sync_never dir in
+  let st = Store.open_store cfg in
+  let srv = S.deploy ~store:st ping_pong in
+  ignore (inject_ok srv "in" "<ping>a</ping>");
+  ignore (inject_ok srv "in" "<ping>b</ping>");
+  ignore (S.step srv);
+  let st2 = Fault.crash_restart cfg st in
+  let srv2 = S.deploy ~store:st2 ping_pong in
+  ignore (S.run srv2);
+  check bool_ "both pongs exactly once" true
+    (List.sort compare (bodies srv2 "out") = [ "<pong>a</pong>"; "<pong>b</pong>" ]);
+  check int_ "lock table empty" 0 (active_locks srv2);
+  Store.close st2
+
+let test_torn_wal_tail () =
+  (* A crash mid-append leaves a torn final record: recovery must keep the
+     intact prefix and drop only the damaged transaction. *)
+  let dir = fresh_dir "torn" in
+  let cfg = Store.durable_config ~sync:Wal.Sync_never dir in
+  let st = Store.open_store cfg in
+  let srv = S.deploy ~store:st ping_pong in
+  ignore (inject_ok srv "in" "<ping>keep</ping>");
+  ignore (S.run srv);
+  (* this inject's commit record gets torn: the message never happened *)
+  ignore (inject_ok srv "in" "<ping>torn</ping>");
+  let st2 = Fault.crash_restart ~tear_bytes:3 cfg st in
+  let srv2 = S.deploy ~store:st2 ping_pong in
+  ignore (S.run srv2);
+  check bool_ "intact prefix survives, torn txn is gone" true
+    (bodies srv2 "out" = [ "<pong>keep</pong>" ]);
+  check int_ "idle" 0 (S.run srv2);
+  Store.close st2
+
+let test_clock_monotonic_after_restart () =
+  (* Recovery resumes the virtual clock at the MAXIMUM stored timestamp,
+     regardless of the order unprocessed messages are listed in — a
+     restarted node must never observe time running backwards. *)
+  let dir = fresh_dir "clock" in
+  let cfg = Store.durable_config ~sync:Wal.Sync_never dir in
+  let st = Store.open_store cfg in
+  let srv = S.deploy ~store:st ping_pong in
+  ignore
+    (inject_ok srv ~props:[ (Sysprop.timestamp, Value.Integer 50) ] "in"
+       "<ping>late</ping>");
+  ignore
+    (inject_ok srv ~props:[ (Sysprop.timestamp, Value.Integer 10) ] "in"
+       "<ping>early</ping>");
+  let st2 = Fault.crash_restart cfg st in
+  let srv2 = S.deploy ~store:st2 ping_pong in
+  check int_ "clock resumed at max timestamp" 50 (Clock.now (S.clock srv2));
+  ignore (S.run srv2);
+  check int_ "both processed" 2 (List.length (bodies srv2 "out"));
+  Store.close st2
+
+(* ---- retention GC and the per-rid caches ---- *)
+
+let test_gc_purges_caches () =
+  (* Collecting messages must also purge every in-memory per-rid cache; a
+     long-running node otherwise leaks node trees, names and sent-markers
+     for messages that no longer exist. *)
+  let srv = S.deploy ping_pong in
+  for i = 1 to 10 do
+    ignore (inject_ok srv "in" (Printf.sprintf "<ping>%d</ping>" i))
+  done;
+  ignore (S.run srv);
+  check bool_ "caches populated during processing" true
+    (List.exists (fun (_, n) -> n > 0) (S.cache_sizes srv));
+  let collected = S.gc srv in
+  check bool_ "everything collectible was collected" true (collected >= 20);
+  List.iter
+    (fun (name, n) -> check int_ (Printf.sprintf "%s cache purged" name) 0 n)
+    (S.cache_sizes srv)
+
+let suite =
+  [
+    ("eval fault aborts cleanly", `Quick, test_eval_fault_aborts);
+    ("apply fault rolls back prior updates", `Quick, test_apply_fault_rolls_back);
+    ("flaky evaluator under load drains", `Quick, test_flaky_evaluator_drains);
+    ("retry after reconnect", `Quick, test_retry_after_reconnect);
+    ("dead letter after retry exhaustion", `Quick, test_dead_letter_after_exhaustion);
+    ("lost acks re-invoke the handler", `Quick, test_duplicate_delivery_dedup);
+    ("crash/restart processes exactly once", `Quick, test_crash_restart_exactly_once);
+    ("torn WAL tail keeps intact prefix", `Quick, test_torn_wal_tail);
+    ("clock monotonic after restart", `Quick, test_clock_monotonic_after_restart);
+    ("gc purges per-rid caches", `Quick, test_gc_purges_caches);
+  ]

@@ -387,7 +387,9 @@ let test_gateway_roundtrip () =
 
 let test_gateway_disconnected_error () =
   (* Fig. 10: a disconnected endpoint becomes an /error/disconnectedTransport
-     message routed to the errorqueue of the rule that created the message *)
+     message routed to the errorqueue of the rule that created the message.
+     The gateway is reliable, so the error only appears once the retry
+     budget is spent (retries are re-armed through the virtual clock). *)
   let net = Net.create () in
   Net.register net ~name:"partner" ~handler:(fun ~sender:_ _ -> []);
   Net.set_connected net "partner" false;
@@ -395,6 +397,12 @@ let test_gateway_disconnected_error () =
   S.bind_gateway srv ~queue:"out" ~endpoint:"partner" ();
   ignore (inject_ok srv "work" "<order><id>9</id></order>");
   ignore (S.run srv);
+  check int_ "no error while retries remain" 0 (List.length (bodies srv "errs"));
+  for _ = 1 to 8 do
+    S.advance_time srv 10;
+    ignore (S.run srv)
+  done;
+  check int_ "dead-lettered after retries" 1 (S.stats srv).S.dead_letters;
   match S.queue_contents srv "errs" with
   | [ err ] ->
     let body = Demaq.xml_to_string (Message.body err) in

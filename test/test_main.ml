@@ -14,6 +14,7 @@ let () =
       ("mq", Test_mq.suite);
       ("lang", Test_lang.suite);
       ("engine", Test_engine.suite);
+      ("crash", Test_crash.suite);
       ("procurement", Test_procurement.suite);
       ("baseline", Test_baseline.suite);
       ("evolution", Test_evolution.suite);

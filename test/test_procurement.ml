@@ -397,14 +397,23 @@ let test_gateway_uses_reliable_messaging () =
   check bool_ "offer still produced" true (List.length !(w.customer_inbox) = 1)
 
 let test_reliable_retries_exhausted () =
-  (* a fully dead wire: the reliable gateway retries a bounded number of
-     times and then reports a delivery timeout as an error message *)
+  (* a fully dead wire: the transport retries a bounded number of times per
+     transmission, the engine re-arms the transmission with backoff a
+     bounded number of times, and only then is the delivery timeout
+     reported as an error message (no silent drop) *)
   let w = make_world () in
   Net.set_drop_rate w.net "supplier" 1.0;
   ignore (inject_ok w "crm" (offer_request "r8x"));
   ignore (S.run w.srv);
-  check int_ "all retries used" 5 (Net.stats w.net).Net.attempts;
+  check int_ "wire-level retries used" 5 (Net.stats w.net).Net.attempts;
+  for _ = 1 to 8 do
+    S.advance_time w.srv 10;
+    ignore (S.run w.srv)
+  done;
+  let retries = (S.config w.srv).S.transmit_retries in
+  check int_ "engine-level retries used" (5 * (retries + 1)) (Net.stats w.net).Net.attempts;
   check bool_ "timeout surfaced as error" true ((S.stats w.srv).S.errors_raised >= 1);
+  check int_ "dead-lettered" 1 (S.stats w.srv).S.dead_letters;
   check int_ "no answer" 0 (List.length !(w.customer_inbox))
 
 let test_stats_plausible () =
