@@ -30,6 +30,19 @@ module Ctx = Demaq.Baseline.Context_engine
 let quick = ref false
 let scale n = if !quick then max 1 (n / 5) else n
 
+(* Machine-readable results: benches push JSON objects here and --json
+   FILE writes them out (the PR trajectory data, e.g. BENCH_PR2.json). *)
+let json_entries : string list ref = ref []
+let json_add entry = json_entries := !json_entries @ [ entry ]
+
+let write_json file =
+  let oc = open_out file in
+  Printf.fprintf oc "{\n  \"suite\": \"demaq-bench\",\n  \"quick\": %b,\n  \"benches\": [\n%s\n  ]\n}\n"
+    !quick
+    (String.concat ",\n" (List.map (fun e -> "    " ^ e) !json_entries));
+  close_out oc;
+  Printf.printf "\nwrote %s\n" file
+
 let time_it f =
   let t0 = Unix.gettimeofday () in
   let r = f () in
@@ -413,29 +426,38 @@ let b6_run ~messages ~log_deletions =
       Store.delete txn rid;
       Store.commit txn)
     rids;
-  let wal_bytes = (Store.stats st).Store.wal_bytes in
+  let stats = Store.stats st in
+  let wal_bytes = stats.Store.wal_bytes in
+  let wal_syncs = stats.Store.wal_syncs in
   Store.close st;
   let t_recover = secs (fun () -> Store.close (Store.open_store cfg)) in
-  (wal_bytes, t_recover)
+  (wal_bytes, wal_syncs, t_recover)
 
 let b6 () =
   headline "B6 recovery"
     "not logging deletions (retention is re-derived) shrinks the log (§4.1)";
   table_header
     [ ("messages", 9); ("log KB (deletes logged)", 23);
-      ("log KB (re-derived)", 19); ("recover ms A", 12); ("recover ms B", 12) ];
+      ("log KB (re-derived)", 19); ("delta KB", 9); ("syncs A/B", 9);
+      ("recover ms A", 12); ("recover ms B", 12) ];
   List.iter
     (fun messages ->
-      let bytes_a, rec_a = b6_run ~messages ~log_deletions:true in
-      let bytes_b, rec_b = b6_run ~messages ~log_deletions:false in
+      let bytes_a, syncs_a, rec_a = b6_run ~messages ~log_deletions:true in
+      let bytes_b, syncs_b, rec_b = b6_run ~messages ~log_deletions:false in
       row
         [
           cell 9 "%d" messages;
           cell 23 "%.1f" (float bytes_a /. 1024.);
           cell 19 "%.1f" (float bytes_b /. 1024.);
+          cell 9 "%.1f" (float (bytes_a - bytes_b) /. 1024.);
+          cell 9 "%d/%d" syncs_a syncs_b;
           cell 12 "%.2f" (rec_a *. 1e3);
           cell 12 "%.2f" (rec_b *. 1e3);
-        ])
+        ];
+      json_add
+        (Printf.sprintf
+           "{\"bench\": \"B6\", \"messages\": %d, \"wal_bytes_logged\": %d, \"wal_bytes_rederived\": %d, \"wal_syncs_logged\": %d, \"wal_syncs_rederived\": %d}"
+           messages bytes_a bytes_b syncs_a syncs_b))
     [ scale 500; scale 2000 ];
   register_bechamel "B6/retire-with-delete-log" (fun () ->
       ignore (b6_run ~messages:50 ~log_deletions:true));
@@ -684,6 +706,127 @@ let b10 () =
       ignore (b10_run ~messages:50 `Transient));
   register_bechamel "B10/persistent-enqueue" (fun () ->
       ignore (b10_run ~messages:50 `Nosync))
+
+(* ------------------------------------------------------------------ *)
+(* B11: group commit — fsync amortized over a batch (§4.1; Gray,       *)
+(* "Queues Are Databases")                                             *)
+(* ------------------------------------------------------------------ *)
+
+let b11_dir tag =
+  let dir = Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "demaq-bench-b11-%s-%d" tag (Unix.getpid ())) in
+  if Sys.file_exists dir then
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  dir
+
+(* One durable single-insert transaction per message — the §3.1 shape —
+   with the WAL either syncing every commit or amortizing the fsync over
+   [batch] commits via the auto-barrier, plus a final hardening barrier. *)
+let b11_store_run ~messages ~batch =
+  let sync =
+    if batch <= 1 then Wal.Sync_always
+    else Wal.Sync_batch { max_records = batch; max_bytes = 0 }
+  in
+  let st =
+    Store.open_store (Store.durable_config ~sync (b11_dir (string_of_int batch)))
+  in
+  let payload = "<m>" ^ String.make 128 'p' ^ "</m>" in
+  let t =
+    secs (fun () ->
+        for i = 1 to messages do
+          let txn = Store.begin_txn st in
+          ignore (Store.insert txn ~queue:"q" ~payload ~extra:"" ~enqueued_at:i ~durable:true);
+          Store.commit txn
+        done;
+        (* harden the tail: the run is not durable until the last barrier *)
+        ignore (Store.barrier st))
+  in
+  let syncs = (Store.stats st).Store.wal_syncs in
+  Store.close st;
+  (t, syncs)
+
+(* End-to-end: the server's batched run loop over a durable store, one
+   durability barrier per batch, transmissions deferred past it. *)
+let b11_engine_run ~messages ~batch =
+  let program = {|
+    create queue in kind basic mode persistent
+    create queue out kind basic mode persistent
+    create rule fwd for in if (//m) then do enqueue <ack/> into out
+  |} in
+  let group = batch > 1 in
+  let sync =
+    if group then Wal.Sync_batch { max_records = batch; max_bytes = 0 }
+    else Wal.Sync_always
+  in
+  let store = Store.open_store (Store.durable_config ~sync (b11_dir (Printf.sprintf "e2e-%d" batch))) in
+  let cfg = { S.default_config with S.batch_size = batch; group_commit = group } in
+  let srv = S.deploy ~config:cfg ~store program in
+  for i = 1 to messages do
+    ignore (S.inject srv ~queue:"in" (Demaq.xml (Printf.sprintf "<m n='%d'/>" i)))
+  done;
+  let t = secs (fun () -> ignore (S.run srv)) in
+  let st = S.stats srv in
+  Store.close store;
+  (t, st.S.syncs_per_message, st.S.batch_fill)
+
+let b11 () =
+  headline "B11 group_commit"
+    "group commit: one fsync per batch of commits instead of one per message";
+  table_header
+    [ ("batch", 6); ("messages", 9); ("msg/s", 10); ("fsyncs", 7);
+      ("syncs/msg", 10); ("speedup", 8) ];
+  let messages = scale 1000 in
+  let t_base = ref 0. in
+  let results =
+    List.map
+      (fun batch ->
+        let t, syncs = b11_store_run ~messages ~batch in
+        if batch = 1 then t_base := t;
+        let speedup = !t_base /. t in
+        row
+          [
+            cell 6 "%d" batch; cell 9 "%d" messages;
+            cell 10 "%.0f" (float messages /. t);
+            cell 7 "%d" syncs;
+            cell 10 "%.3f" (float syncs /. float messages);
+            cell 8 "%.1fx" speedup;
+          ];
+        Printf.sprintf
+          "{\"batch\": %d, \"messages\": %d, \"msg_per_s\": %.0f, \"wal_syncs\": %d, \"speedup\": %.2f}"
+          batch messages (float messages /. t) syncs speedup)
+      [ 1; 8; 32; 128; 256 ]
+  in
+  json_add
+    (Printf.sprintf "{\"bench\": \"B11\", \"mode\": \"store\", \"results\": [%s]}"
+       (String.concat ", " results));
+  Printf.printf "\nend-to-end (batched run loop, barrier before transmissions):\n";
+  table_header
+    [ ("batch", 6); ("messages", 9); ("msg/s", 10); ("syncs/msg", 10);
+      ("batch fill", 10) ];
+  let e2e_messages = scale 500 in
+  let e2e =
+    List.map
+      (fun batch ->
+        let t, spm, fill = b11_engine_run ~messages:e2e_messages ~batch in
+        row
+          [
+            cell 6 "%d" batch; cell 9 "%d" e2e_messages;
+            cell 10 "%.0f" (float e2e_messages /. t);
+            cell 10 "%.3f" spm;
+            cell 10 "%.1f" fill;
+          ];
+        Printf.sprintf
+          "{\"batch\": %d, \"messages\": %d, \"msg_per_s\": %.0f, \"syncs_per_message\": %.3f, \"batch_fill\": %.1f}"
+          batch e2e_messages (float e2e_messages /. t) spm fill)
+      [ 1; 32; 128 ]
+  in
+  json_add
+    (Printf.sprintf "{\"bench\": \"B11\", \"mode\": \"engine\", \"results\": [%s]}"
+       (String.concat ", " e2e));
+  register_bechamel "B11/sync-always-20msgs" (fun () ->
+      ignore (b11_store_run ~messages:20 ~batch:1));
+  register_bechamel "B11/group-commit-20msgs" (fun () ->
+      ignore (b11_store_run ~messages:20 ~batch:32))
 
 (* ------------------------------------------------------------------ *)
 (* Ablations: design choices called out in DESIGN.md §7                *)
@@ -965,21 +1108,22 @@ let run_bechamel () =
 
 let all_benches =
   [ ("B1", b1); ("B2", b2); ("B3", b3); ("B4", b4); ("B5", b5); ("B6", b6);
-    ("B7", b7); ("B8", b8); ("B9", b9); ("B10", b10);
+    ("B7", b7); ("B8", b8); ("B9", b9); ("B10", b10); ("B11", b11);
     ("A1", a1); ("A2", a2); ("A3", a3); ("A4", a4); ("A5", a5) ]
 
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
-  let args =
-    List.filter
-      (fun a ->
-        if a = "--quick" then begin
-          quick := true;
-          false
-        end
-        else true)
-      args
+  let json_file = ref None in
+  let rec parse acc = function
+    | [] -> List.rev acc
+    | "--quick" :: rest ->
+      quick := true;
+      parse acc rest
+    | "--json" :: file :: rest ->
+      json_file := Some file;
+      parse acc rest
+    | a :: rest -> parse (a :: acc) rest
   in
+  let args = parse [] (List.tl (Array.to_list Sys.argv)) in
   let selected =
     if args = [] then all_benches
     else List.filter (fun (id, _) -> List.mem id args) all_benches
@@ -989,4 +1133,5 @@ let () =
   Printf.printf "(see DESIGN.md section 5 for the bench index, EXPERIMENTS.md for results)\n";
   let _, total = time_it (fun () -> List.iter (fun (_, f) -> f ()) selected) in
   if args = [] then run_bechamel ();
+  Option.iter write_json !json_file;
   Printf.printf "\ntotal bench time: %.1f s\n" total

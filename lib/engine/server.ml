@@ -32,6 +32,8 @@ type config = {
   node_name : string;
   transmit_retries : int;
   retry_backoff : int;
+  batch_size : int;
+  group_commit : bool;
 }
 
 let default_config =
@@ -47,6 +49,8 @@ let default_config =
     node_name = "demaq-node";
     transmit_retries = 3;
     retry_backoff = 1;
+    batch_size = 1;
+    group_commit = false;
   }
 
 type gateway_binding = { endpoint : string; replies_to : string option }
@@ -72,6 +76,9 @@ type stats = {
   txn_aborts : int;
   transmit_retries : int;
   dead_letters : int;
+  wal_group_syncs : int;
+  batch_fill : float;
+  syncs_per_message : float;
 }
 
 type t = {
@@ -123,6 +130,14 @@ let config t = t.cfg
 let explain t = Compiler.explain t.compiled
 let set_fault t fault = t.fault <- fault
 
+(* Group commit (§4.1; Gray's "Queues Are Databases"): under
+   [Wal.Sync_batch] commits append their log record but defer the fsync;
+   [harden] issues the barrier that makes everything logged so far durable.
+   The engine must call it before any effect escapes the process — gateway
+   transmissions, timer-armed retries — so that no externalized action ever
+   references a transaction a crash could still lose. *)
+let harden t = if t.cfg.group_commit then ignore (Store.barrier t.st)
+
 (* Crash safety (§3.1, §3.6): every state change runs inside [in_txn], so
    that an exception anywhere — evaluator bugs, injected faults, broken
    endpoint handlers — aborts the transaction and releases its locks via
@@ -138,6 +153,9 @@ let in_txn t f =
   | exception e ->
     t.s_txn_aborts <- t.s_txn_aborts + 1;
     Store.abort txn;
+    (* earlier transactions of the current batch are committed but possibly
+       unsynced; an abort must not widen their exposure window *)
+    harden t;
     raise e
 
 let exn_description = function
@@ -791,6 +809,10 @@ let pump_gateways t =
             match Qm.get t.qm rid with
             | Some m ->
               incr count;
+              (* no transmission may precede the barrier covering the
+                 transaction that created (or error-routed) the message; a
+                 no-op when nothing is pending *)
+              harden t;
               transmit t m qdef
             | None -> ()  (* collected before transmission: nothing to do *)
         done
@@ -834,29 +856,45 @@ let advance_time t ticks =
         | None -> ()  (* collected while awaiting retry: nothing to deliver *)
         | Some m -> (
           match Qm.find_queue t.qm m.Message.queue with
-          | Some qdef -> transmit t ~attempt m qdef
+          | Some qdef ->
+            (* a timer-armed retry externalizes like any transmission *)
+            harden t;
+            transmit t ~attempt m qdef
           | None -> ())))
     (Timer_wheel.due_entries t.timers ~now:(Clock.now t.clk))
 
 let run ?(max_steps = max_int) t =
   let processed = ref 0 in
   let continue_ = ref true in
+  let batch_size = max 1 t.cfg.batch_size in
   (* [max_steps] bounds processed messages only: rescheduled duplicates and
      collected rids are skipped inside [step] without touching the budget. *)
   while !continue_ && !processed < max_steps do
+    (* drain up to [batch_size] messages back to back; their commits share
+       one durability barrier instead of paying one fsync each *)
+    let budget = min batch_size (max_steps - !processed) in
+    let in_batch = ref 0 in
+    let draining = ref true in
+    while !draining && !in_batch < budget do
+      match step t with
+      | Processed _ -> incr in_batch
+      | Idle -> draining := false
+    done;
+    processed := !processed + !in_batch;
+    (* one barrier covers the whole batch; [pump_gateways] re-checks it
+       before every transmission, so error-routing commits made while
+       pumping are hardened before they can externalize *)
+    harden t;
     let sent = pump_gateways t in
-    match step t with
-    | Processed _ -> incr processed
-    | Idle ->
-      (* the pump above already drained the outboxes and an idle step adds
-         nothing to them, so a second pump would find no work *)
-      if sent = 0 then continue_ := false
+    if !in_batch = 0 && sent = 0 then continue_ := false
   done;
   !processed
 
 let gc t = run_gc t
 
 let stats t =
+  let st = Store.stats t.st in
+  let group_syncs = st.Store.wal_group_syncs in
   {
     processed = t.s_processed;
     rule_evaluations = t.s_rule_evaluations;
@@ -869,6 +907,14 @@ let stats t =
     txn_aborts = t.s_txn_aborts;
     transmit_retries = t.s_transmit_retries;
     dead_letters = t.s_dead_letters;
+    wal_group_syncs = group_syncs;
+    batch_fill =
+      (if group_syncs > 0 then float_of_int t.s_processed /. float_of_int group_syncs
+       else 0.);
+    syncs_per_message =
+      (if t.s_processed > 0 then
+         float_of_int st.Store.wal_syncs /. float_of_int t.s_processed
+       else 0.);
   }
 
 let cache_sizes t =

@@ -43,6 +43,17 @@ type config = {
   retry_backoff : int;
       (** base backoff in virtual-clock ticks; the delay before retry [n]
           is [retry_backoff * 2^(n-1)] *)
+  batch_size : int;
+      (** messages drained back to back per {!run} cycle before the pump;
+          with [group_commit] their commits share one durability barrier
+          (one fsync per batch instead of one per message) *)
+  group_commit : bool;
+      (** issue durability barriers ({!Store.barrier}) at batch boundaries
+          and before every externalization (gateway transmission,
+          timer-armed retry). Meaningful with a [Wal.Sync_batch] store:
+          commits then defer their fsync to the next barrier, and the
+          engine guarantees no transmission precedes the barrier covering
+          the transaction that created the message. *)
 }
 
 val default_config : config
@@ -112,10 +123,11 @@ val advance_time : t -> int -> unit
 (** Advance the virtual clock and fire due echo-queue timeouts (§2.1.3). *)
 
 val run : ?max_steps:int -> t -> int
-(** Alternate {!step} and {!pump_gateways} until the node is quiescent (or
-    the step bound is hit); returns the number of messages processed.
-    [max_steps] counts processed messages only — rescheduled duplicates and
-    already-collected rids are skipped for free. Does not advance time. *)
+(** Drain up to [batch_size] messages, issue one durability barrier, then
+    {!pump_gateways}; repeat until the node is quiescent (or the step bound
+    is hit); returns the number of messages processed. [max_steps] counts
+    processed messages only — rescheduled duplicates and already-collected
+    rids are skipped for free. Does not advance time. *)
 
 (** {1 Fault injection} *)
 
@@ -147,6 +159,14 @@ type stats = {
   dead_letters : int;
       (** reliable messages given up on after the retry budget (or a
           crashed endpoint handler) and routed to the error queue chain *)
+  wal_group_syncs : int;
+      (** durability barriers that actually synced (group commit) *)
+  batch_fill : float;
+      (** average messages covered per barrier ([processed /
+          wal_group_syncs]); 0 when no barrier synced *)
+  syncs_per_message : float;
+      (** total WAL fsyncs per processed message — 1.0 under
+          [Sync_always], approaching [1/batch_size] under group commit *)
 }
 
 val stats : t -> stats

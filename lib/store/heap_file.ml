@@ -260,3 +260,4 @@ let iter t f =
   done
 
 let flush_pages t = Pager.flush t.pager
+let dirty_pages t = Pager.dirty_pages t.pager

@@ -39,3 +39,6 @@ val pager_stats : t -> Pager.stats
 
 val flush_pages : t -> unit
 (** Write all dirty pages back (used before a store checkpoint). *)
+
+val dirty_pages : t -> int
+(** Pages awaiting write-back; 0 means {!flush_pages} would be a no-op. *)

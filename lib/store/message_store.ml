@@ -43,6 +43,12 @@ type t = {
   mutable next_rid : int;
   mutable next_txn : int;
   mutable checkpoints : int;
+  mutable last_logged_txn : int;  (* highest txn with a WAL commit record *)
+  mutable durable_txn : int;  (* highest txn known synced to disk *)
+  mutable wal_records_at_checkpoint : int;
+      (* [Wal.records_written] as of the last checkpoint; -1 forces the
+         first checkpoint after a recovery replay (the log must still be
+         truncated even if this session wrote nothing new) *)
 }
 
 let payload t m =
@@ -233,6 +239,9 @@ let open_store config =
       next_rid = 1;
       next_txn = 1;
       checkpoints = 0;
+      last_logged_txn = 0;
+      durable_txn = 0;
+      wal_records_at_checkpoint = 0;
     }
   in
   match config.dir with
@@ -244,7 +253,14 @@ let open_store config =
       | Wal.Commit { ops; _ } -> List.iter (apply_op t) ops
       | Wal.Checkpoint -> ());
     sweep_heap_orphans t;
-    { t with wal = Some (Wal.open_log ~sync:config.sync (wal_path dir)) }
+    let wal = Wal.open_log ~sync:config.sync (wal_path dir) in
+    {
+      t with
+      wal = Some wal;
+      (* a non-empty recovered log must be truncated by the next
+         checkpoint even if no new records are written this session *)
+      wal_records_at_checkpoint = (if Wal.bytes_written wal > 0 then -1 else 0);
+    }
 
 let close t =
   Option.iter Wal.close t.wal;
@@ -326,11 +342,32 @@ let delete txn rid =
 let commit txn =
   check_active txn;
   txn.finished <- true;
-  (match txn.store.wal with
+  let t = txn.store in
+  (match t.wal with
    | Some wal when txn.ops <> [] ->
-     Wal.append wal (Wal.Commit { txn = txn.id; ops = List.rev txn.ops })
+     Wal.append wal (Wal.Commit { txn = txn.id; ops = List.rev txn.ops });
+     t.last_logged_txn <- txn.id;
+     (* under [Sync_always] (or an auto-barrier that just fired) nothing is
+        pending, so the commit is already hardened *)
+     if t.config.sync <> Wal.Sync_never && Wal.pending_records wal = 0 then
+       t.durable_txn <- txn.id
    | _ -> ());
-  Lock_manager.release_all txn.store.lock_mgr ~txn:txn.id
+  Lock_manager.release_all t.lock_mgr ~txn:txn.id
+
+(* ---- group commit ---- *)
+
+let barrier t =
+  match t.wal with
+  | None -> false
+  | Some wal ->
+    let synced = Wal.barrier wal in
+    if t.config.sync <> Wal.Sync_never && Wal.pending_records wal = 0 then
+      t.durable_txn <- t.last_logged_txn;
+    synced
+
+let durable_upto t = t.durable_txn
+let unsynced_commits t =
+  match t.wal with Some wal -> Wal.pending_records wal | None -> 0
 
 let abort txn =
   check_active txn;
@@ -398,16 +435,31 @@ let checkpoint t =
   (match t.config.dir with
    | None -> ()
    | Some dir ->
-     (* the snapshot references heap rids: the heap must be durable first *)
-     Option.iter Heap_file.flush_pages t.heap;
-     let tmp = snapshot_path dir ^ ".tmp" in
-     let oc = open_out_bin tmp in
-     output_string oc (encode_snapshot t);
-     flush oc;
-     Unix.fsync (Unix.descr_of_out_channel oc);
-     close_out oc;
-     Sys.rename tmp (snapshot_path dir);
-     Option.iter Wal.reset t.wal);
+     let wal_records =
+       match t.wal with Some wal -> Wal.records_written wal | None -> 0
+     in
+     let heap_dirty =
+       match t.heap with Some heap -> Heap_file.dirty_pages heap | None -> 0
+     in
+     if wal_records = t.wal_records_at_checkpoint && heap_dirty = 0 then
+       (* nothing reached the log or the heap since the last checkpoint:
+          the snapshot on disk is already current, skip the flush+fsync *)
+       ()
+     else begin
+       (* the snapshot references heap rids: the heap must be durable first *)
+       Option.iter Heap_file.flush_pages t.heap;
+       let tmp = snapshot_path dir ^ ".tmp" in
+       let oc = open_out_bin tmp in
+       output_string oc (encode_snapshot t);
+       flush oc;
+       Unix.fsync (Unix.descr_of_out_channel oc);
+       close_out oc;
+       Sys.rename tmp (snapshot_path dir);
+       Option.iter Wal.reset t.wal;
+       t.wal_records_at_checkpoint <- wal_records;
+       (* everything logged so far now lives in the fsynced snapshot *)
+       t.durable_txn <- t.last_logged_txn
+     end);
   drop_tombstones t;
   t.checkpoints <- t.checkpoints + 1
 
@@ -417,6 +469,7 @@ type stats = {
   wal_bytes : int;
   wal_records : int;
   wal_syncs : int;
+  wal_group_syncs : int;
   checkpoints : int;
   spilled_payloads : int;
   inline_bytes : int;
@@ -442,6 +495,8 @@ let stats t =
     wal_bytes = (match t.wal with Some w -> Wal.bytes_written w | None -> 0);
     wal_records = (match t.wal with Some w -> Wal.records_written w | None -> 0);
     wal_syncs = (match t.wal with Some w -> Wal.syncs_performed w | None -> 0);
+    wal_group_syncs =
+      (match t.wal with Some w -> Wal.group_syncs_performed w | None -> 0);
     checkpoints = t.checkpoints;
     spilled_payloads = spilled;
     inline_bytes;

@@ -86,6 +86,30 @@ val delete : txn -> int -> unit
 val commit : txn -> unit
 val abort : txn -> unit
 
+(** {1 Group commit}
+
+    Under {!Wal.Sync_batch} a commit appends its log record immediately but
+    the fsync is deferred; {!barrier} hardens everything logged so far with
+    one fsync (Gray's group commit). Callers that externalize effects —
+    network transmissions, timer-armed retries — must wait for the barrier
+    covering the committing transaction, or a crash could lose a commit
+    whose effects already escaped. *)
+
+val barrier : t -> bool
+(** One fsync covering every commit since the last barrier. Returns [true]
+    iff a sync was actually performed (mode is [Sync_batch] and commits
+    were pending). No-op under [Sync_always] (each commit already synced)
+    and [Sync_never] (durability opted out). *)
+
+val durable_upto : t -> int
+(** The highest transaction id known hardened on disk: every transaction
+    with [txn_id <= durable_upto] survives a crash. Always 0 for in-memory
+    or [Sync_never] stores. *)
+
+val unsynced_commits : t -> int
+(** Commit records appended but not yet covered by a barrier — the
+    exposure of the current batch. Always 0 outside [Sync_batch]. *)
+
 (** {1 Reads} *)
 
 val get : t -> int -> message option
@@ -105,7 +129,10 @@ val unprocessed : t -> message list
 (** {1 Maintenance} *)
 
 val checkpoint : t -> unit
-(** Writes a snapshot, drops tombstoned messages, truncates the log. *)
+(** Writes a snapshot, drops tombstoned messages, truncates the log. When
+    nothing reached the log or the heap file since the last checkpoint the
+    snapshot write and its fsync are skipped (tombstones are still
+    dropped). *)
 
 type stats = {
   live_messages : int;
@@ -113,6 +140,7 @@ type stats = {
   wal_bytes : int;
   wal_records : int;
   wal_syncs : int;
+  wal_group_syncs : int;  (** barriers that actually synced *)
   checkpoints : int;
   spilled_payloads : int;
   inline_bytes : int;  (** memory held by inline bodies *)

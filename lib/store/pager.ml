@@ -150,6 +150,11 @@ let update_page t page_no f =
 let flush t =
   Array.iter (fun frame -> if frame.page_no >= 0 && frame.dirty then write_frame t frame) t.pool
 
+let dirty_pages t =
+  Array.fold_left
+    (fun n frame -> if frame.page_no >= 0 && frame.dirty then n + 1 else n)
+    0 t.pool
+
 let close t =
   flush t;
   Unix.close t.fd

@@ -48,6 +48,10 @@ val update_page : t -> int -> (Bytes.t -> 'a) -> 'a
 
 val flush : t -> unit
 
+val dirty_pages : t -> int
+(** Frames in the pool awaiting write-back. A checkpoint with no dirty
+    pages (and no new WAL records) can skip its flush entirely. *)
+
 type stats = {
   pages : int;
   pool_hits : int;

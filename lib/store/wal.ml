@@ -28,16 +28,24 @@ type record =
   | Commit of { txn : int; ops : op list }
   | Checkpoint
 
-type sync_mode = Sync_always | Sync_never
+type sync_mode =
+  | Sync_always
+  | Sync_never
+  | Sync_batch of { max_records : int; max_bytes : int }
 
 type t = {
   path : string;
   mutable oc : out_channel;
   mutable fd : Unix.file_descr;
   sync : sync_mode;
+  scratch : Buffer.t;  (* record bodies are encoded into this, reused *)
+  header : Bytes.t;  (* 16-byte length+crc frame header, reused *)
   mutable bytes : int;
   mutable records : int;
   mutable syncs : int;
+  mutable group_syncs : int;
+  mutable pending_records : int;  (* appended since the last fsync (Sync_batch) *)
+  mutable pending_bytes : int;
 }
 
 let encode_op buf op =
@@ -68,11 +76,23 @@ let read_tag r =
   r.Codec.pos <- r.Codec.pos + 1;
   tag
 
+(* Queue names recur in every [Insert] record; interning them makes a
+   large-log replay share one string per distinct queue instead of
+   allocating a copy per message. *)
+let interned_queues : (string, string) Hashtbl.t = Hashtbl.create 32
+
+let intern_queue s =
+  match Hashtbl.find_opt interned_queues s with
+  | Some s -> s
+  | None ->
+    if Hashtbl.length interned_queues < 1024 then Hashtbl.add interned_queues s s;
+    s
+
 let decode_op r =
   match read_tag r with
   | 'I' ->
     let rid = Codec.get_int r in
-    let queue = Codec.get_string r in
+    let queue = intern_queue (Codec.get_string r) in
     let payload = Codec.get_string r in
     let extra = Codec.get_string r in
     let enqueued_at = Codec.get_int r in
@@ -89,15 +109,13 @@ let decode_op r =
     Delete { rid; image }
   | c -> raise (Codec.Decode_error (Printf.sprintf "unknown op tag %C" c))
 
-let encode_record rec_ =
-  let buf = Buffer.create 128 in
-  (match rec_ with
-   | Commit { txn; ops } ->
-     Buffer.add_char buf 'C';
-     Codec.put_int buf txn;
-     Codec.put_list buf encode_op ops
-   | Checkpoint -> Buffer.add_char buf 'K');
-  Buffer.contents buf
+let encode_record_into buf rec_ =
+  match rec_ with
+  | Commit { txn; ops } ->
+    Buffer.add_char buf 'C';
+    Codec.put_int buf txn;
+    Codec.put_list buf encode_op ops
+  | Checkpoint -> Buffer.add_char buf 'K'
 
 let decode_record body =
   let r = Codec.reader body in
@@ -113,30 +131,72 @@ let open_log ?(sync = Sync_always) path =
   let oc = open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path in
   let fd = Unix.descr_of_out_channel oc in
   let bytes = (Unix.fstat fd).Unix.st_size in
-  { path; oc; fd; sync; bytes; records = 0; syncs = 0 }
+  {
+    path;
+    oc;
+    fd;
+    sync;
+    scratch = Buffer.create 256;
+    header = Bytes.create 16;
+    bytes;
+    records = 0;
+    syncs = 0;
+    group_syncs = 0;
+    pending_records = 0;
+    pending_bytes = 0;
+  }
+
+let do_fsync t =
+  flush t.oc;
+  Unix.fsync t.fd;
+  t.syncs <- t.syncs + 1;
+  t.pending_records <- 0;
+  t.pending_bytes <- 0
+
+(* One fsync covering every record appended since the last one. Commit
+   records are self-contained (recovery replays whatever intact prefix is
+   on disk), so Sync_batch can defer this barrier and amortize it over a
+   whole batch of transactions — Gray's group commit. *)
+let barrier t =
+  match t.sync with
+  | Sync_batch _ when t.pending_records > 0 ->
+    do_fsync t;
+    t.group_syncs <- t.group_syncs + 1;
+    true
+  | _ -> false
 
 let append t rec_ =
-  let body = encode_record rec_ in
-  let frame = Buffer.create (String.length body + 16) in
-  Codec.put_int frame (String.length body);
-  Codec.put_int frame (Crc32.string body);
-  Buffer.add_string frame body;
-  let s = Buffer.contents frame in
-  output_string t.oc s;
-  t.bytes <- t.bytes + String.length s;
+  Buffer.clear t.scratch;
+  encode_record_into t.scratch rec_;
+  let body = Buffer.contents t.scratch in
+  Bytes.set_int64_le t.header 0 (Int64.of_int (String.length body));
+  Bytes.set_int64_le t.header 8 (Int64.of_int (Crc32.string body));
+  output_bytes t.oc t.header;
+  output_string t.oc body;
+  let total = 16 + String.length body in
+  t.bytes <- t.bytes + total;
   t.records <- t.records + 1;
   match t.sync with
-  | Sync_always ->
-    flush t.oc;
-    Unix.fsync t.fd;
-    t.syncs <- t.syncs + 1
+  | Sync_always -> do_fsync t
   | Sync_never -> flush t.oc
+  | Sync_batch { max_records; max_bytes } ->
+    t.pending_records <- t.pending_records + 1;
+    t.pending_bytes <- t.pending_bytes + total;
+    if
+      (max_records > 0 && t.pending_records >= max_records)
+      || (max_bytes > 0 && t.pending_bytes >= max_bytes)
+    then ignore (barrier t)
 
 let bytes_written t = t.bytes
 let records_written t = t.records
 let syncs_performed t = t.syncs
+let group_syncs_performed t = t.group_syncs
+let pending_records t = t.pending_records
 
-let close t = close_out t.oc
+let close t =
+  (* an orderly shutdown hardens the tail of the last batch *)
+  ignore (barrier t);
+  close_out t.oc
 
 (* Truncate after a checkpoint: the snapshot now covers everything. *)
 let reset t =
@@ -144,7 +204,9 @@ let reset t =
   let oc = open_out_gen [ Open_wronly; Open_trunc; Open_creat; Open_binary ] 0o644 t.path in
   t.oc <- oc;
   t.fd <- Unix.descr_of_out_channel oc;
-  t.bytes <- 0
+  t.bytes <- 0;
+  t.pending_records <- 0;
+  t.pending_bytes <- 0
 
 (* Replay a log file, invoking [f] on every intact record. Stops silently at
    the first truncated or corrupt record (torn tail after a crash). *)

@@ -29,6 +29,13 @@ type record = Commit of { txn : int; ops : op list } | Checkpoint
 type sync_mode =
   | Sync_always  (** fsync per appended record (commit durability) *)
   | Sync_never  (** leave flushing to the OS page cache *)
+  | Sync_batch of { max_records : int; max_bytes : int }
+      (** group commit: records append immediately but the fsync is
+          deferred to the next {!barrier} (or to an automatic one when
+          more than [max_records] records / [max_bytes] bytes are
+          pending; 0 disables either trigger). Commit records are
+          self-contained, so recovery is unchanged — a crash merely
+          loses the unsynced tail of the current batch. *)
 
 type t
 
@@ -36,7 +43,17 @@ val open_log : ?sync:sync_mode -> string -> t
 (** Open (or create) the log file for appending. *)
 
 val append : t -> record -> unit
+
+val barrier : t -> bool
+(** One fsync covering every record appended since the last one. Returns
+    [true] iff a sync was actually performed — i.e. the mode is
+    [Sync_batch] and records were pending. [Sync_always] needs no
+    barrier; under [Sync_never] the caller opted out of durability and
+    the barrier stays a no-op. *)
+
 val close : t -> unit
+(** Closes the log; in [Sync_batch] mode an orderly close performs a
+    final barrier first. *)
 
 val reset : t -> unit
 (** Truncate after a checkpoint: the snapshot now covers everything. *)
@@ -46,8 +63,15 @@ val replay : string -> (record -> unit) -> unit
     silently at the first truncated or corrupt record. Missing files
     replay as empty. *)
 
-(** {1 Introspection (benchmarks B6/B10)} *)
+(** {1 Introspection (benchmarks B6/B10/B11)} *)
 
 val bytes_written : t -> int
 val records_written : t -> int
 val syncs_performed : t -> int
+
+val group_syncs_performed : t -> int
+(** Barriers that actually synced (each covered a whole batch). *)
+
+val pending_records : t -> int
+(** Records appended since the last fsync — the exposure of the current
+    batch. Always 0 outside [Sync_batch]. *)

@@ -1,6 +1,23 @@
 type t = { uri : string; local : string }
 
 let make ?(uri = "") local = { uri; local }
+
+(* Element and attribute names recur across every message a document
+   parses; hash-consing them makes each distinct (uri, local) pair one
+   shared allocation instead of one per occurrence. The table is bounded:
+   past the cap, names fall back to fresh allocation (hostile input with
+   unbounded distinct names cannot pin memory). *)
+let interned : (string * string, t) Hashtbl.t = Hashtbl.create 256
+let intern_cap = 4096
+
+let intern ?(uri = "") local =
+  let key = (uri, local) in
+  match Hashtbl.find_opt interned key with
+  | Some t -> t
+  | None ->
+    let t = { uri; local } in
+    if Hashtbl.length interned < intern_cap then Hashtbl.add interned key t;
+    t
 let uri t = t.uri
 let local t = t.local
 let equal a b = String.equal a.uri b.uri && String.equal a.local b.local

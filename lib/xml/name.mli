@@ -11,6 +11,13 @@ val make : ?uri:string -> string -> t
 (** [make ?uri local] builds a qualified name. [uri] defaults to the empty
     string, i.e. "no namespace". *)
 
+val intern : ?uri:string -> string -> t
+(** Like {!make}, but hash-conses the result: repeated occurrences of the
+    same (uri, local) pair share one value. Used by the parser, where a
+    document repeats a handful of element/attribute names thousands of
+    times. The intern table is bounded; past the cap this degrades to
+    {!make}. *)
+
 val uri : t -> string
 val local : t -> string
 

@@ -148,18 +148,18 @@ let read_attr_value st =
 let resolve_elem_name st env raw =
   let prefix, local = split_prefix raw in
   match List.assoc_opt prefix env with
-  | Some uri -> Name.make ~uri local
+  | Some uri -> Name.intern ~uri local
   | None ->
-    if prefix = "" then Name.make local
+    if prefix = "" then Name.intern local
     else error st ("unbound namespace prefix: " ^ prefix)
 
 let resolve_attr_name st env raw =
   let prefix, local = split_prefix raw in
   (* Unprefixed attributes are in no namespace, regardless of defaults. *)
-  if prefix = "" then Name.make local
+  if prefix = "" then Name.intern local
   else
     match List.assoc_opt prefix env with
-    | Some uri -> Name.make ~uri local
+    | Some uri -> Name.intern ~uri local
     | None -> error st ("unbound namespace prefix: " ^ prefix)
 
 let skip_comment st =

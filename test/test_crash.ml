@@ -268,6 +268,107 @@ let test_clock_monotonic_after_restart () =
   check int_ "both processed" 2 (List.length (bodies srv2 "out"));
   Store.close st2
 
+(* ---- group commit (Sync_batch) ---- *)
+
+let batch_cfg dir =
+  (* a threshold high enough that no auto-barrier fires: the tests place
+     every barrier themselves *)
+  Store.durable_config
+    ~sync:(Wal.Sync_batch { max_records = 1000; max_bytes = 0 })
+    dir
+
+let test_group_commit_torn_batch () =
+  (* A crash tearing the WAL mid-batch: everything up to the last barrier
+     replays, the commit record torn mid-write is dropped WHOLE (a
+     multi-insert transaction must not be half-replayed), and everything
+     after it is gone. *)
+  let dir = fresh_dir "group-torn" in
+  let cfg = batch_cfg dir in
+  let st = Store.open_store cfg in
+  (* txn A, then a barrier: the synced prefix *)
+  let txn = Store.begin_txn st in
+  ignore (Store.insert txn ~queue:"q" ~payload:"<m>a</m>" ~extra:"" ~enqueued_at:1 ~durable:true);
+  Store.commit txn;
+  check int_ "A pending before the barrier" 1 (Store.unsynced_commits st);
+  check bool_ "barrier synced" true (Store.barrier st);
+  check int_ "no exposure after the barrier" 0 (Store.unsynced_commits st);
+  let durable_after_a = Store.durable_upto st in
+  (* txn B: two inserts in ONE commit record, unsynced *)
+  let txn = Store.begin_txn st in
+  ignore (Store.insert txn ~queue:"q" ~payload:"<m>b1</m>" ~extra:"" ~enqueued_at:2 ~durable:true);
+  ignore (Store.insert txn ~queue:"q" ~payload:"<m>b2</m>" ~extra:"" ~enqueued_at:3 ~durable:true);
+  Store.commit txn;
+  let bytes_after_b = (Store.stats st).Store.wal_bytes in
+  (* txn C: also unsynced *)
+  let txn = Store.begin_txn st in
+  ignore (Store.insert txn ~queue:"q" ~payload:"<m>c</m>" ~extra:"" ~enqueued_at:4 ~durable:true);
+  Store.commit txn;
+  check int_ "durable watermark stuck at A" durable_after_a (Store.durable_upto st);
+  check int_ "B and C exposed" 2 (Store.unsynced_commits st);
+  let bytes_total = (Store.stats st).Store.wal_bytes in
+  (* tear all of C plus 3 bytes of B's record tail: mid-batch, mid-record *)
+  let st2 =
+    Fault.crash_restart ~tear_bytes:(bytes_total - bytes_after_b + 3) cfg st
+  in
+  let survivors = List.map (fun m -> Store.payload st2 m) (Store.all_messages st2) in
+  check bool_ "synced prefix replays; torn txn dropped whole" true
+    (survivors = [ "<m>a</m>" ]);
+  Store.close st2
+
+let test_no_transmission_before_barrier () =
+  (* The correctness crux of group commit: a gateway transmission must
+     never precede the barrier covering the transaction that created the
+     message. The endpoint handler checks the store's exposure window at
+     every single delivery. *)
+  let dir = fresh_dir "group-barrier" in
+  let cfg = batch_cfg dir in
+  let st = Store.open_store cfg in
+  let net = Net.create () in
+  let received = ref 0 in
+  let max_exposure = ref 0 in
+  Net.register net ~name:"partner" ~handler:(fun ~sender:_ _ ->
+      incr received;
+      max_exposure := max !max_exposure (Store.unsynced_commits st);
+      []);
+  let config = { S.default_config with S.batch_size = 16; group_commit = true } in
+  let srv = S.deploy ~config ~store:st ~network:net gateway_program in
+  S.bind_gateway srv ~queue:"out" ~endpoint:"partner" ();
+  for i = 1 to 40 do
+    ignore (inject_ok srv "work" (Printf.sprintf "<order><id>%d</id></order>" i))
+  done;
+  ignore (S.run srv);
+  check int_ "all deliveries arrived" 40 !received;
+  check int_ "no delivery ever saw an unsynced commit" 0 !max_exposure;
+  let stats = S.stats srv in
+  check bool_ "barriers actually grouped" true (stats.S.wal_group_syncs >= 1);
+  (* 40 injects + 40 processing commits: far fewer fsyncs than commits *)
+  check bool_ "fsyncs amortized over batches" true
+    ((Store.stats st).Store.wal_syncs < 40);
+  check bool_ "batch fill above one" true (stats.S.batch_fill > 1.0);
+  Store.close st
+
+let test_group_commit_crash_restart_exactly_once () =
+  (* Group commit must not weaken the exactly-once contract: kill the node
+     mid-batch (tail beyond the last barrier torn off) and redeploy — every
+     surviving input yields exactly one output, nothing is duplicated. *)
+  let dir = fresh_dir "group-restart" in
+  let cfg = batch_cfg dir in
+  let st = Store.open_store cfg in
+  let config = { S.default_config with S.batch_size = 8; group_commit = true } in
+  let srv = S.deploy ~config ~store:st ping_pong in
+  ignore (inject_ok srv "in" "<ping>a</ping>");
+  ignore (inject_ok srv "in" "<ping>b</ping>");
+  ignore (S.run srv);
+  (* a commit after the final barrier, torn off by the crash *)
+  ignore (inject_ok srv "in" "<ping>lost</ping>");
+  let st2 = Fault.crash_restart ~tear_bytes:3 cfg st in
+  let srv2 = S.deploy ~config ~store:st2 ping_pong in
+  ignore (S.run srv2);
+  check bool_ "committed work exactly once, torn inject gone" true
+    (List.sort compare (bodies srv2 "out") = [ "<pong>a</pong>"; "<pong>b</pong>" ]);
+  check int_ "lock table empty" 0 (active_locks srv2);
+  Store.close st2
+
 (* ---- retention GC and the per-rid caches ---- *)
 
 let test_gc_purges_caches () =
@@ -297,6 +398,12 @@ let suite =
     ("lost acks re-invoke the handler", `Quick, test_duplicate_delivery_dedup);
     ("crash/restart processes exactly once", `Quick, test_crash_restart_exactly_once);
     ("torn WAL tail keeps intact prefix", `Quick, test_torn_wal_tail);
+    ("group commit: torn mid-batch keeps synced prefix", `Quick,
+     test_group_commit_torn_batch);
+    ("group commit: no transmission before its barrier", `Quick,
+     test_no_transmission_before_barrier);
+    ("group commit: crash/restart exactly once", `Quick,
+     test_group_commit_crash_restart_exactly_once);
     ("clock monotonic after restart", `Quick, test_clock_monotonic_after_restart);
     ("gc purges per-rid caches", `Quick, test_gc_purges_caches);
   ]

@@ -335,7 +335,89 @@ let test_sync_modes () =
   ignore (insert_msg txn "q" "<a/>");
   Store.commit txn;
   check bool_ "fsync counted" true ((Store.stats st).Store.wal_syncs >= 1);
+  check int_ "Sync_always leaves nothing pending" 0 (Store.unsynced_commits st);
+  check bool_ "barrier is a no-op outside Sync_batch" false (Store.barrier st);
   Store.close st
+
+let test_sync_batch_auto_barrier () =
+  (* The record-count trigger: every [max_records]th commit fires an
+     automatic barrier; the rest stay pending until an explicit one. *)
+  let dir = fresh_dir () in
+  let cfg =
+    Store.durable_config ~sync:(Wal.Sync_batch { max_records = 4; max_bytes = 0 }) dir
+  in
+  let st = Store.open_store cfg in
+  for i = 1 to 10 do
+    let txn = Store.begin_txn st in
+    ignore (insert_msg txn "q" (Printf.sprintf "<m n='%d'/>" i));
+    Store.commit txn
+  done;
+  let stats = Store.stats st in
+  check int_ "auto-barrier fired at 4 and 8" 2 stats.Store.wal_group_syncs;
+  check int_ "two commits still exposed" 2 (Store.unsynced_commits st);
+  check bool_ "explicit barrier syncs the tail" true (Store.barrier st);
+  check int_ "nothing exposed after the barrier" 0 (Store.unsynced_commits st);
+  check bool_ "watermark covers every commit" true (Store.durable_upto st > 0);
+  check bool_ "second barrier has nothing to do" false (Store.barrier st);
+  Store.close st;
+  let st2 = Store.open_store cfg in
+  check int_ "all ten survive the restart" 10 (Store.queue_length st2 "q");
+  Store.close st2
+
+let test_sync_batch_byte_trigger () =
+  let dir = fresh_dir () in
+  let cfg =
+    Store.durable_config ~sync:(Wal.Sync_batch { max_records = 0; max_bytes = 64 }) dir
+  in
+  let st = Store.open_store cfg in
+  let txn = Store.begin_txn st in
+  ignore (insert_msg txn "q" ("<m>" ^ String.make 100 'x' ^ "</m>"));
+  Store.commit txn;
+  (* one record already exceeds 64 pending bytes: synced immediately *)
+  check int_ "byte threshold fired the barrier" 0 (Store.unsynced_commits st);
+  check bool_ "counted as a group sync" true
+    ((Store.stats st).Store.wal_group_syncs >= 1);
+  Store.close st
+
+let snapshot_ino dir =
+  (Unix.stat (Filename.concat dir "snapshot.bin")).Unix.st_ino
+
+let test_checkpoint_skip_when_clean () =
+  (* A checkpoint with no WAL records and no dirty pages since the last one
+     must not rewrite (or fsync) the snapshot; with new work it must. *)
+  let dir = fresh_dir () in
+  let cfg = Store.durable_config ~sync:Wal.Sync_never dir in
+  let st = Store.open_store cfg in
+  let txn = Store.begin_txn st in
+  ignore (insert_msg txn "q" "<a/>");
+  Store.commit txn;
+  Store.checkpoint st;
+  let ino1 = snapshot_ino dir in
+  Store.checkpoint st;
+  check int_ "clean checkpoint skipped the snapshot write" ino1 (snapshot_ino dir);
+  check int_ "but was still counted" 2 (Store.stats st).Store.checkpoints;
+  let txn = Store.begin_txn st in
+  ignore (insert_msg txn "q" "<b/>");
+  Store.commit txn;
+  Store.checkpoint st;
+  check bool_ "new work forces a fresh snapshot" true (snapshot_ino dir <> ino1);
+  Store.close st;
+  (* a recovered non-empty log must be truncated by the next checkpoint
+     even when this session wrote nothing new *)
+  let txn_log = Store.open_store cfg in
+  let txn = Store.begin_txn txn_log in
+  ignore (insert_msg txn "q" "<c/>");
+  Store.commit txn;
+  Store.close txn_log;
+  let st2 = Store.open_store cfg in
+  check bool_ "log non-empty after recovery" true ((Store.stats st2).Store.wal_bytes > 0);
+  Store.checkpoint st2;
+  check int_ "checkpoint truncated the recovered log" 0
+    (Store.stats st2).Store.wal_bytes;
+  Store.close st2;
+  let st3 = Store.open_store cfg in
+  check int_ "snapshot alone restores everything" 3 (Store.queue_length st3 "q");
+  Store.close st3
 
 (* qcheck: the store agrees with a trivial model under random op sequences *)
 
@@ -425,6 +507,9 @@ let suite =
     ("deletions unlogged by default", `Quick, test_deletions_unlogged_by_default);
     ("deletions logged when configured", `Quick, test_deletions_logged_when_configured);
     ("sync modes", `Quick, test_sync_modes);
+    ("sync batch: auto barrier on record count", `Quick, test_sync_batch_auto_barrier);
+    ("sync batch: auto barrier on byte size", `Quick, test_sync_batch_byte_trigger);
+    ("checkpoint skipped when clean", `Quick, test_checkpoint_skip_when_clean);
     QCheck_alcotest.to_alcotest prop_store_model;
   ]
 
