@@ -35,10 +35,46 @@ let scale n = if !quick then max 1 (n / 5) else n
 let json_entries : string list ref = ref []
 let json_add entry = json_entries := !json_entries @ [ entry ]
 
+(* Results are only comparable across PRs if we know what produced them:
+   stamp every JSON file with the commit, the date, and the engine config
+   knobs that shape the numbers. *)
+let command_output cmd =
+  try
+    let ic = Unix.open_process_in (cmd ^ " 2>/dev/null") in
+    let line = try input_line ic with End_of_file -> "" in
+    ignore (Unix.close_process_in ic);
+    line
+  with _ -> ""
+
+let iso_date () =
+  let tm = Unix.gmtime (Unix.gettimeofday ()) in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+    tm.Unix.tm_sec
+
+let json_meta () =
+  Printf.sprintf
+    "{\n\
+    \    \"git_commit\": \"%s\",\n\
+    \    \"date\": \"%s\",\n\
+    \    \"ocaml\": \"%s\",\n\
+    \    \"cores\": %d,\n\
+    \    \"config\": {\"workers\": %d, \"batch_size\": %d, \"group_commit\": %b, \"lock_granularity\": \"%s\"}\n\
+    \  }"
+    (command_output "git rev-parse --short HEAD")
+    (iso_date ()) Sys.ocaml_version
+    (Domain.recommended_domain_count ())
+    S.default_config.S.workers S.default_config.S.batch_size
+    S.default_config.S.group_commit
+    (match S.default_config.S.lock_granularity with
+     | `Queue -> "queue"
+     | `Slice -> "slice")
+
 let write_json file =
   let oc = open_out file in
-  Printf.fprintf oc "{\n  \"suite\": \"demaq-bench\",\n  \"quick\": %b,\n  \"benches\": [\n%s\n  ]\n}\n"
-    !quick
+  Printf.fprintf oc
+    "{\n  \"suite\": \"demaq-bench\",\n  \"quick\": %b,\n  \"meta\": %s,\n  \"benches\": [\n%s\n  ]\n}\n"
+    !quick (json_meta ())
     (String.concat ",\n" (List.map (fun e -> "    " ^ e) !json_entries));
   close_out oc;
   Printf.printf "\nwrote %s\n" file
@@ -829,6 +865,98 @@ let b11 () =
       ignore (b11_store_run ~messages:20 ~batch:32))
 
 (* ------------------------------------------------------------------ *)
+(* B12: worker-pool scaling (PR 3; Gray's server pool over one queue   *)
+(* database)                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let b12_dir tag =
+  let dir = Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "demaq-bench-b12-%s-%d" tag (Unix.getpid ())) in
+  if Sys.file_exists dir then
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  dir
+
+(* [queues] independent input queues, one CPU-heavy rule each. Distinct
+   queues means distinct conflict resources, so the dispatcher can hand
+   the backlog to distinct workers; [sum(1 to N)] forces real evaluator
+   work per message (the workload the pool is supposed to parallelize —
+   WAL appends stay serialized behind the single-writer mutex). *)
+let b12_program queues =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "create queue out kind basic mode persistent\n";
+  for i = 1 to queues do
+    Buffer.add_string buf
+      (Printf.sprintf "create queue in%d kind basic mode persistent\n" i);
+    Buffer.add_string buf
+      (Printf.sprintf
+         "create rule crunch%d for in%d if (sum(1 to 20000) > string-length(string(//n))) then do enqueue <done q=\"%d\"/> into out\n"
+         i i i)
+  done;
+  Buffer.contents buf
+
+let b12_run ~messages ~queues ~workers =
+  let dir = b12_dir (Printf.sprintf "w%d" workers) in
+  let store =
+    Store.open_store
+      (Store.durable_config
+         ~sync:(Wal.Sync_batch { max_records = 1000; max_bytes = 0 })
+         dir)
+  in
+  let cfg =
+    { S.default_config with S.batch_size = 32; group_commit = true; workers }
+  in
+  let srv = S.deploy ~config:cfg ~store (b12_program queues) in
+  for i = 1 to messages do
+    ignore
+      (S.inject srv
+         ~queue:(Printf.sprintf "in%d" ((i mod queues) + 1))
+         (Demaq.xml (Printf.sprintf "<m><n>%d</n></m>" i)))
+  done;
+  let t = secs (fun () -> ignore (S.run srv)) in
+  let produced = List.length (S.queue_contents srv "out") in
+  Store.close store;
+  if produced <> messages then
+    failwith
+      (Printf.sprintf "B12: %d messages in, %d outputs out" messages produced);
+  t
+
+let b12 () =
+  headline "B12 worker_scaling"
+    "worker-pool scaling: conflict-free queues drained by 1..8 domains";
+  Printf.printf "(%d hardware cores available to this process)\n"
+    (Domain.recommended_domain_count ());
+  table_header
+    [ ("workers", 8); ("queues", 7); ("messages", 9); ("msg/s", 10);
+      ("speedup", 8) ];
+  let messages = scale 400 and queues = 8 in
+  let t_base = ref 0. in
+  let results =
+    List.map
+      (fun workers ->
+        let t = b12_run ~messages ~queues ~workers in
+        if workers = 1 then t_base := t;
+        let speedup = !t_base /. t in
+        row
+          [
+            cell 8 "%d" workers; cell 7 "%d" queues; cell 9 "%d" messages;
+            cell 10 "%.0f" (float messages /. t);
+            cell 8 "%.2fx" speedup;
+          ];
+        Printf.sprintf
+          "{\"workers\": %d, \"messages\": %d, \"msg_per_s\": %.0f, \"speedup\": %.2f}"
+          workers messages (float messages /. t) speedup)
+      [ 1; 2; 4; 8 ]
+  in
+  json_add
+    (Printf.sprintf
+       "{\"bench\": \"B12\", \"queues\": %d, \"cores\": %d, \"results\": [%s]}"
+       queues
+       (Domain.recommended_domain_count ())
+       (String.concat ", " results));
+  register_bechamel "B12/pool-4workers-16msgs" (fun () ->
+      ignore (b12_run ~messages:16 ~queues:4 ~workers:4))
+
+(* ------------------------------------------------------------------ *)
 (* Ablations: design choices called out in DESIGN.md §7                *)
 (* ------------------------------------------------------------------ *)
 
@@ -1109,6 +1237,7 @@ let run_bechamel () =
 let all_benches =
   [ ("B1", b1); ("B2", b2); ("B3", b3); ("B4", b4); ("B5", b5); ("B6", b6);
     ("B7", b7); ("B8", b8); ("B9", b9); ("B10", b10); ("B11", b11);
+    ("B12", b12);
     ("A1", a1); ("A2", a2); ("A3", a3); ("A4", a4); ("A5", a5) ]
 
 let () =

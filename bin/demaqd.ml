@@ -54,7 +54,7 @@ let explain_cmd file =
 
 (* ---- run ---- *)
 
-let run_cmd file default_queue store_dir show_stats gc_at_end advance batch =
+let run_cmd file default_queue store_dir show_stats gc_at_end advance batch workers =
   let group_commit = batch > 1 in
   let store =
     match store_dir with
@@ -69,7 +69,13 @@ let run_cmd file default_queue store_dir show_stats gc_at_end advance batch =
       Store.open_store (Store.durable_config ~sync dir)
     | None -> Store.open_store Store.default_config
   in
-  let config = { S.default_config with S.batch_size = max 1 batch; group_commit } in
+  let config =
+    { S.default_config with
+      S.batch_size = max 1 batch;
+      group_commit;
+      workers = max 1 workers;
+    }
+  in
   match S.deploy ~config ~store (read_file file) with
   | exception S.Deployment_error msg ->
     Printf.eprintf "deployment failed:\n%s\n" msg;
@@ -131,7 +137,15 @@ let run_cmd file default_queue store_dir show_stats gc_at_end advance batch =
         st.S.errors_raised st.S.timers_fired st.S.gc_collected;
       Printf.printf
         "durability: group-syncs=%d batch-fill=%.1f syncs/msg=%.3f\n"
-        st.S.wal_group_syncs st.S.batch_fill st.S.syncs_per_message
+        st.S.wal_group_syncs st.S.batch_fill st.S.syncs_per_message;
+      Printf.printf "workers: %d\n" (S.workers srv);
+      List.iteri
+        (fun i (w : Demaq.Engine.Worker_pool.worker_stats) ->
+          Printf.printf "  worker %d: processed=%d drains=%d idle-waits=%d\n" i
+            w.Demaq.Engine.Worker_pool.w_processed
+            w.Demaq.Engine.Worker_pool.w_drains
+            w.Demaq.Engine.Worker_pool.w_idle)
+        (S.worker_stats srv)
     end;
     Store.close store;
     0
@@ -312,7 +326,17 @@ let repl_cmd file =
           Printf.printf
             "group-syncs=%d batch-fill=%.1f syncs/msg=%.3f
 "
-            st.S.wal_group_syncs st.S.batch_fill st.S.syncs_per_message
+            st.S.wal_group_syncs st.S.batch_fill st.S.syncs_per_message;
+          Printf.printf "workers=%d
+" (S.workers srv);
+          List.iteri
+            (fun i (w : Demaq.Engine.Worker_pool.worker_stats) ->
+              Printf.printf "  worker %d: processed=%d drains=%d idle-waits=%d
+" i
+                w.Demaq.Engine.Worker_pool.w_processed
+                w.Demaq.Engine.Worker_pool.w_drains
+                w.Demaq.Engine.Worker_pool.w_idle)
+            (S.worker_stats srv)
         | other -> Printf.printf "unknown command %S; try 'help'
 " other)
     done;
@@ -354,9 +378,18 @@ let batch_arg =
               message). With --store, N > 1 opens the WAL in batched-sync \
               mode; 1 (the default) keeps fsync-per-commit.")
 
+let workers_arg =
+  Arg.(value & opt int S.default_config.S.workers
+       & info [ "workers" ] ~docv:"N"
+           ~doc:
+             "Worker domains draining the dispatcher. 1 (the default) is \
+              the deterministic single-threaded mode; N > 1 processes \
+              conflict-free messages (different queues or slices) \
+              concurrently. Defaults to \\$DEMAQ_WORKERS when set.")
+
 let run_t =
   Term.(const run_cmd $ file_arg $ queue_arg $ store_arg $ stats_arg $ gc_arg
-        $ advance_arg $ batch_arg)
+        $ advance_arg $ batch_arg $ workers_arg)
 
 let expr_arg =
   Arg.(required & pos 0 (some string) None

@@ -1,11 +1,22 @@
 (* The engine's virtual clock. Demaq models time-based behaviour (echo
    queues, §2.1.3) through this injectable tick counter, which keeps tests
    and benchmarks deterministic; a deployment can drive it from wall-clock
-   time instead. *)
+   time instead.
 
-type t = { mutable now : int }
+   The counter is an [Atomic.t] so worker domains can timestamp messages
+   while the coordinator advances time; both [advance] and [set] are
+   CAS-retry monotone updates, so the clock never goes backwards even
+   under concurrent writers. *)
 
-let create ?(start = 0) () = { now = start }
-let now t = t.now
-let advance t ticks = t.now <- t.now + max 0 ticks
-let set t tick = if tick > t.now then t.now <- tick
+type t = { now : int Atomic.t }
+
+let create ?(start = 0) () = { now = Atomic.make start }
+let now t = Atomic.get t.now
+
+let rec bump_to t target =
+  let cur = Atomic.get t.now in
+  if target > cur && not (Atomic.compare_and_set t.now cur target) then
+    bump_to t target
+
+let advance t ticks = if ticks > 0 then bump_to t (Atomic.get t.now + ticks)
+let set t tick = bump_to t tick

@@ -1,0 +1,36 @@
+(** The queue-partitioned dispatcher.
+
+    Sits between the priority scheduler (§4.4.2) and the worker pool:
+    hands out ready messages such that two messages with overlapping
+    conflict resources (queue name, slice memberships — per
+    [lock_granularity]) never run concurrently, while preserving
+    per-queue arrival order and queue priority. Entries blocked on an
+    in-flight resource are parked and re-enter the heap with their
+    original sequence number when the resource frees.
+
+    NOT internally synchronized: callers (the worker pool's monitor)
+    must serialize all access. *)
+
+type t
+
+val create : unit -> t
+
+val schedule : t -> priority:int -> resources:string list -> int -> unit
+(** Add a message rid with its conflict resources. A rid already queued
+    or running is ignored (rescheduled duplicate). *)
+
+type slot =
+  | Ready of int  (** rid to run; its resources are now claimed *)
+  | Busy  (** work exists but all of it conflicts with running messages *)
+  | Empty  (** nothing queued or parked *)
+
+val next : t -> slot
+
+val complete : t -> int -> unit
+(** The rid finished (or was skipped): release its resources and revive
+    entries parked on them. *)
+
+val pending : t -> int
+(** Queued + parked (excludes running). *)
+
+val pending_rids : t -> int list

@@ -1,0 +1,7 @@
+(** Dynamic evolution (paper §5 future work): apply an incremental
+    QDL/QML script — additional [create] statements and [drop rule]
+    statements — to a running engine context. The combined program is
+    re-analyzed and recompiled atomically under the executor's state
+    lock; stored messages, scheduler state and timers are untouched. *)
+
+val evolve : Executor.t -> string -> (unit, string) result

@@ -1,0 +1,732 @@
+(* The executor: Demaq's single-message transaction (§3.1), extracted from
+   the engine monolith so it can run on a pool of worker domains.
+
+   One message's processing is the paper's iterative cycle: evaluate every
+   pertinent rule against a snapshot, accumulate the pending-action list,
+   apply it atomically, with failures routed as error messages (§3.6). The
+   executor owns the shared engine context [t] and makes that cycle safe
+   to run concurrently from several domains:
+
+   - [state_mu] guards all shared engine state (queue manager, store,
+     caches, outboxes, timers). Functions suffixed [_unlocked] — and the
+     whole error-routing family [raise_error]/[enqueue_internal]/
+     [register_echo_timer] plus [in_txn] — assume it is HELD; public
+     entry points take it.
+   - [process] holds the lock only around the setup (fetch, lock
+     acquisition, rule-plan lookup) and apply/commit phases. The
+     CPU-heavy rule evaluation runs UNLOCKED: message trees are immutable
+     once parsed, and the qs: host callbacks re-acquire [state_mu]
+     per call. Same-queue and same-slice conflicts cannot run
+     concurrently (the dispatcher partitions on exactly the resources
+     [resources_for] reports), so a rule's view of its own queue and
+     slices is serializable; reads of *other* queues see read-committed
+     state, which single-worker mode — the deterministic reference —
+     never exercises differently from the seed engine.
+   - Statistics counters are atomics; the bounded trace log has its own
+     mutex (it is appended to from the unlocked evaluation phase). Lock
+     order: state_mu -> (trace_mu | wal mutex | pool monitor); never the
+     reverse. *)
+
+module Tree = Demaq_xml.Tree
+module Value = Demaq_xquery.Value
+module Ast = Demaq_xquery.Ast
+module Eval = Demaq_xquery.Eval
+module Context = Demaq_xquery.Context
+module Update = Demaq_xquery.Update
+module Store = Demaq_store.Message_store
+module Lock = Demaq_store.Lock_manager
+module Qm = Demaq_mq.Queue_manager
+module Message = Demaq_mq.Message
+module Defs = Demaq_mq.Defs
+module Compiler = Demaq_lang.Compiler
+module Prefilter = Demaq_lang.Prefilter
+module Network = Demaq_net.Network
+module Wsdl = Demaq_net.Wsdl
+
+let log = Logs.Src.create "demaq.executor" ~doc:"Demaq executor"
+
+module Log = (val Logs.src_log log : Logs.LOG)
+
+type config = {
+  merged_plans : bool;
+  use_slice_index : bool;
+  lock_granularity : [ `Queue | `Slice ];
+  use_prefilter : bool;
+  trace_capacity : int;
+  gc_every : int;
+  system_error_queue : string option;
+  optimize : bool;
+  node_name : string;
+  transmit_retries : int;
+  retry_backoff : int;
+  batch_size : int;
+  group_commit : bool;
+  workers : int;
+}
+
+type gateway_binding = { endpoint : string; replies_to : string option }
+
+type trace_entry = {
+  tr_tick : int;
+  tr_rule : string;
+  tr_trigger : int;  (* rid of the triggering message *)
+  tr_queue : string;
+  tr_updates : int;  (* pending updates the evaluation produced *)
+  tr_skipped : bool;  (* suppressed by the condition pre-filter *)
+}
+
+type t = {
+  cfg : config;
+  qm : Qm.t;
+  st : Store.t;
+  net : Network.t;
+  mutable compiled : Compiler.t;
+  timers : Timer_wheel.t;
+  clk : Clock.t;
+  state_mu : Mutex.t;  (* guards everything below except the atomics/trace *)
+  node_cache : (int, Tree.node) Hashtbl.t;  (* rid -> body node *)
+  name_cache : (int, Prefilter.Names.t) Hashtbl.t;
+      (* rid -> element-name synopsis for condition pre-filtering *)
+  collection_cache : (string, Value.t) Hashtbl.t;
+  bindings : (string, gateway_binding) Hashtbl.t;  (* outgoing queue -> route *)
+  interfaces : (string, Wsdl.t) Hashtbl.t;  (* WSDL file name -> parsed model *)
+  sent : (int, unit) Hashtbl.t;  (* rids already handed to the transport *)
+  outbox : (string, int Queue.t) Hashtbl.t;
+      (* untransmitted rids per outgoing gateway queue, so the pump never
+         rescans whole queues *)
+  mutable schedule : priority:int -> resources:string list -> int -> unit;
+      (* set by the composition root to the worker pool's scheduler *)
+  c_processed : int Atomic.t;
+  c_rule_evaluations : int Atomic.t;
+  c_messages_created : int Atomic.t;
+  c_errors_raised : int Atomic.t;
+  c_transmissions : int Atomic.t;
+  c_timers_fired : int Atomic.t;
+  c_gc_collected : int Atomic.t;
+  c_prefilter_skips : int Atomic.t;
+  c_txn_aborts : int Atomic.t;
+  c_transmit_retries : int Atomic.t;
+  c_dead_letters : int Atomic.t;
+  mutable fault : Fault.t option;  (* armed fault-injection points *)
+  trace_mu : Mutex.t;
+  mutable trace_log : trace_entry list;  (* newest first, bounded *)
+  mutable trace_len : int;
+}
+
+let create ~cfg ~qm ~st ~net ~compiled ~clk () =
+  {
+    cfg;
+    qm;
+    st;
+    net;
+    compiled;
+    timers = Timer_wheel.create ();
+    clk;
+    state_mu = Mutex.create ();
+    node_cache = Hashtbl.create 1024;
+    name_cache = Hashtbl.create 1024;
+    collection_cache = Hashtbl.create 8;
+    bindings = Hashtbl.create 8;
+    interfaces = Hashtbl.create 4;
+    sent = Hashtbl.create 1024;
+    outbox = Hashtbl.create 8;
+    schedule = (fun ~priority:_ ~resources:_ _ -> ());
+    c_processed = Atomic.make 0;
+    c_rule_evaluations = Atomic.make 0;
+    c_messages_created = Atomic.make 0;
+    c_errors_raised = Atomic.make 0;
+    c_transmissions = Atomic.make 0;
+    c_timers_fired = Atomic.make 0;
+    c_gc_collected = Atomic.make 0;
+    c_prefilter_skips = Atomic.make 0;
+    c_txn_aborts = Atomic.make 0;
+    c_transmit_retries = Atomic.make 0;
+    c_dead_letters = Atomic.make 0;
+    fault = None;
+    trace_mu = Mutex.create ();
+    trace_log = [];
+    trace_len = 0;
+  }
+
+let locked t f = Mutex.protect t.state_mu f
+let set_fault t fault = t.fault <- fault
+
+(* Group commit (§4.1; Gray's "Queues Are Databases"): under
+   [Wal.Sync_batch] commits append their log record but defer the fsync;
+   [harden] issues the barrier that makes everything logged so far durable.
+   The engine must call it before any effect escapes the process — gateway
+   transmissions, timer-armed retries — so that no externalized action ever
+   references a transaction a crash could still lose. The barrier is
+   serialized inside the WAL, so one worker's harden covers every record
+   any worker appended before it. *)
+let harden t = if t.cfg.group_commit then ignore (Store.barrier t.st)
+
+(* Crash safety (§3.1, §3.6): every state change runs inside [in_txn], so
+   that an exception anywhere — evaluator bugs, injected faults, broken
+   endpoint handlers — aborts the transaction and releases its locks via
+   [Store.abort] instead of leaking them. Assumes [state_mu] is held;
+   [with_txn] is the self-locking variant. *)
+let in_txn t f =
+  let txn = Store.begin_txn t.st in
+  match f txn with
+  | v ->
+    Store.commit txn;
+    v
+  | exception e ->
+    Atomic.incr t.c_txn_aborts;
+    Store.abort txn;
+    (* earlier transactions of the current batch are committed but possibly
+       unsynced; an abort must not widen their exposure window *)
+    harden t;
+    raise e
+
+let with_txn t f = locked t (fun () -> in_txn t f)
+
+let exn_description = function
+  | Fault.Injected msg -> msg
+  | Context.Eval_error msg -> msg
+  | e -> Printexc.to_string e
+
+let set_collection t name docs =
+  locked t @@ fun () ->
+  Qm.set_collection t.qm name docs;
+  Hashtbl.remove t.collection_cache name
+
+let outbox_for t queue =
+  match Hashtbl.find_opt t.outbox queue with
+  | Some q -> q
+  | None ->
+    let q = Queue.create () in
+    Hashtbl.replace t.outbox queue q;
+    q
+
+let note_outgoing t (m : Message.t) =
+  match Qm.find_queue t.qm m.Message.queue with
+  | Some { Defs.kind = Defs.Outgoing_gateway; _ } ->
+    Queue.push m.Message.rid (outbox_for t m.Message.queue)
+  | _ -> ()
+
+let bind_gateway t ~queue ?endpoint ?replies_to () =
+  let endpoint = Option.value ~default:queue endpoint in
+  Hashtbl.replace t.bindings queue { endpoint; replies_to }
+
+let register_interface t ~file text =
+  match Wsdl.parse text with
+  | Ok wsdl ->
+    Hashtbl.replace t.interfaces file wsdl;
+    Ok ()
+  | Error _ as e -> e
+
+(* ---- node handles for message bodies ---- *)
+
+(* Rules see messages as document nodes (§3.4: qs:message() "returns the
+   document node of the currently processed message"); one document per
+   message, cached, so node identity and document order are stable across
+   qs:queue()/qs:slice() calls. *)
+let message_node_unlocked t (m : Message.t) =
+  match Hashtbl.find_opt t.node_cache m.Message.rid with
+  | Some n -> n
+  | None ->
+    let n = Eval.doc_node_of_tree (Message.body m) in
+    Hashtbl.replace t.node_cache m.Message.rid n;
+    n
+
+let message_node t m = locked t (fun () -> message_node_unlocked t m)
+
+let collection_value_unlocked t name =
+  match Hashtbl.find_opt t.collection_cache name with
+  | Some v -> v
+  | None ->
+    let v =
+      List.map
+        (fun tree -> Value.Node (Eval.doc_node_of_tree tree))
+        (Qm.collection t.qm name)
+    in
+    Hashtbl.replace t.collection_cache name v;
+    v
+
+(* ---- evaluation host (the qs: library, §3.4/§3.5) ----
+
+   The host runs during the UNLOCKED evaluation phase, so every callback
+   that touches shared state takes [state_mu] itself. *)
+
+let host_for t (m : Message.t) ~slice_ctx : Context.host =
+  let queue_nodes name =
+    locked t (fun () ->
+        List.map
+          (fun msg -> Value.Node (message_node_unlocked t msg))
+          (Qm.queue_messages t.qm name))
+  in
+  {
+    Context.h_message = (fun () -> [ Value.Node (message_node t m) ]);
+    h_queue =
+      (fun name ->
+        queue_nodes (Option.value ~default:m.Message.queue name));
+    h_property =
+      (fun name ->
+        match Message.property m name with
+        | Some a -> [ Value.Atom a ]
+        | None -> []);
+    h_slice =
+      (fun () ->
+        match slice_ctx with
+        | None -> Context.eval_error "qs:slice() outside a slicing rule"
+        | Some (slicing, key) ->
+          locked t (fun () ->
+              List.map
+                (fun msg -> Value.Node (message_node_unlocked t msg))
+                (Qm.slice_messages t.qm ~use_index:t.cfg.use_slice_index
+                   ~slicing ~key ())));
+    h_slicekey =
+      (fun () ->
+        match slice_ctx with
+        | None -> Context.eval_error "qs:slicekey() outside a slicing rule"
+        | Some (slicing, _) -> (
+          match locked t (fun () -> Qm.find_slicing t.qm slicing) with
+          | None -> []
+          | Some sdef -> (
+            match Message.property m sdef.Defs.slice_property with
+            | Some a -> [ Value.Atom a ]
+            | None -> [])));
+    h_collection = (fun name -> locked t (fun () -> collection_value_unlocked t name));
+    h_now = (fun () -> Clock.now t.clk);
+  }
+
+(* ---- scheduling hook ---- *)
+
+let queue_priority t name =
+  match Qm.find_queue t.qm name with Some q -> q.Defs.priority | None -> 0
+
+(* The conflict resources the dispatcher partitions on: always the queue
+   (per-queue arrival order must survive parallelism), plus the slice
+   memberships under slice-granularity locking — exactly the resources the
+   lock manager would serialize on (§4.3). *)
+let resources_for t (m : Message.t) =
+  let queue_res = "q:" ^ m.Message.queue in
+  match t.cfg.lock_granularity with
+  | `Queue -> [ queue_res ]
+  | `Slice ->
+    queue_res
+    :: List.map
+         (fun (mem : Message.membership) ->
+           Printf.sprintf "s:%s/%s" mem.Message.m_slicing mem.Message.m_key)
+         m.Message.memberships
+
+let schedule_message t (m : Message.t) =
+  t.schedule
+    ~priority:(queue_priority t m.Message.queue)
+    ~resources:(resources_for t m) m.Message.rid
+
+(* ---- trace ---- *)
+
+let record_trace t entry =
+  if t.cfg.trace_capacity > 0 then
+    Mutex.protect t.trace_mu @@ fun () ->
+    t.trace_log <- entry :: t.trace_log;
+    t.trace_len <- t.trace_len + 1;
+    if t.trace_len > 2 * t.cfg.trace_capacity then begin
+      t.trace_log <- List.filteri (fun i _ -> i < t.cfg.trace_capacity) t.trace_log;
+      t.trace_len <- t.cfg.trace_capacity
+    end
+
+let trace t =
+  Mutex.protect t.trace_mu (fun () ->
+      List.filteri (fun i _ -> i < t.cfg.trace_capacity) t.trace_log)
+
+let pp_trace_entry fmt e =
+  Format.fprintf fmt "t=%d %s(%s#%d) -> %s" e.tr_tick e.tr_rule e.tr_queue
+    e.tr_trigger
+    (if e.tr_skipped then "prefiltered" else Printf.sprintf "%d updates" e.tr_updates)
+
+(* ---- error routing (§3.6); assumes [state_mu] held ---- *)
+
+let rec raise_error t txn ~kind ~description ?rule ?rule_error_queue
+    ~source_queue ?initial_message () =
+  Atomic.incr t.c_errors_raised;
+  let queue_error_queue =
+    match Qm.find_queue t.qm source_queue with
+    | Some q -> q.Defs.error_queue
+    | None -> None
+  in
+  let target =
+    match rule_error_queue, queue_error_queue, t.cfg.system_error_queue with
+    | Some q, _, _ -> Some q
+    | None, Some q, _ -> Some q
+    | None, None, q -> q
+  in
+  (* An error raised while already processing the target error queue would
+     loop; route it to the system queue, or drop it. *)
+  let target =
+    if target = Some source_queue then
+      if t.cfg.system_error_queue <> Some source_queue then t.cfg.system_error_queue
+      else None
+    else target
+  in
+  match target with
+  | None ->
+    Log.warn (fun f ->
+        f "dropping unroutable error (%s in %s): %s"
+          (Errors.kind_element kind) source_queue description)
+  | Some error_queue ->
+    let payload =
+      Errors.to_xml ~kind ~description ?rule ~queue:source_queue ?initial_message ()
+    in
+    enqueue_internal t txn ?rule ~trigger:None ~explicit:[] ~queue:error_queue
+      ~payload ~origin_queue:source_queue ()
+
+(* Enqueue + schedule + echo-timer registration; failures are routed as
+   errors themselves (bounded by the loop protection above). *)
+and enqueue_internal t txn ?rule ?rule_error_queue ?(trigger = None) ~explicit
+    ~queue ~payload ~origin_queue () =
+  match Qm.enqueue t.qm txn ?rule ?trigger ~explicit ~queue ~payload () with
+  | Ok m ->
+    Atomic.incr t.c_messages_created;
+    schedule_message t m;
+    note_outgoing t m;
+    (match Qm.find_queue t.qm queue with
+     | Some { Defs.kind = Defs.Echo; _ } -> register_echo_timer t txn ?rule m
+     | _ -> ())
+  | Error e ->
+    let kind =
+      match e with
+      | Qm.Unknown_queue _ -> Errors.Unknown_queue
+      | Qm.Schema_violation _ -> Errors.Schema_violation
+      | Qm.Fixed_property_set _ | Qm.Property_error _ -> Errors.Property_error
+    in
+    raise_error t txn ~kind ~description:(Qm.error_to_string e) ?rule
+      ?rule_error_queue ~source_queue:origin_queue ~initial_message:payload ()
+
+and register_echo_timer t txn ?rule (m : Message.t) =
+  let timeout =
+    match Message.property m "timeout" with
+    | Some a -> (
+      match Value.cast Value.T_integer a with
+      | Ok (Value.Integer n) -> Some n
+      | _ -> None)
+    | None -> None
+  in
+  let target =
+    Option.map Value.string_of_atomic (Message.property m "target")
+  in
+  match timeout, target with
+  | Some timeout, Some target ->
+    Timer_wheel.schedule t.timers ~due:(m.Message.enqueued_at + timeout)
+      ~rid:m.Message.rid ~target
+  | _ ->
+    raise_error t txn ~kind:Errors.Property_error
+      ~description:
+        "echo queue messages need integer 'timeout' and string 'target' properties"
+      ?rule ~source_queue:m.Message.queue ~initial_message:(Message.body m) ()
+
+(* ---- message injection (external arrivals / gateway replies) ---- *)
+
+let inject t ?(props = []) ~queue payload =
+  match
+    with_txn t (fun txn ->
+        match Qm.enqueue t.qm txn ~explicit:props ~queue ~payload () with
+        | Ok m ->
+          Atomic.incr t.c_messages_created;
+          schedule_message t m;
+          note_outgoing t m;
+          (match Qm.find_queue t.qm queue with
+           | Some { Defs.kind = Defs.Echo; _ } -> register_echo_timer t txn m
+           | _ -> ());
+          m
+        | Error e -> raise (Qm.Queue_error e))
+  with
+  | m -> Ok m
+  | exception Qm.Queue_error e -> Error e
+
+(* ---- rule execution (§3.1) ---- *)
+
+type eval_unit = {
+  eu_rule : string;
+  eu_error_queue : string option;
+  eu_slice_ctx : (string * string) option;
+  eu_body : Ast.expr;
+  eu_requirements : string list;
+}
+
+let units_for t (m : Message.t) =
+  let queue_units =
+    match Compiler.plan_for t.compiled m.Message.queue with
+    | None -> []
+    | Some plan ->
+      if t.cfg.merged_plans then
+        [ { eu_rule = "<merged:" ^ plan.Compiler.target ^ ">";
+            eu_error_queue = None;
+            eu_slice_ctx = None;
+            eu_body = plan.Compiler.merged;
+            eu_requirements = [] } ]
+      else
+        List.map
+          (fun (r : Compiler.compiled_rule) ->
+            { eu_rule = r.cr_name;
+              eu_error_queue = r.cr_error_queue;
+              eu_slice_ctx = None;
+              eu_body = r.cr_body;
+              eu_requirements = r.cr_requirements })
+          plan.Compiler.rules
+  in
+  let slice_units =
+    List.concat_map
+      (fun (mem : Message.membership) ->
+        if not (Qm.membership_current t.qm m mem) then []
+        else
+          match Compiler.plan_for t.compiled mem.Message.m_slicing with
+          | None -> []
+          | Some plan ->
+            let ctx = Some (mem.Message.m_slicing, mem.Message.m_key) in
+            if t.cfg.merged_plans then
+              [ { eu_rule = "<merged:" ^ plan.Compiler.target ^ ">";
+                  eu_error_queue = None;
+                  eu_slice_ctx = ctx;
+                  eu_body = plan.Compiler.merged;
+                  eu_requirements = [] } ]
+            else
+              List.map
+                (fun (r : Compiler.compiled_rule) ->
+                  { eu_rule = r.cr_name;
+                    eu_error_queue = r.cr_error_queue;
+                    eu_slice_ctx = ctx;
+                    eu_body = r.cr_body;
+                    (* slice rules react to slice membership, not only to
+                       the triggering message's own content: conditions
+                       usually inspect qs:slice(), so no prefiltering *)
+                    eu_requirements = [] })
+                plan.Compiler.rules)
+      m.Message.memberships
+  in
+  queue_units @ slice_units
+
+let acquire_locks t txn (m : Message.t) =
+  let locks = Store.locks t.st in
+  let txn_id = Store.txn_id txn in
+  let resources =
+    match t.cfg.lock_granularity with
+    | `Queue -> [ Lock.Queue_lock m.Message.queue ]
+    | `Slice ->
+      Lock.Message_lock m.Message.rid
+      :: List.map
+           (fun (mem : Message.membership) ->
+             Lock.Slice_lock (mem.Message.m_slicing, mem.Message.m_key))
+           m.Message.memberships
+  in
+  List.iter (fun r -> ignore (Lock.acquire locks ~txn:txn_id r Lock.Exclusive)) resources
+
+let apply_updates t txn blamed (m : Message.t) tagged =
+  List.iter
+    (fun (eu, update) ->
+      blamed := Some (eu.eu_rule, eu.eu_error_queue);
+      Option.iter Fault.before_apply t.fault;
+      match update with
+      | Update.Enqueue { payload; queue; props } ->
+        enqueue_internal t txn ~rule:eu.eu_rule ?rule_error_queue:eu.eu_error_queue
+          ~trigger:(Some m) ~explicit:props ~queue ~payload
+          ~origin_queue:m.Message.queue ()
+      | Update.Reset { slicing; key } -> (
+        let resolved =
+          match slicing, key with
+          | Some s, Some k -> Some (s, Message.key_string k)
+          | Some s, None -> (
+            (* explicit slicing, key of the current message *)
+            match Qm.find_slicing t.qm s with
+            | Some sdef -> (
+              match Message.property m sdef.Defs.slice_property with
+              | Some a -> Some (s, Message.key_string a)
+              | None -> None)
+            | None -> None)
+          | None, _ -> eu.eu_slice_ctx
+        in
+        match resolved with
+        | Some (slicing, key) -> Qm.reset_slice t.qm txn ~slicing ~key
+        | None ->
+          raise_error t txn ~kind:Errors.Evaluation_error
+            ~description:"do reset: no slice in scope and none specified"
+            ~rule:eu.eu_rule ?rule_error_queue:eu.eu_error_queue
+            ~source_queue:m.Message.queue ~initial_message:(Message.body m) ()))
+    tagged
+
+(* Entries in the per-rid caches must die with their message: the retention
+   GC reports what it collected and the engine purges the body/name caches,
+   the sent table, and any stale outbox entries (§2.3.3 decouples physical
+   cleanup from processing, but the caches must not outlive it). *)
+let purge_collected t rids =
+  if rids <> [] then begin
+    let collected = Hashtbl.create (List.length rids) in
+    List.iter
+      (fun rid ->
+        Hashtbl.replace collected rid ();
+        Hashtbl.remove t.node_cache rid;
+        Hashtbl.remove t.name_cache rid;
+        Hashtbl.remove t.sent rid)
+      rids;
+    Hashtbl.iter
+      (fun _ q ->
+        let keep = Queue.create () in
+        Queue.iter (fun rid -> if not (Hashtbl.mem collected rid) then Queue.push rid keep) q;
+        Queue.clear q;
+        Queue.transfer keep q)
+      t.outbox
+  end
+
+let run_gc_unlocked t =
+  let rids = Qm.gc_collect t.qm in
+  purge_collected t rids;
+  let n = List.length rids in
+  Atomic.fetch_and_add t.c_gc_collected n |> ignore;
+  n
+
+let run_gc t = locked t (fun () -> run_gc_unlocked t)
+
+(* ---- the single-message transaction ---- *)
+
+let message t rid =
+  locked t @@ fun () ->
+  match Qm.get t.qm rid with
+  | Some m ->
+    (* force the lazy body parse while we hold the lock *)
+    ignore (Message.body m);
+    Some m
+  | None -> None
+
+(* Setup phase, under [state_mu]: fetch the message, open the transaction,
+   take its 2PL locks, look up the pertinent rule plans and pre-filter
+   them against the body's element-name synopsis. *)
+let prepare t rid =
+  locked t @@ fun () ->
+  match Qm.get t.qm rid with
+  | None -> None  (* collected before its turn came *)
+  | Some m when m.Message.processed -> None  (* rescheduled duplicate *)
+  | Some m ->
+    ignore (Message.body m);
+    ignore (message_node_unlocked t m);
+    let txn = Store.begin_txn t.st in
+    acquire_locks t txn m;
+    let units = units_for t m in
+    let message_names =
+      if t.cfg.use_prefilter
+         && List.exists (fun eu -> eu.eu_requirements <> []) units
+      then
+        Some
+          (match Hashtbl.find_opt t.name_cache m.Message.rid with
+           | Some names -> names
+           | None ->
+             let names = Prefilter.element_names (Message.body m) in
+             Hashtbl.replace t.name_cache m.Message.rid names;
+             names)
+      else None
+    in
+    let units =
+      match message_names with
+      | None -> units
+      | Some names ->
+        List.filter
+          (fun eu ->
+            if Prefilter.may_match ~requirements:eu.eu_requirements ~names then true
+            else begin
+              Atomic.incr t.c_prefilter_skips;
+              record_trace t
+                {
+                  tr_tick = Clock.now t.clk;
+                  tr_rule = eu.eu_rule;
+                  tr_trigger = m.Message.rid;
+                  tr_queue = m.Message.queue;
+                  tr_updates = 0;
+                  tr_skipped = true;
+                };
+              false
+            end)
+          units
+    in
+    Some (m, txn, units)
+
+(* Phase 1: evaluate all pertinent rules against the same snapshot,
+   accumulating the pending update list. Runs WITHOUT [state_mu]; the
+   host callbacks lock on demand, which is what lets several workers
+   evaluate CPU-heavy rules concurrently. *)
+let evaluate t txn blamed (m : Message.t) units =
+  List.concat_map
+    (fun eu ->
+      Atomic.incr t.c_rule_evaluations;
+      blamed := Some (eu.eu_rule, eu.eu_error_queue);
+      Option.iter Fault.before_eval t.fault;
+      let host = host_for t m ~slice_ctx:eu.eu_slice_ctx in
+      let env = Context.make ~host () in
+      let env =
+        { env with Context.item = Some (Value.Node (message_node t m)) }
+      in
+      match Eval.eval_with_updates env eu.eu_body with
+      | _, updates ->
+        record_trace t
+          {
+            tr_tick = Clock.now t.clk;
+            tr_rule = eu.eu_rule;
+            tr_trigger = m.Message.rid;
+            tr_queue = m.Message.queue;
+            tr_updates = List.length updates;
+            tr_skipped = false;
+          };
+        List.map (fun u -> (eu, u)) updates
+      | exception Context.Eval_error description ->
+        locked t (fun () ->
+            raise_error t txn ~kind:Errors.Evaluation_error ~description
+              ~rule:eu.eu_rule ?rule_error_queue:eu.eu_error_queue
+              ~source_queue:m.Message.queue ~initial_message:(Message.body m) ());
+        [])
+    units
+
+let process t rid =
+  match prepare t rid with
+  | None -> false
+  | Some (m, txn, units) ->
+    let blamed = ref None in
+    (match
+       let tagged = evaluate t txn blamed m units in
+       (* Phase 2, under [state_mu] again: execute the pending actions and
+          commit atomically. *)
+       locked t (fun () ->
+           apply_updates t txn blamed m tagged;
+           (* Echo-queue messages stay unprocessed until their timer fires,
+              so a restart can re-register the pending timeout (§2.1.3). *)
+           let is_echo =
+             match Qm.find_queue t.qm m.Message.queue with
+             | Some { Defs.kind = Defs.Echo; _ } -> true
+             | _ -> false
+           in
+           if not is_echo then Qm.mark_processed t.qm txn m;
+           Store.commit txn)
+     with
+     | () -> ()
+     | exception e ->
+       (* abort, release the locks, and — §3.6 — turn the failure into an
+          error message rather than a wedged engine: route it and
+          neutralize the trigger in a fresh transaction, then keep going *)
+       locked t (fun () ->
+           Atomic.incr t.c_txn_aborts;
+           Store.abort txn;
+           (* earlier transactions of the current batch are committed but
+              possibly unsynced; the abort must not widen their exposure *)
+           harden t);
+       Log.warn (fun f ->
+           f "processing of #%d aborted: %s" m.Message.rid (exn_description e));
+       let rule, rule_error_queue =
+         match !blamed with
+         | Some (r, eq) -> (Some r, eq)
+         | None -> (None, None)
+       in
+       (try
+          with_txn t (fun txn ->
+              raise_error t txn ~kind:Errors.Evaluation_error
+                ~description:(exn_description e) ?rule ?rule_error_queue
+                ~source_queue:m.Message.queue
+                ~initial_message:(Message.body m) ();
+              Qm.mark_processed t.qm txn m)
+        with e2 ->
+          Log.err (fun f ->
+              f "error routing for #%d failed: %s" m.Message.rid
+                (exn_description e2))));
+    Atomic.incr t.c_processed;
+    if t.cfg.gc_every > 0 && Atomic.get t.c_processed mod t.cfg.gc_every = 0
+    then ignore (run_gc t);
+    true

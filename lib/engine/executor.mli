@@ -1,0 +1,192 @@
+(** The executor: Demaq's single-message transaction (§3.1) behind a
+    narrow interface, safe to run from several worker domains.
+
+    {!process} is the paper's iterative cycle — evaluate every pertinent
+    rule against a snapshot, collect the pending-action list, apply it in
+    one transaction, route failures as error messages (§3.6). The shared
+    engine context {!t} is exposed transparently so the externalizer and
+    the composition root can reach its components; the locking contract
+    is part of the interface:
+
+    - [state_mu] guards the queue manager, store, caches, outboxes and
+      timers. Functions documented "assumes the lock" must only be called
+      from within {!locked} (or {!with_txn}); everything else locks
+      internally. Rule evaluation inside {!process} runs WITHOUT the
+      lock — that is the engine's CPU parallelism — with the qs: host
+      callbacks re-acquiring it per call.
+    - Statistics counters are atomics; the trace log has its own mutex.
+    - Lock order: [state_mu] before the trace/WAL/pool-monitor mutexes,
+      never the reverse. *)
+
+module Tree = Demaq_xml.Tree
+module Value = Demaq_xquery.Value
+module Ast = Demaq_xquery.Ast
+module Context = Demaq_xquery.Context
+module Store = Demaq_store.Message_store
+module Qm = Demaq_mq.Queue_manager
+module Message = Demaq_mq.Message
+module Compiler = Demaq_lang.Compiler
+module Prefilter = Demaq_lang.Prefilter
+module Network = Demaq_net.Network
+module Wsdl = Demaq_net.Wsdl
+
+type config = {
+  merged_plans : bool;
+  use_slice_index : bool;
+  lock_granularity : [ `Queue | `Slice ];
+  use_prefilter : bool;
+  trace_capacity : int;
+  gc_every : int;
+  system_error_queue : string option;
+  optimize : bool;
+  node_name : string;
+  transmit_retries : int;
+  retry_backoff : int;
+  batch_size : int;
+  group_commit : bool;
+  workers : int;
+}
+
+type gateway_binding = { endpoint : string; replies_to : string option }
+
+type trace_entry = {
+  tr_tick : int;
+  tr_rule : string;
+  tr_trigger : int;
+  tr_queue : string;
+  tr_updates : int;
+  tr_skipped : bool;
+}
+
+type t = {
+  cfg : config;
+  qm : Qm.t;
+  st : Store.t;
+  net : Network.t;
+  mutable compiled : Compiler.t;
+  timers : Timer_wheel.t;
+  clk : Clock.t;
+  state_mu : Mutex.t;
+  node_cache : (int, Tree.node) Hashtbl.t;
+  name_cache : (int, Prefilter.Names.t) Hashtbl.t;
+  collection_cache : (string, Value.t) Hashtbl.t;
+  bindings : (string, gateway_binding) Hashtbl.t;
+  interfaces : (string, Wsdl.t) Hashtbl.t;
+  sent : (int, unit) Hashtbl.t;
+  outbox : (string, int Queue.t) Hashtbl.t;
+  mutable schedule : priority:int -> resources:string list -> int -> unit;
+  c_processed : int Atomic.t;
+  c_rule_evaluations : int Atomic.t;
+  c_messages_created : int Atomic.t;
+  c_errors_raised : int Atomic.t;
+  c_transmissions : int Atomic.t;
+  c_timers_fired : int Atomic.t;
+  c_gc_collected : int Atomic.t;
+  c_prefilter_skips : int Atomic.t;
+  c_txn_aborts : int Atomic.t;
+  c_transmit_retries : int Atomic.t;
+  c_dead_letters : int Atomic.t;
+  mutable fault : Fault.t option;
+  trace_mu : Mutex.t;
+  mutable trace_log : trace_entry list;
+  mutable trace_len : int;
+}
+
+val create :
+  cfg:config ->
+  qm:Qm.t ->
+  st:Store.t ->
+  net:Network.t ->
+  compiled:Compiler.t ->
+  clk:Clock.t ->
+  unit ->
+  t
+
+val locked : t -> (unit -> 'a) -> 'a
+(** Run under [state_mu] (not reentrant). *)
+
+val set_fault : t -> Fault.t option -> unit
+
+val harden : t -> unit
+(** Group-commit barrier; must precede any externalized effect. *)
+
+val in_txn : t -> (Store.txn -> 'a) -> 'a
+(** Commit on return, abort + harden + re-raise on exception. Assumes the
+    lock. *)
+
+val with_txn : t -> (Store.txn -> 'a) -> 'a
+(** {!locked} + {!in_txn}. *)
+
+val exn_description : exn -> string
+val set_collection : t -> string -> Tree.tree list -> unit
+val bind_gateway : t -> queue:string -> ?endpoint:string -> ?replies_to:string -> unit -> unit
+val register_interface : t -> file:string -> string -> (unit, string) result
+
+val outbox_for : t -> string -> int Queue.t
+(** Assumes the lock. *)
+
+val note_outgoing : t -> Message.t -> unit
+(** Assumes the lock. *)
+
+val queue_priority : t -> string -> int
+
+val resources_for : t -> Message.t -> string list
+(** The conflict resources the dispatcher partitions on (queue, plus
+    slices per [lock_granularity]). *)
+
+val schedule_message : t -> Message.t -> unit
+(** Route through the [schedule] hook (the worker pool). Safe under the
+    lock: the hook only takes the pool monitor. *)
+
+val record_trace : t -> trace_entry -> unit
+val trace : t -> trace_entry list
+val pp_trace_entry : Format.formatter -> trace_entry -> unit
+
+val raise_error :
+  t ->
+  Store.txn ->
+  kind:Errors.kind ->
+  description:string ->
+  ?rule:string ->
+  ?rule_error_queue:string ->
+  source_queue:string ->
+  ?initial_message:Tree.tree ->
+  unit ->
+  unit
+(** §3.6 error routing. Assumes the lock. *)
+
+val enqueue_internal :
+  t ->
+  Store.txn ->
+  ?rule:string ->
+  ?rule_error_queue:string ->
+  ?trigger:Message.t option ->
+  explicit:(string * Value.atomic) list ->
+  queue:string ->
+  payload:Tree.tree ->
+  origin_queue:string ->
+  unit ->
+  unit
+(** Enqueue + schedule + echo-timer registration. Assumes the lock. *)
+
+val register_echo_timer : t -> Store.txn -> ?rule:string -> Message.t -> unit
+(** Assumes the lock. *)
+
+val inject :
+  t ->
+  ?props:(string * Value.atomic) list ->
+  queue:string ->
+  Tree.tree ->
+  (Message.t, Qm.error) result
+(** Inject an external arrival in its own transaction (locks itself). *)
+
+val run_gc : t -> int
+(** Retention GC + cache purge (locks itself). *)
+
+val message : t -> int -> Message.t option
+(** Fetch a message and force its body parse, under the lock. *)
+
+val process : t -> int -> bool
+(** Process one scheduled message end to end; [false] means the rid was
+    skipped (collected, or a rescheduled duplicate). Never raises for
+    rule-level failures — those become error messages. *)

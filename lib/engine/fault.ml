@@ -7,7 +7,12 @@ module Network = Demaq_net.Network
 
 exception Injected of string
 
+(* The counters are shared across worker domains (before_eval fires in the
+   unlocked evaluation phase), so they are guarded by an internal mutex:
+   fault ordinals stay exact — "the 7th evaluation" is still one specific
+   evaluation — even when several workers evaluate concurrently. *)
 type t = {
+  mu : Mutex.t;
   rng : Random.State.t;
   mutable eval_faults : int list;  (* 1-based ordinals that raise *)
   mutable apply_faults : int list;
@@ -19,6 +24,7 @@ type t = {
 
 let create ?(seed = 0) () =
   {
+    mu = Mutex.create ();
     rng = Random.State.make [| seed |];
     eval_faults = [];
     apply_faults = [];
@@ -28,11 +34,13 @@ let create ?(seed = 0) () =
     injected = 0;
   }
 
-let fail_on_eval t n = t.eval_faults <- n :: t.eval_faults
-let fail_on_apply t n = t.apply_faults <- n :: t.apply_faults
-let set_eval_failure_rate t rate = t.eval_failure_rate <- rate
+let locked t f = Mutex.protect t.mu f
+let fail_on_eval t n = locked t (fun () -> t.eval_faults <- n :: t.eval_faults)
+let fail_on_apply t n = locked t (fun () -> t.apply_faults <- n :: t.apply_faults)
+let set_eval_failure_rate t rate = locked t (fun () -> t.eval_failure_rate <- rate)
 
 let disarm t =
+  locked t @@ fun () ->
   t.eval_faults <- [];
   t.apply_faults <- [];
   t.eval_failure_rate <- 0.0
@@ -42,6 +50,7 @@ let raise_injected t what n =
   raise (Injected (Printf.sprintf "injected fault: %s #%d" what n))
 
 let before_eval t =
+  locked t @@ fun () ->
   t.evals <- t.evals + 1;
   if List.mem t.evals t.eval_faults then raise_injected t "rule evaluation" t.evals
   else if
@@ -50,13 +59,14 @@ let before_eval t =
   then raise_injected t "rule evaluation" t.evals
 
 let before_apply t =
+  locked t @@ fun () ->
   t.applies <- t.applies + 1;
   if List.mem t.applies t.apply_faults then
     raise_injected t "update application" t.applies
 
-let injected t = t.injected
-let evals t = t.evals
-let applies t = t.applies
+let injected t = locked t (fun () -> t.injected)
+let evals t = locked t (fun () -> t.evals)
+let applies t = locked t (fun () -> t.applies)
 
 (* ---- crash simulation ---- *)
 

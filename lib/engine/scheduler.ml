@@ -21,6 +21,13 @@ let add t ~priority rid =
   t.next_seq <- seq + 1;
   Heap.push t.heap { rid; priority; seq }
 
+let entry t ~priority rid =
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  { rid; priority; seq }
+
+let push t e = Heap.push t.heap e
+let pop_entry t = Heap.pop t.heap
 let pop t = Option.map (fun e -> e.rid) (Heap.pop t.heap)
 let peek t = Option.map (fun e -> e.rid) (Heap.peek t.heap)
 let length t = Heap.length t.heap

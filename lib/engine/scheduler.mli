@@ -9,13 +9,28 @@
 
 type t
 
+type entry = { rid : int; priority : int; seq : int }
+(** A scheduled message with its arrival sequence number. Exposed so the
+    dispatcher can park an entry (queue busy on another worker) and later
+    re-push it with its original [seq], preserving per-queue FIFO. *)
+
 val create : unit -> t
 
 val add : t -> priority:int -> int -> unit
 (** Schedule a message rid at the given queue priority. *)
 
+val entry : t -> priority:int -> int -> entry
+(** Allocate the next arrival sequence number for a rid without pushing;
+    pair with {!push}. *)
+
+val push : t -> entry -> unit
+(** (Re-)insert an entry, keeping whatever [seq] it carries. *)
+
 val pop : t -> int option
 (** The next rid per the scheduling order, removing it. *)
+
+val pop_entry : t -> entry option
+(** Like {!pop} but keeps the priority and sequence number attached. *)
 
 val peek : t -> int option
 val length : t -> int

@@ -1,26 +1,32 @@
-module Tree = Demaq_xml.Tree
-module Value = Demaq_xquery.Value
-module Ast = Demaq_xquery.Ast
-module Eval = Demaq_xquery.Eval
-module Context = Demaq_xquery.Context
-module Update = Demaq_xquery.Update
+(* The Demaq server, as a composition root: parse/analyze/compile the
+   program, wire config -> store -> executor -> dispatcher -> worker pool,
+   and drive the batched run loop. The actual machinery lives in the
+   layers it composes:
+
+   - Executor: the single-message transaction (§3.1) and all shared
+     engine state;
+   - Externalizer: gateway pump, timers, retries (barrier before every
+     transmission);
+   - Dispatch: queue-partitioned scheduling (conflict-free parallelism,
+     per-queue order);
+   - Worker_pool: N domains draining the dispatcher; [workers = 1] is the
+     deterministic mode whose observable behaviour matches the seed
+     single-threaded engine. *)
+
 module Store = Demaq_store.Message_store
-module Lock = Demaq_store.Lock_manager
 module Qm = Demaq_mq.Queue_manager
 module Message = Demaq_mq.Message
 module Defs = Demaq_mq.Defs
 module Qdl = Demaq_lang.Qdl
 module Analysis = Demaq_lang.Analysis
 module Compiler = Demaq_lang.Compiler
-module Prefilter = Demaq_lang.Prefilter
 module Network = Demaq_net.Network
-module Wsdl = Demaq_net.Wsdl
 
 let log = Logs.Src.create "demaq.server" ~doc:"Demaq server"
 
 module Log = (val Logs.src_log log : Logs.LOG)
 
-type config = {
+type config = Executor.config = {
   merged_plans : bool;
   use_slice_index : bool;
   lock_granularity : [ `Queue | `Slice ];
@@ -34,7 +40,19 @@ type config = {
   retry_backoff : int;
   batch_size : int;
   group_commit : bool;
+  workers : int;
 }
+
+(* DEMAQ_WORKERS lets a test run or CI job select the worker count without
+   threading a flag through every call site (the CI matrix runs the whole
+   suite at 1 and 4 workers this way). *)
+let default_workers =
+  match Sys.getenv_opt "DEMAQ_WORKERS" with
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> n
+    | _ -> 1)
+  | None -> 1
 
 let default_config =
   {
@@ -51,17 +69,16 @@ let default_config =
     retry_backoff = 1;
     batch_size = 1;
     group_commit = false;
+    workers = default_workers;
   }
 
-type gateway_binding = { endpoint : string; replies_to : string option }
-
-type trace_entry = {
+type trace_entry = Executor.trace_entry = {
   tr_tick : int;
   tr_rule : string;
-  tr_trigger : int;  (* rid of the triggering message *)
+  tr_trigger : int;
   tr_queue : string;
-  tr_updates : int;  (* pending updates the evaluation produced *)
-  tr_skipped : bool;  (* suppressed by the condition pre-filter *)
+  tr_updates : int;
+  tr_skipped : bool;
 }
 
 type stats = {
@@ -81,941 +98,134 @@ type stats = {
   syncs_per_message : float;
 }
 
-type t = {
-  cfg : config;
-  qm : Qm.t;
-  st : Store.t;
-  net : Network.t;
-  mutable compiled : Compiler.t;
-  sched : Scheduler.t;
-  timers : Timer_wheel.t;
-  clk : Clock.t;
-  node_cache : (int, Tree.node) Hashtbl.t;  (* rid -> body node *)
-  name_cache : (int, Prefilter.Names.t) Hashtbl.t;
-      (* rid -> element-name synopsis for condition pre-filtering *)
-  collection_cache : (string, Value.t) Hashtbl.t;
-  bindings : (string, gateway_binding) Hashtbl.t;  (* outgoing queue -> route *)
-  interfaces : (string, Wsdl.t) Hashtbl.t;  (* WSDL file name -> parsed model *)
-  sent : (int, unit) Hashtbl.t;  (* rids already handed to the transport *)
-  outbox : (string, int Queue.t) Hashtbl.t;
-      (* untransmitted rids per outgoing gateway queue, so the pump never
-         rescans whole queues *)
-  mutable s_processed : int;
-  mutable s_rule_evaluations : int;
-  mutable s_messages_created : int;
-  mutable s_errors_raised : int;
-  mutable s_transmissions : int;
-  mutable s_timers_fired : int;
-  mutable s_gc_collected : int;
-  mutable s_prefilter_skips : int;
-  mutable s_txn_aborts : int;
-  mutable s_transmit_retries : int;
-  mutable s_dead_letters : int;
-  mutable fault : Fault.t option;  (* armed fault-injection points *)
-  mutable blamed_rule : (string * string option) option;
-      (* rule under evaluation/application (name, its error queue), so an
-         exception escaping the transaction keeps rule-level error
-         attribution (§3.6) *)
-  mutable trace_log : trace_entry list;  (* newest first, bounded *)
-  mutable trace_len : int;
-}
+type t = { ctx : Executor.t; pool : Worker_pool.t }
 
 exception Deployment_error of string
 
-let queue_manager t = t.qm
-let store t = t.st
-let clock t = t.clk
-let network t = t.net
-let config t = t.cfg
-let explain t = Compiler.explain t.compiled
-let set_fault t fault = t.fault <- fault
+let queue_manager t = t.ctx.Executor.qm
+let store t = t.ctx.Executor.st
+let clock t = t.ctx.Executor.clk
+let network t = t.ctx.Executor.net
+let config t = t.ctx.Executor.cfg
+let explain t = Compiler.explain t.ctx.Executor.compiled
+let set_fault t fault = Executor.set_fault t.ctx fault
+let set_collection t name docs = Executor.set_collection t.ctx name docs
+let bind_gateway t = Executor.bind_gateway t.ctx
+let register_interface t = Executor.register_interface t.ctx
+let inject t ?props ~queue payload = Executor.inject t.ctx ?props ~queue payload
+let pump_gateways t = Externalizer.pump_gateways t.ctx
+let advance_time t ticks = Externalizer.advance_time t.ctx ticks
+let gc t = Executor.run_gc t.ctx
+let trace t = Executor.trace t.ctx
+let pp_trace_entry = Executor.pp_trace_entry
+let pending_messages t = Worker_pool.pending t.pool
+let queue_contents t name = Qm.queue_messages t.ctx.Executor.qm name
+let worker_stats t = Worker_pool.worker_stats t.pool
+let workers t = Worker_pool.workers t.pool
 
-(* Group commit (§4.1; Gray's "Queues Are Databases"): under
-   [Wal.Sync_batch] commits append their log record but defer the fsync;
-   [harden] issues the barrier that makes everything logged so far durable.
-   The engine must call it before any effect escapes the process — gateway
-   transmissions, timer-armed retries — so that no externalized action ever
-   references a transaction a crash could still lose. *)
-let harden t = if t.cfg.group_commit then ignore (Store.barrier t.st)
-
-(* Crash safety (§3.1, §3.6): every state change runs inside [in_txn], so
-   that an exception anywhere — evaluator bugs, injected faults, broken
-   endpoint handlers — aborts the transaction and releases its locks via
-   [Store.abort] instead of leaking them. The caller decides how to surface
-   the re-raised exception (usually by routing an error message in a fresh
-   transaction). *)
-let in_txn t f =
-  let txn = Store.begin_txn t.st in
-  match f txn with
-  | v ->
-    Store.commit txn;
-    v
-  | exception e ->
-    t.s_txn_aborts <- t.s_txn_aborts + 1;
-    Store.abort txn;
-    (* earlier transactions of the current batch are committed but possibly
-       unsynced; an abort must not widen their exposure window *)
-    harden t;
-    raise e
-
-let exn_description = function
-  | Fault.Injected msg -> msg
-  | Context.Eval_error msg -> msg
-  | e -> Printexc.to_string e
-
-let set_collection t name docs =
-  Qm.set_collection t.qm name docs;
-  Hashtbl.remove t.collection_cache name
-
-let outbox_for t queue =
-  match Hashtbl.find_opt t.outbox queue with
-  | Some q -> q
-  | None ->
-    let q = Queue.create () in
-    Hashtbl.replace t.outbox queue q;
-    q
-
-let note_outgoing t (m : Message.t) =
-  match Qm.find_queue t.qm m.Message.queue with
-  | Some { Defs.kind = Defs.Outgoing_gateway; _ } ->
-    Queue.push m.Message.rid (outbox_for t m.Message.queue)
-  | _ -> ()
-
-let bind_gateway t ~queue ?endpoint ?replies_to () =
-  let endpoint = Option.value ~default:queue endpoint in
-  Hashtbl.replace t.bindings queue { endpoint; replies_to }
-
-let register_interface t ~file text =
-  match Wsdl.parse text with
-  | Ok wsdl ->
-    Hashtbl.replace t.interfaces file wsdl;
-    Ok ()
-  | Error _ as e -> e
-
-(* The WSDL port declared on the message's gateway queue, if its interface
-   file has been registered. *)
-let gateway_port t (qdef : Defs.queue_def) =
-  match qdef.Defs.interface, qdef.Defs.port with
-  | Some file, Some port_name -> (
-    match Hashtbl.find_opt t.interfaces file with
-    | Some wsdl -> Wsdl.find_port wsdl port_name
-    | None -> None)
-  | _ -> None
-
-(* ---- node handles for message bodies ---- *)
-
-(* Rules see messages as document nodes (§3.4: qs:message() "returns the
-   document node of the currently processed message"); one document per
-   message, cached, so node identity and document order are stable across
-   qs:queue()/qs:slice() calls. *)
-let message_node t (m : Message.t) =
-  match Hashtbl.find_opt t.node_cache m.Message.rid with
-  | Some n -> n
-  | None ->
-    let n = Eval.doc_node_of_tree (Message.body m) in
-    Hashtbl.replace t.node_cache m.Message.rid n;
-    n
-
-let collection_value t name =
-  match Hashtbl.find_opt t.collection_cache name with
-  | Some v -> v
-  | None ->
-    let v =
-      List.map
-        (fun tree -> Value.Node (Eval.doc_node_of_tree tree))
-        (Qm.collection t.qm name)
-    in
-    Hashtbl.replace t.collection_cache name v;
-    v
-
-(* ---- evaluation host (the qs: library, §3.4/§3.5) ---- *)
-
-let host_for t (m : Message.t) ~slice_ctx : Context.host =
-  let queue_nodes name =
-    List.map (fun msg -> Value.Node (message_node t msg)) (Qm.queue_messages t.qm name)
-  in
-  {
-    Context.h_message = (fun () -> [ Value.Node (message_node t m) ]);
-    h_queue =
-      (fun name ->
-        queue_nodes (Option.value ~default:m.Message.queue name));
-    h_property =
-      (fun name ->
-        match Message.property m name with
-        | Some a -> [ Value.Atom a ]
-        | None -> []);
-    h_slice =
-      (fun () ->
-        match slice_ctx with
-        | None -> Context.eval_error "qs:slice() outside a slicing rule"
-        | Some (slicing, key) ->
-          List.map
-            (fun msg -> Value.Node (message_node t msg))
-            (Qm.slice_messages t.qm ~use_index:t.cfg.use_slice_index ~slicing ~key ()));
-    h_slicekey =
-      (fun () ->
-        match slice_ctx with
-        | None -> Context.eval_error "qs:slicekey() outside a slicing rule"
-        | Some (slicing, _) -> (
-          match Qm.find_slicing t.qm slicing with
-          | None -> []
-          | Some sdef -> (
-            match Message.property m sdef.Defs.slice_property with
-            | Some a -> [ Value.Atom a ]
-            | None -> [])));
-    h_collection = (fun name -> collection_value t name);
-    h_now = (fun () -> Clock.now t.clk);
-  }
-
-(* ---- error routing (§3.6) ---- *)
-
-let queue_priority t name =
-  match Qm.find_queue t.qm name with Some q -> q.Defs.priority | None -> 0
-
-let schedule_message t (m : Message.t) =
-  Scheduler.add t.sched ~priority:(queue_priority t m.Message.queue) m.Message.rid
-
-let record_trace t entry =
-  if t.cfg.trace_capacity > 0 then begin
-    t.trace_log <- entry :: t.trace_log;
-    t.trace_len <- t.trace_len + 1;
-    if t.trace_len > 2 * t.cfg.trace_capacity then begin
-      t.trace_log <- List.filteri (fun i _ -> i < t.cfg.trace_capacity) t.trace_log;
-      t.trace_len <- t.cfg.trace_capacity
-    end
-  end
-
-let trace t = List.filteri (fun i _ -> i < t.cfg.trace_capacity) t.trace_log
-
-let pp_trace_entry fmt e =
-  Format.fprintf fmt "t=%d %s(%s#%d) -> %s" e.tr_tick e.tr_rule e.tr_queue
-    e.tr_trigger
-    (if e.tr_skipped then "prefiltered" else Printf.sprintf "%d updates" e.tr_updates)
-
-
-let rec raise_error t txn ~kind ~description ?rule ?rule_error_queue
-    ~source_queue ?initial_message () =
-  t.s_errors_raised <- t.s_errors_raised + 1;
-  let queue_error_queue =
-    match Qm.find_queue t.qm source_queue with
-    | Some q -> q.Defs.error_queue
-    | None -> None
-  in
-  let target =
-    match rule_error_queue, queue_error_queue, t.cfg.system_error_queue with
-    | Some q, _, _ -> Some q
-    | None, Some q, _ -> Some q
-    | None, None, q -> q
-  in
-  (* An error raised while already processing the target error queue would
-     loop; route it to the system queue, or drop it. *)
-  let target =
-    if target = Some source_queue then
-      if t.cfg.system_error_queue <> Some source_queue then t.cfg.system_error_queue
-      else None
-    else target
-  in
-  match target with
-  | None ->
-    Log.warn (fun f ->
-        f "dropping unroutable error (%s in %s): %s"
-          (Errors.kind_element kind) source_queue description)
-  | Some error_queue ->
-    let payload =
-      Errors.to_xml ~kind ~description ?rule ~queue:source_queue ?initial_message ()
-    in
-    enqueue_internal t txn ?rule ~trigger:None ~explicit:[] ~queue:error_queue
-      ~payload ~origin_queue:source_queue ()
-
-(* Enqueue + schedule + echo-timer registration; failures are routed as
-   errors themselves (bounded by the loop protection above). *)
-and enqueue_internal t txn ?rule ?rule_error_queue ?(trigger = None) ~explicit
-    ~queue ~payload ~origin_queue () =
-  match Qm.enqueue t.qm txn ?rule ?trigger ~explicit ~queue ~payload () with
-  | Ok m ->
-    t.s_messages_created <- t.s_messages_created + 1;
-    schedule_message t m;
-    note_outgoing t m;
-    (match Qm.find_queue t.qm queue with
-     | Some { Defs.kind = Defs.Echo; _ } -> register_echo_timer t txn ?rule m
-     | _ -> ())
-  | Error e ->
-    let kind =
-      match e with
-      | Qm.Unknown_queue _ -> Errors.Unknown_queue
-      | Qm.Schema_violation _ -> Errors.Schema_violation
-      | Qm.Fixed_property_set _ | Qm.Property_error _ -> Errors.Property_error
-    in
-    raise_error t txn ~kind ~description:(Qm.error_to_string e) ?rule
-      ?rule_error_queue ~source_queue:origin_queue ~initial_message:payload ()
-
-and register_echo_timer t txn ?rule (m : Message.t) =
-  let timeout =
-    match Message.property m "timeout" with
-    | Some a -> (
-      match Value.cast Value.T_integer a with
-      | Ok (Value.Integer n) -> Some n
-      | _ -> None)
-    | None -> None
-  in
-  let target =
-    Option.map Value.string_of_atomic (Message.property m "target")
-  in
-  match timeout, target with
-  | Some timeout, Some target ->
-    Timer_wheel.schedule t.timers ~due:(m.Message.enqueued_at + timeout)
-      ~rid:m.Message.rid ~target
-  | _ ->
-    raise_error t txn ~kind:Errors.Property_error
-      ~description:
-        "echo queue messages need integer 'timeout' and string 'target' properties"
-      ?rule ~source_queue:m.Message.queue ~initial_message:(Message.body m) ()
-
-(* ---- rule execution (§3.1) ---- *)
-
-type eval_unit = {
-  eu_rule : string;
-  eu_error_queue : string option;
-  eu_slice_ctx : (string * string) option;
-  eu_body : Ast.expr;
-  eu_requirements : string list;
-}
-
-let units_for t (m : Message.t) =
-  let queue_units =
-    match Compiler.plan_for t.compiled m.Message.queue with
-    | None -> []
-    | Some plan ->
-      if t.cfg.merged_plans then
-        [ { eu_rule = "<merged:" ^ plan.Compiler.target ^ ">";
-            eu_error_queue = None;
-            eu_slice_ctx = None;
-            eu_body = plan.Compiler.merged;
-            eu_requirements = [] } ]
-      else
-        List.map
-          (fun (r : Compiler.compiled_rule) ->
-            { eu_rule = r.cr_name;
-              eu_error_queue = r.cr_error_queue;
-              eu_slice_ctx = None;
-              eu_body = r.cr_body;
-              eu_requirements = r.cr_requirements })
-          plan.Compiler.rules
-  in
-  let slice_units =
-    List.concat_map
-      (fun (mem : Message.membership) ->
-        if not (Qm.membership_current t.qm m mem) then []
-        else
-          match Compiler.plan_for t.compiled mem.Message.m_slicing with
-          | None -> []
-          | Some plan ->
-            let ctx = Some (mem.Message.m_slicing, mem.Message.m_key) in
-            if t.cfg.merged_plans then
-              [ { eu_rule = "<merged:" ^ plan.Compiler.target ^ ">";
-                  eu_error_queue = None;
-                  eu_slice_ctx = ctx;
-                  eu_body = plan.Compiler.merged;
-                  eu_requirements = [] } ]
-            else
-              List.map
-                (fun (r : Compiler.compiled_rule) ->
-                  { eu_rule = r.cr_name;
-                    eu_error_queue = r.cr_error_queue;
-                    eu_slice_ctx = ctx;
-                    eu_body = r.cr_body;
-                    (* slice rules react to slice membership, not only to
-                       the triggering message's own content: conditions
-                       usually inspect qs:slice(), so no prefiltering *)
-                    eu_requirements = [] })
-                plan.Compiler.rules)
-      m.Message.memberships
-  in
-  queue_units @ slice_units
-
-let acquire_locks t txn (m : Message.t) =
-  let locks = Store.locks t.st in
-  let txn_id = Store.txn_id txn in
-  let resources =
-    match t.cfg.lock_granularity with
-    | `Queue -> [ Lock.Queue_lock m.Message.queue ]
-    | `Slice ->
-      Lock.Message_lock m.Message.rid
-      :: List.map
-           (fun (mem : Message.membership) ->
-             Lock.Slice_lock (mem.Message.m_slicing, mem.Message.m_key))
-           m.Message.memberships
-  in
-  List.iter (fun r -> ignore (Lock.acquire locks ~txn:txn_id r Lock.Exclusive)) resources
-
-let apply_updates t txn (m : Message.t) tagged =
-  List.iter
-    (fun (eu, update) ->
-      t.blamed_rule <- Some (eu.eu_rule, eu.eu_error_queue);
-      Option.iter Fault.before_apply t.fault;
-      match update with
-      | Update.Enqueue { payload; queue; props } ->
-        enqueue_internal t txn ~rule:eu.eu_rule ?rule_error_queue:eu.eu_error_queue
-          ~trigger:(Some m) ~explicit:props ~queue ~payload
-          ~origin_queue:m.Message.queue ()
-      | Update.Reset { slicing; key } -> (
-        let resolved =
-          match slicing, key with
-          | Some s, Some k -> Some (s, Message.key_string k)
-          | Some s, None -> (
-            (* explicit slicing, key of the current message *)
-            match Qm.find_slicing t.qm s with
-            | Some sdef -> (
-              match Message.property m sdef.Defs.slice_property with
-              | Some a -> Some (s, Message.key_string a)
-              | None -> None)
-            | None -> None)
-          | None, _ -> eu.eu_slice_ctx
-        in
-        match resolved with
-        | Some (slicing, key) -> Qm.reset_slice t.qm txn ~slicing ~key
-        | None ->
-          raise_error t txn ~kind:Errors.Evaluation_error
-            ~description:"do reset: no slice in scope and none specified"
-            ~rule:eu.eu_rule ?rule_error_queue:eu.eu_error_queue
-            ~source_queue:m.Message.queue ~initial_message:(Message.body m) ()))
-    tagged
-
-(* Entries in the per-rid caches must die with their message: the retention
-   GC reports what it collected and the engine purges the body/name caches,
-   the sent table, and any stale outbox entries (§2.3.3 decouples physical
-   cleanup from processing, but the caches must not outlive it). *)
-let purge_collected t rids =
-  if rids <> [] then begin
-    let collected = Hashtbl.create (List.length rids) in
-    List.iter
-      (fun rid ->
-        Hashtbl.replace collected rid ();
-        Hashtbl.remove t.node_cache rid;
-        Hashtbl.remove t.name_cache rid;
-        Hashtbl.remove t.sent rid)
-      rids;
-    Hashtbl.iter
-      (fun _ q ->
-        let keep = Queue.create () in
-        Queue.iter (fun rid -> if not (Hashtbl.mem collected rid) then Queue.push rid keep) q;
-        Queue.clear q;
-        Queue.transfer keep q)
-      t.outbox
-  end
-
-let run_gc t =
-  let rids = Qm.gc_collect t.qm in
-  purge_collected t rids;
-  let n = List.length rids in
-  t.s_gc_collected <- t.s_gc_collected + n;
-  n
-
-let process_message t rid =
-  match Qm.get t.qm rid with
-  | None -> false  (* collected before its turn came *)
-  | Some m when m.Message.processed -> false  (* rescheduled duplicate *)
-  | Some m ->
-    t.blamed_rule <- None;
-    let work txn =
-    acquire_locks t txn m;
-    let units = units_for t m in
-    let message_names =
-      if t.cfg.use_prefilter
-         && List.exists (fun eu -> eu.eu_requirements <> []) units
-      then
-        Some
-          (match Hashtbl.find_opt t.name_cache m.Message.rid with
-           | Some names -> names
-           | None ->
-             let names = Prefilter.element_names (Message.body m) in
-             Hashtbl.replace t.name_cache m.Message.rid names;
-             names)
-      else None
-    in
-    let units =
-      match message_names with
-      | None -> units
-      | Some names ->
-        List.filter
-          (fun eu ->
-            if Prefilter.may_match ~requirements:eu.eu_requirements ~names then true
-            else begin
-              t.s_prefilter_skips <- t.s_prefilter_skips + 1;
-              record_trace t
-                {
-                  tr_tick = Clock.now t.clk;
-                  tr_rule = eu.eu_rule;
-                  tr_trigger = m.Message.rid;
-                  tr_queue = m.Message.queue;
-                  tr_updates = 0;
-                  tr_skipped = true;
-                };
-              false
-            end)
-          units
-    in
-    (* Phase 1: evaluate all pertinent rules against the same snapshot,
-       accumulating the pending update list. *)
-    let tagged =
-      List.concat_map
-        (fun eu ->
-          t.s_rule_evaluations <- t.s_rule_evaluations + 1;
-          t.blamed_rule <- Some (eu.eu_rule, eu.eu_error_queue);
-          Option.iter Fault.before_eval t.fault;
-          let host = host_for t m ~slice_ctx:eu.eu_slice_ctx in
-          let env = Context.make ~host () in
-          let env =
-            { env with Context.item = Some (Value.Node (message_node t m)) }
-          in
-          match Eval.eval_with_updates env eu.eu_body with
-          | _, updates ->
-            record_trace t
-              {
-                tr_tick = Clock.now t.clk;
-                tr_rule = eu.eu_rule;
-                tr_trigger = m.Message.rid;
-                tr_queue = m.Message.queue;
-                tr_updates = List.length updates;
-                tr_skipped = false;
-              };
-            List.map (fun u -> (eu, u)) updates
-          | exception Context.Eval_error description ->
-            raise_error t txn ~kind:Errors.Evaluation_error ~description
-              ~rule:eu.eu_rule ?rule_error_queue:eu.eu_error_queue
-              ~source_queue:m.Message.queue ~initial_message:(Message.body m) ();
-            [])
-        units
-    in
-    (* Phase 2: execute the pending actions. *)
-    apply_updates t txn m tagged;
-    (* Echo-queue messages stay unprocessed until their timer fires, so a
-       restart can re-register the pending timeout (§2.1.3). *)
-    let is_echo =
-      match Qm.find_queue t.qm m.Message.queue with
-      | Some { Defs.kind = Defs.Echo; _ } -> true
-      | _ -> false
-    in
-    if not is_echo then Qm.mark_processed t.qm txn m
-    in
-    (match in_txn t work with
-     | () -> ()
-     | exception e ->
-       (* [in_txn] already aborted the transaction and released its locks;
-          §3.6 demands the failure become an error message rather than a
-          wedged engine, so route it and neutralize the trigger in a fresh
-          transaction, then keep processing. *)
-       Log.warn (fun f ->
-           f "processing of #%d aborted: %s" m.Message.rid (exn_description e));
-       let rule, rule_error_queue =
-         match t.blamed_rule with
-         | Some (r, eq) -> (Some r, eq)
-         | None -> (None, None)
-       in
-       (try
-          in_txn t (fun txn ->
-              raise_error t txn ~kind:Errors.Evaluation_error
-                ~description:(exn_description e) ?rule ?rule_error_queue
-                ~source_queue:m.Message.queue
-                ~initial_message:(Message.body m) ();
-              Qm.mark_processed t.qm txn m)
-        with e2 ->
-          Log.err (fun f ->
-              f "error routing for #%d failed: %s" m.Message.rid
-                (exn_description e2))));
-    t.s_processed <- t.s_processed + 1;
-    if t.cfg.gc_every > 0 && t.s_processed mod t.cfg.gc_every = 0 then
-      ignore (run_gc t);
-    true
-
-(* ---- public driving API ---- *)
+(* ---- driving ---- *)
 
 type step_result = Processed of Message.t | Idle
 
-let rec step t =
-  match Scheduler.pop t.sched with
-  | None -> Idle
-  | Some rid ->
-    let m = Qm.get t.qm rid in
-    if process_message t rid then Processed (Option.get m) else step t
-
-let inject t ?(props = []) ~queue payload =
-  match
-    in_txn t (fun txn ->
-        match Qm.enqueue t.qm txn ~explicit:props ~queue ~payload () with
-        | Ok m ->
-          t.s_messages_created <- t.s_messages_created + 1;
-          schedule_message t m;
-          note_outgoing t m;
-          (match Qm.find_queue t.qm queue with
-           | Some { Defs.kind = Defs.Echo; _ } -> register_echo_timer t txn m
-           | _ -> ());
-          m
-        | Error e -> raise (Qm.Queue_error e))
-  with
-  | m -> Ok m
-  | exception Qm.Queue_error e -> Error e
-
-(* The errorqueue declared on the rule that created a message (used to
-   route transport-time failures back to their originator, Fig. 10). *)
-let creating_rule_route t (m : Message.t) =
-  let creating_rule =
-    Option.map Value.string_of_atomic (Message.property m Defs.Sysprop.rule)
-  in
-  let rule_error_queue =
-    match creating_rule with
-    | None -> None
-    | Some rname ->
-      List.find_map
-        (fun plan ->
-          List.find_map
-            (fun (r : Compiler.compiled_rule) ->
-              if r.cr_name = rname then r.cr_error_queue else None)
-            plan.Compiler.rules)
-        (Compiler.plans t.compiled)
-  in
-  (creating_rule, rule_error_queue)
-
-let interface_check t (m : Message.t) (qdef : Defs.queue_def) =
-  match gateway_port t qdef with
-  | None -> Ok ()
-  | Some port ->
-    let root =
-      match Tree.element_name (Message.body m) with
-      | Some n -> Demaq_xml.Name.local n
-      | None -> ""
-    in
-    if Wsdl.accepts_input port root then Ok ()
-    else
-      Error
-        (Printf.sprintf
-           "message <%s> is not an input of port %s (expected one of: %s)" root
-           port.Wsdl.port_name (Wsdl.expected_inputs port))
-
-(* Bounded exponential backoff before retrying the transmission whose
-   [attempt]th try just failed. *)
-let backoff_delay t attempt = t.cfg.retry_backoff * (1 lsl min (attempt - 1) 16)
-
-(* A failure is worth retrying when the condition is plausibly transient: a
-   partitioned endpoint can reconnect and a timed-out wire can clear, but
-   an unresolvable name stays unresolvable. *)
-let retryable_failure = function
-  | Network.Disconnected _ | Network.Timeout _ -> true
-  | Network.Name_resolution _ -> false
-
-let transmit t ?(attempt = 1) (m : Message.t) (qdef : Defs.queue_def) =
-  t.s_transmissions <- t.s_transmissions + 1;
-  if attempt > 1 then t.s_transmit_retries <- t.s_transmit_retries + 1;
-  let binding =
-    match Hashtbl.find_opt t.bindings m.Message.queue with
-    | Some b -> b
-    | None -> { endpoint = m.Message.queue; replies_to = None }
-  in
-  let endpoint =
-    match Message.property m "recipient" with
-    | Some a -> Value.string_of_atomic a
-    | None -> binding.endpoint
-  in
-  let reliable = List.mem_assoc "WS-ReliableMessaging" qdef.Defs.extensions in
-  (* Delivery is confirmed only by the transport: the rid enters [t.sent]
-     when the attempt succeeds or the message is given up on — never
-     before, so a failed transmission is not forfeited. *)
-  let dead_letter ~kind ~description =
-    Hashtbl.replace t.sent m.Message.rid ();
-    let creating_rule, rule_error_queue = creating_rule_route t m in
-    in_txn t (fun txn ->
-        raise_error t txn ~kind ~description ?rule:creating_rule
-          ?rule_error_queue ~source_queue:m.Message.queue
-          ~initial_message:(Message.body m) ())
-  in
-  match
-    match interface_check t m qdef with
-    | Error reason -> `Interface_error reason
-    | Ok () -> (
-      match
-        Network.send t.net ~reliable ~from_:t.cfg.node_name ~to_:endpoint
-          (Message.body m)
-      with
-      | result -> `Net result
-      | exception e -> `Handler_error (exn_description e))
-  with
-  | `Interface_error description ->
-    (* permanent: retrying cannot fix a schema mismatch *)
-    Hashtbl.replace t.sent m.Message.rid ();
-    let creating_rule, rule_error_queue = creating_rule_route t m in
-    in_txn t (fun txn ->
-        raise_error t txn ~kind:Errors.Interface_violation ~description
-          ?rule:creating_rule ?rule_error_queue ~source_queue:m.Message.queue
-          ~initial_message:(Message.body m) ())
-  | `Handler_error description ->
-    (* the endpoint handler itself blew up; treat as undeliverable rather
-       than crash the pump loop *)
-    t.s_dead_letters <- t.s_dead_letters + 1;
-    dead_letter ~kind:Errors.System_error ~description
-  | `Net result ->
-  match result with
-  | Network.Sent replies ->
-    Hashtbl.replace t.sent m.Message.rid ();
-    (match binding.replies_to with
-     | Some incoming ->
-       List.iter
-         (fun reply ->
-           match
-             inject t
-               ~props:[ (Defs.Sysprop.sender, Value.String endpoint) ]
-               ~queue:incoming reply
-           with
-           | Ok _ -> ()
-           | Error e ->
-             in_txn t (fun txn ->
-                 raise_error t txn ~kind:Errors.Schema_violation
-                   ~description:(Qm.error_to_string e) ~source_queue:incoming
-                   ~initial_message:reply ()))
-         replies
-     | None -> ())
-  | Network.Lost ->
-    (* best-effort send; nobody to tell *)
-    Hashtbl.replace t.sent m.Message.rid ()
-  | Network.Failed failure ->
-    if reliable && retryable_failure failure && attempt <= t.cfg.transmit_retries
-    then begin
-      (* re-arm through the timer wheel; the message stays unsent and
-         unforfeited until the retry budget is spent *)
-      let due = Clock.now t.clk + backoff_delay t attempt in
-      Log.debug (fun f ->
-          f "transmission of #%d failed (%s); retry %d/%d at t=%d"
-            m.Message.rid
-            (Network.failure_to_string failure)
-            attempt t.cfg.transmit_retries due);
-      Timer_wheel.schedule_retransmit t.timers ~due ~rid:m.Message.rid
-        ~attempt:(attempt + 1)
-    end
-    else begin
-      if reliable then t.s_dead_letters <- t.s_dead_letters + 1;
-      dead_letter
-        ~kind:(Errors.of_network_failure failure)
-        ~description:(Network.failure_to_string failure)
-    end
-
-let pump_gateways t =
-  let count = ref 0 in
-  List.iter
-    (fun (qdef : Defs.queue_def) ->
-      if qdef.Defs.kind = Defs.Outgoing_gateway then begin
-        let outbox = outbox_for t qdef.Defs.qname in
-        while not (Queue.is_empty outbox) do
-          let rid = Queue.pop outbox in
-          if not (Hashtbl.mem t.sent rid) then
-            match Qm.get t.qm rid with
-            | Some m ->
-              incr count;
-              (* no transmission may precede the barrier covering the
-                 transaction that created (or error-routed) the message; a
-                 no-op when nothing is pending *)
-              harden t;
-              transmit t m qdef
-            | None -> ()  (* collected before transmission: nothing to do *)
-        done
-      end)
-    (Qm.queue_defs t.qm);
-  !count
-
-let fire_echo t ~rid ~target =
-  match Qm.get t.qm rid with
-  | None -> ()
-  | Some echo_msg -> (
-    t.s_timers_fired <- t.s_timers_fired + 1;
-    try
-      in_txn t (fun txn ->
-          enqueue_internal t txn ~trigger:(Some echo_msg) ~explicit:[]
-            ~queue:target ~payload:(Message.body echo_msg)
-            ~origin_queue:echo_msg.Message.queue ();
-          Qm.mark_processed t.qm txn echo_msg)
-    with e ->
-      (* aborted and unlocked by [in_txn]; surface the failure as an error
-         message and retire the echo message so it cannot loop *)
-      Log.warn (fun f -> f "echo timer for #%d aborted: %s" rid (exn_description e));
-      (try
-         in_txn t (fun txn ->
-             raise_error t txn ~kind:Errors.System_error
-               ~description:(exn_description e)
-               ~source_queue:echo_msg.Message.queue
-               ~initial_message:(Message.body echo_msg) ();
-             Qm.mark_processed t.qm txn echo_msg)
-       with e2 ->
-         Log.err (fun f ->
-             f "error routing for echo #%d failed: %s" rid (exn_description e2))))
-
-let advance_time t ticks =
-  Clock.advance t.clk ticks;
-  List.iter
-    (function
-      | Timer_wheel.Echo { rid; target } -> fire_echo t ~rid ~target
-      | Timer_wheel.Retransmit { rid; attempt } -> (
-        match Qm.get t.qm rid with
-        | None -> ()  (* collected while awaiting retry: nothing to deliver *)
-        | Some m -> (
-          match Qm.find_queue t.qm m.Message.queue with
-          | Some qdef ->
-            (* a timer-armed retry externalizes like any transmission *)
-            harden t;
-            transmit t ~attempt m qdef
-          | None -> ())))
-    (Timer_wheel.due_entries t.timers ~now:(Clock.now t.clk))
+(* budget 1 => the pool drains inline: deterministic, seed scheduler order *)
+let step t =
+  let picked = ref Idle in
+  ignore
+    (Worker_pool.drain t.pool ~budget:1
+       ~process:(fun rid ->
+         let m = Executor.message t.ctx rid in
+         let ok = Executor.process t.ctx rid in
+         (if ok then match m with Some m -> picked := Processed m | None -> ());
+         ok));
+  !picked
 
 let run ?(max_steps = max_int) t =
   let processed = ref 0 in
   let continue_ = ref true in
-  let batch_size = max 1 t.cfg.batch_size in
+  let batch_size = max 1 t.ctx.Executor.cfg.batch_size in
   (* [max_steps] bounds processed messages only: rescheduled duplicates and
-     collected rids are skipped inside [step] without touching the budget. *)
+     collected rids are skipped inside the pool without touching the
+     budget. *)
   while !continue_ && !processed < max_steps do
-    (* drain up to [batch_size] messages back to back; their commits share
-       one durability barrier instead of paying one fsync each *)
+    (* drain up to [batch_size] messages (across all workers); their
+       commits share one durability barrier instead of one fsync each *)
     let budget = min batch_size (max_steps - !processed) in
-    let in_batch = ref 0 in
-    let draining = ref true in
-    while !draining && !in_batch < budget do
-      match step t with
-      | Processed _ -> incr in_batch
-      | Idle -> draining := false
-    done;
-    processed := !processed + !in_batch;
-    (* one barrier covers the whole batch; [pump_gateways] re-checks it
-       before every transmission, so error-routing commits made while
-       pumping are hardened before they can externalize *)
-    harden t;
-    let sent = pump_gateways t in
-    if !in_batch = 0 && sent = 0 then continue_ := false
+    let n =
+      Worker_pool.drain t.pool ~budget ~process:(fun rid -> Executor.process t.ctx rid)
+    in
+    processed := !processed + n;
+    (* one barrier covers the whole batch; the pump re-checks it before
+       every transmission, so error-routing commits made while pumping are
+       hardened before they can externalize *)
+    Executor.harden t.ctx;
+    let sent = Externalizer.pump_gateways t.ctx in
+    if n = 0 && sent = 0 then continue_ := false
   done;
   !processed
 
-let gc t = run_gc t
+(* ---- introspection ---- *)
 
 let stats t =
-  let st = Store.stats t.st in
+  let ctx = t.ctx in
+  let st = Store.stats ctx.Executor.st in
   let group_syncs = st.Store.wal_group_syncs in
+  let processed = Atomic.get ctx.Executor.c_processed in
   {
-    processed = t.s_processed;
-    rule_evaluations = t.s_rule_evaluations;
-    messages_created = t.s_messages_created;
-    errors_raised = t.s_errors_raised;
-    transmissions = t.s_transmissions;
-    timers_fired = t.s_timers_fired;
-    gc_collected = t.s_gc_collected;
-    prefilter_skips = t.s_prefilter_skips;
-    txn_aborts = t.s_txn_aborts;
-    transmit_retries = t.s_transmit_retries;
-    dead_letters = t.s_dead_letters;
+    processed;
+    rule_evaluations = Atomic.get ctx.Executor.c_rule_evaluations;
+    messages_created = Atomic.get ctx.Executor.c_messages_created;
+    errors_raised = Atomic.get ctx.Executor.c_errors_raised;
+    transmissions = Atomic.get ctx.Executor.c_transmissions;
+    timers_fired = Atomic.get ctx.Executor.c_timers_fired;
+    gc_collected = Atomic.get ctx.Executor.c_gc_collected;
+    prefilter_skips = Atomic.get ctx.Executor.c_prefilter_skips;
+    txn_aborts = Atomic.get ctx.Executor.c_txn_aborts;
+    transmit_retries = Atomic.get ctx.Executor.c_transmit_retries;
+    dead_letters = Atomic.get ctx.Executor.c_dead_letters;
     wal_group_syncs = group_syncs;
     batch_fill =
-      (if group_syncs > 0 then float_of_int t.s_processed /. float_of_int group_syncs
+      (if group_syncs > 0 then float_of_int processed /. float_of_int group_syncs
        else 0.);
     syncs_per_message =
-      (if t.s_processed > 0 then
-         float_of_int st.Store.wal_syncs /. float_of_int t.s_processed
+      (if processed > 0 then
+         float_of_int st.Store.wal_syncs /. float_of_int processed
        else 0.);
   }
 
 let cache_sizes t =
-  [
-    ("node", Hashtbl.length t.node_cache);
-    ("name", Hashtbl.length t.name_cache);
-    ("sent", Hashtbl.length t.sent);
-    ("outbox", Hashtbl.fold (fun _ q n -> n + Queue.length q) t.outbox 0);
-  ]
+  let ctx = t.ctx in
+  Executor.locked ctx (fun () ->
+      [
+        ("node", Hashtbl.length ctx.Executor.node_cache);
+        ("name", Hashtbl.length ctx.Executor.name_cache);
+        ("sent", Hashtbl.length ctx.Executor.sent);
+        ("outbox",
+         Hashtbl.fold (fun _ q n -> n + Queue.length q) ctx.Executor.outbox 0);
+      ])
 
-let pending_messages t = Scheduler.length t.sched
-let queue_contents t name = Qm.queue_messages t.qm name
-
-(* ---- dynamic evolution (paper §5 future work) ----
-
-   The paper notes that "Demaq applications currently rely on a static set
-   of queues, slicings, and rule definitions that cannot be adapted during
-   system runtime ... clearly, this is unacceptable for zero-downtime
-   environments". [evolve] applies an incremental script (additional
-   create statements and [drop rule] statements) to a running server:
-   the combined program is re-analyzed as a whole, new definitions are
-   registered, and the rule set is recompiled — without stopping the
-   engine or touching stored messages.
-
-   Semantics of additions: new rules apply to all messages processed from
-   now on (including already-enqueued unprocessed ones); new properties
-   and slicings only affect messages enqueued after the evolution, because
-   property values and slice memberships are fixed at message creation
-   (§2.2). *)
-
-let evolve t src =
-  match Qdl.parse_program_result src with
-  | Error msg -> Error msg
-  | Ok statements ->
-    let drops =
-      List.filter_map (function Qdl.Drop_rule n -> Some n | _ -> None) statements
-    in
-    let additions =
-      List.filter (function Qdl.Drop_rule _ -> false | _ -> true) statements
-    in
-    let current = Compiler.source_program t.compiled in
-    let existing_rules = List.map (fun r -> r.Qdl.rname) (Qdl.rules current) in
-    let missing = List.filter (fun n -> not (List.mem n existing_rules)) drops in
-    if missing <> [] then
-      Error
-        (Printf.sprintf "cannot drop unknown rule%s: %s"
-           (if List.length missing = 1 then "" else "s")
-           (String.concat ", " missing))
-    else begin
-      let base =
-        List.filter
-          (function
-            | Qdl.Create_rule r -> not (List.mem r.Qdl.rname drops)
-            | _ -> true)
-          current
-      in
-      let combined = base @ additions in
-      let analysis = Analysis.analyze combined in
-      if not analysis.Analysis.ok then
-        Error
-          (String.concat "\n"
-             (List.filter_map
-                (fun d ->
-                  if d.Analysis.severity = Analysis.Error then
-                    Some (Format.asprintf "%a" Analysis.pp_diagnostic d)
-                  else None)
-                analysis.Analysis.diagnostics))
-      else begin
-        List.iter
-          (function
-            | Qdl.Create_queue q -> Qm.add_queue t.qm q
-            | Qdl.Create_property p -> Qm.add_property t.qm p
-            | Qdl.Create_slicing s -> Qm.add_slicing t.qm s
-            | Qdl.Create_rule _ | Qdl.Drop_rule _ -> ())
-          additions;
-        t.compiled <- Compiler.compile ~optimize:t.cfg.optimize combined;
-        Ok ()
-      end
-    end
+let evolve t src = Evolution.evolve t.ctx src
 
 (* ---- distribution (§2.1.2) ----
 
    "This also facilitates the distribution of applications over several
    nodes by replacing local queues with pairs of gateway queues that
    connect two sites." [expose] publishes one of this server's incoming
-   gateway queues as a named endpoint on the simulated network, so another
-   node's outgoing gateway can address it. *)
+   gateway queues as a named endpoint on the simulated network. *)
 
 let expose t ~name ~queue =
-  match Qm.find_queue t.qm queue with
+  let ctx = t.ctx in
+  match Qm.find_queue ctx.Executor.qm queue with
   | Some { Defs.kind = Defs.Incoming_gateway; _ } ->
-    Network.register t.net ~name ~handler:(fun ~sender body ->
+    Network.register ctx.Executor.net ~name ~handler:(fun ~sender body ->
         (match
-           inject t
-             ~props:[ (Defs.Sysprop.sender, Value.String sender) ]
+           Executor.inject ctx
+             ~props:[ (Defs.Sysprop.sender, Demaq_xquery.Value.String sender) ]
              ~queue body
          with
          | Ok _ -> ()
          | Error e ->
-           in_txn t (fun txn ->
-               raise_error t txn ~kind:Errors.Schema_violation
+           Executor.with_txn ctx (fun txn ->
+               Executor.raise_error ctx txn ~kind:Errors.Schema_violation
                  ~description:(Qm.error_to_string e) ~source_queue:queue
                  ~initial_message:body ()));
         []);
@@ -1034,8 +244,7 @@ let deploy ?(config = default_config) ?store:st ?network:net program_text =
   List.iter
     (fun d ->
       match d.Analysis.severity with
-      | Analysis.Warning ->
-        Log.warn (fun f -> f "%a" Analysis.pp_diagnostic d)
+      | Analysis.Warning -> Log.warn (fun f -> f "%a" Analysis.pp_diagnostic d)
       | Analysis.Error -> ())
     analysis.Analysis.diagnostics;
   if not analysis.Analysis.ok then
@@ -1057,49 +266,22 @@ let deploy ?(config = default_config) ?store:st ?network:net program_text =
   Qm.rebuild_indexes qm;
   let compiled = Compiler.compile ~optimize:config.optimize program in
   let net = match net with Some n -> n | None -> Network.create () in
-  let t =
-    {
-      cfg = config;
-      qm;
-      st;
-      net;
-      compiled;
-      sched = Scheduler.create ();
-      timers = Timer_wheel.create ();
-      clk;
-      node_cache = Hashtbl.create 1024;
-      name_cache = Hashtbl.create 1024;
-      collection_cache = Hashtbl.create 8;
-      bindings = Hashtbl.create 8;
-      interfaces = Hashtbl.create 4;
-      sent = Hashtbl.create 1024;
-      outbox = Hashtbl.create 8;
-      s_processed = 0;
-      s_rule_evaluations = 0;
-      s_messages_created = 0;
-      s_errors_raised = 0;
-      s_transmissions = 0;
-      s_timers_fired = 0;
-      s_gc_collected = 0;
-      s_prefilter_skips = 0;
-      s_txn_aborts = 0;
-      s_transmit_retries = 0;
-      s_dead_letters = 0;
-      fault = None;
-      blamed_rule = None;
-      trace_log = [];
-      trace_len = 0;
-    }
-  in
+  let ctx = Executor.create ~cfg:config ~qm ~st ~net ~compiled ~clk () in
+  let pool = Worker_pool.create ~workers:config.workers () in
+  ctx.Executor.schedule <-
+    (fun ~priority ~resources rid -> Worker_pool.schedule pool ~priority ~resources rid);
+  let t = { ctx; pool } in
   (* Recovery: refill gateway outboxes (retransmission after restart is
      at-least-once, matching WS-ReliableMessaging semantics), resume the
      clock past every stored timestamp, reschedule unprocessed messages,
      and re-register pending echo timeouts. *)
-  List.iter
-    (fun (qdef : Defs.queue_def) ->
-      if qdef.Defs.kind = Defs.Outgoing_gateway then
-        List.iter (note_outgoing t) (Qm.queue_messages qm qdef.Defs.qname))
-    (Qm.queue_defs qm);
+  Executor.locked ctx (fun () ->
+      List.iter
+        (fun (qdef : Defs.queue_def) ->
+          if qdef.Defs.kind = Defs.Outgoing_gateway then
+            List.iter (Executor.note_outgoing ctx)
+              (Qm.queue_messages qm qdef.Defs.qname))
+        (Qm.queue_defs qm));
   let unprocessed = Qm.unprocessed qm in
   (* Resume at the MAXIMUM stored timestamp in one step: list order is
      arrival order, not time order, so folding element-wise assignments
@@ -1112,9 +294,7 @@ let deploy ?(config = default_config) ?store:st ?network:net program_text =
     (fun (m : Message.t) ->
       match Qm.find_queue qm m.Message.queue with
       | Some { Defs.kind = Defs.Echo; _ } ->
-        let txn = Store.begin_txn st in
-        register_echo_timer t txn m;
-        Store.commit txn
-      | _ -> schedule_message t m)
+        Executor.with_txn ctx (fun txn -> Executor.register_echo_timer ctx txn m)
+      | _ -> Executor.schedule_message ctx m)
     unprocessed;
   t

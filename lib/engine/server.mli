@@ -9,7 +9,7 @@ module Tree := Demaq_xml.Tree
 module Value := Demaq_xquery.Value
 module Store := Demaq_store.Message_store
 
-type config = {
+type config = Executor.config = {
   merged_plans : bool;
       (** evaluate one merged plan per queue instead of per-rule plans
           (§4.4.1; benchmark B2). Per-rule is the default because it gives
@@ -54,6 +54,14 @@ type config = {
           commits then defer their fsync to the next barrier, and the
           engine guarantees no transmission precedes the barrier covering
           the transaction that created the message. *)
+  workers : int;
+      (** worker domains draining the dispatcher per {!run} batch. 1 (the
+          default) runs inline on the calling thread and is deterministic:
+          observable behaviour matches the single-threaded engine. More
+          workers process conflict-free messages (different queues, or
+          different slices per [lock_granularity]) concurrently; per-queue
+          arrival order and exactly-once externalization are preserved.
+          Defaults to [$DEMAQ_WORKERS] when set. *)
 }
 
 val default_config : config
@@ -172,13 +180,19 @@ type stats = {
 val stats : t -> stats
 val pending_messages : t -> int
 
+val workers : t -> int
+(** The configured worker-pool size (clamped). *)
+
+val worker_stats : t -> Worker_pool.worker_stats list
+(** Per-worker counters: messages processed, idle waits, drains joined. *)
+
 val cache_sizes : t -> (string * int) list
 (** Current entry counts of the per-rid caches ([node], [name], [sent],
     [outbox]); the retention GC must shrink these alongside the store. *)
 
 (** {1 Execution tracing} *)
 
-type trace_entry = {
+type trace_entry = Executor.trace_entry = {
   tr_tick : int;  (** virtual-clock time of the activation *)
   tr_rule : string;
   tr_trigger : int;  (** rid of the triggering message *)

@@ -1,0 +1,179 @@
+(* The worker pool: N OCaml 5 domains draining the dispatcher.
+
+   Gray's queued-transaction-processing shape — a pool of servers pulling
+   independent units of work off a shared queue — mapped onto domains.
+   The pool owns the dispatcher and a monitor (mutex + condition): every
+   dispatcher access goes through the monitor, workers block on the
+   condition when all remaining work conflicts with in-flight messages,
+   and every completion or new scheduling broadcasts so blocked workers
+   re-examine the heap.
+
+   Domains are spawned per [drain] call and joined before it returns
+   (spawn cost is microseconds against a batch of message transactions;
+   keeping domains parked between drains would pin OCaml's limited domain
+   budget for no gain). Two paths are special-cased to run inline on the
+   calling thread with no domains at all:
+
+   - [workers = 1]: the deterministic mode. One worker that completes
+     each message before asking for the next can never observe a
+     conflict, so the dispatcher degenerates to the seed scheduler's
+     exact pop order and the engine's observable behaviour (trace order,
+     stats, externalization order) matches the single-threaded engine.
+   - [budget = 1] (single-step driving, e.g. [Server.step]): same
+     argument, regardless of the configured worker count.
+
+   Budget semantics match the seed's [max_steps]: only messages whose
+   processing callback returns [true] count; rescheduled duplicates and
+   collected rids are skipped for free. A worker therefore stops only
+   when the budget is exhausted by *completed* work — while claimed work
+   is still in flight it waits, because an in-flight skip hands its
+   budget slot back. *)
+
+type worker_stats = {
+  mutable w_processed : int;  (* messages this worker completed *)
+  mutable w_idle : int;  (* times it blocked waiting for compatible work *)
+  mutable w_drains : int;  (* drain calls it participated in *)
+}
+
+type t = {
+  mu : Mutex.t;
+  cond : Condition.t;
+  dsp : Dispatch.t;
+  workers : int;
+  wstats : worker_stats array;
+  (* per-drain monitor state, guarded by [mu] *)
+  mutable in_flight : int;
+  mutable done_ : int;
+  mutable budget : int;
+  mutable failure : exn option;
+}
+
+let create ~workers () =
+  let workers = max 1 (min workers 64) in
+  {
+    mu = Mutex.create ();
+    cond = Condition.create ();
+    dsp = Dispatch.create ();
+    workers;
+    wstats =
+      Array.init workers (fun _ -> { w_processed = 0; w_idle = 0; w_drains = 0 });
+    in_flight = 0;
+    done_ = 0;
+    budget = 0;
+    failure = None;
+  }
+
+let workers t = t.workers
+let locked t f = Mutex.protect t.mu f
+
+let schedule t ~priority ~resources rid =
+  locked t (fun () ->
+      Dispatch.schedule t.dsp ~priority ~resources rid;
+      Condition.broadcast t.cond)
+
+let pending t = locked t (fun () -> Dispatch.pending t.dsp)
+let pending_rids t = locked t (fun () -> Dispatch.pending_rids t.dsp)
+
+let worker_stats t =
+  Array.to_list
+    (Array.map
+       (fun w ->
+         { w_processed = w.w_processed; w_idle = w.w_idle; w_drains = w.w_drains })
+       t.wstats)
+
+(* ---- inline (deterministic) drain ---- *)
+
+let drain_inline t ~budget ~process =
+  let ws = t.wstats.(0) in
+  ws.w_drains <- ws.w_drains + 1;
+  let done_ = ref 0 in
+  let continue_ = ref true in
+  while !continue_ && !done_ < budget do
+    match locked t (fun () -> Dispatch.next t.dsp) with
+    | Dispatch.Ready rid ->
+      let ok =
+        match process rid with
+        | ok -> ok
+        | exception e ->
+          locked t (fun () -> Dispatch.complete t.dsp rid);
+          raise e
+      in
+      locked t (fun () -> Dispatch.complete t.dsp rid);
+      if ok then begin
+        incr done_;
+        ws.w_processed <- ws.w_processed + 1
+      end
+    | Dispatch.Busy | Dispatch.Empty ->
+      (* Busy is impossible with nothing in flight; treat it as drained *)
+      continue_ := false
+  done;
+  !done_
+
+(* ---- parallel drain ---- *)
+
+let worker_loop t i ~process =
+  let ws = t.wstats.(i) in
+  ws.w_drains <- ws.w_drains + 1;
+  let continue_ = ref true in
+  while !continue_ do
+    Mutex.lock t.mu;
+    let rec decide () =
+      if t.failure <> None || t.done_ >= t.budget then `Stop
+      else if t.done_ + t.in_flight >= t.budget then
+        if t.in_flight = 0 then `Stop
+        else begin
+          (* budget provisionally full, but an in-flight skip would hand a
+             slot back: wait for completions rather than leave early *)
+          ws.w_idle <- ws.w_idle + 1;
+          Condition.wait t.cond t.mu;
+          decide ()
+        end
+      else
+        match Dispatch.next t.dsp with
+        | Dispatch.Ready rid ->
+          t.in_flight <- t.in_flight + 1;
+          `Run rid
+        | Dispatch.Busy | Dispatch.Empty ->
+          if t.in_flight = 0 then `Stop
+          else begin
+            (* all remaining work conflicts with (or may be created by)
+               running messages; their completion broadcasts *)
+            ws.w_idle <- ws.w_idle + 1;
+            Condition.wait t.cond t.mu;
+            decide ()
+          end
+    in
+    let action = decide () in
+    Mutex.unlock t.mu;
+    match action with
+    | `Stop -> continue_ := false
+    | `Run rid ->
+      let result = match process rid with ok -> Ok ok | exception e -> Error e in
+      Mutex.lock t.mu;
+      t.in_flight <- t.in_flight - 1;
+      Dispatch.complete t.dsp rid;
+      (match result with
+       | Ok true ->
+         t.done_ <- t.done_ + 1;
+         ws.w_processed <- ws.w_processed + 1
+       | Ok false -> ()
+       | Error e -> if t.failure = None then t.failure <- Some e);
+      Condition.broadcast t.cond;
+      Mutex.unlock t.mu
+  done
+
+let drain_parallel t ~budget ~process =
+  t.done_ <- 0;
+  t.in_flight <- 0;
+  t.budget <- budget;
+  t.failure <- None;
+  let doms =
+    Array.init t.workers (fun i -> Domain.spawn (fun () -> worker_loop t i ~process))
+  in
+  Array.iter Domain.join doms;
+  match t.failure with Some e -> raise e | None -> t.done_
+
+let drain t ~budget ~process =
+  if budget <= 0 then 0
+  else if t.workers = 1 || budget = 1 then drain_inline t ~budget ~process
+  else drain_parallel t ~budget ~process

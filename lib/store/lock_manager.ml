@@ -12,14 +12,26 @@ let resource_to_string = function
 
 type entry = { mutable holders : (int * mode) list }
 
+(* All three tables are guarded by [mu]: transactions on different worker
+   domains acquire and release concurrently, and a torn holder list would
+   silently break strict 2PL. Public entry points take the mutex; the
+   [_unlocked] internals assume it is held. *)
 type t = {
+  mu : Mutex.t;
   table : (resource, entry) Hashtbl.t;
   by_txn : (int, resource list) Hashtbl.t;
   waiting : (int, resource) Hashtbl.t;  (* txn -> resource it waits for *)
 }
 
 let create () =
-  { table = Hashtbl.create 64; by_txn = Hashtbl.create 16; waiting = Hashtbl.create 16 }
+  {
+    mu = Mutex.create ();
+    table = Hashtbl.create 64;
+    by_txn = Hashtbl.create 16;
+    waiting = Hashtbl.create 16;
+  }
+
+let locked t f = Mutex.protect t.mu f
 
 type outcome = Granted | Conflict of int list
 
@@ -32,6 +44,7 @@ let note_held t txn resource =
     Hashtbl.replace t.by_txn txn (resource :: existing)
 
 let acquire t ~txn resource mode =
+  locked t @@ fun () ->
   let entry =
     match Hashtbl.find_opt t.table resource with
     | Some e -> e
@@ -58,6 +71,7 @@ let acquire t ~txn resource mode =
   end
 
 let release_all t ~txn =
+  locked t @@ fun () ->
   (match Hashtbl.find_opt t.by_txn txn with
    | None -> ()
    | Some resources ->
@@ -73,6 +87,7 @@ let release_all t ~txn =
   Hashtbl.remove t.waiting txn
 
 let held t ~txn =
+  locked t @@ fun () ->
   match Hashtbl.find_opt t.by_txn txn with
   | None -> []
   | Some resources ->
@@ -84,10 +99,10 @@ let held t ~txn =
           List.find_map (fun (id, m) -> if id = txn then Some (r, m) else None) e.holders)
       resources
 
-let wait_on t ~txn resource = Hashtbl.replace t.waiting txn resource
-let stop_waiting t ~txn = Hashtbl.remove t.waiting txn
+let wait_on t ~txn resource = locked t (fun () -> Hashtbl.replace t.waiting txn resource)
+let stop_waiting t ~txn = locked t (fun () -> Hashtbl.remove t.waiting txn)
 
-let holders_of t resource =
+let holders_of_unlocked t resource =
   match Hashtbl.find_opt t.table resource with
   | None -> []
   | Some e -> List.map fst e.holders
@@ -95,6 +110,7 @@ let holders_of t resource =
 (* Cycle check: starting from the holders of [resource], follow
    waits-for -> holders edges; a path back to [txn] is a deadlock. *)
 let would_deadlock t ~txn resource =
+  locked t @@ fun () ->
   let visited = Hashtbl.create 16 in
   let rec reachable current =
     if current = txn then true
@@ -103,9 +119,9 @@ let would_deadlock t ~txn resource =
       Hashtbl.replace visited current ();
       match Hashtbl.find_opt t.waiting current with
       | None -> false
-      | Some r -> List.exists reachable (holders_of t r)
+      | Some r -> List.exists reachable (holders_of_unlocked t r)
     end
   in
-  List.exists (fun h -> h <> txn && reachable h) (holders_of t resource)
+  List.exists (fun h -> h <> txn && reachable h) (holders_of_unlocked t resource)
 
-let active_locks t = Hashtbl.length t.table
+let active_locks t = locked t (fun () -> Hashtbl.length t.table)

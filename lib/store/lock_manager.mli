@@ -9,7 +9,11 @@
     reports the conflicting holders, and the caller (the engine's scheduler
     or a benchmark driving simulated concurrency) decides whether to wait,
     retry, or abort. Wait-for edges registered via {!wait_on} feed the
-    deadlock detector. *)
+    deadlock detector.
+
+    The manager is domain-safe: every operation is atomic under an
+    internal mutex, so transactions running on different worker domains
+    may acquire and release concurrently. *)
 
 type mode = Shared | Exclusive
 

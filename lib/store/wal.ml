@@ -33,8 +33,13 @@ type sync_mode =
   | Sync_never
   | Sync_batch of { max_records : int; max_bytes : int }
 
+(* Single-writer invariant: all appends and barriers funnel through [mu],
+   so the log is a strictly serial byte stream even when transactions
+   commit from several worker domains. The scratch buffer and header are
+   safe to reuse for the same reason. *)
 type t = {
   path : string;
+  mu : Mutex.t;
   mutable oc : out_channel;
   mutable fd : Unix.file_descr;
   sync : sync_mode;
@@ -133,6 +138,7 @@ let open_log ?(sync = Sync_always) path =
   let bytes = (Unix.fstat fd).Unix.st_size in
   {
     path;
+    mu = Mutex.create ();
     oc;
     fd;
     sync;
@@ -156,8 +162,11 @@ let do_fsync t =
 (* One fsync covering every record appended since the last one. Commit
    records are self-contained (recovery replays whatever intact prefix is
    on disk), so Sync_batch can defer this barrier and amortize it over a
-   whole batch of transactions — Gray's group commit. *)
-let barrier t =
+   whole batch of transactions — Gray's group commit. Because barriers are
+   serialized with appends under [mu], one worker's barrier hardens every
+   commit any worker appended before it: the fsync is amortized
+   fleet-wide, not per-domain. *)
+let barrier_unlocked t =
   match t.sync with
   | Sync_batch _ when t.pending_records > 0 ->
     do_fsync t;
@@ -165,7 +174,10 @@ let barrier t =
     true
   | _ -> false
 
+let barrier t = Mutex.protect t.mu (fun () -> barrier_unlocked t)
+
 let append t rec_ =
+  Mutex.protect t.mu @@ fun () ->
   Buffer.clear t.scratch;
   encode_record_into t.scratch rec_;
   let body = Buffer.contents t.scratch in
@@ -185,13 +197,13 @@ let append t rec_ =
     if
       (max_records > 0 && t.pending_records >= max_records)
       || (max_bytes > 0 && t.pending_bytes >= max_bytes)
-    then ignore (barrier t)
+    then ignore (barrier_unlocked t)
 
 let bytes_written t = t.bytes
 let records_written t = t.records
 let syncs_performed t = t.syncs
 let group_syncs_performed t = t.group_syncs
-let pending_records t = t.pending_records
+let pending_records t = Mutex.protect t.mu (fun () -> t.pending_records)
 
 let close t =
   (* an orderly shutdown hardens the tail of the last batch *)

@@ -6,7 +6,13 @@
     time. A record fully present in the log is committed; a torn tail
     (crash mid-write) is detected by length/CRC and ignored.
 
-    Record framing: 8-byte length, 8-byte CRC-32, body. *)
+    Record framing: 8-byte length, 8-byte CRC-32, body.
+
+    The append path is domain-safe with a single-writer discipline: an
+    internal mutex serializes {!append} and {!barrier}, so transactions
+    committing from several worker domains interleave whole records, never
+    bytes, and one worker's barrier hardens every record appended before
+    it (the group-commit fsync is shared fleet-wide). *)
 
 type op =
   | Insert of {

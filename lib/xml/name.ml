@@ -6,12 +6,16 @@ let make ?(uri = "") local = { uri; local }
    parses; hash-consing them makes each distinct (uri, local) pair one
    shared allocation instead of one per occurrence. The table is bounded:
    past the cap, names fall back to fresh allocation (hostile input with
-   unbounded distinct names cannot pin memory). *)
+   unbounded distinct names cannot pin memory). The table is global and
+   worker domains parse messages concurrently, so lookups and inserts are
+   serialized under a mutex. *)
 let interned : (string * string, t) Hashtbl.t = Hashtbl.create 256
+let interned_mu = Mutex.create ()
 let intern_cap = 4096
 
 let intern ?(uri = "") local =
   let key = (uri, local) in
+  Mutex.protect interned_mu @@ fun () ->
   match Hashtbl.find_opt interned key with
   | Some t -> t
   | None ->

@@ -369,6 +369,83 @@ let test_group_commit_crash_restart_exactly_once () =
   check int_ "lock table empty" 0 (active_locks srv2);
   Store.close st2
 
+(* ---- multi-worker pool (PR 3) ----
+
+   The same crash contracts, but with a 4-domain worker pool draining the
+   dispatcher: torn-WAL prefix replay, exactly-once outputs across a
+   kill/redeploy, and barrier-before-transmission must all survive
+   parallel execution. *)
+
+let test_multi_worker_crash_restart_exactly_once () =
+  (* Kill the node mid-run with 4 workers and a torn batch tail, redeploy
+     (again with 4 workers): every surviving input yields exactly one
+     output — no duplicate from a message committed by one worker and
+     replayed after restart, no loss from one committed but unsynced. *)
+  let dir = fresh_dir "mw-restart" in
+  let cfg = batch_cfg dir in
+  let st = Store.open_store cfg in
+  let config =
+    { S.default_config with S.batch_size = 8; group_commit = true; workers = 4 }
+  in
+  let srv = S.deploy ~config ~store:st ping_pong in
+  check int_ "pool really has 4 workers" 4 (S.workers srv);
+  for i = 1 to 12 do
+    ignore (inject_ok srv "in" (Printf.sprintf "<ping>%d</ping>" i))
+  done;
+  (* process part of the backlog — the crash lands mid-workload *)
+  ignore (S.run ~max_steps:6 srv);
+  (* a commit after the final barrier, torn off by the crash *)
+  ignore (inject_ok srv "in" "<ping>lost</ping>");
+  let st2 = Fault.crash_restart ~tear_bytes:3 cfg st in
+  let srv2 = S.deploy ~config ~store:st2 ping_pong in
+  ignore (S.run srv2);
+  let expected =
+    List.sort compare
+      (List.init 12 (fun i -> Printf.sprintf "<pong>%d</pong>" (i + 1)))
+  in
+  check bool_ "12 pongs exactly once, torn inject gone" true
+    (List.sort compare (bodies srv2 "out") = expected);
+  check int_ "lock table empty" 0 (active_locks srv2);
+  check int_ "idle afterwards" 0 (S.run srv2);
+  Store.close st2
+
+let test_multi_worker_barrier_before_transmission () =
+  (* Group commit's externalization rule under parallelism: whichever
+     worker committed the transaction that created an outgoing message,
+     the transmission must still wait for the covering barrier. The
+     endpoint handler checks the exposure window on every delivery. *)
+  let dir = fresh_dir "mw-barrier" in
+  let cfg = batch_cfg dir in
+  let st = Store.open_store cfg in
+  let net = Net.create () in
+  let received = ref 0 in
+  let max_exposure = ref 0 in
+  Net.register net ~name:"partner" ~handler:(fun ~sender:_ _ ->
+      incr received;
+      max_exposure := max !max_exposure (Store.unsynced_commits st);
+      []);
+  let config =
+    { S.default_config with S.batch_size = 16; group_commit = true; workers = 4 }
+  in
+  let srv = S.deploy ~config ~store:st ~network:net gateway_program in
+  S.bind_gateway srv ~queue:"out" ~endpoint:"partner" ();
+  for i = 1 to 40 do
+    ignore (inject_ok srv "work" (Printf.sprintf "<order><id>%d</id></order>" i))
+  done;
+  ignore (S.run srv);
+  check int_ "all deliveries arrived" 40 !received;
+  check int_ "no delivery ever saw an unsynced commit" 0 !max_exposure;
+  check int_ "lock table empty" 0 (active_locks srv);
+  let per_worker = S.worker_stats srv in
+  check int_ "stats row per worker" 4 (List.length per_worker);
+  check int_ "worker counters account for all processed"
+    (S.stats srv).S.processed
+    (List.fold_left
+       (fun acc (w : Demaq.Engine.Worker_pool.worker_stats) ->
+         acc + w.Demaq.Engine.Worker_pool.w_processed)
+       0 per_worker);
+  Store.close st
+
 (* ---- retention GC and the per-rid caches ---- *)
 
 let test_gc_purges_caches () =
@@ -404,6 +481,10 @@ let suite =
      test_no_transmission_before_barrier);
     ("group commit: crash/restart exactly once", `Quick,
      test_group_commit_crash_restart_exactly_once);
+    ("multi-worker crash/restart exactly once", `Quick,
+     test_multi_worker_crash_restart_exactly_once);
+    ("multi-worker: no transmission before its barrier", `Quick,
+     test_multi_worker_barrier_before_transmission);
     ("clock monotonic after restart", `Quick, test_clock_monotonic_after_restart);
     ("gc purges per-rid caches", `Quick, test_gc_purges_caches);
   ]
