@@ -13,12 +13,79 @@
 
 module S = Demaq.Server
 module Store = Demaq.Store.Message_store
+module Http = Demaq.Net.Http
 
 let read_file path =
   let ic = open_in_bin path in
   let s = really_input_string ic (in_channel_length ic) in
   close_in ic;
   s
+
+(* ---- logging ----
+
+   The engine's subsystems (demaq.server, demaq.executor,
+   demaq.externalizer, demaq.worker_pool, demaq.http) log through [Logs];
+   without a reporter those messages go nowhere. [--log-level] (or
+   $DEMAQ_LOG) selects the threshold; warnings are on by default so abort
+   and dead-letter messages reach stderr. *)
+
+let parse_level s =
+  match Logs.level_of_string (String.trim s) with
+  | Ok l -> l
+  | Error _ ->
+    Printf.eprintf "unknown log level %S (try debug|info|warning|error|quiet)\n" s;
+    Some Logs.Warning
+
+let setup_logs level_opt =
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level
+    (match level_opt with
+     | Some s -> parse_level s
+     | None -> (
+       match Sys.getenv_opt "DEMAQ_LOG" with
+       | Some s -> parse_level s
+       | None -> Some Logs.Warning))
+
+(* ---- stats formatting (shared by `run --stats` and the repl) ---- *)
+
+let print_stats srv =
+  let st = S.stats srv in
+  Printf.printf
+    "processed=%d evals=%d created=%d errors=%d transmissions=%d timers=%d \
+     gc=%d prefilter-skips=%d aborts=%d retries=%d dead-letters=%d\n"
+    st.S.processed st.S.rule_evaluations st.S.messages_created
+    st.S.errors_raised st.S.transmissions st.S.timers_fired st.S.gc_collected
+    st.S.prefilter_skips st.S.txn_aborts st.S.transmit_retries
+    st.S.dead_letters;
+  Printf.printf "durability: group-syncs=%d batch-fill=%.1f syncs/msg=%.3f\n"
+    st.S.wal_group_syncs st.S.batch_fill st.S.syncs_per_message;
+  Printf.printf "workers: %d\n" (S.workers srv);
+  List.iteri
+    (fun i (w : Demaq.Engine.Worker_pool.worker_stats) ->
+      Printf.printf "  worker %d: processed=%d drains=%d idle-waits=%d\n" i
+        w.Demaq.Engine.Worker_pool.w_processed
+        w.Demaq.Engine.Worker_pool.w_drains
+        w.Demaq.Engine.Worker_pool.w_idle)
+    (S.worker_stats srv)
+
+(* ---- metrics endpoint ---- *)
+
+let obs_handler srv ~path =
+  match path with
+  | "/metrics" -> Some ("text/plain; version=0.0.4", S.exposition srv)
+  | "/stats.json" -> Some ("application/json", S.stats_json srv)
+  | "/trace" -> Some ("application/jsonl", S.spans_jsonl srv)
+  | _ -> None
+
+let start_metrics_endpoint srv port =
+  match Http.start ~port (obs_handler srv) with
+  | Ok server ->
+    Printf.eprintf "metrics endpoint: http://127.0.0.1:%d/metrics\n%!"
+      (Http.port server);
+    Some server
+  | Error msg ->
+    Printf.eprintf "%s\n" msg;
+    None
 
 (* ---- check ---- *)
 
@@ -54,7 +121,9 @@ let explain_cmd file =
 
 (* ---- run ---- *)
 
-let run_cmd file default_queue store_dir show_stats gc_at_end advance batch workers =
+let run_cmd file default_queue store_dir show_stats stats_json gc_at_end advance
+    batch workers metrics_port log_level =
+  setup_logs log_level;
   let group_commit = batch > 1 in
   let store =
     match store_dir with
@@ -74,6 +143,8 @@ let run_cmd file default_queue store_dir show_stats gc_at_end advance batch work
       S.batch_size = max 1 batch;
       group_commit;
       workers = max 1 workers;
+      (* a scrape target wants latency histograms, not just totals *)
+      metrics = metrics_port <> None;
     }
   in
   match S.deploy ~config ~store (read_file file) with
@@ -81,6 +152,7 @@ let run_cmd file default_queue store_dir show_stats gc_at_end advance batch work
     Printf.eprintf "deployment failed:\n%s\n" msg;
     1
   | srv ->
+    let endpoint = Option.bind metrics_port (start_metrics_endpoint srv) in
     let inject queue xml_text =
       match Demaq.xml xml_text with
       | exception Demaq.Xml.Parser.Parse_error { msg; _ } ->
@@ -130,24 +202,60 @@ let run_cmd file default_queue store_dir show_stats gc_at_end advance batch work
       (List.sort compare (Demaq.Mq.Queue_manager.queue_defs qm));
     if gc_at_end then Printf.printf "\ngc collected %d messages\n" (S.gc srv);
     if show_stats then begin
-      let st = S.stats srv in
-      Printf.printf
-        "\nstats: processed=%d rule-evals=%d created=%d errors=%d timers=%d gc=%d\n"
-        st.S.processed st.S.rule_evaluations st.S.messages_created
-        st.S.errors_raised st.S.timers_fired st.S.gc_collected;
-      Printf.printf
-        "durability: group-syncs=%d batch-fill=%.1f syncs/msg=%.3f\n"
-        st.S.wal_group_syncs st.S.batch_fill st.S.syncs_per_message;
-      Printf.printf "workers: %d\n" (S.workers srv);
-      List.iteri
-        (fun i (w : Demaq.Engine.Worker_pool.worker_stats) ->
-          Printf.printf "  worker %d: processed=%d drains=%d idle-waits=%d\n" i
-            w.Demaq.Engine.Worker_pool.w_processed
-            w.Demaq.Engine.Worker_pool.w_drains
-            w.Demaq.Engine.Worker_pool.w_idle)
-        (S.worker_stats srv)
+      print_newline ();
+      print_stats srv
     end;
+    if stats_json then print_endline (S.stats_json srv);
+    Option.iter Http.stop endpoint;
     Store.close store;
+    0
+
+(* ---- trace: run and dump lifecycle spans as JSONL ---- *)
+
+let trace_cmd file default_queue capacity advance log_level =
+  setup_logs log_level;
+  let config =
+    { S.default_config with S.trace_capacity = max 1 capacity; metrics = true }
+  in
+  match S.deploy ~config (read_file file) with
+  | exception S.Deployment_error msg ->
+    Printf.eprintf "deployment failed:\n%s\n" msg;
+    1
+  | srv ->
+    let inject queue xml_text =
+      match Demaq.xml xml_text with
+      | exception Demaq.Xml.Parser.Parse_error { msg; _ } ->
+        Printf.eprintf "bad XML (%s): %s\n" msg xml_text
+      | payload -> (
+        match Demaq.inject srv ~queue payload with
+        | Ok _ -> ()
+        | Error e ->
+          Printf.eprintf "rejected: %s\n" (Demaq.Mq.Queue_manager.error_to_string e))
+    in
+    (try
+       while true do
+         let line = String.trim (input_line stdin) in
+         if line <> "" then
+           if line.[0] = '<' then
+             match default_queue with
+             | Some q -> inject q line
+             | None ->
+               Printf.eprintf
+                 "no target queue: use '<queue> <xml>' lines or --queue\n"
+           else
+             match String.index_opt line ' ' with
+             | Some i ->
+               inject (String.sub line 0 i)
+                 (String.trim (String.sub line i (String.length line - i)))
+             | None -> Printf.eprintf "cannot parse input line: %s\n" line
+       done
+     with End_of_file -> ());
+    ignore (S.run srv);
+    if advance > 0 then begin
+      S.advance_time srv advance;
+      ignore (S.run srv)
+    end;
+    print_string (S.spans_jsonl srv);
     0
 
 (* ---- query ---- *)
@@ -210,12 +318,16 @@ let repl_help = {|commands:
   evolve <<EOF ... EOF     apply an evolution script (heredoc style)
   explain                  print the compiled plans
   trace                    recent rule activations (needs trace capacity)
-  stats                    engine statistics
+  spans [json]             per-message lifecycle spans, newest first
+  stats [json]             engine statistics (json: full registry snapshot)
+  metrics                  Prometheus exposition of the metrics registry
   help                     this text
   quit                     exit|}
 
-let repl_cmd file =
-  let config = { S.default_config with S.trace_capacity = 200 } in
+let repl_cmd file log_level =
+  setup_logs log_level;
+  (* tracing needs timestamps, so the repl runs with metrics on *)
+  let config = { S.default_config with S.trace_capacity = 200; metrics = true } in
   match S.deploy ~config (read_file file) with
   | exception S.Deployment_error msg ->
     Printf.eprintf "deployment failed:
@@ -315,28 +427,18 @@ let repl_cmd file =
           | Error msg -> Printf.printf "rejected:
 %s
 " msg)
+        | "trace" ->
+          List.iter
+            (fun e -> Format.printf "%a@." S.pp_trace_entry e)
+            (S.trace srv)
+        | "spans" ->
+          if rest = "json" then print_string (S.spans_jsonl srv)
+          else
+            List.iter (fun sp -> Format.printf "%a@." S.pp_span sp) (S.spans srv)
         | "stats" ->
-          let st = S.stats srv in
-          Printf.printf
-            "processed=%d evals=%d created=%d errors=%d transmissions=%d timers=%d gc=%d prefilter-skips=%d
-"
-            st.S.processed st.S.rule_evaluations st.S.messages_created
-            st.S.errors_raised st.S.transmissions st.S.timers_fired
-            st.S.gc_collected st.S.prefilter_skips;
-          Printf.printf
-            "group-syncs=%d batch-fill=%.1f syncs/msg=%.3f
-"
-            st.S.wal_group_syncs st.S.batch_fill st.S.syncs_per_message;
-          Printf.printf "workers=%d
-" (S.workers srv);
-          List.iteri
-            (fun i (w : Demaq.Engine.Worker_pool.worker_stats) ->
-              Printf.printf "  worker %d: processed=%d drains=%d idle-waits=%d
-" i
-                w.Demaq.Engine.Worker_pool.w_processed
-                w.Demaq.Engine.Worker_pool.w_drains
-                w.Demaq.Engine.Worker_pool.w_idle)
-            (S.worker_stats srv)
+          if rest = "json" then print_endline (S.stats_json srv)
+          else print_stats srv
+        | "metrics" -> print_string (S.exposition srv)
         | other -> Printf.printf "unknown command %S; try 'help'
 " other)
     done;
@@ -362,6 +464,12 @@ let store_arg =
        & info [ "store" ] ~docv:"DIR" ~doc:"Durable message store directory")
 
 let stats_arg = Arg.(value & flag & info [ "stats" ] ~doc:"Print engine statistics")
+
+let stats_json_arg =
+  Arg.(value & flag
+       & info [ "stats-json" ]
+           ~doc:"Print the full metrics-registry snapshot as one JSON object")
+
 let gc_arg = Arg.(value & flag & info [ "gc" ] ~doc:"Run the retention GC at the end")
 
 let advance_arg =
@@ -387,9 +495,35 @@ let workers_arg =
               conflict-free messages (different queues or slices) \
               concurrently. Defaults to \\$DEMAQ_WORKERS when set.")
 
+let metrics_port_arg =
+  Arg.(value & opt (some int) None
+       & info [ "metrics-port" ] ~docv:"PORT"
+           ~doc:
+             "Serve /metrics (Prometheus text format), /stats.json and \
+              /trace on this loopback port while the node runs (0 picks an \
+              ephemeral port, printed to stderr). Also enables phase-latency \
+              timing.")
+
+let log_arg =
+  Arg.(value & opt (some string) None
+       & info [ "log-level" ] ~docv:"LEVEL"
+           ~doc:
+             "Log threshold: debug, info, warning, error or quiet. Defaults \
+              to \\$DEMAQ_LOG, else warning.")
+
 let run_t =
-  Term.(const run_cmd $ file_arg $ queue_arg $ store_arg $ stats_arg $ gc_arg
-        $ advance_arg $ batch_arg $ workers_arg)
+  Term.(const run_cmd $ file_arg $ queue_arg $ store_arg $ stats_arg
+        $ stats_json_arg $ gc_arg $ advance_arg $ batch_arg $ workers_arg
+        $ metrics_port_arg $ log_arg)
+
+let capacity_arg =
+  Arg.(value & opt int 1024
+       & info [ "capacity" ] ~docv:"N"
+           ~doc:"Lifecycle spans retained (oldest evicted first)")
+
+let trace_t =
+  Term.(const trace_cmd $ file_arg $ queue_arg $ capacity_arg $ advance_arg
+        $ log_arg)
 
 let expr_arg =
   Arg.(required & pos 0 (some string) None
@@ -408,11 +542,17 @@ let cmds =
     Cmd.v (Cmd.info "explain" ~doc:"Print the compiled execution plans") explain_t;
     Cmd.v (Cmd.info "run" ~doc:"Deploy a program and process stdin messages") run_t;
     Cmd.v
+      (Cmd.info "trace"
+         ~doc:
+           "Deploy a program, process stdin messages with lifecycle tracing \
+            on, and dump the retained spans as JSONL")
+      trace_t;
+    Cmd.v
       (Cmd.info "query" ~doc:"Evaluate a QML expression against an XML document")
       query_t;
     Cmd.v
       (Cmd.info "repl" ~doc:"Deploy a program and drive it interactively")
-      Term.(const repl_cmd $ file_arg);
+      Term.(const repl_cmd $ file_arg $ log_arg);
   ]
 
 let () =

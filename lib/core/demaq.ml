@@ -34,6 +34,7 @@ module Mq = Demaq_mq
 module Net = Demaq_net
 module Lang = Demaq_lang
 module Engine = Demaq_engine
+module Obs = Demaq_obs
 module Baseline = Demaq_baseline
 
 (** {1 Shortcuts for the common types} *)

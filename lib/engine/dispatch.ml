@@ -107,6 +107,8 @@ let complete t rid =
       resources
 
 let pending t = Scheduler.length t.sched + t.parked_count
+let queued t = Scheduler.length t.sched
+let parked t = t.parked_count
 
 let pending_rids t =
   Scheduler.pending_rids t.sched

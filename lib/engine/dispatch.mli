@@ -33,4 +33,10 @@ val complete : t -> int -> unit
 val pending : t -> int
 (** Queued + parked (excludes running). *)
 
+val queued : t -> int
+(** Entries in the priority heap, runnable or not. *)
+
+val parked : t -> int
+(** Entries blocked on an in-flight conflict resource. *)
+
 val pending_rids : t -> int list

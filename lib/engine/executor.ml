@@ -22,10 +22,11 @@
      slices is serializable; reads of *other* queues see read-committed
      state, which single-worker mode — the deterministic reference —
      never exercises differently from the seed engine.
-   - Statistics counters are atomics; the bounded trace log has its own
-     mutex (it is appended to from the unlocked evaluation phase). Lock
-     order: state_mu -> (trace_mu | wal mutex | pool monitor); never the
-     reverse. *)
+   - Statistics live in a sharded [Demaq_obs.Metrics] registry: workers
+     mutate their own shard without synchronization, reads aggregate.
+     Lifecycle spans go to a bounded [Demaq_obs.Trace] ring with its own
+     mutex. Lock order: state_mu -> (span-ring mutex | wal mutex | pool
+     monitor); never the reverse. *)
 
 module Tree = Demaq_xml.Tree
 module Value = Demaq_xquery.Value
@@ -42,6 +43,8 @@ module Compiler = Demaq_lang.Compiler
 module Prefilter = Demaq_lang.Prefilter
 module Network = Demaq_net.Network
 module Wsdl = Demaq_net.Wsdl
+module Metrics = Demaq_obs.Metrics
+module Trace = Demaq_obs.Trace
 
 let log = Logs.Src.create "demaq.executor" ~doc:"Demaq executor"
 
@@ -62,9 +65,33 @@ type config = {
   batch_size : int;
   group_commit : bool;
   workers : int;
+  metrics : bool;
+      (* enables the wall-clock/histogram path (phase latencies, fsync
+         timing). Counters are always live — they cost two plain stores
+         per event and [stats] depends on them. *)
 }
 
 type gateway_binding = { endpoint : string; replies_to : string option }
+
+(* The executor's registered instruments. Counters mirror the seed
+   engine's statistics one to one; histograms time the §3.1 phases. *)
+type metrics = {
+  m_processed : Metrics.counter;
+  m_rule_evaluations : Metrics.counter;
+  m_messages_created : Metrics.counter;
+  m_errors_raised : Metrics.counter;
+  m_transmissions : Metrics.counter;
+  m_timers_fired : Metrics.counter;
+  m_gc_collected : Metrics.counter;
+  m_prefilter_skips : Metrics.counter;
+  m_txn_aborts : Metrics.counter;
+  m_transmit_retries : Metrics.counter;
+  m_dead_letters : Metrics.counter;
+  m_lock_seconds : Metrics.histogram;  (* setup: fetch + locks + plans *)
+  m_eval_seconds : Metrics.histogram;  (* unlocked snapshot evaluation *)
+  m_apply_seconds : Metrics.histogram;  (* locked apply + commit *)
+  m_barrier_seconds : Metrics.histogram;  (* group-commit barriers *)
+}
 
 type trace_entry = {
   tr_tick : int;
@@ -96,24 +123,60 @@ type t = {
          rescans whole queues *)
   mutable schedule : priority:int -> resources:string list -> int -> unit;
       (* set by the composition root to the worker pool's scheduler *)
-  c_processed : int Atomic.t;
-  c_rule_evaluations : int Atomic.t;
-  c_messages_created : int Atomic.t;
-  c_errors_raised : int Atomic.t;
-  c_transmissions : int Atomic.t;
-  c_timers_fired : int Atomic.t;
-  c_gc_collected : int Atomic.t;
-  c_prefilter_skips : int Atomic.t;
-  c_txn_aborts : int Atomic.t;
-  c_transmit_retries : int Atomic.t;
-  c_dead_letters : int Atomic.t;
+  reg : Metrics.registry;  (* shard 0 = coordinator, i+1 = worker i *)
+  met : metrics;
+  spans : Trace.t;  (* per-message lifecycle ring (capacity from cfg) *)
   mutable fault : Fault.t option;  (* armed fault-injection points *)
-  trace_mu : Mutex.t;
-  mutable trace_log : trace_entry list;  (* newest first, bounded *)
-  mutable trace_len : int;
 }
 
+let make_metrics reg =
+  {
+    m_processed = Metrics.counter reg "demaq_processed_total" ~help:"Messages processed";
+    m_rule_evaluations =
+      Metrics.counter reg "demaq_rule_evaluations_total" ~help:"Rule bodies evaluated";
+    m_messages_created =
+      Metrics.counter reg "demaq_messages_created_total" ~help:"Messages enqueued";
+    m_errors_raised =
+      Metrics.counter reg "demaq_errors_raised_total" ~help:"Errors routed (§3.6)";
+    m_transmissions =
+      Metrics.counter reg "demaq_transmissions_total"
+        ~help:"Gateway transmission attempts";
+    m_timers_fired =
+      Metrics.counter reg "demaq_timers_fired_total" ~help:"Echo timers fired";
+    m_gc_collected =
+      Metrics.counter reg "demaq_gc_collected_total"
+        ~help:"Messages reclaimed by the retention GC";
+    m_prefilter_skips =
+      Metrics.counter reg "demaq_prefilter_skips_total"
+        ~help:"Rule evaluations suppressed by the condition pre-filter";
+    m_txn_aborts =
+      Metrics.counter reg "demaq_txn_aborts_total" ~help:"Transactions aborted";
+    m_transmit_retries =
+      Metrics.counter reg "demaq_transmit_retries_total"
+        ~help:"Transmission retries armed through the timer wheel";
+    m_dead_letters =
+      Metrics.counter reg "demaq_dead_letters_total"
+        ~help:"Reliable transmissions given up on";
+    m_lock_seconds =
+      Metrics.histogram reg "demaq_phase_lock_seconds"
+        ~help:"Transaction setup: fetch, lock acquisition, plan lookup (sampled 1:8 unless tracing)";
+    m_eval_seconds =
+      Metrics.histogram reg "demaq_phase_eval_seconds"
+        ~help:"Unlocked snapshot rule evaluation (sampled 1:8 unless tracing)";
+    m_apply_seconds =
+      Metrics.histogram reg "demaq_phase_apply_seconds"
+        ~help:"Locked update apply and commit (sampled 1:8 unless tracing)";
+    m_barrier_seconds =
+      Metrics.histogram reg "demaq_barrier_seconds"
+        ~help:"Group-commit durability barriers";
+  }
+
 let create ~cfg ~qm ~st ~net ~compiled ~clk () =
+  let reg =
+    Metrics.create ~timing:cfg.metrics
+      ~shards:(1 + max 1 (min cfg.workers 64))
+      ()
+  in
   {
     cfg;
     qm;
@@ -131,21 +194,10 @@ let create ~cfg ~qm ~st ~net ~compiled ~clk () =
     sent = Hashtbl.create 1024;
     outbox = Hashtbl.create 8;
     schedule = (fun ~priority:_ ~resources:_ _ -> ());
-    c_processed = Atomic.make 0;
-    c_rule_evaluations = Atomic.make 0;
-    c_messages_created = Atomic.make 0;
-    c_errors_raised = Atomic.make 0;
-    c_transmissions = Atomic.make 0;
-    c_timers_fired = Atomic.make 0;
-    c_gc_collected = Atomic.make 0;
-    c_prefilter_skips = Atomic.make 0;
-    c_txn_aborts = Atomic.make 0;
-    c_transmit_retries = Atomic.make 0;
-    c_dead_letters = Atomic.make 0;
+    reg;
+    met = make_metrics reg;
+    spans = Trace.create ~capacity:cfg.trace_capacity;
     fault = None;
-    trace_mu = Mutex.create ();
-    trace_log = [];
-    trace_len = 0;
   }
 
 let locked t f = Mutex.protect t.state_mu f
@@ -159,7 +211,14 @@ let set_fault t fault = t.fault <- fault
    references a transaction a crash could still lose. The barrier is
    serialized inside the WAL, so one worker's harden covers every record
    any worker appended before it. *)
-let harden t = if t.cfg.group_commit then ignore (Store.barrier t.st)
+let harden t =
+  if t.cfg.group_commit then
+    if Metrics.timing_on t.reg then begin
+      let t0 = Metrics.now_ns () in
+      ignore (Store.barrier t.st);
+      Metrics.observe t.met.m_barrier_seconds (Metrics.now_ns () - t0)
+    end
+    else ignore (Store.barrier t.st)
 
 (* Crash safety (§3.1, §3.6): every state change runs inside [in_txn], so
    that an exception anywhere — evaluator bugs, injected faults, broken
@@ -173,7 +232,7 @@ let in_txn t f =
     Store.commit txn;
     v
   | exception e ->
-    Atomic.incr t.c_txn_aborts;
+    Metrics.incr t.met.m_txn_aborts;
     Store.abort txn;
     (* earlier transactions of the current batch are committed but possibly
        unsynced; an abort must not widen their exposure window *)
@@ -317,21 +376,33 @@ let schedule_message t (m : Message.t) =
     ~priority:(queue_priority t m.Message.queue)
     ~resources:(resources_for t m) m.Message.rid
 
-(* ---- trace ---- *)
+(* ---- trace ----
 
-let record_trace t entry =
-  if t.cfg.trace_capacity > 0 then
-    Mutex.protect t.trace_mu @@ fun () ->
-    t.trace_log <- entry :: t.trace_log;
-    t.trace_len <- t.trace_len + 1;
-    if t.trace_len > 2 * t.cfg.trace_capacity then begin
-      t.trace_log <- List.filteri (fun i _ -> i < t.cfg.trace_capacity) t.trace_log;
-      t.trace_len <- t.cfg.trace_capacity
-    end
+   The rule-activation view, flattened out of the lifecycle spans: every
+   span carries its per-rule activations (fired and pre-filtered), so the
+   historical [trace_entry] API survives as a projection. Newest first,
+   capped at [trace_capacity] entries like the ring it replaced. *)
 
 let trace t =
-  Mutex.protect t.trace_mu (fun () ->
-      List.filteri (fun i _ -> i < t.cfg.trace_capacity) t.trace_log)
+  let entries =
+    List.concat_map
+      (fun (s : Trace.span) ->
+        (* activations are stored in evaluation order; newest-first means
+           reversing them within the span *)
+        List.rev_map
+          (fun (a : Trace.activation) ->
+            {
+              tr_tick = s.Trace.sp_tick;
+              tr_rule = a.Trace.a_rule;
+              tr_trigger = s.Trace.sp_rid;
+              tr_queue = s.Trace.sp_queue;
+              tr_updates = a.Trace.a_updates;
+              tr_skipped = a.Trace.a_skipped;
+            })
+          s.Trace.sp_activations)
+      (Trace.spans t.spans)
+  in
+  List.filteri (fun i _ -> i < t.cfg.trace_capacity) entries
 
 let pp_trace_entry fmt e =
   Format.fprintf fmt "t=%d %s(%s#%d) -> %s" e.tr_tick e.tr_rule e.tr_queue
@@ -342,7 +413,7 @@ let pp_trace_entry fmt e =
 
 let rec raise_error t txn ~kind ~description ?rule ?rule_error_queue
     ~source_queue ?initial_message () =
-  Atomic.incr t.c_errors_raised;
+  Metrics.incr t.met.m_errors_raised;
   let queue_error_queue =
     match Qm.find_queue t.qm source_queue with
     | Some q -> q.Defs.error_queue
@@ -380,7 +451,7 @@ and enqueue_internal t txn ?rule ?rule_error_queue ?(trigger = None) ~explicit
     ~queue ~payload ~origin_queue () =
   match Qm.enqueue t.qm txn ?rule ?trigger ~explicit ~queue ~payload () with
   | Ok m ->
-    Atomic.incr t.c_messages_created;
+    Metrics.incr t.met.m_messages_created;
     schedule_message t m;
     note_outgoing t m;
     (match Qm.find_queue t.qm queue with
@@ -425,7 +496,7 @@ let inject t ?(props = []) ~queue payload =
     with_txn t (fun txn ->
         match Qm.enqueue t.qm txn ~explicit:props ~queue ~payload () with
         | Ok m ->
-          Atomic.incr t.c_messages_created;
+          Metrics.incr t.met.m_messages_created;
           schedule_message t m;
           note_outgoing t m;
           (match Qm.find_queue t.qm queue with
@@ -574,7 +645,7 @@ let run_gc_unlocked t =
   let rids = Qm.gc_collect t.qm in
   purge_collected t rids;
   let n = List.length rids in
-  Atomic.fetch_and_add t.c_gc_collected n |> ignore;
+  Metrics.add t.met.m_gc_collected n;
   n
 
 let run_gc t = locked t (fun () -> run_gc_unlocked t)
@@ -592,8 +663,9 @@ let message t rid =
 
 (* Setup phase, under [state_mu]: fetch the message, open the transaction,
    take its 2PL locks, look up the pertinent rule plans and pre-filter
-   them against the body's element-name synopsis. *)
-let prepare t rid =
+   them against the body's element-name synopsis. When tracing is on,
+   pre-filtered rules are pushed onto [acts] as skipped activations. *)
+let prepare t ~acts rid =
   locked t @@ fun () ->
   match Qm.get t.qm rid with
   | None -> None  (* collected before its turn came *)
@@ -625,16 +697,11 @@ let prepare t rid =
           (fun eu ->
             if Prefilter.may_match ~requirements:eu.eu_requirements ~names then true
             else begin
-              Atomic.incr t.c_prefilter_skips;
-              record_trace t
-                {
-                  tr_tick = Clock.now t.clk;
-                  tr_rule = eu.eu_rule;
-                  tr_trigger = m.Message.rid;
-                  tr_queue = m.Message.queue;
-                  tr_updates = 0;
-                  tr_skipped = true;
-                };
+              Metrics.incr t.met.m_prefilter_skips;
+              if Trace.enabled t.spans then
+                acts :=
+                  { Trace.a_rule = eu.eu_rule; a_updates = 0; a_skipped = true }
+                  :: !acts;
               false
             end)
           units
@@ -645,10 +712,10 @@ let prepare t rid =
    accumulating the pending update list. Runs WITHOUT [state_mu]; the
    host callbacks lock on demand, which is what lets several workers
    evaluate CPU-heavy rules concurrently. *)
-let evaluate t txn blamed (m : Message.t) units =
+let evaluate t txn blamed ~acts (m : Message.t) units =
   List.concat_map
     (fun eu ->
-      Atomic.incr t.c_rule_evaluations;
+      Metrics.incr t.met.m_rule_evaluations;
       blamed := Some (eu.eu_rule, eu.eu_error_queue);
       Option.iter Fault.before_eval t.fault;
       let host = host_for t m ~slice_ctx:eu.eu_slice_ctx in
@@ -658,15 +725,14 @@ let evaluate t txn blamed (m : Message.t) units =
       in
       match Eval.eval_with_updates env eu.eu_body with
       | _, updates ->
-        record_trace t
-          {
-            tr_tick = Clock.now t.clk;
-            tr_rule = eu.eu_rule;
-            tr_trigger = m.Message.rid;
-            tr_queue = m.Message.queue;
-            tr_updates = List.length updates;
-            tr_skipped = false;
-          };
+        if Trace.enabled t.spans then
+          acts :=
+            {
+              Trace.a_rule = eu.eu_rule;
+              a_updates = List.length updates;
+              a_skipped = false;
+            }
+            :: !acts;
         List.map (fun u -> (eu, u)) updates
       | exception Context.Eval_error description ->
         locked t (fun () ->
@@ -677,12 +743,30 @@ let evaluate t txn blamed (m : Message.t) units =
     units
 
 let process t rid =
-  match prepare t rid with
+  let tracing = Trace.enabled t.spans in
+  (* the clock is read only when someone consumes the timings; with
+     metrics on (and no tracing) phase latencies are sampled 1-in-8 so
+     the common case stays free of clock reads *)
+  let timed =
+    tracing || (Metrics.timing_on t.reg && Metrics.sampled t.reg)
+  in
+  let now () = if timed then Metrics.now_ns () else 0 in
+  let t_start = now () in
+  let acts = ref [] in
+  match prepare t ~acts rid with
   | None -> false
   | Some (m, txn, units) ->
+    let t_locked = now () in
     let blamed = ref None in
+    let t_evaled = ref t_locked in
+    let t_applied = ref t_locked in
+    let barrier_ns = ref 0 in
+    let actions = ref 0 in
+    let outcome = ref Trace.Committed in
     (match
-       let tagged = evaluate t txn blamed m units in
+       let tagged = evaluate t txn blamed ~acts m units in
+       t_evaled := now ();
+       actions := List.length tagged;
        (* Phase 2, under [state_mu] again: execute the pending actions and
           commit atomically. *)
        locked t (fun () ->
@@ -695,19 +779,25 @@ let process t rid =
              | _ -> false
            in
            if not is_echo then Qm.mark_processed t.qm txn m;
-           Store.commit txn)
+           Store.commit txn);
+       t_applied := now ()
      with
      | () -> ()
      | exception e ->
        (* abort, release the locks, and — §3.6 — turn the failure into an
           error message rather than a wedged engine: route it and
           neutralize the trigger in a fresh transaction, then keep going *)
+       if !t_evaled = t_locked then t_evaled := now ();
+       outcome := Trace.Aborted (exn_description e);
+       let b0 = now () in
        locked t (fun () ->
-           Atomic.incr t.c_txn_aborts;
+           Metrics.incr t.met.m_txn_aborts;
            Store.abort txn;
            (* earlier transactions of the current batch are committed but
               possibly unsynced; the abort must not widen their exposure *)
            harden t);
+       barrier_ns := now () - b0;
+       t_applied := now ();
        Log.warn (fun f ->
            f "processing of #%d aborted: %s" m.Message.rid (exn_description e));
        let rule, rule_error_queue =
@@ -726,7 +816,30 @@ let process t rid =
           Log.err (fun f ->
               f "error routing for #%d failed: %s" m.Message.rid
                 (exn_description e2))));
-    Atomic.incr t.c_processed;
-    if t.cfg.gc_every > 0 && Atomic.get t.c_processed mod t.cfg.gc_every = 0
+    if timed then begin
+      Metrics.observe t.met.m_lock_seconds (t_locked - t_start);
+      Metrics.observe t.met.m_eval_seconds (!t_evaled - t_locked);
+      Metrics.observe t.met.m_apply_seconds (!t_applied - !t_evaled)
+    end;
+    if tracing then
+      Trace.record t.spans
+        {
+          Trace.sp_rid = m.Message.rid;
+          sp_queue = m.Message.queue;
+          sp_tick = Clock.now t.clk;
+          sp_worker = Metrics.shard_index t.reg;
+          sp_start_ns = t_start;
+          sp_lock_ns = t_locked - t_start;
+          sp_eval_ns = !t_evaled - t_locked;
+          sp_apply_ns = !t_applied - !t_evaled;
+          sp_barrier_ns = !barrier_ns;
+          sp_activations = List.rev !acts;
+          sp_actions = !actions;
+          sp_outcome = !outcome;
+        };
+    Metrics.incr t.met.m_processed;
+    if
+      t.cfg.gc_every > 0
+      && Metrics.value t.met.m_processed mod t.cfg.gc_every = 0
     then ignore (run_gc t);
     true

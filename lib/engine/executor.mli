@@ -14,9 +14,11 @@
       internally. Rule evaluation inside {!process} runs WITHOUT the
       lock — that is the engine's CPU parallelism — with the qs: host
       callbacks re-acquiring it per call.
-    - Statistics counters are atomics; the trace log has its own mutex.
-    - Lock order: [state_mu] before the trace/WAL/pool-monitor mutexes,
-      never the reverse. *)
+    - Statistics live in a sharded {!Demaq_obs.Metrics} registry (shard 0
+      is the coordinator domain; the worker pool binds worker [i] to
+      shard [i+1]); lifecycle spans in a bounded {!Demaq_obs.Trace} ring.
+    - Lock order: [state_mu] before the span-ring/WAL/pool-monitor
+      mutexes, never the reverse. *)
 
 module Tree = Demaq_xml.Tree
 module Value = Demaq_xquery.Value
@@ -29,6 +31,8 @@ module Compiler = Demaq_lang.Compiler
 module Prefilter = Demaq_lang.Prefilter
 module Network = Demaq_net.Network
 module Wsdl = Demaq_net.Wsdl
+module Metrics = Demaq_obs.Metrics
+module Trace = Demaq_obs.Trace
 
 type config = {
   merged_plans : bool;
@@ -45,9 +49,32 @@ type config = {
   batch_size : int;
   group_commit : bool;
   workers : int;
+  metrics : bool;
+      (** enables the wall-clock/histogram path (phase latencies, fsync
+          timing); counters are always live *)
 }
 
 type gateway_binding = { endpoint : string; replies_to : string option }
+
+(** The executor's registered instruments; the externalizer and the
+    composition root record through these. *)
+type metrics = {
+  m_processed : Metrics.counter;
+  m_rule_evaluations : Metrics.counter;
+  m_messages_created : Metrics.counter;
+  m_errors_raised : Metrics.counter;
+  m_transmissions : Metrics.counter;
+  m_timers_fired : Metrics.counter;
+  m_gc_collected : Metrics.counter;
+  m_prefilter_skips : Metrics.counter;
+  m_txn_aborts : Metrics.counter;
+  m_transmit_retries : Metrics.counter;
+  m_dead_letters : Metrics.counter;
+  m_lock_seconds : Metrics.histogram;
+  m_eval_seconds : Metrics.histogram;
+  m_apply_seconds : Metrics.histogram;
+  m_barrier_seconds : Metrics.histogram;
+}
 
 type trace_entry = {
   tr_tick : int;
@@ -75,21 +102,10 @@ type t = {
   sent : (int, unit) Hashtbl.t;
   outbox : (string, int Queue.t) Hashtbl.t;
   mutable schedule : priority:int -> resources:string list -> int -> unit;
-  c_processed : int Atomic.t;
-  c_rule_evaluations : int Atomic.t;
-  c_messages_created : int Atomic.t;
-  c_errors_raised : int Atomic.t;
-  c_transmissions : int Atomic.t;
-  c_timers_fired : int Atomic.t;
-  c_gc_collected : int Atomic.t;
-  c_prefilter_skips : int Atomic.t;
-  c_txn_aborts : int Atomic.t;
-  c_transmit_retries : int Atomic.t;
-  c_dead_letters : int Atomic.t;
+  reg : Metrics.registry;
+  met : metrics;
+  spans : Trace.t;
   mutable fault : Fault.t option;
-  trace_mu : Mutex.t;
-  mutable trace_log : trace_entry list;
-  mutable trace_len : int;
 }
 
 val create :
@@ -138,8 +154,10 @@ val schedule_message : t -> Message.t -> unit
 (** Route through the [schedule] hook (the worker pool). Safe under the
     lock: the hook only takes the pool monitor. *)
 
-val record_trace : t -> trace_entry -> unit
 val trace : t -> trace_entry list
+(** The rule-activation view, projected out of the lifecycle span ring:
+    newest first, at most [trace_capacity] entries. *)
+
 val pp_trace_entry : Format.formatter -> trace_entry -> unit
 
 val raise_error :

@@ -19,6 +19,7 @@
    the reply path and [Server.expose] handlers do). *)
 
 module E = Executor
+module M = Demaq_obs.Metrics
 module Value = Demaq_xquery.Value
 module Tree = Demaq_xml.Tree
 module Qm = Demaq_mq.Queue_manager
@@ -91,8 +92,8 @@ let retryable_failure = function
   | Network.Name_resolution _ -> false
 
 let transmit (t : E.t) ?(attempt = 1) (m : Message.t) (qdef : Defs.queue_def) =
-  Atomic.incr t.E.c_transmissions;
-  if attempt > 1 then Atomic.incr t.E.c_transmit_retries;
+  M.incr t.E.met.E.m_transmissions;
+  if attempt > 1 then M.incr t.E.met.E.m_transmit_retries;
   let binding =
     match Hashtbl.find_opt t.E.bindings m.Message.queue with
     | Some b -> b
@@ -132,7 +133,7 @@ let transmit (t : E.t) ?(attempt = 1) (m : Message.t) (qdef : Defs.queue_def) =
   | `Handler_error description ->
     (* the endpoint handler itself blew up; treat as undeliverable rather
        than crash the pump loop *)
-    Atomic.incr t.E.c_dead_letters;
+    M.incr t.E.met.E.m_dead_letters;
     dead_letter ~kind:Errors.System_error ~description
   | `Net result ->
   match result with
@@ -174,7 +175,7 @@ let transmit (t : E.t) ?(attempt = 1) (m : Message.t) (qdef : Defs.queue_def) =
             ~attempt:(attempt + 1))
     end
     else begin
-      if reliable then Atomic.incr t.E.c_dead_letters;
+      if reliable then M.incr t.E.met.E.m_dead_letters;
       dead_letter
         ~kind:(Errors.of_network_failure failure)
         ~description:(Network.failure_to_string failure)
@@ -221,7 +222,7 @@ let fire_echo (t : E.t) ~rid ~target =
   match E.message t rid with
   | None -> ()
   | Some echo_msg -> (
-    Atomic.incr t.E.c_timers_fired;
+    M.incr t.E.met.E.m_timers_fired;
     try
       E.with_txn t (fun txn ->
           E.enqueue_internal t txn ~trigger:(Some echo_msg) ~explicit:[]

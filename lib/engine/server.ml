@@ -21,6 +21,8 @@ module Qdl = Demaq_lang.Qdl
 module Analysis = Demaq_lang.Analysis
 module Compiler = Demaq_lang.Compiler
 module Network = Demaq_net.Network
+module Metrics = Demaq_obs.Metrics
+module Obs_trace = Demaq_obs.Trace
 
 let log = Logs.Src.create "demaq.server" ~doc:"Demaq server"
 
@@ -41,6 +43,7 @@ type config = Executor.config = {
   batch_size : int;
   group_commit : bool;
   workers : int;
+  metrics : bool;
 }
 
 (* DEMAQ_WORKERS lets a test run or CI job select the worker count without
@@ -70,6 +73,10 @@ let default_config =
     batch_size = 1;
     group_commit = false;
     workers = default_workers;
+    (* counters are always live; [metrics] adds the wall-clock/histogram
+       path (phase latencies, fsync timing), so off keeps the default hot
+       path free of clock reads *)
+    metrics = false;
   }
 
 type trace_entry = Executor.trace_entry = {
@@ -165,23 +172,27 @@ let run ?(max_steps = max_int) t =
 
 (* ---- introspection ---- *)
 
+(* One source of truth: [stats] reads the same registry counters the
+   exposition endpoint renders (aggregated across worker shards — exact
+   here because the pool is quiescent between drains). *)
 let stats t =
   let ctx = t.ctx in
+  let met = ctx.Executor.met in
   let st = Store.stats ctx.Executor.st in
   let group_syncs = st.Store.wal_group_syncs in
-  let processed = Atomic.get ctx.Executor.c_processed in
+  let processed = Metrics.value met.Executor.m_processed in
   {
     processed;
-    rule_evaluations = Atomic.get ctx.Executor.c_rule_evaluations;
-    messages_created = Atomic.get ctx.Executor.c_messages_created;
-    errors_raised = Atomic.get ctx.Executor.c_errors_raised;
-    transmissions = Atomic.get ctx.Executor.c_transmissions;
-    timers_fired = Atomic.get ctx.Executor.c_timers_fired;
-    gc_collected = Atomic.get ctx.Executor.c_gc_collected;
-    prefilter_skips = Atomic.get ctx.Executor.c_prefilter_skips;
-    txn_aborts = Atomic.get ctx.Executor.c_txn_aborts;
-    transmit_retries = Atomic.get ctx.Executor.c_transmit_retries;
-    dead_letters = Atomic.get ctx.Executor.c_dead_letters;
+    rule_evaluations = Metrics.value met.Executor.m_rule_evaluations;
+    messages_created = Metrics.value met.Executor.m_messages_created;
+    errors_raised = Metrics.value met.Executor.m_errors_raised;
+    transmissions = Metrics.value met.Executor.m_transmissions;
+    timers_fired = Metrics.value met.Executor.m_timers_fired;
+    gc_collected = Metrics.value met.Executor.m_gc_collected;
+    prefilter_skips = Metrics.value met.Executor.m_prefilter_skips;
+    txn_aborts = Metrics.value met.Executor.m_txn_aborts;
+    transmit_retries = Metrics.value met.Executor.m_transmit_retries;
+    dead_letters = Metrics.value met.Executor.m_dead_letters;
     wal_group_syncs = group_syncs;
     batch_fill =
       (if group_syncs > 0 then float_of_int processed /. float_of_int group_syncs
@@ -191,6 +202,47 @@ let stats t =
          float_of_int st.Store.wal_syncs /. float_of_int processed
        else 0.);
   }
+
+(* ---- observability surface ---- *)
+
+let registry t = t.ctx.Executor.reg
+let exposition t = Metrics.render t.ctx.Executor.reg
+let spans t = Obs_trace.spans t.ctx.Executor.spans
+let spans_jsonl t = Obs_trace.dump_jsonl t.ctx.Executor.spans
+let pp_span = Obs_trace.pp_span
+
+(* Machine-readable stats: the full registry snapshot (counters, sampled
+   gauges, histogram count/sum) plus the derived ratios [stats] computes,
+   as one JSON object. *)
+let stats_json t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_char buf '{';
+  let first = ref true in
+  let field name v =
+    if not !first then Buffer.add_char buf ',';
+    first := false;
+    (* labelled metric names embed quotes (worker="0"); escape for JSON *)
+    let name = String.concat "\\\"" (String.split_on_char '"' name) in
+    Buffer.add_string buf (Printf.sprintf "\"%s\":%s" name v)
+  in
+  let num v =
+    if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+    else Printf.sprintf "%.9g" v
+  in
+  List.iter
+    (fun sample ->
+      match sample with
+      | Metrics.Counter { name; value; _ } | Metrics.Gauge { name; value; _ } ->
+        field name (num value)
+      | Metrics.Histogram { name; sum; count; _ } ->
+        field (name ^ "_count") (string_of_int count);
+        field (name ^ "_sum") (num sum))
+    (Metrics.snapshot (registry t));
+  let s = stats t in
+  field "batch_fill" (num s.batch_fill);
+  field "syncs_per_message" (num s.syncs_per_message);
+  Buffer.add_char buf '}';
+  Buffer.contents buf
 
 let cache_sizes t =
   let ctx = t.ctx in
@@ -267,7 +319,10 @@ let deploy ?(config = default_config) ?store:st ?network:net program_text =
   let compiled = Compiler.compile ~optimize:config.optimize program in
   let net = match net with Some n -> n | None -> Network.create () in
   let ctx = Executor.create ~cfg:config ~qm ~st ~net ~compiled ~clk () in
-  let pool = Worker_pool.create ~workers:config.workers () in
+  Store.instrument st ctx.Executor.reg;
+  let pool =
+    Worker_pool.create ~registry:ctx.Executor.reg ~workers:config.workers ()
+  in
   ctx.Executor.schedule <-
     (fun ~priority ~resources rid -> Worker_pool.schedule pool ~priority ~resources rid);
   let t = { ctx; pool } in

@@ -62,6 +62,13 @@ type config = Executor.config = {
           different slices per [lock_granularity]) concurrently; per-queue
           arrival order and exactly-once externalization are preserved.
           Defaults to [$DEMAQ_WORKERS] when set. *)
+  metrics : bool;
+      (** enable the wall-clock side of observability: §3.1 phase-latency
+          histograms (sampled 1-in-8 per worker; exact when tracing),
+          WAL fsync timing, barrier timing. Counters (and therefore
+          {!stats} and the exposition's totals) are always live
+          regardless; off (the default) merely skips every clock read on
+          the hot path. *)
 }
 
 val default_config : config
@@ -203,10 +210,37 @@ type trace_entry = Executor.trace_entry = {
 
 val trace : t -> trace_entry list
 (** The most recent rule activations, newest first, bounded by
-    [trace_capacity]. *)
+    [trace_capacity]. A projection of {!spans}: every span's per-rule
+    activations, flattened. *)
 
 val pp_trace_entry : Format.formatter -> trace_entry -> unit
 val queue_contents : t -> string -> Demaq_mq.Message.t list
+
+(** {1 Observability}
+
+    The metrics registry is the single source of truth: {!stats} reads
+    it, {!exposition} renders it for a Prometheus scrape, and
+    {!stats_json} serializes the full snapshot. Lifecycle spans (one per
+    processed message: per-phase timings, rules fired, outcome) are kept
+    in a ring of the last [trace_capacity] spans; phase timings are
+    nonzero only with [config.metrics] or tracing on. *)
+
+val registry : t -> Demaq_obs.Metrics.registry
+
+val exposition : t -> string
+(** Prometheus text-format rendering of the registry. *)
+
+val stats_json : t -> string
+(** The registry snapshot (counters, gauges, histogram count/sum) plus
+    derived ratios, as one JSON object. *)
+
+val spans : t -> Demaq_obs.Trace.span list
+(** Retained lifecycle spans, newest first. *)
+
+val spans_jsonl : t -> string
+(** Retained spans as JSONL, oldest first. *)
+
+val pp_span : Format.formatter -> Demaq_obs.Trace.span -> unit
 
 (** {1 Dynamic evolution (paper §5 future work)} *)
 

@@ -29,6 +29,12 @@
    is still in flight it waits, because an in-flight skip hands its
    budget slot back. *)
 
+module Metrics = Demaq_obs.Metrics
+
+let log = Logs.Src.create "demaq.worker_pool" ~doc:"Demaq worker pool"
+
+module Log = (val Logs.src_log log : Logs.LOG)
+
 type worker_stats = {
   mutable w_processed : int;  (* messages this worker completed *)
   mutable w_idle : int;  (* times it blocked waiting for compatible work *)
@@ -41,6 +47,8 @@ type t = {
   dsp : Dispatch.t;
   workers : int;
   wstats : worker_stats array;
+  registry : Metrics.registry option;
+      (* worker i records into shard i+1; shard 0 stays the coordinator's *)
   (* per-drain monitor state, guarded by [mu] *)
   mutable in_flight : int;
   mutable done_ : int;
@@ -48,20 +56,51 @@ type t = {
   mutable failure : exn option;
 }
 
-let create ~workers () =
+let create ?registry ~workers () =
   let workers = max 1 (min workers 64) in
-  {
-    mu = Mutex.create ();
-    cond = Condition.create ();
-    dsp = Dispatch.create ();
-    workers;
-    wstats =
-      Array.init workers (fun _ -> { w_processed = 0; w_idle = 0; w_drains = 0 });
-    in_flight = 0;
-    done_ = 0;
-    budget = 0;
-    failure = None;
-  }
+  let t =
+    {
+      mu = Mutex.create ();
+      cond = Condition.create ();
+      dsp = Dispatch.create ();
+      workers;
+      wstats =
+        Array.init workers (fun _ -> { w_processed = 0; w_idle = 0; w_drains = 0 });
+      registry;
+      in_flight = 0;
+      done_ = 0;
+      budget = 0;
+      failure = None;
+    }
+  in
+  (match registry with
+   | None -> ()
+   | Some reg ->
+     (* dispatcher depth is the engine's backlog signal; parked counts how
+        much of it is blocked on conflicts rather than waiting for a slot *)
+     Metrics.gauge_fn reg "demaq_dispatch_queued"
+       ~help:"Messages in the dispatcher priority heap" (fun () ->
+         float_of_int (Mutex.protect t.mu (fun () -> Dispatch.queued t.dsp)));
+     Metrics.gauge_fn reg "demaq_dispatch_parked"
+       ~help:"Messages parked on an in-flight conflict resource" (fun () ->
+         float_of_int (Mutex.protect t.mu (fun () -> Dispatch.parked t.dsp)));
+     Array.iteri
+       (fun i w ->
+         let name fam = Printf.sprintf "%s{worker=\"%d\"}" fam i in
+         Metrics.counter_fn reg
+           (name "demaq_worker_processed_total")
+           ~help:"Messages completed per worker slot" (fun () ->
+             float_of_int w.w_processed);
+         Metrics.counter_fn reg
+           (name "demaq_worker_idle_total")
+           ~help:"Times a worker blocked waiting for compatible work"
+           (fun () -> float_of_int w.w_idle);
+         Metrics.counter_fn reg
+           (name "demaq_worker_drains_total")
+           ~help:"Drain calls a worker participated in" (fun () ->
+             float_of_int w.w_drains))
+       t.wstats);
+  t
 
 let workers t = t.workers
 let locked t f = Mutex.protect t.mu f
@@ -112,6 +151,9 @@ let drain_inline t ~budget ~process =
 (* ---- parallel drain ---- *)
 
 let worker_loop t i ~process =
+  (* route this domain's metric recordings to its own shard; the
+     coordinator (and inline drains) keep shard 0 *)
+  Option.iter (fun reg -> Metrics.bind_shard reg (i + 1)) t.registry;
   let ws = t.wstats.(i) in
   ws.w_drains <- ws.w_drains + 1;
   let continue_ = ref true in
@@ -167,6 +209,7 @@ let drain_parallel t ~budget ~process =
   t.in_flight <- 0;
   t.budget <- budget;
   t.failure <- None;
+  Log.debug (fun f -> f "parallel drain: budget %d across %d workers" budget t.workers);
   let doms =
     Array.init t.workers (fun i -> Domain.spawn (fun () -> worker_loop t i ~process))
   in

@@ -14,8 +14,11 @@
 
 type t
 
-val create : workers:int -> unit -> t
-(** [workers] is clamped to [1 .. 64]. *)
+val create : ?registry:Demaq_obs.Metrics.registry -> workers:int -> unit -> t
+(** [workers] is clamped to [1 .. 64]. With [registry], worker domain [i]
+    binds metrics shard [i+1] at the start of each drain, and the pool
+    registers dispatcher depth/parked gauges plus per-worker
+    processed/idle/drain counters (labelled [worker="i"]). *)
 
 val workers : t -> int
 

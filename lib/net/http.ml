@@ -1,0 +1,195 @@
+(* A deliberately small HTTP/1.0 server for the observability endpoints.
+
+   [Network] stays a simulated transport (deterministic tests, fault
+   injection); this module is the one place the engine touches real
+   sockets, and it serves only GET with a response the handler renders
+   per request — enough for a Prometheus scrape of /metrics, nothing
+   more. One accept-loop domain, one connection at a time: a scrape is a
+   single short-lived request, and serializing them means the handler
+   (which aggregates registry shards) never runs concurrently with
+   itself. *)
+
+let log = Logs.Src.create "demaq.http" ~doc:"Demaq metrics endpoint"
+
+module Log = (val Logs.src_log log : Logs.LOG)
+
+type handler = path:string -> (string * string) option
+(* [handler ~path] returns [Some (content_type, body)] or [None] for 404. *)
+
+type t = {
+  sock : Unix.file_descr;
+  port : int;
+  stopping : bool Atomic.t;
+  accept_domain : unit Domain.t;
+}
+
+let read_request_path fd =
+  (* Read until the end of the request head (blank line) or EOF; the
+     request line is all we use. *)
+  let buf = Buffer.create 256 in
+  let chunk = Bytes.create 512 in
+  let rec fill () =
+    if Buffer.length buf < 8192
+       && not (let s = Buffer.contents buf in
+               String.length s >= 4
+               && (String.index_opt s '\n' <> None))
+    then begin
+      match Unix.read fd chunk 0 (Bytes.length chunk) with
+      | 0 -> ()
+      | n ->
+        Buffer.add_subbytes buf chunk 0 n;
+        fill ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> fill ()
+    end
+  in
+  fill ();
+  let line = Buffer.contents buf in
+  match String.index_opt line '\n' with
+  | None -> None
+  | Some eol -> (
+    let line = String.trim (String.sub line 0 eol) in
+    match String.split_on_char ' ' line with
+    | "GET" :: path :: _ -> Some path
+    | _ -> None)
+
+let respond fd status headers body =
+  let head =
+    Printf.sprintf "HTTP/1.0 %s\r\n%sContent-Length: %d\r\nConnection: close\r\n\r\n"
+      status
+      (String.concat ""
+         (List.map (fun (k, v) -> Printf.sprintf "%s: %s\r\n" k v) headers))
+      (String.length body)
+  in
+  let payload = Bytes.of_string (head ^ body) in
+  let len = Bytes.length payload in
+  let rec write_all off =
+    if off < len then
+      match Unix.write fd payload off (len - off) with
+      | n -> write_all (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all off
+  in
+  write_all 0
+
+let serve_one handler fd =
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      match read_request_path fd with
+      | None -> respond fd "400 Bad Request" [] "bad request\n"
+      | Some path -> (
+        (* strip the query string; the endpoints take no parameters *)
+        let path =
+          match String.index_opt path '?' with
+          | Some i -> String.sub path 0 i
+          | None -> path
+        in
+        match handler ~path with
+        | Some (content_type, body) ->
+          respond fd "200 OK" [ ("Content-Type", content_type) ] body
+        | None -> respond fd "404 Not Found" [] "not found\n"))
+
+let accept_loop t handler =
+  let rec loop () =
+    if not (Atomic.get t.stopping) then begin
+      (match Unix.accept t.sock with
+       | conn, _ -> (
+         try serve_one handler conn
+         with e ->
+           Log.warn (fun f ->
+               f "request handling failed: %s" (Printexc.to_string e)))
+       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+       | exception Unix.Unix_error _ when Atomic.get t.stopping -> ());
+      loop ()
+    end
+  in
+  loop ()
+
+let start ?(addr = Unix.inet_addr_loopback) ~port handler =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  match
+    Unix.setsockopt sock Unix.SO_REUSEADDR true;
+    Unix.bind sock (Unix.ADDR_INET (addr, port));
+    Unix.listen sock 16
+  with
+  | () ->
+    let port =
+      match Unix.getsockname sock with
+      | Unix.ADDR_INET (_, p) -> p
+      | _ -> port
+    in
+    let stopping = Atomic.make false in
+    let t_ref = ref None in
+    let t =
+      {
+        sock;
+        port;
+        stopping;
+        accept_domain =
+          Domain.spawn (fun () ->
+              (* wait for [t] to be published before entering the loop *)
+              let rec get () =
+                match !t_ref with Some t -> t | None -> Domain.cpu_relax (); get ()
+              in
+              accept_loop (get ()) handler);
+      }
+    in
+    t_ref := Some t;
+    Log.info (fun f -> f "metrics endpoint listening on port %d" port);
+    Ok t
+  | exception Unix.Unix_error (err, _, _) ->
+    (try Unix.close sock with Unix.Unix_error _ -> ());
+    Error (Printf.sprintf "cannot bind metrics port %d: %s" port
+             (Unix.error_message err))
+
+let port t = t.port
+
+let stop t =
+  if not (Atomic.exchange t.stopping true) then begin
+    (* closing the listening socket makes the blocked accept fail out *)
+    (try Unix.shutdown t.sock Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+    (try Unix.close t.sock with Unix.Unix_error _ -> ());
+    Domain.join t.accept_domain
+  end
+
+(* find the end of the response head ("\r\n\r\n") *)
+let find_header_end s =
+  let n = String.length s in
+  let rec go i =
+    if i + 3 >= n then None
+    else if s.[i] = '\r' && s.[i + 1] = '\n' && s.[i + 2] = '\r' && s.[i + 3] = '\n'
+    then Some (i + 4)
+    else go (i + 1)
+  in
+  go 0
+
+(* A one-shot client, for tests and CI smoke: fetch [path] and return
+   (status line, body). *)
+let get ~port path =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      let req = Printf.sprintf "GET %s HTTP/1.0\r\n\r\n" path in
+      ignore (Unix.write_substring sock req 0 (String.length req));
+      let buf = Buffer.create 4096 in
+      let chunk = Bytes.create 4096 in
+      let rec drain () =
+        match Unix.read sock chunk 0 (Bytes.length chunk) with
+        | 0 -> ()
+        | n ->
+          Buffer.add_subbytes buf chunk 0 n;
+          drain ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> drain ()
+      in
+      drain ();
+      let response = Buffer.contents buf in
+      match find_header_end response with
+      | Some i ->
+        let status =
+          match String.index_opt response '\r' with
+          | Some eol -> String.sub response 0 eol
+          | None -> response
+        in
+        (status, String.sub response i (String.length response - i))
+      | None -> (response, ""))

@@ -1,0 +1,26 @@
+(** Minimal HTTP/1.0 server for the observability endpoints.
+
+    Serves GET only, one connection at a time, on a dedicated accept-loop
+    domain. {!Network} remains the (simulated) message transport; this is
+    solely for Prometheus scrapes and stats/trace dumps. *)
+
+type t
+
+type handler = path:string -> (string * string) option
+(** [handler ~path] returns [Some (content_type, body)] to answer 200, or
+    [None] for 404. Called on the accept-loop domain, serially. The path
+    has any query string already stripped. *)
+
+val start :
+  ?addr:Unix.inet_addr -> port:int -> handler -> (t, string) result
+(** Bind (default loopback) and start serving. [port = 0] picks an
+    ephemeral port — read it back with {!port}. *)
+
+val port : t -> int
+
+val stop : t -> unit
+(** Close the socket and join the accept domain. Idempotent. *)
+
+val get : port:int -> string -> string * string
+(** One-shot loopback client for tests/CI smoke: returns
+    [(status_line, body)]. Raises [Unix.Unix_error] on connect failure. *)

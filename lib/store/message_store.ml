@@ -501,3 +501,54 @@ let stats t =
     spilled_payloads = spilled;
     inline_bytes;
   }
+
+(* Register the store's metrics with an observability registry: WAL
+   fsync-latency and batch-fill histograms (via the log's hooks) plus
+   callback counters/gauges over the counters the store already keeps.
+   The fsync clock hook is only installed when the registry's timing path
+   is enabled at instrumentation time — with metrics off the WAL keeps
+   its zero-overhead fsync. *)
+let instrument t reg =
+  let module M = Demaq_obs.Metrics in
+  (match t.wal with
+   | None -> ()
+   | Some wal ->
+     let on_fsync =
+       if M.timing_on reg then begin
+         let h =
+           M.histogram reg "demaq_wal_fsync_seconds"
+             ~help:"WAL fsync wall-clock latency"
+         in
+         Some (fun ns -> M.observe h ns)
+       end
+       else None
+     in
+     let batch =
+       M.histogram reg "demaq_wal_batch_records" ~shift:(-1) ~scale:1.
+         ~help:"Commit records covered by each group-commit fsync"
+     in
+     Wal.set_instruments wal ?on_fsync ~on_batch:(fun n -> M.observe batch n) ());
+  let s () = stats t in
+  M.counter_fn reg "demaq_wal_bytes_total" ~help:"Bytes appended to the WAL"
+    (fun () -> float_of_int (s ()).wal_bytes);
+  M.counter_fn reg "demaq_wal_records_total" ~help:"Records appended to the WAL"
+    (fun () -> float_of_int (s ()).wal_records);
+  M.counter_fn reg "demaq_wal_syncs_total" ~help:"WAL fsyncs performed"
+    (fun () -> float_of_int (s ()).wal_syncs);
+  M.counter_fn reg "demaq_wal_group_syncs_total"
+    ~help:"Group-commit barriers that actually synced"
+    (fun () -> float_of_int (s ()).wal_group_syncs);
+  M.counter_fn reg "demaq_store_checkpoints_total" ~help:"Checkpoints written"
+    (fun () -> float_of_int (s ()).checkpoints);
+  M.gauge_fn reg "demaq_store_live_messages" ~help:"Live messages in the store"
+    (fun () -> float_of_int (s ()).live_messages);
+  M.gauge_fn reg "demaq_store_tombstones" ~help:"Messages awaiting checkpoint drop"
+    (fun () -> float_of_int (s ()).tombstones);
+  M.gauge_fn reg "demaq_store_spilled_payloads"
+    ~help:"Bodies stored out of line in the heap file"
+    (fun () -> float_of_int (s ()).spilled_payloads);
+  M.gauge_fn reg "demaq_store_inline_bytes" ~help:"Memory held by inline bodies"
+    (fun () -> float_of_int (s ()).inline_bytes);
+  M.gauge_fn reg "demaq_wal_unsynced_commits"
+    ~help:"Commits appended but not yet covered by a barrier"
+    (fun () -> float_of_int (unsynced_commits t))

@@ -147,3 +147,9 @@ type stats = {
 }
 
 val stats : t -> stats
+
+val instrument : t -> Demaq_obs.Metrics.registry -> unit
+(** Register the store's metrics: WAL fsync-latency / batch-fill
+    histograms (clock hooks installed only when the registry's timing path
+    is on) and callback counters/gauges over {!stats}. Call once per
+    store+registry pair. *)

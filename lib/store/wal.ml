@@ -51,6 +51,12 @@ type t = {
   mutable group_syncs : int;
   mutable pending_records : int;  (* appended since the last fsync (Sync_batch) *)
   mutable pending_bytes : int;
+  (* observability hooks (set by Message_store.instrument). [on_fsync]
+     receives the wall-clock fsync duration in ns — the clock is only read
+     when the hook is installed, so an uninstrumented log never pays for
+     timing. [on_batch] receives the record count a sync covered. *)
+  mutable on_fsync : (int -> unit) option;
+  mutable on_batch : (int -> unit) option;
 }
 
 let encode_op buf op =
@@ -150,11 +156,28 @@ let open_log ?(sync = Sync_always) path =
     group_syncs = 0;
     pending_records = 0;
     pending_bytes = 0;
+    on_fsync = None;
+    on_batch = None;
   }
 
+let set_instruments t ?on_fsync ?on_batch () =
+  Mutex.protect t.mu @@ fun () ->
+  t.on_fsync <- on_fsync;
+  t.on_batch <- on_batch
+
 let do_fsync t =
-  flush t.oc;
-  Unix.fsync t.fd;
+  (match t.on_fsync with
+   | None ->
+     flush t.oc;
+     Unix.fsync t.fd
+   | Some observe ->
+     let t0 = Unix.gettimeofday () in
+     flush t.oc;
+     Unix.fsync t.fd;
+     observe (int_of_float ((Unix.gettimeofday () -. t0) *. 1e9)));
+  (match t.on_batch with
+   | Some observe when t.pending_records > 0 -> observe t.pending_records
+   | _ -> ());
   t.syncs <- t.syncs + 1;
   t.pending_records <- 0;
   t.pending_bytes <- 0

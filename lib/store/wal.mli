@@ -81,3 +81,10 @@ val group_syncs_performed : t -> int
 val pending_records : t -> int
 (** Records appended since the last fsync — the exposure of the current
     batch. Always 0 outside [Sync_batch]. *)
+
+val set_instruments :
+  t -> ?on_fsync:(int -> unit) -> ?on_batch:(int -> unit) -> unit -> unit
+(** Install observability hooks, called under the log mutex at each fsync:
+    [on_fsync] gets the fsync wall-clock duration in ns (the clock is not
+    read when the hook is absent), [on_batch] the record count the sync
+    covered (group commit batch fill). Passing neither clears both. *)

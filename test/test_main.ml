@@ -21,4 +21,5 @@ let () =
       ("time", Test_time.suite);
       ("robustness", Test_robustness.suite);
       ("prefilter", Test_prefilter.suite);
+      ("obs", Test_obs.suite);
     ]

@@ -1,0 +1,381 @@
+(* Observability tests: the sharded metrics registry, the Prometheus
+   exposition, lifecycle spans, and the scrape endpoint.
+
+   The registry's contract is "exact at quiescence": shards are mutated
+   without synchronization by the domain they are bound to, and reads
+   aggregate across shards — after every writer has been joined the
+   aggregate must equal the sum of everything recorded. The exposition
+   and [Server.stats] must both be derivable from the same registry (one
+   source of truth), and spans must stay well-formed through aborts and
+   crash-restarts. *)
+
+module M = Demaq.Obs.Metrics
+module Trace = Demaq.Obs.Trace
+module Http = Demaq.Net.Http
+module S = Demaq.Server
+module Store = Demaq.Store.Message_store
+module Wal = Demaq.Store.Wal
+module Fault = Demaq.Engine.Fault
+
+let check = Alcotest.check
+let bool_ = Alcotest.bool
+let int_ = Alcotest.int
+let string_ = Alcotest.string
+
+let fresh_dir tag =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "demaq-obs-%s-%d" tag (Unix.getpid ()))
+  in
+  if Sys.file_exists dir then
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  dir
+
+let inject_ok srv queue payload =
+  match S.inject srv ~queue (Demaq.xml payload) with
+  | Ok m -> m
+  | Error e -> Alcotest.failf "inject: %s" (Demaq.Mq.Queue_manager.error_to_string e)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i =
+    i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1))
+  in
+  nn = 0 || go 0
+
+(* ---- registry: sharded counters ---- *)
+
+let test_counter_basics () =
+  let reg = M.create ~shards:3 () in
+  let c = M.counter reg "demaq_test_total" in
+  check int_ "zero" 0 (M.value c);
+  M.incr c;
+  M.add c 41;
+  check int_ "42" 42 (M.value c);
+  let d = M.counter reg "demaq_other_total" in
+  check int_ "independent" 0 (M.value d)
+
+let test_shard_binding_aggregates () =
+  (* four domains, each bound to its own shard, hammer one counter; the
+     read-side aggregate must be the exact total once they are joined *)
+  let reg = M.create ~shards:5 () in
+  let c = M.counter reg "demaq_test_total" in
+  let per_domain = 10_000 in
+  let doms =
+    Array.init 4 (fun i ->
+        Domain.spawn (fun () ->
+            M.bind_shard reg (i + 1);
+            for _ = 1 to per_domain do
+              M.incr c
+            done))
+  in
+  Array.iter Domain.join doms;
+  M.incr c (* coordinator writes shard 0 *);
+  check int_ "sum across shards" ((4 * per_domain) + 1) (M.value c)
+
+let prop_sharded_totals =
+  QCheck.Test.make ~name:"registry totals = sum of per-shard increments"
+    ~count:30
+    QCheck.(
+      quad (small_list small_nat) (small_list small_nat)
+        (small_list small_nat) (small_list small_nat))
+    (fun (a, b, c, d) ->
+      let reg = M.create ~shards:5 () in
+      let ctr = M.counter reg "demaq_test_total" in
+      let h = M.histogram reg "demaq_test_seconds" in
+      let parts = [| a; b; c; d |] in
+      let doms =
+        Array.mapi
+          (fun i amounts ->
+            Domain.spawn (fun () ->
+                M.bind_shard reg (i + 1);
+                List.iter
+                  (fun n ->
+                    M.add ctr n;
+                    M.observe h n)
+                  amounts))
+          parts
+      in
+      Array.iter Domain.join doms;
+      let expected =
+        Array.fold_left (fun acc l -> acc + List.fold_left ( + ) 0 l) 0 parts
+      in
+      let observations = Array.fold_left (fun acc l -> acc + List.length l) 0 parts in
+      M.value ctr = expected
+      && match M.histogram_totals h with count, _ -> count = observations)
+
+let test_unbound_domain_falls_back_to_shard_zero () =
+  let reg = M.create ~shards:2 () in
+  let c = M.counter reg "demaq_test_total" in
+  let d = Domain.spawn (fun () -> M.incr c (* never bound: shard 0 *)) in
+  Domain.join d;
+  check int_ "recorded" 1 (M.value c)
+
+let test_histogram_buckets () =
+  let reg = M.create ~shards:1 () in
+  (* shift -1, scale 1: bucket i covers values up to 2^i *)
+  let h = M.histogram reg "demaq_test_records" ~shift:(-1) ~scale:1. in
+  List.iter (M.observe h) [ 1; 2; 3; 900 ];
+  let count, sum = M.histogram_totals h in
+  check int_ "count" 4 count;
+  check int_ "sum" 906 sum;
+  let sample =
+    List.find_map
+      (function
+        | M.Histogram { name = "demaq_test_records"; buckets; count; sum; _ } ->
+          Some (buckets, count, sum)
+        | _ -> None)
+      (M.snapshot reg)
+  in
+  match sample with
+  | None -> Alcotest.fail "histogram missing from snapshot"
+  | Some (buckets, count, sum) ->
+    check int_ "snapshot count" 4 count;
+    check bool_ "snapshot sum" true (abs_float (sum -. 906.) < 1e-9);
+    (* cumulative, exclusive upper bounds: bucket [b] counts raw < b *)
+    let le bound =
+      match Array.find_opt (fun (b, _) -> b >= bound) buckets with
+      | Some (_, n) -> n
+      | None -> Alcotest.fail "bucket missing"
+    in
+    check int_ "under 1" 0 (le 1.);
+    check int_ "under 2" 1 (le 2.);
+    check int_ "under 4" 3 (le 4.);
+    check int_ "under 1024" 4 (le 1024.)
+
+let test_timing_gate () =
+  (* with timing off, [time] must not observe (and must not read a clock) *)
+  let reg = M.create ~timing:false ~shards:1 () in
+  let h = M.histogram reg "demaq_test_seconds" in
+  check string_ "42" "42" (M.time h (fun () -> "42"));
+  check bool_ "no observation" true (M.histogram_totals h = (0, 0));
+  M.set_timing reg true;
+  ignore (M.time h (fun () -> ()));
+  check int_ "observed once enabled" 1 (fst (M.histogram_totals h))
+
+(* ---- exposition / render ---- *)
+
+(* first "<name> <value>" line of the exposition, as an int *)
+let scrape_int exposition name =
+  let prefix = name ^ " " in
+  let lines = String.split_on_char '\n' exposition in
+  match
+    List.find_opt
+      (fun l -> String.length l > String.length prefix
+                && String.sub l 0 (String.length prefix) = prefix)
+      lines
+  with
+  | None -> Alcotest.failf "metric %s not in exposition" name
+  | Some l ->
+    let v =
+      String.sub l (String.length prefix) (String.length l - String.length prefix)
+    in
+    int_of_float (float_of_string (String.trim v))
+
+let obs_program = {|
+create queue in kind basic mode persistent
+create queue out kind basic mode persistent
+create queue errs kind basic mode persistent
+create rule pong for in errorqueue errs
+  if (//ping) then do enqueue <pong>{string(//ping)}</pong> into out
+|}
+
+let test_exposition_roundtrip () =
+  (* every [Server.stats] counter must be derivable from the exposition:
+     the registry is the single source of truth for both *)
+  let config = { S.default_config with S.trace_capacity = 16 } in
+  let srv = S.deploy ~config obs_program in
+  for i = 1 to 5 do
+    ignore (inject_ok srv "in" (Printf.sprintf "<ping>%d</ping>" i))
+  done;
+  ignore (S.run srv);
+  let st = S.stats srv in
+  let ex = S.exposition srv in
+  let pairs =
+    [
+      ("demaq_processed_total", st.S.processed);
+      ("demaq_rule_evaluations_total", st.S.rule_evaluations);
+      ("demaq_messages_created_total", st.S.messages_created);
+      ("demaq_errors_raised_total", st.S.errors_raised);
+      ("demaq_transmissions_total", st.S.transmissions);
+      ("demaq_timers_fired_total", st.S.timers_fired);
+      ("demaq_gc_collected_total", st.S.gc_collected);
+      ("demaq_prefilter_skips_total", st.S.prefilter_skips);
+      ("demaq_txn_aborts_total", st.S.txn_aborts);
+      ("demaq_transmit_retries_total", st.S.transmit_retries);
+      ("demaq_dead_letters_total", st.S.dead_letters);
+      ("demaq_wal_group_syncs_total", st.S.wal_group_syncs);
+    ]
+  in
+  List.iter (fun (name, v) -> check int_ name v (scrape_int ex name)) pairs;
+  check bool_ "something was processed" true (st.S.processed > 0);
+  (* per-worker counters cover the engine's processed total *)
+  let worker_sum =
+    List.fold_left
+      (fun acc (w : Demaq.Engine.Worker_pool.worker_stats) ->
+        acc + w.Demaq.Engine.Worker_pool.w_processed)
+      0 (S.worker_stats srv)
+  in
+  check int_ "worker counters sum to processed" st.S.processed worker_sum
+
+let test_exposition_format () =
+  let srv = S.deploy obs_program in
+  ignore (inject_ok srv "in" "<ping>x</ping>");
+  ignore (S.run srv);
+  let ex = S.exposition srv in
+  let lines = String.split_on_char '\n' ex in
+  let has prefix =
+    List.exists
+      (fun l ->
+        String.length l >= String.length prefix
+        && String.sub l 0 (String.length prefix) = prefix)
+      lines
+  in
+  check bool_ "HELP present" true (has "# HELP demaq_processed_total");
+  check bool_ "TYPE counter" true (has "# TYPE demaq_processed_total counter");
+  check bool_ "TYPE histogram" true (has "# TYPE demaq_phase_eval_seconds histogram");
+  check bool_ "+Inf bucket" true (contains ex {|le="+Inf"|})
+
+let test_stats_json_shape () =
+  let srv = S.deploy obs_program in
+  ignore (inject_ok srv "in" "<ping>x</ping>");
+  ignore (S.run srv);
+  let js = S.stats_json srv in
+  check bool_ "object" true
+    (String.length js > 2 && js.[0] = '{' && js.[String.length js - 1] = '}');
+  check bool_ "processed" true (contains js "\"demaq_processed_total\":2");
+  check bool_ "derived ratio" true (contains js "\"syncs_per_message\":")
+
+(* ---- lifecycle spans ---- *)
+
+let well_formed (sp : Trace.span) =
+  sp.Trace.sp_rid > 0
+  && sp.Trace.sp_queue <> ""
+  && sp.Trace.sp_lock_ns >= 0
+  && sp.Trace.sp_eval_ns >= 0
+  && sp.Trace.sp_apply_ns >= 0
+  && sp.Trace.sp_barrier_ns >= 0
+  && List.for_all (fun a -> a.Trace.a_rule <> "") sp.Trace.sp_activations
+
+let test_spans_recorded () =
+  let config = { S.default_config with S.trace_capacity = 8; metrics = true } in
+  let srv = S.deploy ~config obs_program in
+  ignore (inject_ok srv "in" "<ping>x</ping>");
+  ignore (S.run srv);
+  let spans = S.spans srv in
+  check int_ "one span per processed message" 2 (List.length spans);
+  check bool_ "well-formed" true (List.for_all well_formed spans);
+  let on_in =
+    List.find (fun sp -> sp.Trace.sp_queue = "in") spans
+  in
+  check int_ "rule fired" 1 (List.length on_in.Trace.sp_activations);
+  check bool_ "committed" true (on_in.Trace.sp_outcome = Trace.Committed);
+  check bool_ "timed" true (on_in.Trace.sp_eval_ns > 0);
+  (* the JSONL dump has one line per span *)
+  let jsonl = S.spans_jsonl srv in
+  let lines =
+    List.filter (fun l -> l <> "") (String.split_on_char '\n' jsonl)
+  in
+  check int_ "jsonl lines" 2 (List.length lines);
+  List.iter
+    (fun l ->
+      check bool_ "line is an object" true
+        (l.[0] = '{' && l.[String.length l - 1] = '}'))
+    lines
+
+let test_spans_bounded () =
+  let config = { S.default_config with S.trace_capacity = 3 } in
+  let srv = S.deploy ~config obs_program in
+  for i = 1 to 10 do
+    ignore (inject_ok srv "in" (Printf.sprintf "<ping>%d</ping>" i))
+  done;
+  ignore (S.run srv);
+  check int_ "ring bounded" 3 (List.length (S.spans srv))
+
+let test_span_abort_outcome () =
+  let config = { S.default_config with S.trace_capacity = 8 } in
+  let srv = S.deploy ~config obs_program in
+  let f = Fault.create () in
+  Fault.fail_on_eval f 1;
+  S.set_fault srv (Some f);
+  ignore (inject_ok srv "in" "<ping>x</ping>");
+  ignore (S.run srv);
+  let aborted =
+    List.filter
+      (fun sp -> match sp.Trace.sp_outcome with Trace.Aborted _ -> true | _ -> false)
+      (S.spans srv)
+  in
+  check int_ "abort recorded" 1 (List.length aborted);
+  check bool_ "abort in jsonl" true (contains (S.spans_jsonl srv) "\"aborted:");
+  check int_ "abort counter" 1 (S.stats srv).S.txn_aborts
+
+let test_spans_across_crash_restart () =
+  (* recovery reschedules unprocessed messages; the restarted server's
+     spans must be well-formed and cover exactly the recovered work *)
+  let dir = fresh_dir "spans" in
+  let cfg = Store.durable_config ~sync:Wal.Sync_always dir in
+  let st = Store.open_store cfg in
+  let config = { S.default_config with S.trace_capacity = 16 } in
+  let srv = S.deploy ~config ~store:st obs_program in
+  ignore (inject_ok srv "in" "<ping>a</ping>");
+  ignore (inject_ok srv "in" "<ping>b</ping>");
+  ignore (S.step srv) (* process one, "crash" with one pending *);
+  let st2 = Fault.crash_restart cfg st in
+  let srv2 = S.deploy ~config ~store:st2 obs_program in
+  ignore (S.run srv2);
+  let spans = S.spans srv2 in
+  check bool_ "recovered spans well-formed" true
+    (spans <> [] && List.for_all well_formed spans);
+  check bool_ "all committed" true
+    (List.for_all (fun sp -> sp.Trace.sp_outcome = Trace.Committed) spans);
+  check int_ "registry matches recovered work" (List.length spans)
+    (S.stats srv2).S.processed;
+  Store.close st2
+
+(* ---- scrape endpoint ---- *)
+
+let test_http_endpoint () =
+  let srv = S.deploy obs_program in
+  ignore (inject_ok srv "in" "<ping>x</ping>");
+  ignore (S.run srv);
+  let handler ~path =
+    match path with
+    | "/metrics" -> Some ("text/plain; version=0.0.4", S.exposition srv)
+    | _ -> None
+  in
+  match Http.start ~port:0 handler with
+  | Error msg -> Alcotest.failf "http start: %s" msg
+  | Ok server ->
+    Fun.protect
+      ~finally:(fun () -> Http.stop server)
+      (fun () ->
+        let port = Http.port server in
+        check bool_ "ephemeral port assigned" true (port > 0);
+        let status, body = Http.get ~port "/metrics" in
+        check bool_ "200" true (contains status "200");
+        check int_ "scraped processed total" (S.stats srv).S.processed
+          (scrape_int body "demaq_processed_total");
+        let status, _ = Http.get ~port "/nope" in
+        check bool_ "404" true (contains status "404"))
+
+let suite =
+  [
+    Alcotest.test_case "counter basics" `Quick test_counter_basics;
+    Alcotest.test_case "shard binding aggregates" `Quick
+      test_shard_binding_aggregates;
+    QCheck_alcotest.to_alcotest prop_sharded_totals;
+    Alcotest.test_case "unbound domain falls back to shard 0" `Quick
+      test_unbound_domain_falls_back_to_shard_zero;
+    Alcotest.test_case "histogram buckets" `Quick test_histogram_buckets;
+    Alcotest.test_case "timing gate" `Quick test_timing_gate;
+    Alcotest.test_case "exposition round-trips Server.stats" `Quick
+      test_exposition_roundtrip;
+    Alcotest.test_case "exposition format" `Quick test_exposition_format;
+    Alcotest.test_case "stats json shape" `Quick test_stats_json_shape;
+    Alcotest.test_case "spans recorded" `Quick test_spans_recorded;
+    Alcotest.test_case "spans bounded" `Quick test_spans_bounded;
+    Alcotest.test_case "span abort outcome" `Quick test_span_abort_outcome;
+    Alcotest.test_case "spans across crash-restart" `Quick
+      test_spans_across_crash_restart;
+    Alcotest.test_case "http endpoint" `Quick test_http_endpoint;
+  ]
