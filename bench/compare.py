@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Bench regression gate: diff a --json bench run against a committed baseline.
+
+Usage: python3 bench/compare.py CURRENT.json BASELINE.json [--tolerance 0.25]
+
+Raw msg_per_s is not comparable across machines (the committed baseline
+comes from a developer box, CI runs on whatever runner it gets, and
+--quick runs fewer messages), so the gate works on *relative* throughput:
+within each bench, every result is normalized by the bench's first entry
+(mode=off / batch=1 / workers=1 — the reference configuration), and the
+normalized value must match the baseline's within the tolerance band.
+This catches exactly the regressions the benches exist to watch — e.g.
+metrics or tracing overhead creeping up relative to the off mode — while
+staying immune to runner speed.
+
+Entries are matched by (bench, variant) where the variant is the entry's
+distinguishing key: "mode", "batch" or "workers". Benches present in only
+one file are reported and skipped. Raw throughput ratios are printed for
+information but never gated.
+
+Exit status: 0 when every matched entry is within tolerance (or nothing
+matched), 1 on a violation, 2 on malformed input.
+"""
+
+import argparse
+import json
+import sys
+
+
+def entry_key(entry):
+    for k in ("mode", "batch", "workers"):
+        if k in entry:
+            return f"{k}={entry[k]}"
+    return "default"
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"compare.py: cannot read {path}: {e}")
+    benches = {}
+    for bench in doc.get("benches", []):
+        name = bench.get("bench")
+        results = [r for r in bench.get("results", []) if "msg_per_s" in r]
+        if name and results:
+            benches[name] = {entry_key(r): r["msg_per_s"] for r in results}
+            benches[name]["__ref__"] = entry_key(results[0])
+    return benches
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("current")
+    ap.add_argument("baseline")
+    ap.add_argument("--tolerance", type=float, default=0.25,
+                    help="allowed relative-throughput deviation (default 0.25)")
+    args = ap.parse_args()
+
+    cur = load(args.current)
+    base = load(args.baseline)
+
+    common = sorted(set(cur) & set(base))
+    for name in sorted(set(cur) ^ set(base)):
+        where = args.current if name in cur else args.baseline
+        print(f"  note: {name} only in {where}, skipped")
+    if not common:
+        print("compare.py: no common benches; nothing to gate")
+        return 0
+
+    failures = 0
+    checked = 0
+    for name in common:
+        c, b = cur[name], base[name]
+        ref = b["__ref__"]
+        if ref not in c or c[ref] <= 0 or b[ref] <= 0:
+            print(f"  note: {name} reference entry {ref} missing, skipped")
+            continue
+        print(f"{name} (normalized by {ref}):")
+        for key in sorted(k for k in b if not k.startswith("__")):
+            if key == ref or key not in c:
+                continue
+            rel_c = c[key] / c[ref]
+            rel_b = b[key] / b[ref]
+            dev = rel_c / rel_b - 1.0
+            checked += 1
+            ok = abs(dev) <= args.tolerance
+            status = "ok" if ok else "FAIL"
+            if not ok:
+                failures += 1
+            print(f"  {status:4s} {key:14s} relative {rel_c:6.3f} "
+                  f"(baseline {rel_b:6.3f}, {dev:+.1%}, "
+                  f"raw {c[key]:.0f} vs {b[key]:.0f} msg/s)")
+
+    if failures:
+        print(f"compare.py: {failures}/{checked} entries outside "
+              f"±{args.tolerance:.0%} of {args.baseline}")
+        return 1
+    print(f"compare.py: {checked} entries within ±{args.tolerance:.0%} "
+          f"of {args.baseline}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -444,6 +444,50 @@ let repl_cmd file log_level =
     done;
     0
 
+(* ---- sim: deterministic chaos sweeps and replay ---- *)
+
+module Sim = Demaq.Sim.Sim
+module Schedule = Demaq.Sim.Schedule
+
+let sim_cmd seed iters events replay do_shrink blind_tear out =
+  match replay with
+  | Some file -> (
+    match Schedule.of_string (read_file file) with
+    | Error e ->
+      Printf.eprintf "cannot parse %s: %s\n" file e;
+      2
+    | Ok sched ->
+      let sched = if do_shrink then Sim.shrink ~blind_tear sched else sched in
+      let o = Sim.run ~blind_tear sched in
+      print_string (Sim.report o);
+      if o.Sim.violations = [] then 0 else 1)
+  | None -> (
+    let progress i =
+      if i > 0 && i mod 50 = 0 then (
+        Printf.eprintf "  ... %d/%d schedules clean\n" i iters;
+        flush stderr)
+    in
+    match Sim.sweep ~blind_tear ~events ~progress ~seed ~iters () with
+    | Sim.Clean n ->
+      Printf.printf "sim: %d schedules (seeds %d..%d, %d events each), all \
+                     invariants held\n"
+        n seed (seed + n - 1) events;
+      0
+    | Sim.Failed { seed = bad; outcome; shrunk; shrunk_outcome } ->
+      Printf.printf "sim: seed %d violated invariants\n\n" bad;
+      print_string (Sim.report outcome);
+      Printf.printf "\nshrunk to %d events:\n\n"
+        (List.length shrunk.Schedule.events);
+      print_string (Sim.report shrunk_outcome);
+      let oc = open_out out in
+      output_string oc
+        (Printf.sprintf "# shrunk counterexample (original seed %d)\n" bad);
+      output_string oc (Schedule.to_string shrunk);
+      close_out oc;
+      Printf.printf "\ncounterexample written to %s\n" out;
+      Printf.printf "replay with: demaqd sim --replay %s\n" out;
+      1)
+
 (* ---- command line ---- *)
 
 open Cmdliner
@@ -536,6 +580,47 @@ let context_arg =
 
 let query_t = Term.(const query_cmd $ expr_arg $ context_arg)
 
+let seed_arg =
+  Arg.(value & opt int 1
+       & info [ "seed" ] ~docv:"SEED"
+           ~doc:"First schedule seed; iteration $(i,i) uses SEED+i")
+
+let iters_arg =
+  Arg.(value & opt int 100
+       & info [ "iters" ] ~docv:"N" ~doc:"Schedules to generate and run")
+
+let events_arg =
+  Arg.(value & opt int 40
+       & info [ "events" ] ~docv:"K" ~doc:"Events per generated schedule")
+
+let replay_arg =
+  Arg.(value & opt (some file) None
+       & info [ "replay" ] ~docv:"FILE"
+           ~doc:
+             "Replay a saved schedule artifact instead of sweeping; exits 1 \
+              if it still violates an invariant")
+
+let shrink_arg =
+  Arg.(value & flag
+       & info [ "shrink" ]
+           ~doc:"With --replay: shrink the schedule before running it")
+
+let blind_tear_arg =
+  Arg.(value & flag
+       & info [ "blind-tear" ]
+           ~doc:
+             "Apply crash tears without capping them at the unsynced WAL \
+              tail (self-test mode: manufactures durability violations)")
+
+let out_arg =
+  Arg.(value & opt string "sim-counterexample.txt"
+       & info [ "out" ] ~docv:"FILE"
+           ~doc:"Where a sweep writes the shrunk counterexample")
+
+let sim_t =
+  Term.(const sim_cmd $ seed_arg $ iters_arg $ events_arg $ replay_arg
+        $ shrink_arg $ blind_tear_arg $ out_arg)
+
 let cmds =
   [
     Cmd.v (Cmd.info "check" ~doc:"Parse and analyze a Demaq program") check_t;
@@ -553,6 +638,13 @@ let cmds =
     Cmd.v
       (Cmd.info "repl" ~doc:"Deploy a program and drive it interactively")
       Term.(const repl_cmd $ file_arg $ log_arg);
+    Cmd.v
+      (Cmd.info "sim"
+         ~doc:
+           "Run seeded chaos schedules against the engine in virtual time, \
+            checking the exactly-once/order/durability invariants; on \
+            failure, shrink to a minimal replayable counterexample")
+      sim_t;
   ]
 
 let () =

@@ -25,7 +25,8 @@
     (WAL, B-tree, locks, recoverable message store), [Mq] (queues,
     properties, slicings, retention), [Net] (simulated transports), [Lang]
     (QDL/QML front-end and rule compiler), [Engine] (scheduler, timers,
-    server) and [Baseline] (comparison engines for the benchmarks). *)
+    server), [Baseline] (comparison engines for the benchmarks) and [Sim]
+    (the deterministic simulation harness). *)
 
 module Xml = Demaq_xml
 module Xquery = Demaq_xquery
@@ -36,6 +37,7 @@ module Lang = Demaq_lang
 module Engine = Demaq_engine
 module Obs = Demaq_obs
 module Baseline = Demaq_baseline
+module Sim = Demaq_sim
 
 (** {1 Shortcuts for the common types} *)
 

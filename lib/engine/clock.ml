@@ -6,17 +6,35 @@
    The counter is an [Atomic.t] so worker domains can timestamp messages
    while the coordinator advances time; both [advance] and [set] are
    CAS-retry monotone updates, so the clock never goes backwards even
-   under concurrent writers. *)
+   under concurrent writers.
 
-type t = { now : int Atomic.t }
+   A clock may be linked to a {!Demaq_obs.Time_source}: every tick it
+   gains also advances the source by [ns_per_tick], so span and histogram
+   timestamps taken against that source move in lockstep with engine time.
+   That is the simulation seam — link a virtual source and the entire
+   observability layer runs on simulated time. Linking {!real} is a no-op
+   (real time advances itself). *)
 
-let create ?(start = 0) () = { now = Atomic.make start }
+module Time_source = Demaq_obs.Time_source
+
+type t = { now : int Atomic.t; ts : Time_source.t }
+
+let ns_per_tick = 1_000_000
+
+let create ?(time_source = Time_source.real) ?(start = 0) () =
+  { now = Atomic.make start; ts = time_source }
+
 let now t = Atomic.get t.now
+let time_source t = t.ts
 
 let rec bump_to t target =
   let cur = Atomic.get t.now in
-  if target > cur && not (Atomic.compare_and_set t.now cur target) then
-    bump_to t target
+  if target > cur then
+    if Atomic.compare_and_set t.now cur target then
+      (* Only the winning CAS advances the linked source, so concurrent
+         bumps never double-count a tick. *)
+      Time_source.advance_ns t.ts ((target - cur) * ns_per_tick)
+    else bump_to t target
 
 let advance t ticks = if ticks > 0 then bump_to t (Atomic.get t.now + ticks)
 let set t tick = bump_to t tick

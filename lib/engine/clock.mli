@@ -3,12 +3,28 @@
     Demaq models time-based behaviour (echo queues §2.1.3, time-based
     conditions §5) through this injectable tick counter, which keeps tests
     and benchmarks deterministic; a deployment can drive it from
-    wall-clock time instead. The clock never goes backwards. *)
+    wall-clock time instead. The clock never goes backwards.
+
+    The clock may be linked to a {!Demaq_obs.Time_source}: each tick
+    gained also advances the source by {!ns_per_tick} nanoseconds, which
+    is how a simulation makes span/histogram time move with engine time. *)
 
 type t
 
-val create : ?start:int -> unit -> t
+val ns_per_tick : int
+(** Nanoseconds a linked time source advances per clock tick (10{^6}: one
+    tick is one simulated millisecond). *)
+
+val create : ?time_source:Demaq_obs.Time_source.t -> ?start:int -> unit -> t
+(** [time_source] defaults to {!Demaq_obs.Time_source.real}, which the
+    clock never drives (real time advances itself); pass a virtual source
+    to link it. *)
+
 val now : t -> int
+
+val time_source : t -> Demaq_obs.Time_source.t
+(** The source this clock drives. *)
+
 val advance : t -> int -> unit
 (** Move forward by a number of ticks (negative amounts are ignored). *)
 

@@ -59,7 +59,25 @@ let schedule t ~priority ~resources rid =
     Scheduler.push t.sched (Scheduler.entry t.sched ~priority rid)
   end
 
-let rec next t =
+let park t e busy =
+  let q =
+    match Hashtbl.find_opt t.parked busy with
+    | Some q -> q
+    | None ->
+      let q = Queue.create () in
+      Hashtbl.replace t.parked busy q;
+      q
+  in
+  Queue.push e q;
+  t.parked_count <- t.parked_count + 1
+
+let claim t rid resources =
+  List.iter (fun r -> Hashtbl.replace t.in_flight r ()) resources;
+  Hashtbl.remove t.resources_of rid;
+  Hashtbl.replace t.running rid resources;
+  Ready rid
+
+let rec next_fifo t =
   match Scheduler.pop_entry t.sched with
   | None -> if t.parked_count > 0 then Busy else Empty
   | Some e -> (
@@ -69,22 +87,76 @@ let rec next t =
     in
     match List.find_opt (fun r -> Hashtbl.mem t.in_flight r) resources with
     | Some busy ->
-      let q =
-        match Hashtbl.find_opt t.parked busy with
-        | Some q -> q
-        | None ->
-          let q = Queue.create () in
-          Hashtbl.replace t.parked busy q;
-          q
+      park t e busy;
+      next_fifo t
+    | None -> claim t rid resources)
+
+(* Picked mode (simulation): instead of the heap's deterministic head,
+   choose pseudo-randomly among every message that could LEGALLY run next
+   — the runnable entries of the top priority level, keeping only the
+   earliest entry per conflict resource. Restricting candidates this way
+   makes priority and per-queue FIFO order hold by construction (exactly
+   as in FIFO mode), while still exercising every cross-queue
+   interleaving a real multi-worker run could produce. [f] is called once
+   per successful choice with the candidate count; the schedule replays
+   bit-identically when [f] is a seeded generator. *)
+let rec next_picked t f =
+  match Scheduler.pop_entry t.sched with
+  | None -> if t.parked_count > 0 then Busy else Empty
+  | Some first ->
+    let prio = first.Scheduler.priority in
+    (* candidates (reversed) with their resources; entries runnable but
+       behind an earlier candidate on some resource go back untouched *)
+    let candidates = ref [] in
+    let n_candidates = ref 0 in
+    let deferred = ref [] in
+    let classify e =
+      let rid = e.Scheduler.rid in
+      let resources =
+        Option.value ~default:[] (Hashtbl.find_opt t.resources_of rid)
       in
-      Queue.push e q;
-      t.parked_count <- t.parked_count + 1;
-      next t
-    | None ->
-      List.iter (fun r -> Hashtbl.replace t.in_flight r ()) resources;
-      Hashtbl.remove t.resources_of rid;
-      Hashtbl.replace t.running rid resources;
-      Ready rid)
+      match List.find_opt (fun r -> Hashtbl.mem t.in_flight r) resources with
+      | Some busy -> park t e busy
+      | None ->
+        if
+          List.exists
+            (fun r ->
+              List.exists (fun (_, res) -> List.mem r res) !candidates)
+            resources
+        then deferred := e :: !deferred
+        else begin
+          candidates := (e, resources) :: !candidates;
+          incr n_candidates
+        end
+    in
+    classify first;
+    let rec drain () =
+      match Scheduler.peek_entry t.sched with
+      | Some e when e.Scheduler.priority = prio ->
+        ignore (Scheduler.pop_entry t.sched);
+        classify e;
+        drain ()
+      | _ -> ()
+    in
+    drain ();
+    (match List.rev !candidates with
+     | [] ->
+       (* the whole level parked on in-flight resources (deferral needs a
+          candidate, so [deferred] is empty too); fall through to the next
+          priority level *)
+       next_picked t f
+     | cands ->
+       let n = !n_candidates in
+       let k = (((f n) mod n) + n) mod n in
+       let chosen, resources = List.nth cands k in
+       List.iteri
+         (fun i (e, _) -> if i <> k then Scheduler.push t.sched e)
+         cands;
+       List.iter (Scheduler.push t.sched) !deferred;
+       claim t chosen.Scheduler.rid resources)
+
+let next ?pick t =
+  match pick with None -> next_fifo t | Some f -> next_picked t f
 
 let complete t rid =
   match Hashtbl.find_opt t.running rid with

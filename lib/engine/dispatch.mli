@@ -24,7 +24,15 @@ type slot =
   | Busy  (** work exists but all of it conflicts with running messages *)
   | Empty  (** nothing queued or parked *)
 
-val next : t -> slot
+val next : ?pick:(int -> int) -> t -> slot
+(** Hand out the next message. Without [pick], strict scheduler order
+    (priority desc, arrival seq asc). With [pick] — the simulation's
+    seeded chooser — the dispatcher collects every entry that could
+    legally run next (runnable entries of the top priority level, earliest
+    per conflict resource) and runs candidate [pick n mod n]: priority and
+    per-queue FIFO still hold by construction, but cross-queue
+    interleaving is explored reproducibly. [pick] is invoked exactly once
+    per [Ready] result. *)
 
 val complete : t -> int -> unit
 (** The rid finished (or was skipped): release its resources and revive

@@ -174,6 +174,7 @@ let make_metrics reg =
 let create ~cfg ~qm ~st ~net ~compiled ~clk () =
   let reg =
     Metrics.create ~timing:cfg.metrics
+      ~time_source:(Clock.time_source clk)
       ~shards:(1 + max 1 (min cfg.workers 64))
       ()
   in
@@ -183,7 +184,7 @@ let create ~cfg ~qm ~st ~net ~compiled ~clk () =
     st;
     net;
     compiled;
-    timers = Timer_wheel.create ();
+    timers = Timer_wheel.create ~clock:clk ();
     clk;
     state_mu = Mutex.create ();
     node_cache = Hashtbl.create 1024;
@@ -214,9 +215,9 @@ let set_fault t fault = t.fault <- fault
 let harden t =
   if t.cfg.group_commit then
     if Metrics.timing_on t.reg then begin
-      let t0 = Metrics.now_ns () in
+      let t0 = Metrics.now t.reg in
       ignore (Store.barrier t.st);
-      Metrics.observe t.met.m_barrier_seconds (Metrics.now_ns () - t0)
+      Metrics.observe t.met.m_barrier_seconds (Metrics.now t.reg - t0)
     end
     else ignore (Store.barrier t.st)
 
@@ -750,7 +751,7 @@ let process t rid =
   let timed =
     tracing || (Metrics.timing_on t.reg && Metrics.sampled t.reg)
   in
-  let now () = if timed then Metrics.now_ns () else 0 in
+  let now () = if timed then Metrics.now t.reg else 0 in
   let t_start = now () in
   let acts = ref [] in
   match prepare t ~acts rid with

@@ -37,6 +37,13 @@ let create ?(seed = 0) () =
 let locked t f = Mutex.protect t.mu f
 let fail_on_eval t n = locked t (fun () -> t.eval_faults <- n :: t.eval_faults)
 let fail_on_apply t n = locked t (fun () -> t.apply_faults <- n :: t.apply_faults)
+
+(* Arm the very next injection point, wherever the counters currently
+   stand — how a simulation schedule says "the next message processed
+   fails" without tracking absolute ordinals across the whole run. *)
+let fail_next_eval t = locked t (fun () -> t.eval_faults <- (t.evals + 1) :: t.eval_faults)
+let fail_next_apply t =
+  locked t (fun () -> t.apply_faults <- (t.applies + 1) :: t.apply_faults)
 let set_eval_failure_rate t rate = locked t (fun () -> t.eval_failure_rate <- rate)
 
 let disarm t =

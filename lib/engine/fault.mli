@@ -35,6 +35,13 @@ val fail_on_apply : t -> int -> unit
     updates of the same transaction may already have been applied, so the
     abort path's undo work is exercised. *)
 
+val fail_next_eval : t -> unit
+(** Arm the next rule evaluation from wherever the counter stands now —
+    the relative form simulation schedules use ("the next processed
+    message fails") without tracking absolute ordinals. *)
+
+val fail_next_apply : t -> unit
+
 val set_eval_failure_rate : t -> float -> unit
 (** Additionally fail each rule evaluation with the given probability
     (seeded, deterministic). *)

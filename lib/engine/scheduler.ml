@@ -30,6 +30,7 @@ let push t e = Heap.push t.heap e
 let pop_entry t = Heap.pop t.heap
 let pop t = Option.map (fun e -> e.rid) (Heap.pop t.heap)
 let peek t = Option.map (fun e -> e.rid) (Heap.peek t.heap)
+let peek_entry t = Heap.peek t.heap
 let length t = Heap.length t.heap
 let is_empty t = Heap.is_empty t.heap
 let pending_rids t = List.map (fun e -> e.rid) (Heap.to_list t.heap)

@@ -33,6 +33,10 @@ val pop_entry : t -> entry option
 (** Like {!pop} but keeps the priority and sequence number attached. *)
 
 val peek : t -> int option
+
+val peek_entry : t -> entry option
+(** Like {!peek} but with priority and sequence number attached. *)
+
 val length : t -> int
 val is_empty : t -> bool
 

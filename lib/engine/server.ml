@@ -129,6 +129,9 @@ let pending_messages t = Worker_pool.pending t.pool
 let queue_contents t name = Qm.queue_messages t.ctx.Executor.qm name
 let worker_stats t = Worker_pool.worker_stats t.pool
 let workers t = Worker_pool.workers t.pool
+let set_picker t picker = Worker_pool.set_picker t.pool picker
+let timers_pending t = Timer_wheel.pending t.ctx.Executor.timers
+let next_timer_due t = Timer_wheel.next_due t.ctx.Executor.timers
 
 (* ---- driving ---- *)
 
@@ -287,7 +290,8 @@ let expose t ~name ~queue =
 
 (* ---- deployment ---- *)
 
-let deploy ?(config = default_config) ?store:st ?network:net program_text =
+let deploy ?(config = default_config) ?time_source ?store:st ?network:net
+    program_text =
   let program =
     try Qdl.parse_program program_text
     with Qdl.Qdl_error msg -> raise (Deployment_error msg)
@@ -310,7 +314,7 @@ let deploy ?(config = default_config) ?store:st ?network:net program_text =
                  else None)
                analysis.Analysis.diagnostics)));
   let st = match st with Some s -> s | None -> Store.open_store Store.default_config in
-  let clk = Clock.create () in
+  let clk = Clock.create ?time_source () in
   let qm = Qm.create ~clock:(fun () -> Clock.now clk) st in
   List.iter (Qm.add_queue qm) (Qdl.queues program);
   List.iter (Qm.add_property qm) (Qdl.properties program);

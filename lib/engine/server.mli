@@ -79,6 +79,7 @@ exception Deployment_error of string
 
 val deploy :
   ?config:config ->
+  ?time_source:Demaq_obs.Time_source.t ->
   ?store:Store.t ->
   ?network:Demaq_net.Network.t ->
   string ->
@@ -86,6 +87,9 @@ val deploy :
 (** Parse, analyze and compile the program text, register all definitions,
     and recover scheduler/timer state from the store (all unprocessed
     messages are rescheduled; pending echo timeouts are re-registered).
+    [time_source] (default real time) is linked to the engine clock and
+    becomes the registry/span clock — pass a virtual source to run the
+    whole node on simulated time.
     @raise Deployment_error when parsing or semantic analysis fails. *)
 
 val queue_manager : t -> Demaq_mq.Queue_manager.t
@@ -136,6 +140,19 @@ val pump_gateways : t -> int
 
 val advance_time : t -> int -> unit
 (** Advance the virtual clock and fire due echo-queue timeouts (§2.1.3). *)
+
+val timers_pending : t -> int
+(** Entries (echo timeouts, armed retries) waiting in the timer wheel. *)
+
+val next_timer_due : t -> int option
+(** The earliest pending timer deadline, in clock ticks — what a
+    simulation jumps time to when the node is otherwise quiescent. *)
+
+val set_picker : t -> (int -> int) option -> unit
+(** Install (or clear) the simulation's seeded dispatch chooser: on
+    inline (single-worker) drains the dispatcher picks pseudo-randomly
+    among all messages that could legally run next instead of strict
+    scheduler order. See {!Worker_pool.set_picker}. *)
 
 val run : ?max_steps:int -> t -> int
 (** Drain up to [batch_size] messages, issue one durability barrier, then

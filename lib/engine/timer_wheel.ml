@@ -10,13 +10,14 @@ type event =
 
 type entry = { due : int; seq : int; event : event }
 
-type t = { heap : entry Heap.t; mutable next_seq : int }
+type t = { heap : entry Heap.t; clock : Clock.t; mutable next_seq : int }
 
 let compare_entries a b =
   let c = compare a.due b.due in
   if c <> 0 then c else compare a.seq b.seq
 
-let create () = { heap = Heap.create compare_entries; next_seq = 0 }
+let create ~clock () =
+  { heap = Heap.create compare_entries; clock; next_seq = 0 }
 
 let push t ~due event =
   let seq = t.next_seq in
@@ -28,8 +29,9 @@ let schedule t ~due ~rid ~target = push t ~due (Echo { rid; target })
 let schedule_retransmit t ~due ~rid ~attempt =
   push t ~due (Retransmit { rid; attempt })
 
-(* All entries due at or before [now], in firing order. *)
-let due_entries t ~now =
+(* All entries due at or before the wheel's clock, in firing order. *)
+let due_entries t =
+  let now = Clock.now t.clock in
   let rec go acc =
     match Heap.peek t.heap with
     | Some e when e.due <= now ->

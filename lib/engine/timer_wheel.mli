@@ -16,7 +16,9 @@ type event =
 
 type t
 
-val create : unit -> t
+val create : clock:Clock.t -> unit -> t
+(** The wheel reads the engine clock itself — real or virtual time is
+    decided by whoever built the clock, not by each call site. *)
 
 val schedule : t -> due:int -> rid:int -> target:string -> unit
 (** Register an echo timeout. *)
@@ -24,8 +26,9 @@ val schedule : t -> due:int -> rid:int -> target:string -> unit
 val schedule_retransmit : t -> due:int -> rid:int -> attempt:int -> unit
 (** Re-arm a failed reliable transmission. *)
 
-val due_entries : t -> now:int -> event list
-(** Remove and return all events due at or before [now], in firing order. *)
+val due_entries : t -> event list
+(** Remove and return all events due at or before the clock's current
+    tick, in firing order. *)
 
 val next_due : t -> int option
 (** The earliest pending deadline, if any. *)

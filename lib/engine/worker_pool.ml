@@ -54,6 +54,8 @@ type t = {
   mutable done_ : int;
   mutable budget : int;
   mutable failure : exn option;
+  mutable picker : (int -> int) option;
+      (* simulation hook: seeded candidate chooser for inline drains *)
 }
 
 let create ?registry ~workers () =
@@ -71,6 +73,7 @@ let create ?registry ~workers () =
       done_ = 0;
       budget = 0;
       failure = None;
+      picker = None;
     }
   in
   (match registry with
@@ -103,6 +106,7 @@ let create ?registry ~workers () =
   t
 
 let workers t = t.workers
+let set_picker t picker = t.picker <- picker
 let locked t f = Mutex.protect t.mu f
 
 let schedule t ~priority ~resources rid =
@@ -128,7 +132,7 @@ let drain_inline t ~budget ~process =
   let done_ = ref 0 in
   let continue_ = ref true in
   while !continue_ && !done_ < budget do
-    match locked t (fun () -> Dispatch.next t.dsp) with
+    match locked t (fun () -> Dispatch.next ?pick:t.picker t.dsp) with
     | Dispatch.Ready rid ->
       let ok =
         match process rid with

@@ -22,6 +22,13 @@ val create : ?registry:Demaq_obs.Metrics.registry -> workers:int -> unit -> t
 
 val workers : t -> int
 
+val set_picker : t -> (int -> int) option -> unit
+(** Install (or clear) a seeded candidate chooser, passed to
+    {!Dispatch.next} on inline drains — the simulation's cooperative
+    single-domain mode, where "which worker won the race" becomes a
+    reproducible pseudo-random choice. Ignored by parallel drains (real
+    domains race for real). *)
+
 val schedule : t -> priority:int -> resources:string list -> int -> unit
 (** Thread-safe; wakes blocked workers. Callable from inside [process]
     (messages enqueued by a transaction schedule their successors). *)

@@ -74,6 +74,14 @@ let with_endpoint t name f =
 let set_connected t name connected =
   with_endpoint t name (fun ep -> ep.connected <- connected)
 
+let connected t name =
+  match Hashtbl.find_opt t.endpoints name with
+  | Some ep -> ep.connected
+  | None -> false
+
+let endpoint_names t =
+  List.sort compare (Hashtbl.fold (fun name _ acc -> name :: acc) t.endpoints [])
+
 let set_drop_rate t name rate =
   with_endpoint t name (fun ep -> ep.drop_rate <- rate)
 

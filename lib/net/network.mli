@@ -44,6 +44,14 @@ val register :
 
 val unregister : t -> string -> unit
 val set_connected : t -> string -> bool -> unit
+
+val connected : t -> string -> bool
+(** Whether the endpoint exists and is currently connected. *)
+
+val endpoint_names : t -> string list
+(** Registered endpoints, sorted — a deterministic partition-target list
+    for the simulation's schedule generator. *)
+
 val set_drop_rate : t -> string -> float -> unit
 (** Probability in [0, 1] that one transmission attempt is dropped. *)
 

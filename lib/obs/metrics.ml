@@ -57,6 +57,7 @@ type histogram_def = {
 
 type registry = {
   id : int;
+  ts : Time_source.t;
   mutable timing : bool;
   shards : shard array;
   mu : Mutex.t;  (* guards the definition tables, not the shards *)
@@ -76,10 +77,12 @@ let next_id = Atomic.make 1
 let dummy_def = { d_name = ""; d_help = "" }
 let dummy_hdef = { h_def = dummy_def; h_shift = 0; h_scale = 1. }
 
-let create ?(timing = true) ?(shards = 2) () =
+let create ?(timing = true) ?(time_source = Time_source.real) ?(shards = 2) ()
+    =
   let shards = max 1 shards in
   {
     id = Atomic.fetch_and_add next_id 1;
+    ts = time_source;
     timing;
     shards =
       Array.init shards (fun _ ->
@@ -101,6 +104,7 @@ let create ?(timing = true) ?(shards = 2) () =
 
 let set_timing reg on = reg.timing <- on
 let timing_on reg = reg.timing
+let time_source reg = reg.ts
 let shard_count reg = Array.length reg.shards
 
 (* ---- the domain -> shard binding ---- *)
@@ -196,12 +200,14 @@ let histogram_totals h =
   in
   (count, sum)
 
-let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+let now_ns () = Time_source.now_ns Time_source.real
+let now reg = Time_source.now_ns reg.ts
 
 let time h f =
   if h.h_reg.timing then begin
-    let t0 = now_ns () in
-    let finally () = observe h (now_ns () - t0) in
+    let ts = h.h_reg.ts in
+    let t0 = Time_source.now_ns ts in
+    let finally () = observe h (Time_source.now_ns ts - t0) in
     Fun.protect ~finally f
   end
   else f ()

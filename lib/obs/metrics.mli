@@ -12,10 +12,14 @@ type registry
 type counter
 type histogram
 
-val create : ?timing:bool -> ?shards:int -> unit -> registry
+val create :
+  ?timing:bool -> ?time_source:Time_source.t -> ?shards:int -> unit -> registry
 (** [create ~shards:n ()] makes a registry with [n] shards (min 1).
     Shard 0 belongs to the creating/coordinator domain; bind worker [i]
-    to shard [i+1] with {!bind_shard}. *)
+    to shard [i+1] with {!bind_shard}. [time_source] (default
+    {!Time_source.real}) is the clock behind {!time}, {!now} and every
+    span/phase timing taken against this registry — pass a virtual source
+    to make them deterministic under simulation. *)
 
 val set_timing : registry -> bool -> unit
 (** Enable/disable the timing path (histogram observations, clock reads).
@@ -23,6 +27,9 @@ val set_timing : registry -> bool -> unit
 
 val timing_on : registry -> bool
 val shard_count : registry -> int
+
+val time_source : registry -> Time_source.t
+(** The clock this registry reads. *)
 
 val bind_shard : registry -> int -> unit
 (** [bind_shard reg i] routes this domain's subsequent recordings to shard
@@ -69,11 +76,17 @@ val observe : histogram -> int -> unit
     to 0). Call sites should gate clock reads on {!timing_on}. *)
 
 val time : histogram -> (unit -> 'a) -> 'a
-(** [time h f] observes [f]'s wall-clock duration in ns if timing is on,
-    otherwise just runs [f]. *)
+(** [time h f] observes [f]'s duration in ns (against the registry's time
+    source) if timing is on, otherwise just runs [f]. *)
+
+val now : registry -> int
+(** Current time in integer nanoseconds on the registry's time source —
+    virtual under simulation, monotonic real time otherwise. *)
 
 val now_ns : unit -> int
-(** Wall clock in integer nanoseconds. *)
+(** Process real time in integer nanoseconds, monotonic (CAS-max clamped;
+    never decreases even if the wall clock steps backwards). Prefer {!now}
+    anywhere a registry is in reach so simulation stays deterministic. *)
 
 (** {1 Reading} *)
 

@@ -1,0 +1,89 @@
+(* Seeded chaos schedules (see schedule.mli). The generator is the only
+   place randomness enters the simulation: once a schedule exists, running
+   it is purely deterministic, which is what makes shrinking and replay
+   possible. *)
+
+type event =
+  | Inject of string
+  | Step of int
+  | Advance of int
+  | Barrier
+  | Crash of int
+  | Partition of string
+  | Reconnect of string
+  | Fail_eval
+  | Fail_apply
+
+type t = { seed : int; events : event list }
+
+(* Weights out of 100. Steps dominate — interleaving choice is where the
+   interesting bugs hide — with a steady drip of arrivals so there is
+   always work to interleave, and rarer catastrophic events. *)
+let generate ~seed ?(events = 40) () =
+  let rng = Random.State.make [| 0x51; seed |] in
+  let gen_event () =
+    let r = Random.State.int rng 100 in
+    if r < 24 then Inject (if Random.State.bool rng then "qa" else "qb")
+    else if r < 60 then Step (Random.State.int rng 1024)
+    else if r < 68 then Advance (1 + Random.State.int rng 12)
+    else if r < 78 then Barrier
+    else if r < 83 then Crash (Random.State.int rng 97)
+    else if r < 87 then Partition "partner"
+    else if r < 92 then Reconnect "partner"
+    else if r < 96 then Fail_eval
+    else Fail_apply
+  in
+  { seed; events = List.init events (fun _ -> gen_event ()) }
+
+let event_to_string = function
+  | Inject q -> "inject " ^ q
+  | Step n -> Printf.sprintf "step %d" n
+  | Advance n -> Printf.sprintf "advance %d" n
+  | Barrier -> "barrier"
+  | Crash n -> Printf.sprintf "crash %d" n
+  | Partition e -> "partition " ^ e
+  | Reconnect e -> "reconnect " ^ e
+  | Fail_eval -> "fail-eval"
+  | Fail_apply -> "fail-apply"
+
+let event_of_string line =
+  let fail () = Error (Printf.sprintf "unrecognized event %S" line) in
+  let int_arg s k =
+    match int_of_string_opt s with Some n -> Ok (k n) | None -> fail ()
+  in
+  match String.split_on_char ' ' (String.trim line) with
+  | [ "inject"; q ] -> Ok (Inject q)
+  | [ "step"; n ] -> int_arg n (fun n -> Step n)
+  | [ "advance"; n ] -> int_arg n (fun n -> Advance n)
+  | [ "barrier" ] -> Ok Barrier
+  | [ "crash"; n ] -> int_arg n (fun n -> Crash n)
+  | [ "partition"; e ] -> Ok (Partition e)
+  | [ "reconnect"; e ] -> Ok (Reconnect e)
+  | [ "fail-eval" ] -> Ok Fail_eval
+  | [ "fail-apply" ] -> Ok Fail_apply
+  | _ -> fail ()
+
+let to_string t =
+  String.concat "\n"
+    (Printf.sprintf "seed %d" t.seed :: List.map event_to_string t.events)
+  ^ "\n"
+
+let of_string text =
+  let lines = String.split_on_char '\n' text in
+  let rec go lineno seed events = function
+    | [] -> Ok { seed; events = List.rev events }
+    | line :: rest -> (
+      let line = String.trim line in
+      if line = "" || line.[0] = '#' then go (lineno + 1) seed events rest
+      else
+        match String.split_on_char ' ' line with
+        | [ "seed"; n ] -> (
+          match int_of_string_opt n with
+          | Some s -> go (lineno + 1) s events rest
+          | None -> Error (Printf.sprintf "line %d: bad seed %S" lineno n))
+        | _ -> (
+          match event_of_string line with
+          | Ok ev -> go (lineno + 1) seed (ev :: events) rest
+          | Error e -> Error (Printf.sprintf "line %d: %s" lineno e)))
+  in
+  go 1 0 [] lines

@@ -249,9 +249,16 @@ let open_store config =
   | Some dir ->
     if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
     if Sys.file_exists (snapshot_path dir) then load_snapshot t (snapshot_path dir);
-    Wal.replay (wal_path dir) (function
-      | Wal.Commit { ops; _ } -> List.iter (apply_op t) ops
-      | Wal.Checkpoint -> ());
+    let valid =
+      Wal.replay (wal_path dir) (function
+        | Wal.Commit { ops; _ } -> List.iter (apply_op t) ops
+        | Wal.Checkpoint -> ())
+    in
+    (* cut off any torn tail before reopening in append mode: records
+       appended after surviving garbage would never replay *)
+    (if Sys.file_exists (wal_path dir) then
+       let size = (Unix.stat (wal_path dir)).Unix.st_size in
+       if valid < size then Unix.truncate (wal_path dir) valid);
     sweep_heap_orphans t;
     let wal = Wal.open_log ~sync:config.sync (wal_path dir) in
     {
@@ -368,6 +375,9 @@ let barrier t =
 let durable_upto t = t.durable_txn
 let unsynced_commits t =
   match t.wal with Some wal -> Wal.pending_records wal | None -> 0
+
+let unsynced_bytes t =
+  match t.wal with Some wal -> Wal.pending_bytes wal | None -> 0
 
 let abort txn =
   check_active txn;
@@ -527,7 +537,11 @@ let instrument t reg =
        M.histogram reg "demaq_wal_batch_records" ~shift:(-1) ~scale:1.
          ~help:"Commit records covered by each group-commit fsync"
      in
-     Wal.set_instruments wal ?on_fsync ~on_batch:(fun n -> M.observe batch n) ());
+     Wal.set_instruments wal
+       ~clock_ns:(fun () -> M.now reg)
+       ?on_fsync
+       ~on_batch:(fun n -> M.observe batch n)
+       ());
   let s () = stats t in
   M.counter_fn reg "demaq_wal_bytes_total" ~help:"Bytes appended to the WAL"
     (fun () -> float_of_int (s ()).wal_bytes);

@@ -110,6 +110,11 @@ val unsynced_commits : t -> int
 (** Commit records appended but not yet covered by a barrier — the
     exposure of the current batch. Always 0 outside [Sync_batch]. *)
 
+val unsynced_bytes : t -> int
+(** WAL bytes appended but not yet covered by a barrier. An honest crash
+    can lose at most this much of the log tail; simulated crashes bound
+    their tears by it. Always 0 outside [Sync_batch]. *)
+
 (** {1 Reads} *)
 
 val get : t -> int -> message option

@@ -57,6 +57,7 @@ type t = {
      timing. [on_batch] receives the record count a sync covered. *)
   mutable on_fsync : (int -> unit) option;
   mutable on_batch : (int -> unit) option;
+  mutable clock_ns : unit -> int;  (* times fsyncs for [on_fsync] *)
 }
 
 let encode_op buf op =
@@ -158,10 +159,12 @@ let open_log ?(sync = Sync_always) path =
     pending_bytes = 0;
     on_fsync = None;
     on_batch = None;
+    clock_ns = (fun () -> int_of_float (Unix.gettimeofday () *. 1e9));
   }
 
-let set_instruments t ?on_fsync ?on_batch () =
+let set_instruments t ?clock_ns ?on_fsync ?on_batch () =
   Mutex.protect t.mu @@ fun () ->
+  (match clock_ns with Some c -> t.clock_ns <- c | None -> ());
   t.on_fsync <- on_fsync;
   t.on_batch <- on_batch
 
@@ -171,10 +174,10 @@ let do_fsync t =
      flush t.oc;
      Unix.fsync t.fd
    | Some observe ->
-     let t0 = Unix.gettimeofday () in
+     let t0 = t.clock_ns () in
      flush t.oc;
      Unix.fsync t.fd;
-     observe (int_of_float ((Unix.gettimeofday () -. t0) *. 1e9)));
+     observe (t.clock_ns () - t0));
   (match t.on_batch with
    | Some observe when t.pending_records > 0 -> observe t.pending_records
    | _ -> ());
@@ -227,6 +230,7 @@ let records_written t = t.records
 let syncs_performed t = t.syncs
 let group_syncs_performed t = t.group_syncs
 let pending_records t = Mutex.protect t.mu (fun () -> t.pending_records)
+let pending_bytes t = Mutex.protect t.mu (fun () -> t.pending_bytes)
 
 let close t =
   (* an orderly shutdown hardens the tail of the last batch *)
@@ -244,15 +248,21 @@ let reset t =
   t.pending_bytes <- 0
 
 (* Replay a log file, invoking [f] on every intact record. Stops silently at
-   the first truncated or corrupt record (torn tail after a crash). *)
+   the first truncated or corrupt record (torn tail after a crash) and
+   returns the byte length of the intact prefix. The caller that reopens
+   the log for appending MUST truncate the file to that length first:
+   [open_log] appends at the physical end of file, so bytes written after
+   a surviving torn tail would be unreachable to every future replay. *)
 let replay path f =
-  if Sys.file_exists path then begin
+  if not (Sys.file_exists path) then 0
+  else begin
     let ic = open_in_bin path in
     let size = in_channel_length ic in
     let contents = really_input_string ic size in
     close_in ic;
     let r = Codec.reader contents in
     let ok = ref true in
+    let valid = ref 0 in
     while !ok && not (Codec.at_end r) do
       match
         let len = Codec.get_int r in
@@ -264,8 +274,11 @@ let replay path f =
           if Crc32.string body <> crc then None else Some (decode_record body)
         end
       with
-      | Some rec_ -> f rec_
+      | Some rec_ ->
+        f rec_;
+        valid := r.Codec.pos
       | None -> ok := false
       | exception _ -> ok := false
-    done
+    done;
+    !valid
   end

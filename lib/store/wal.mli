@@ -64,10 +64,13 @@ val close : t -> unit
 val reset : t -> unit
 (** Truncate after a checkpoint: the snapshot now covers everything. *)
 
-val replay : string -> (record -> unit) -> unit
+val replay : string -> (record -> unit) -> int
 (** Invoke the callback on every intact record of a log file, stopping
     silently at the first truncated or corrupt record. Missing files
-    replay as empty. *)
+    replay as empty. Returns the byte length of the intact prefix — a
+    recovery that will append to the file again must truncate it to that
+    length first, or the records it appends after the torn tail will be
+    invisible to every future replay. *)
 
 (** {1 Introspection (benchmarks B6/B10/B11)} *)
 
@@ -82,9 +85,21 @@ val pending_records : t -> int
 (** Records appended since the last fsync — the exposure of the current
     batch. Always 0 outside [Sync_batch]. *)
 
+val pending_bytes : t -> int
+(** Bytes appended since the last fsync. A crash can lose at most this
+    much of the tail; fault injection uses it to bound a simulated tear to
+    data a real crash could actually have lost. *)
+
 val set_instruments :
-  t -> ?on_fsync:(int -> unit) -> ?on_batch:(int -> unit) -> unit -> unit
+  t ->
+  ?clock_ns:(unit -> int) ->
+  ?on_fsync:(int -> unit) ->
+  ?on_batch:(int -> unit) ->
+  unit ->
+  unit
 (** Install observability hooks, called under the log mutex at each fsync:
-    [on_fsync] gets the fsync wall-clock duration in ns (the clock is not
-    read when the hook is absent), [on_batch] the record count the sync
-    covered (group commit batch fill). Passing neither clears both. *)
+    [on_fsync] gets the fsync duration in ns (the clock is not read when
+    the hook is absent), [on_batch] the record count the sync covered
+    (group commit batch fill). [clock_ns] replaces the clock that times
+    fsyncs (default wall clock; a simulation passes its virtual source).
+    Passing no hook clears both. *)

@@ -22,4 +22,5 @@ let () =
       ("robustness", Test_robustness.suite);
       ("prefilter", Test_prefilter.suite);
       ("obs", Test_obs.suite);
+      ("sim", Test_sim.suite);
     ]

@@ -83,7 +83,7 @@ let test_wal_roundtrip () =
   Wal.append wal Wal.Checkpoint;
   Wal.close wal;
   let records = ref [] in
-  Wal.replay path (fun r -> records := r :: !records);
+  ignore (Wal.replay path (fun r -> records := r :: !records));
   match List.rev !records with
   | [ Wal.Commit { txn = 7; ops }; Wal.Checkpoint ] ->
     check bool_ "ops roundtrip" true (ops = sample_ops)
@@ -102,7 +102,7 @@ let test_wal_torn_tail () =
   Unix.ftruncate fd (size - 7);
   Unix.close fd;
   let n = ref 0 in
-  Wal.replay path (fun _ -> incr n);
+  ignore (Wal.replay path (fun _ -> incr n));
   check int_ "only intact record" 1 !n
 
 let test_wal_corruption () =
@@ -117,7 +117,7 @@ let test_wal_corruption () =
   ignore (Unix.write fd (Bytes.of_string "\xFF") 0 1);
   Unix.close fd;
   let n = ref 0 in
-  Wal.replay path (fun _ -> incr n);
+  ignore (Wal.replay path (fun _ -> incr n));
   check int_ "corrupt record dropped" 0 !n
 
 let test_wal_reset () =
@@ -129,9 +129,10 @@ let test_wal_reset () =
   Wal.append wal (Wal.Commit { txn = 2; ops = [] });
   Wal.close wal;
   let txns = ref [] in
-  Wal.replay path (function
-    | Wal.Commit { txn; _ } -> txns := txn :: !txns
-    | Wal.Checkpoint -> ());
+  ignore
+    (Wal.replay path (function
+      | Wal.Commit { txn; _ } -> txns := txn :: !txns
+      | Wal.Checkpoint -> ()));
   check bool_ "only post-reset" true (!txns = [ 2 ])
 
 (* ---- message store: in-memory transactions ---- *)
