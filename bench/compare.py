@@ -14,9 +14,15 @@ metrics or tracing overhead creeping up relative to the off mode — while
 staying immune to runner speed.
 
 Entries are matched by (bench, variant) where the variant is the entry's
-distinguishing key: "mode", "batch" or "workers". Benches present in only
-one file are reported and skipped. Raw throughput ratios are printed for
-information but never gated.
+distinguishing key: "mode", "batch", "workers" or "rate". Benches present
+in only one file are reported and skipped. Raw throughput ratios are
+printed for information but never gated.
+
+Scaling-sensitive benches (variant key "workers") are only meaningful
+when both runs had the same number of cores: relative speedup at
+workers=4 on a 1-core runner is noise, not signal. When the two files'
+meta.cores differ, those benches are skipped with a warning instead of
+producing false failures (or false passes).
 
 Exit status: 0 when every matched entry is within tolerance (or nothing
 matched), 1 on a violation, 2 on malformed input.
@@ -26,11 +32,24 @@ import argparse
 import json
 import sys
 
+VARIANT_KEYS = ("mode", "batch", "workers", "rate")
+
+# variant keys whose relative numbers only transfer between runs made on
+# the same number of cores
+SCALING_SENSITIVE = {"workers"}
+
 
 def entry_key(entry):
-    for k in ("mode", "batch", "workers"):
+    for k in VARIANT_KEYS:
         if k in entry:
             return f"{k}={entry[k]}"
+    return "default"
+
+
+def variant_kind(entry):
+    for k in VARIANT_KEYS:
+        if k in entry:
+            return k
     return "default"
 
 
@@ -47,7 +66,9 @@ def load(path):
         if name and results:
             benches[name] = {entry_key(r): r["msg_per_s"] for r in results}
             benches[name]["__ref__"] = entry_key(results[0])
-    return benches
+            benches[name]["__kind__"] = variant_kind(results[0])
+    cores = doc.get("meta", {}).get("cores")
+    return benches, cores
 
 
 def main():
@@ -58,8 +79,10 @@ def main():
                     help="allowed relative-throughput deviation (default 0.25)")
     args = ap.parse_args()
 
-    cur = load(args.current)
-    base = load(args.baseline)
+    cur, cur_cores = load(args.current)
+    base, base_cores = load(args.baseline)
+    cores_differ = (cur_cores is not None and base_cores is not None
+                    and cur_cores != base_cores)
 
     common = sorted(set(cur) & set(base))
     for name in sorted(set(cur) ^ set(base)):
@@ -73,6 +96,11 @@ def main():
     checked = 0
     for name in common:
         c, b = cur[name], base[name]
+        if cores_differ and b.get("__kind__") in SCALING_SENSITIVE:
+            print(f"  warn: {name} is scaling-sensitive (variant "
+                  f"'{b['__kind__']}') and core counts differ "
+                  f"(current {cur_cores}, baseline {base_cores}); skipped")
+            continue
         ref = b["__ref__"]
         if ref not in c or c[ref] <= 0 or b[ref] <= 0:
             print(f"  note: {name} reference entry {ref} missing, skipped")

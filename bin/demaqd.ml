@@ -70,15 +70,8 @@ let print_stats srv =
 
 (* ---- metrics endpoint ---- *)
 
-let obs_handler srv ~path =
-  match path with
-  | "/metrics" -> Some ("text/plain; version=0.0.4", S.exposition srv)
-  | "/stats.json" -> Some ("application/json", S.stats_json srv)
-  | "/trace" -> Some ("application/jsonl", S.spans_jsonl srv)
-  | _ -> None
-
 let start_metrics_endpoint srv port =
-  match Http.start ~port (obs_handler srv) with
+  match Http.start ~port (Demaq.Engine.Ingress.handler ~enqueue:false srv) with
   | Ok server ->
     Printf.eprintf "metrics endpoint: http://127.0.0.1:%d/metrics\n%!"
       (Http.port server);
@@ -86,6 +79,41 @@ let start_metrics_endpoint srv port =
   | Error msg ->
     Printf.eprintf "%s\n" msg;
     None
+
+(* ---- ingress serving ----
+
+   With --ingress-port the node keeps running after stdin drains: HTTP
+   POSTs enqueue through the transactional path (from the accept-pool
+   domains) while this loop drains the dispatcher and advances the
+   virtual clock in real time so echo-queue timers fire. *)
+
+let serve_stop = ref false
+
+let serve_loop srv ~seconds ~tick_every =
+  let previous =
+    List.map
+      (fun s ->
+        (s, Sys.signal s (Sys.Signal_handle (fun _ -> serve_stop := true))))
+      [ Sys.sigint; Sys.sigterm ]
+  in
+  let t_start = Unix.gettimeofday () in
+  let deadline =
+    if seconds <= 0. then Float.infinity else t_start +. seconds
+  in
+  let last_tick = ref t_start in
+  while (not !serve_stop) && Unix.gettimeofday () < deadline do
+    let processed = S.run srv in
+    (if tick_every > 0. then begin
+       let now = Unix.gettimeofday () in
+       let due = int_of_float ((now -. !last_tick) /. tick_every) in
+       if due > 0 then begin
+         S.advance_time srv due;
+         last_tick := !last_tick +. (float_of_int due *. tick_every)
+       end
+     end);
+    if processed = 0 then Unix.sleepf 0.001
+  done;
+  List.iter (fun (s, h) -> Sys.set_signal s h) previous
 
 (* ---- check ---- *)
 
@@ -122,7 +150,7 @@ let explain_cmd file =
 (* ---- run ---- *)
 
 let run_cmd file default_queue store_dir show_stats stats_json gc_at_end advance
-    batch workers metrics_port log_level =
+    batch workers metrics_port ingress_port serve_for tick_every log_level =
   setup_logs log_level;
   let group_commit = batch > 1 in
   let store =
@@ -144,7 +172,7 @@ let run_cmd file default_queue store_dir show_stats stats_json gc_at_end advance
       group_commit;
       workers = max 1 workers;
       (* a scrape target wants latency histograms, not just totals *)
-      metrics = metrics_port <> None;
+      metrics = metrics_port <> None || ingress_port <> None;
     }
   in
   match S.deploy ~config ~store (read_file file) with
@@ -153,6 +181,17 @@ let run_cmd file default_queue store_dir show_stats stats_json gc_at_end advance
     1
   | srv ->
     let endpoint = Option.bind metrics_port (start_metrics_endpoint srv) in
+    let ingress =
+      Option.bind ingress_port (fun port ->
+          match Http.start ~port (Demaq.Engine.Ingress.handler srv) with
+          | Ok server ->
+            Printf.eprintf "ingress: http://127.0.0.1:%d/enqueue/<queue>\n%!"
+              (Http.port server);
+            Some server
+          | Error msg ->
+            Printf.eprintf "%s\n" msg;
+            None)
+    in
     let inject queue xml_text =
       match Demaq.xml xml_text with
       | exception Demaq.Xml.Parser.Parse_error { msg; _ } ->
@@ -186,26 +225,34 @@ let run_cmd file default_queue store_dir show_stats stats_json gc_at_end advance
       S.advance_time srv advance;
       ignore (S.run srv)
     end;
-    Printf.printf "processed %d messages\n" processed;
-    let qm = S.queue_manager srv in
-    List.iter
-      (fun (q : Demaq.Mq.Defs.queue_def) ->
-        let messages = S.queue_contents srv q.Demaq.Mq.Defs.qname in
-        if messages <> [] then begin
-          Printf.printf "\nqueue %s (%d):\n" q.Demaq.Mq.Defs.qname
-            (List.length messages);
-          List.iter
-            (fun m ->
-              Printf.printf "  %s\n" (Demaq.xml_to_string (Demaq.Message.body m)))
-            messages
-        end)
-      (List.sort compare (Demaq.Mq.Queue_manager.queue_defs qm));
+    if ingress <> None then serve_loop srv ~seconds:serve_for ~tick_every;
+    Printf.printf "processed %d messages\n"
+      (if ingress = None then processed else (S.stats srv).S.processed);
+    (* serving mode: queues can hold an entire load-test corpus, so the
+       per-message dump only runs in the pipe-driven batch mode *)
+    if ingress = None then begin
+      let qm = S.queue_manager srv in
+      List.iter
+        (fun (q : Demaq.Mq.Defs.queue_def) ->
+          let messages = S.queue_contents srv q.Demaq.Mq.Defs.qname in
+          if messages <> [] then begin
+            Printf.printf "\nqueue %s (%d):\n" q.Demaq.Mq.Defs.qname
+              (List.length messages);
+            List.iter
+              (fun m ->
+                Printf.printf "  %s\n"
+                  (Demaq.xml_to_string (Demaq.Message.body m)))
+              messages
+          end)
+        (List.sort compare (Demaq.Mq.Queue_manager.queue_defs qm))
+    end;
     if gc_at_end then Printf.printf "\ngc collected %d messages\n" (S.gc srv);
     if show_stats then begin
       print_newline ();
       print_stats srv
     end;
     if stats_json then print_endline (S.stats_json srv);
+    Option.iter Http.stop ingress;
     Option.iter Http.stop endpoint;
     Store.close store;
     0
@@ -444,6 +491,256 @@ let repl_cmd file log_level =
     done;
     0
 
+(* ---- loadgen: open-loop HTTP load generation with latency SLOs ---- *)
+
+module Lg = Demaq.Net.Loadgen
+module Schema = Demaq.Xml.Schema
+module Defs = Demaq.Mq.Defs
+
+(* Named workloads: the ingress queue and the QDL program whose deployed
+   schema drives sample-message generation (see Schema.example). *)
+let workloads =
+  [
+    ("order-fanout", ("orders", "examples/order_fanout.demaq"));
+    ("etl", ("raw_events", "examples/etl_pipeline.demaq"));
+    ("escalation", ("tickets", "examples/escalation.demaq"));
+  ]
+
+(* The generation root of a queue schema: a declared element that no other
+   declaration references as a child (falling back to the first declared
+   name for flat or cyclic schemas). *)
+let schema_root schema =
+  let names = Schema.declared_names schema in
+  let referenced =
+    List.concat_map
+      (fun n ->
+        match Schema.declared schema n with
+        | Some (Schema.Sequence ps) ->
+          List.map (fun p -> p.Schema.pname) ps
+        | _ -> [])
+      names
+  in
+  match List.filter (fun n -> not (List.mem n referenced)) names with
+  | root :: _ -> Some root
+  | [] -> ( match names with n :: _ -> Some n | [] -> None)
+
+let queue_schema file queue =
+  match Demaq.Lang.Qdl.parse_program_result (read_file file) with
+  | Error msg ->
+    Printf.eprintf "loadgen: cannot parse %s: %s\n" file msg;
+    None
+  | Ok program ->
+    Option.bind
+      (List.find_opt
+         (fun (q : Defs.queue_def) -> q.Defs.qname = queue)
+         (Demaq.Lang.Qdl.queues program))
+      (fun q -> q.Defs.schema)
+
+let make_generator ~queue ~program =
+  let path = "/enqueue/" ^ queue in
+  let fallback i =
+    Printf.sprintf "<msg><id>%d</id><payload>sample-%d</payload></msg>" i i
+  in
+  let body_of =
+    match program with
+    | Some file when Sys.file_exists file -> (
+      match Option.bind (queue_schema file queue) (fun schema ->
+                Option.map (fun root -> (schema, root)) (schema_root schema))
+      with
+      | Some (schema, root) ->
+        Printf.eprintf "loadgen: generating <%s> messages from %s's schema\n%!"
+          root file;
+        fun i ->
+          (match Schema.example ~vary:i schema root with
+           | Some tree -> Demaq.xml_to_string tree
+           | None -> fallback i)
+      | None ->
+        Printf.eprintf
+          "loadgen: no usable schema for queue %s in %s; using built-in \
+           sample bodies\n%!"
+          queue file;
+        fallback)
+    | Some file ->
+      Printf.eprintf "loadgen: program %s not found; using built-in sample \
+                      bodies\n%!" file;
+      fallback
+    | None -> fallback
+  in
+  fun i -> { Lg.sp_path = path; sp_body = body_of i }
+
+let parse_url url =
+  let rest =
+    if String.length url >= 7 && String.sub url 0 7 = "http://" then
+      String.sub url 7 (String.length url - 7)
+    else url
+  in
+  let rest =
+    match String.index_opt rest '/' with
+    | Some i -> String.sub rest 0 i
+    | None -> rest
+  in
+  match String.index_opt rest ':' with
+  | None -> Error (Printf.sprintf "cannot parse url %S: expected host:port" url)
+  | Some i -> (
+    let host = String.sub rest 0 i in
+    let port = String.sub rest (i + 1) (String.length rest - i - 1) in
+    match int_of_string_opt port with
+    | None -> Error (Printf.sprintf "bad port in url %S" url)
+    | Some port -> (
+      match
+        if host = "" || host = "localhost" then Unix.inet_addr_loopback
+        else
+          try Unix.inet_addr_of_string host
+          with Failure _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+      with
+      | addr -> Ok (addr, port)
+      | exception Not_found ->
+        Error (Printf.sprintf "cannot resolve host %S" host)))
+
+let json_escape s =
+  String.concat ""
+    (List.map
+       (fun c ->
+         match c with
+         | '"' -> "\\\""
+         | '\\' -> "\\\\"
+         | '\n' -> "\\n"
+         | c when Char.code c < 32 -> Printf.sprintf "\\u%04x" (Char.code c)
+         | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+let fmt_ms v = if Float.is_nan v then "null" else Printf.sprintf "%.3f" v
+
+let loadgen_json ~name ~workload entries =
+  let tm = Unix.gmtime (Unix.gettimeofday ()) in
+  Printf.sprintf
+    "{\n\
+    \  \"suite\": \"demaq-loadgen\",\n\
+    \  \"quick\": false,\n\
+    \  \"meta\": {\n\
+    \    \"date\": \"%04d-%02d-%02dT%02d:%02d:%02dZ\",\n\
+    \    \"ocaml\": \"%s\",\n\
+    \    \"cores\": %d,\n\
+    \    \"workload\": \"%s\"\n\
+    \  },\n\
+    \  \"benches\": [\n\
+    \    {\"bench\": \"%s\", \"results\": [%s]}\n\
+    \  ]\n\
+     }\n"
+    (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1) tm.Unix.tm_mday
+    tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec Sys.ocaml_version
+    (Domain.recommended_domain_count ())
+    (json_escape workload) (json_escape name)
+    (String.concat ", " entries)
+
+let result_entry rate (r : Lg.results) =
+  Printf.sprintf
+    "{\"rate\": %g, \"msg_per_s\": %.1f, \"p50_ms\": %s, \"p99_ms\": %s, \
+     \"p999_ms\": %s, \"mean_ms\": %s, \"max_ms\": %s, \"ok\": %d, \
+     \"errors\": %d, \"dropped\": %d, \"timeouts\": %d, \"offered\": %d}"
+    rate r.Lg.r_achieved_rate (fmt_ms r.Lg.r_p50_ms) (fmt_ms r.Lg.r_p99_ms)
+    (fmt_ms r.Lg.r_p999_ms) (fmt_ms r.Lg.r_mean_ms) (fmt_ms r.Lg.r_max_ms)
+    r.Lg.r_ok r.Lg.r_errors r.Lg.r_dropped r.Lg.r_timeouts r.Lg.r_offered
+
+let loadgen_cmd url rates duration arrival inflight timeout workload queue
+    program json_file slo_p99 seed log_level =
+  setup_logs log_level;
+  let fail msg =
+    Printf.eprintf "loadgen: %s\n" msg;
+    2
+  in
+  let named =
+    match workload with
+    | None -> Ok None
+    | Some w -> (
+      match List.assoc_opt w workloads with
+      | Some (q, p) -> Ok (Some (w, q, p))
+      | None ->
+        Error
+          (Printf.sprintf "unknown workload %S (known: %s)" w
+             (String.concat ", " (List.map fst workloads))))
+  in
+  match named with
+  | Error msg -> fail msg
+  | Ok named -> (
+    let queue, program, wl_name =
+      match (named, queue) with
+      | Some (w, q, p), override ->
+        ( Option.value override ~default:q,
+          (match program with Some _ -> program | None -> Some p),
+          w )
+      | None, Some q -> (q, program, q)
+      | None, None -> ("", None, "")
+    in
+    if queue = "" then
+      fail "no target queue: pass --workload or --queue"
+    else
+      match parse_url url with
+      | Error msg -> fail msg
+      | Ok (host, port) -> (
+        let rates =
+          List.filter_map
+            (fun s -> float_of_string_opt (String.trim s))
+            (String.split_on_char ',' rates)
+        in
+        if rates = [] then fail "no valid --rate values"
+        else begin
+          let arrival =
+            match arrival with "constant" -> Lg.Constant | _ -> Lg.Poisson
+          in
+          let gen = make_generator ~queue ~program in
+          let entries = ref [] in
+          let worst_p99 = ref 0. in
+          let total_bad = ref 0 in
+          List.iter
+            (fun rate ->
+              let cfg =
+                {
+                  Lg.host;
+                  port;
+                  rate;
+                  duration;
+                  arrival;
+                  max_inflight = inflight;
+                  timeout_s = timeout;
+                  seed;
+                }
+              in
+              Printf.printf
+                "== workload %s: %.0f req/s for %.1fs (%s arrivals, cap %d) ==\n%!"
+                wl_name rate duration
+                (match arrival with
+                 | Lg.Constant -> "constant"
+                 | Lg.Poisson -> "poisson")
+                inflight;
+              let r = Lg.run cfg gen in
+              print_string (Lg.report r);
+              print_newline ();
+              entries := !entries @ [ result_entry rate r ];
+              if not (Float.is_nan r.Lg.r_p99_ms) then
+                worst_p99 := Float.max !worst_p99 r.Lg.r_p99_ms;
+              total_bad := !total_bad + r.Lg.r_errors + r.Lg.r_dropped)
+            rates;
+          (match json_file with
+           | Some file ->
+             let oc = open_out file in
+             output_string oc
+               (loadgen_json ~name:("loadgen_" ^ wl_name) ~workload:wl_name
+                  !entries);
+             close_out oc;
+             Printf.printf "wrote %s\n" file
+           | None -> ());
+          match slo_p99 with
+          | Some bound
+            when !worst_p99 > bound || !total_bad > 0 ->
+            Printf.eprintf
+              "loadgen: SLO violated (worst p99 %.2f ms vs bound %.2f ms, \
+               errors+drops %d)\n"
+              !worst_p99 bound !total_bad;
+            1
+          | _ -> 0
+        end))
+
 (* ---- sim: deterministic chaos sweeps and replay ---- *)
 
 module Sim = Demaq.Sim.Sim
@@ -548,6 +845,32 @@ let metrics_port_arg =
               ephemeral port, printed to stderr). Also enables phase-latency \
               timing.")
 
+let ingress_port_arg =
+  Arg.(value & opt (some int) None
+       & info [ "ingress-port" ] ~docv:"PORT"
+           ~doc:
+             "Serve POST /enqueue/<queue> (XML body, 202 with the rid) plus \
+              the observability endpoints on this loopback port, and keep \
+              the node running after stdin drains: the serve loop drains \
+              the dispatcher continuously and advances the virtual clock \
+              in real time (see --tick-every). 0 picks an ephemeral port. \
+              Implies phase-latency timing.")
+
+let serve_for_arg =
+  Arg.(value & opt float 0.
+       & info [ "serve" ] ~docv:"SECS"
+           ~doc:
+             "With --ingress-port: serve for this many seconds, then shut \
+              down cleanly. 0 (the default) serves until SIGINT/SIGTERM.")
+
+let tick_every_arg =
+  Arg.(value & opt float 0.1
+       & info [ "tick-every" ] ~docv:"SECS"
+           ~doc:
+             "With --ingress-port: advance the virtual clock one tick per \
+              this many wall seconds while serving, so echo-queue timers \
+              fire in real time. 0 disables.")
+
 let log_arg =
   Arg.(value & opt (some string) None
        & info [ "log-level" ] ~docv:"LEVEL"
@@ -558,7 +881,89 @@ let log_arg =
 let run_t =
   Term.(const run_cmd $ file_arg $ queue_arg $ store_arg $ stats_arg
         $ stats_json_arg $ gc_arg $ advance_arg $ batch_arg $ workers_arg
-        $ metrics_port_arg $ log_arg)
+        $ metrics_port_arg $ ingress_port_arg $ serve_for_arg
+        $ tick_every_arg $ log_arg)
+
+(* loadgen *)
+
+let url_arg =
+  Arg.(value & opt string "http://127.0.0.1:8080"
+       & info [ "url" ] ~docv:"URL"
+           ~doc:"Target node, e.g. http://127.0.0.1:8080 (the host:port a \
+                 'demaqd run --ingress-port' node listens on)")
+
+let rate_arg =
+  Arg.(value & opt string "100"
+       & info [ "rate" ] ~docv:"R[,R..]"
+           ~doc:
+             "Open-loop arrival rate(s) in requests per second. A \
+              comma-separated list runs a sweep, one entry per rate, all \
+              recorded in the same --json file.")
+
+let duration_arg =
+  Arg.(value & opt float 10.
+       & info [ "duration" ] ~docv:"SECS" ~doc:"Seconds of arrivals per rate")
+
+let arrival_arg =
+  Arg.(value & opt string "poisson"
+       & info [ "arrival" ] ~docv:"PROCESS"
+           ~doc:"Arrival process: poisson (default) or constant")
+
+let inflight_arg =
+  Arg.(value & opt int 256
+       & info [ "inflight" ] ~docv:"N"
+           ~doc:
+             "In-flight cap: an arrival that would exceed it is counted as \
+              dropped and skipped, never delayed (no coordinated omission)")
+
+let lg_timeout_arg =
+  Arg.(value & opt float 10.
+       & info [ "timeout" ] ~docv:"SECS"
+           ~doc:"Per-request response deadline; expiry counts as an error")
+
+let workload_arg =
+  Arg.(value & opt (some string) None
+       & info [ "workload" ] ~docv:"NAME"
+           ~doc:
+             "Named workload: order-fanout, etl or escalation. Selects the \
+              ingress queue and the examples/ program whose queue schema \
+              drives sample-message generation.")
+
+let lg_queue_arg =
+  Arg.(value & opt (some string) None
+       & info [ "queue" ] ~docv:"QUEUE"
+           ~doc:"Target queue (overrides the workload's default)")
+
+let program_arg =
+  Arg.(value & opt (some string) None
+       & info [ "program" ] ~docv:"FILE"
+           ~doc:
+             "QDL program to read the target queue's schema from for \
+              sample-message generation (defaults to the workload's \
+              example program)")
+
+let lg_json_arg =
+  Arg.(value & opt (some string) None
+       & info [ "json" ] ~docv:"FILE"
+           ~doc:
+             "Write machine-readable results (bench/compare.py compatible; \
+              one entry per rate, keyed by rate)")
+
+let slo_arg =
+  Arg.(value & opt (some float) None
+       & info [ "slo-p99" ] ~docv:"MS"
+           ~doc:
+             "Exit 1 unless every rate's p99 latency is under MS \
+              milliseconds with zero errors and zero cap drops")
+
+let lg_seed_arg =
+  Arg.(value & opt int 1
+       & info [ "seed" ] ~docv:"SEED" ~doc:"Poisson arrival-process seed")
+
+let loadgen_t =
+  Term.(const loadgen_cmd $ url_arg $ rate_arg $ duration_arg $ arrival_arg
+        $ inflight_arg $ lg_timeout_arg $ workload_arg $ lg_queue_arg
+        $ program_arg $ lg_json_arg $ slo_arg $ lg_seed_arg $ log_arg)
 
 let capacity_arg =
   Arg.(value & opt int 1024
@@ -638,6 +1043,13 @@ let cmds =
     Cmd.v
       (Cmd.info "repl" ~doc:"Deploy a program and drive it interactively")
       Term.(const repl_cmd $ file_arg $ log_arg);
+    Cmd.v
+      (Cmd.info "loadgen"
+         ~doc:
+           "Drive a running node's HTTP ingress at an open-loop arrival \
+            rate and report end-to-end latency percentiles (p50/p99/p999) \
+            against latency SLOs")
+      loadgen_t;
     Cmd.v
       (Cmd.info "sim"
          ~doc:

@@ -1,0 +1,48 @@
+(* HTTP ingress: the seam between [Demaq_net.Http] (real sockets, pool of
+   accept domains) and the engine's transactional enqueue path. *)
+
+module Http = Demaq_net.Http
+module Qm = Demaq_mq.Queue_manager
+
+let enqueue_prefix = "/enqueue/"
+
+let handle_enqueue srv queue body =
+  if queue = "" then
+    Http.response ~status:404 "missing queue name\n"
+  else
+    match Demaq_xml.Parser.parse body with
+    | exception Demaq_xml.Parser.Parse_error { msg; _ } ->
+      Http.response ~status:400 (Printf.sprintf "bad XML: %s\n" msg)
+    | payload -> (
+      match Server.inject srv ~queue payload with
+      | Ok m ->
+        Http.response ~status:202 ~content_type:"application/xml"
+          (Printf.sprintf "<accepted rid=\"%d\" queue=\"%s\"/>\n"
+             m.Demaq_mq.Message.rid queue)
+      | Error (Qm.Unknown_queue q) ->
+        Http.response ~status:404 (Printf.sprintf "unknown queue %s\n" q)
+      | Error e ->
+        (* schema violation, property error: the message was refused at
+           admission — 429 tells an open-loop client to count a rejection
+           without tearing down the run *)
+        Http.response ~status:429 (Qm.error_to_string e ^ "\n"))
+
+let handler ?(enqueue = true) srv (req : Http.request) =
+  match (req.Http.meth, req.Http.path) with
+  | Http.GET, "/metrics" ->
+    Some
+      (Http.ok ~content_type:"text/plain; version=0.0.4"
+         (Server.exposition srv))
+  | Http.GET, "/stats.json" ->
+    Some (Http.ok ~content_type:"application/json" (Server.stats_json srv))
+  | Http.GET, "/trace" ->
+    Some (Http.ok ~content_type:"application/jsonl" (Server.spans_jsonl srv))
+  | Http.GET, "/healthz" -> Some (Http.ok "ok\n")
+  | Http.POST, path
+    when enqueue && String.starts_with ~prefix:enqueue_prefix path ->
+    let queue =
+      String.sub path (String.length enqueue_prefix)
+        (String.length path - String.length enqueue_prefix)
+    in
+    Some (handle_enqueue srv queue req.Http.body)
+  | _ -> None

@@ -1,0 +1,22 @@
+(** The HTTP ingress: maps {!Demaq_net.Http} requests onto a running
+    {!Server}.
+
+    Observability endpoints (always served):
+    - [GET /metrics] — Prometheus text exposition
+    - [GET /stats.json] — full registry snapshot
+    - [GET /trace] — retained lifecycle spans, JSONL
+    - [GET /healthz] — liveness probe
+
+    Message ingress (when [enqueue] is on):
+    - [POST /enqueue/<queue>] — parse the XML body and enqueue it through
+      the transactional path ({!Server.inject}); answers [202 Accepted]
+      with the assigned rid, [400] on malformed XML, [404] for an unknown
+      queue, and [429] when the queue manager rejects the message (schema
+      violation, property error — the admission-control signal a load
+      generator watches). The handler only enqueues; draining is the
+      serve loop's job. *)
+
+val handler : ?enqueue:bool -> Server.t -> Demaq_net.Http.handler
+(** [handler srv] with [enqueue] defaulting to [true]. Safe to call from
+    several accept-pool domains concurrently ({!Server.inject} is
+    transactional and mutex-protected). *)

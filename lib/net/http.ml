@@ -1,115 +1,326 @@
-(* A deliberately small HTTP/1.0 server for the observability endpoints.
+(* A deliberately small HTTP/1.0 server for the observability endpoints
+   and the message ingress.
 
    [Network] stays a simulated transport (deterministic tests, fault
    injection); this module is the one place the engine touches real
-   sockets, and it serves only GET with a response the handler renders
-   per request — enough for a Prometheus scrape of /metrics, nothing
-   more. One accept-loop domain, one connection at a time: a scrape is a
-   single short-lived request, and serializing them means the handler
-   (which aggregates registry shards) never runs concurrently with
-   itself. *)
+   sockets. The server is a fixed pool of accept-loop domains sharing one
+   listening socket: a Prometheus scrape and an ingress POST are both
+   single short-lived requests, so per-connection state never outlives a
+   pool iteration, and the kernel spreads accepts across the idle domains.
 
-let log = Logs.Src.create "demaq.http" ~doc:"Demaq metrics endpoint"
+   Robustness lessons are encoded here rather than in callers:
+
+   - The whole request head is drained (up to the blank-line terminator,
+     bounded at 8 KiB) before any response is written. Responding after
+     only the request line leaves the rest of the head unread in the
+     socket buffer, and the later close then sends RST, which can destroy
+     the in-flight response for any client that sends ordinary
+     multi-header requests.
+   - Every read carries a receive deadline (SO_RCVTIMEO): a stalled or
+     dead client is answered 408 and closed instead of occupying its pool
+     slot forever (one slow-loris connection used to block every
+     subsequent scrape).
+   - Head scanning is incremental (resumes where the last fill stopped)
+     instead of re-materializing the buffer per chunk, which was a
+     quadratic scan. *)
+
+let log = Logs.Src.create "demaq.http" ~doc:"Demaq HTTP endpoint"
 
 module Log = (val Logs.src_log log : Logs.LOG)
 
-type handler = path:string -> (string * string) option
-(* [handler ~path] returns [Some (content_type, body)] or [None] for 404. *)
+type meth = GET | POST
+
+type request = {
+  meth : meth;
+  path : string;
+  query : string;
+  headers : (string * string) list;
+  body : string;
+}
+
+type response = { status : int; content_type : string; resp_body : string }
+
+let response ~status ?(content_type = "text/plain") resp_body =
+  { status; content_type; resp_body }
+
+let ok ?(content_type = "text/plain") body = response ~status:200 ~content_type body
+
+type handler = request -> response option
 
 type t = {
   sock : Unix.file_descr;
   port : int;
   stopping : bool Atomic.t;
-  accept_domain : unit Domain.t;
+  served : int Atomic.t;
+  timed_out : int Atomic.t;
+  pool : unit Domain.t array;
 }
 
-let read_request_path fd =
-  (* Read until the end of the request head (blank line) or EOF; the
-     request line is all we use. *)
-  let buf = Buffer.create 256 in
-  let chunk = Bytes.create 512 in
-  let rec fill () =
-    if Buffer.length buf < 8192
-       && not (let s = Buffer.contents buf in
-               String.length s >= 4
-               && (String.index_opt s '\n' <> None))
-    then begin
-      match Unix.read fd chunk 0 (Bytes.length chunk) with
-      | 0 -> ()
-      | n ->
-        Buffer.add_subbytes buf chunk 0 n;
-        fill ()
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> fill ()
-    end
-  in
-  fill ();
-  let line = Buffer.contents buf in
-  match String.index_opt line '\n' with
-  | None -> None
-  | Some eol -> (
-    let line = String.trim (String.sub line 0 eol) in
-    match String.split_on_char ' ' line with
-    | "GET" :: path :: _ -> Some path
-    | _ -> None)
+let max_head = 8192
 
-let respond fd status headers body =
-  let head =
-    Printf.sprintf "HTTP/1.0 %s\r\n%sContent-Length: %d\r\nConnection: close\r\n\r\n"
-      status
-      (String.concat ""
-         (List.map (fun (k, v) -> Printf.sprintf "%s: %s\r\n" k v) headers))
-      (String.length body)
+let reason_phrase = function
+  | 200 -> "OK"
+  | 202 -> "Accepted"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 408 -> "Request Timeout"
+  | 411 -> "Length Required"
+  | 413 -> "Payload Too Large"
+  | 429 -> "Too Many Requests"
+  | 431 -> "Request Header Fields Too Large"
+  | 500 -> "Internal Server Error"
+  | _ -> "Unknown"
+
+(* ---- reading the request ---- *)
+
+type head_result =
+  | Head of { head : string; leftover : string }
+  | Closed  (* EOF before a complete head; includes the empty request *)
+  | Head_too_large
+  | Read_timeout
+
+(* [read_head fd] drains the request head through the first blank line.
+   The terminator scan resumes at the previous buffer end (minus the
+   3 bytes a split "\r\n\r\n" can straddle), so the total scan cost is
+   linear in the head size. Bytes past the terminator (the start of a
+   request body) are returned as [leftover]. *)
+let read_head fd =
+  let buf = Buffer.create 512 in
+  let chunk = Bytes.create 1024 in
+  (* find the end of "\r\n\r\n" or "\n\n" at or after [from]; the
+     terminator's first byte may start up to 3 bytes before [from] *)
+  let find_terminator from =
+    let n = Buffer.length buf in
+    let at i = Buffer.nth buf i in
+    let rec go i =
+      if i >= n then None
+      else if at i = '\n' then
+        if i + 1 < n && at (i + 1) = '\n' then Some (i + 2)
+        else if i + 2 < n && at (i + 1) = '\r' && at (i + 2) = '\n' then
+          Some (i + 3)
+        else go (i + 1)
+      else go (i + 1)
+    in
+    go (max 0 (from - 3))
   in
-  let payload = Bytes.of_string (head ^ body) in
+  let rec fill scanned =
+    match find_terminator scanned with
+    | Some stop ->
+      let all = Buffer.contents buf in
+      Head
+        {
+          head = String.sub all 0 stop;
+          leftover = String.sub all stop (String.length all - stop);
+        }
+    | None ->
+      if Buffer.length buf >= max_head then Head_too_large
+      else begin
+        match Unix.read fd chunk 0 (Bytes.length chunk) with
+        | 0 -> Closed
+        | n ->
+          let scanned = Buffer.length buf in
+          Buffer.add_subbytes buf chunk 0 n;
+          fill scanned
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> fill scanned
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+          ->
+          Read_timeout
+        | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+          Closed
+      end
+  in
+  fill 0
+
+type body_result = Body of string | Body_closed | Body_timeout
+
+let read_body fd ~leftover ~length =
+  if String.length leftover >= length then Body (String.sub leftover 0 length)
+  else begin
+    let buf = Buffer.create length in
+    Buffer.add_string buf leftover;
+    let chunk = Bytes.create 4096 in
+    let rec fill () =
+      if Buffer.length buf >= length then Body (Buffer.contents buf)
+      else
+        match
+          Unix.read fd chunk 0
+            (min (Bytes.length chunk) (length - Buffer.length buf))
+        with
+        | 0 -> Body_closed
+        | n ->
+          Buffer.add_subbytes buf chunk 0 n;
+          fill ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> fill ()
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+          ->
+          Body_timeout
+        | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+          Body_closed
+    in
+    fill ()
+  end
+
+(* ---- parsing ---- *)
+
+let parse_head head =
+  match String.split_on_char '\n' head with
+  | [] -> None
+  | request_line :: header_lines ->
+    let request_line = String.trim request_line in
+    let headers =
+      List.filter_map
+        (fun line ->
+          let line = String.trim line in
+          match String.index_opt line ':' with
+          | Some i when i > 0 ->
+            Some
+              ( String.lowercase_ascii (String.sub line 0 i),
+                String.trim
+                  (String.sub line (i + 1) (String.length line - i - 1)) )
+          | _ -> None)
+        header_lines
+    in
+    (match String.split_on_char ' ' request_line with
+     | meth :: target :: _ ->
+       let path, query =
+         match String.index_opt target '?' with
+         | Some i ->
+           ( String.sub target 0 i,
+             String.sub target (i + 1) (String.length target - i - 1) )
+         | None -> (target, "")
+       in
+       Some (meth, path, query, headers)
+     | _ -> None)
+
+let content_length headers =
+  match List.assoc_opt "content-length" headers with
+  | None -> None
+  | Some v -> int_of_string_opt (String.trim v)
+
+(* ---- writing the response ---- *)
+
+let write_all fd payload =
   let len = Bytes.length payload in
-  let rec write_all off =
+  let rec go off =
     if off < len then
       match Unix.write fd payload off (len - off) with
-      | n -> write_all (off + n)
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all off
+      | n -> go (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
   in
-  write_all 0
+  go 0
 
-let serve_one handler fd =
+let respond fd { status; content_type; resp_body } =
+  let head =
+    Printf.sprintf
+      "HTTP/1.0 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\n\
+       Connection: close\r\n\r\n"
+      status (reason_phrase status) content_type (String.length resp_body)
+  in
+  write_all fd (Bytes.of_string (head ^ resp_body))
+
+(* Close without clobbering the response: signal end-of-response with a
+   write shutdown, then drain (briefly, bounded) whatever request bytes
+   the client is still sending, so the final close never has unread data
+   that would turn it into an RST racing the response across the wire. *)
+let lingering_close fd =
+  (try Unix.shutdown fd Unix.SHUTDOWN_SEND with Unix.Unix_error _ -> ());
+  (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO 1.0
+   with Unix.Unix_error _ -> ());
+  let chunk = Bytes.create 4096 in
+  let rec drain budget =
+    if budget > 0 then
+      match Unix.read fd chunk 0 (Bytes.length chunk) with
+      | 0 -> ()
+      | n -> drain (budget - n)
+      | exception Unix.Unix_error _ -> ()
+  in
+  drain 65536
+
+(* ---- per-connection servicing ---- *)
+
+let serve_conn t ~read_timeout ~max_body handler fd =
   Fun.protect
     ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
     (fun () ->
-      match read_request_path fd with
-      | None -> respond fd "400 Bad Request" [] "bad request\n"
-      | Some path -> (
-        (* strip the query string; the endpoints take no parameters *)
-        let path =
-          match String.index_opt path '?' with
-          | Some i -> String.sub path 0 i
-          | None -> path
-        in
-        match handler ~path with
-        | Some (content_type, body) ->
-          respond fd "200 OK" [ ("Content-Type", content_type) ] body
-        | None -> respond fd "404 Not Found" [] "not found\n"))
+      (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO read_timeout
+       with Unix.Unix_error _ -> ());
+      let finish resp =
+        Atomic.incr t.served;
+        (try respond fd resp with Unix.Unix_error _ -> ());
+        lingering_close fd
+      in
+      let timeout () =
+        Atomic.incr t.timed_out;
+        Atomic.incr t.served;
+        (try respond fd (response ~status:408 "request timeout\n")
+         with Unix.Unix_error _ -> ())
+        (* no lingering close: the peer is stalled, just drop it *)
+      in
+      let dispatch req =
+        match handler req with
+        | Some resp -> finish resp
+        | None -> finish (response ~status:404 "not found\n")
+        | exception e ->
+          Log.warn (fun f ->
+              f "handler raised on %s: %s" req.path (Printexc.to_string e));
+          finish (response ~status:500 "internal error\n")
+      in
+      match read_head fd with
+      | Closed -> (* nothing to answer *) ()
+      | Read_timeout -> timeout ()
+      | Head_too_large ->
+        finish (response ~status:431 "request head too large\n")
+      | Head { head; leftover } -> (
+        match parse_head head with
+        | None -> finish (response ~status:400 "bad request\n")
+        | Some (meth, path, query, headers) -> (
+          match meth with
+          | "GET" ->
+            dispatch { meth = GET; path; query; headers; body = "" }
+          | "POST" -> (
+            match content_length headers with
+            | None -> finish (response ~status:411 "length required\n")
+            | Some n when n < 0 ->
+              finish (response ~status:400 "bad content-length\n")
+            | Some n when n > max_body ->
+              finish (response ~status:413 "payload too large\n")
+            | Some n -> (
+              match read_body fd ~leftover ~length:n with
+              | Body_timeout -> timeout ()
+              | Body_closed ->
+                finish (response ~status:400 "truncated body\n")
+              | Body body ->
+                dispatch { meth = POST; path; query; headers; body }))
+          | _ -> finish (response ~status:405 "method not allowed\n"))))
 
-let accept_loop t handler =
+let accept_loop t ~read_timeout ~max_body handler =
   let rec loop () =
     if not (Atomic.get t.stopping) then begin
       (match Unix.accept t.sock with
        | conn, _ -> (
-         try serve_one handler conn
+         try serve_conn t ~read_timeout ~max_body handler conn
          with e ->
            Log.warn (fun f ->
                f "request handling failed: %s" (Printexc.to_string e)))
        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-       | exception Unix.Unix_error _ when Atomic.get t.stopping -> ());
+       | exception Unix.Unix_error _ when Atomic.get t.stopping -> ()
+       | exception Unix.Unix_error (err, _, _) ->
+         Log.warn (fun f -> f "accept failed: %s" (Unix.error_message err));
+         Unix.sleepf 0.01);
       loop ()
     end
   in
   loop ()
 
-let start ?(addr = Unix.inet_addr_loopback) ~port handler =
+let start ?(addr = Unix.inet_addr_loopback) ?(pool = 4) ?(read_timeout = 10.)
+    ?(max_body = 1 lsl 20) ~port handler =
+  let pool = max 1 pool in
   let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   match
     Unix.setsockopt sock Unix.SO_REUSEADDR true;
     Unix.bind sock (Unix.ADDR_INET (addr, port));
-    Unix.listen sock 16
+    Unix.listen sock 128
   with
   | () ->
     let port =
@@ -118,59 +329,66 @@ let start ?(addr = Unix.inet_addr_loopback) ~port handler =
       | _ -> port
     in
     let stopping = Atomic.make false in
+    let served = Atomic.make 0 in
+    let timed_out = Atomic.make 0 in
     let t_ref = ref None in
+    let spawn () =
+      Domain.spawn (fun () ->
+          (* wait for [t] to be published before entering the loop *)
+          let rec get () =
+            match !t_ref with
+            | Some t -> t
+            | None ->
+              Domain.cpu_relax ();
+              get ()
+          in
+          accept_loop (get ()) ~read_timeout ~max_body handler)
+    in
     let t =
-      {
-        sock;
-        port;
-        stopping;
-        accept_domain =
-          Domain.spawn (fun () ->
-              (* wait for [t] to be published before entering the loop *)
-              let rec get () =
-                match !t_ref with Some t -> t | None -> Domain.cpu_relax (); get ()
-              in
-              accept_loop (get ()) handler);
-      }
+      { sock; port; stopping; served; timed_out;
+        pool = Array.init pool (fun _ -> spawn ()) }
     in
     t_ref := Some t;
-    Log.info (fun f -> f "metrics endpoint listening on port %d" port);
+    Log.info (fun f -> f "http endpoint listening on port %d (%d accept domains)" port pool);
     Ok t
   | exception Unix.Unix_error (err, _, _) ->
     (try Unix.close sock with Unix.Unix_error _ -> ());
-    Error (Printf.sprintf "cannot bind metrics port %d: %s" port
-             (Unix.error_message err))
+    Error
+      (Printf.sprintf "cannot bind http port %d: %s" port
+         (Unix.error_message err))
 
 let port t = t.port
+let connections_served t = Atomic.get t.served
+let timeouts t = Atomic.get t.timed_out
 
 let stop t =
   if not (Atomic.exchange t.stopping true) then begin
-    (* closing the listening socket makes the blocked accept fail out *)
+    (* closing the listening socket makes the blocked accepts fail out *)
     (try Unix.shutdown t.sock Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
     (try Unix.close t.sock with Unix.Unix_error _ -> ());
-    Domain.join t.accept_domain
+    Array.iter Domain.join t.pool
   end
+
+(* ---- one-shot loopback clients ---- *)
 
 (* find the end of the response head ("\r\n\r\n") *)
 let find_header_end s =
   let n = String.length s in
   let rec go i =
     if i + 3 >= n then None
-    else if s.[i] = '\r' && s.[i + 1] = '\n' && s.[i + 2] = '\r' && s.[i + 3] = '\n'
+    else if
+      s.[i] = '\r' && s.[i + 1] = '\n' && s.[i + 2] = '\r' && s.[i + 3] = '\n'
     then Some (i + 4)
     else go (i + 1)
   in
   go 0
 
-(* A one-shot client, for tests and CI smoke: fetch [path] and return
-   (status line, body). *)
-let get ~port path =
+let roundtrip ~port req =
   let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Fun.protect
     ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
     (fun () ->
       Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
-      let req = Printf.sprintf "GET %s HTTP/1.0\r\n\r\n" path in
       ignore (Unix.write_substring sock req 0 (String.length req));
       let buf = Buffer.create 4096 in
       let chunk = Bytes.create 4096 in
@@ -181,6 +399,7 @@ let get ~port path =
           Buffer.add_subbytes buf chunk 0 n;
           drain ()
         | exception Unix.Unix_error (Unix.EINTR, _, _) -> drain ()
+        | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> ()
       in
       drain ();
       let response = Buffer.contents buf in
@@ -193,3 +412,17 @@ let get ~port path =
         in
         (status, String.sub response i (String.length response - i))
       | None -> (response, ""))
+
+let get ~port path =
+  roundtrip ~port (Printf.sprintf "GET %s HTTP/1.0\r\n\r\n" path)
+
+let post ~port ?(content_type = "application/xml") path body =
+  roundtrip ~port
+    (Printf.sprintf
+       "POST %s HTTP/1.0\r\nContent-Type: %s\r\nContent-Length: %d\r\n\r\n%s"
+       path content_type (String.length body) body)
+
+let status_code status_line =
+  match String.split_on_char ' ' status_line with
+  | _ :: code :: _ -> ( match int_of_string_opt code with Some c -> c | None -> 0)
+  | _ -> 0

@@ -1,26 +1,81 @@
-(** Minimal HTTP/1.0 server for the observability endpoints.
+(** Small HTTP/1.0 server for the observability endpoints and the message
+    ingress.
 
-    Serves GET only, one connection at a time, on a dedicated accept-loop
-    domain. {!Network} remains the (simulated) message transport; this is
-    solely for Prometheus scrapes and stats/trace dumps. *)
+    {!Network} remains the (simulated) message transport; this module is
+    the one place the engine touches real sockets. It serves GET and POST
+    (with [Content-Length] bodies) on a fixed pool of accept-loop domains,
+    with a per-connection receive deadline so a stalled client can never
+    wedge the server — enough for Prometheus scrapes and the
+    [POST /enqueue/<queue>] gateway the load generator drives. *)
+
+type meth = GET | POST
+
+type request = {
+  meth : meth;
+  path : string;  (** query string already stripped *)
+  query : string;  (** raw query string, without the ['?'] ("" if none) *)
+  headers : (string * string) list;  (** names lowercased *)
+  body : string;  (** "" for GET *)
+}
+
+type response = {
+  status : int;  (** e.g. 200, 202, 404 *)
+  content_type : string;
+  resp_body : string;
+}
+
+val ok : ?content_type:string -> string -> response
+(** 200 with the given body (default content type [text/plain]). *)
+
+val response : status:int -> ?content_type:string -> string -> response
+
+type handler = request -> response option
+(** [handler req] returns [Some response], or [None] for 404. May be
+    called concurrently from several accept-pool domains. *)
 
 type t
 
-type handler = path:string -> (string * string) option
-(** [handler ~path] returns [Some (content_type, body)] to answer 200, or
-    [None] for 404. Called on the accept-loop domain, serially. The path
-    has any query string already stripped. *)
-
 val start :
-  ?addr:Unix.inet_addr -> port:int -> handler -> (t, string) result
-(** Bind (default loopback) and start serving. [port = 0] picks an
-    ephemeral port — read it back with {!port}. *)
+  ?addr:Unix.inet_addr ->
+  ?pool:int ->
+  ?read_timeout:float ->
+  ?max_body:int ->
+  port:int ->
+  handler ->
+  (t, string) result
+(** Bind (default loopback) and start serving on [pool] accept domains
+    (default 4, min 1). [port = 0] picks an ephemeral port — read it back
+    with {!port}.
+
+    [read_timeout] (seconds, default 10.) bounds every socket read of one
+    connection: a client that stalls mid-request is answered [408 Request
+    Timeout] and closed, so a slow-loris connection costs one pool slot
+    for at most the deadline instead of wedging the accept loop forever.
+
+    [max_body] (default 1 MiB) caps [Content-Length]; larger requests are
+    refused with [413]. Request heads are bounded at 8 KiB ([431]). *)
 
 val port : t -> int
 
+val connections_served : t -> int
+(** Total connections accepted and answered, across the pool. *)
+
+val timeouts : t -> int
+(** Connections dropped by the receive deadline (408s sent). *)
+
 val stop : t -> unit
-(** Close the socket and join the accept domain. Idempotent. *)
+(** Close the socket and join the accept domains. Idempotent. *)
+
+(** {1 One-shot loopback clients (tests, CI smoke, loadgen warmup)} *)
 
 val get : port:int -> string -> string * string
-(** One-shot loopback client for tests/CI smoke: returns
-    [(status_line, body)]. Raises [Unix.Unix_error] on connect failure. *)
+(** [get ~port path] returns [(status_line, body)]. Raises
+    [Unix.Unix_error] on connect failure. *)
+
+val post :
+  port:int -> ?content_type:string -> string -> string -> string * string
+(** [post ~port path body] returns [(status_line, body)]. *)
+
+val status_code : string -> int
+(** Parse the numeric code out of a status line ("HTTP/1.0 202 Accepted"
+    -> 202); 0 if unparseable. *)

@@ -1,0 +1,328 @@
+(* The open-loop generator: a single-domain select loop.
+
+   The schedule of send times is fixed up front by the arrival process;
+   the loop's only job is to honor it. Each iteration (1) dispatches every
+   arrival whose scheduled time has passed — opening a nonblocking
+   connection per request, or counting a drop if the in-flight cap is
+   reached, (2) expires requests past their response deadline, and
+   (3) selects on the in-flight sockets to pump connect/write/read state
+   machines. A request is complete at EOF (the server answers HTTP/1.0
+   with Connection: close), and its latency is measured from the
+   *scheduled* arrival time into a log-scale metrics histogram. *)
+
+module Metrics = Demaq_obs.Metrics
+
+type arrival = Constant | Poisson
+
+type config = {
+  host : Unix.inet_addr;
+  port : int;
+  rate : float;
+  duration : float;
+  arrival : arrival;
+  max_inflight : int;
+  timeout_s : float;
+  seed : int;
+}
+
+let default_config =
+  {
+    host = Unix.inet_addr_loopback;
+    port = 0;
+    rate = 100.;
+    duration = 5.;
+    arrival = Poisson;
+    max_inflight = 256;
+    timeout_s = 10.;
+    seed = 1;
+  }
+
+type spec = { sp_path : string; sp_body : string }
+
+type results = {
+  r_offered : int;
+  r_sent : int;
+  r_dropped : int;
+  r_ok : int;
+  r_errors : int;
+  r_timeouts : int;
+  r_statuses : (int * int) list;
+  r_p50_ms : float;
+  r_p99_ms : float;
+  r_p999_ms : float;
+  r_mean_ms : float;
+  r_max_ms : float;
+  r_elapsed_s : float;
+  r_achieved_rate : float;
+}
+
+type conn_state = Connecting | Sending | Receiving
+
+type conn = {
+  fd : Unix.file_descr;
+  scheduled_ns : int;
+  mutable state : conn_state;
+  mutable out : Bytes.t;
+  mutable out_off : int;
+  inbuf : Buffer.t;
+}
+
+let request_bytes spec =
+  if spec.sp_body = "" then
+    Bytes.of_string (Printf.sprintf "GET %s HTTP/1.0\r\n\r\n" spec.sp_path)
+  else
+    Bytes.of_string
+      (Printf.sprintf
+         "POST %s HTTP/1.0\r\nContent-Type: application/xml\r\n\
+          Content-Length: %d\r\n\r\n%s"
+         spec.sp_path
+         (String.length spec.sp_body)
+         spec.sp_body)
+
+let status_of_response buf =
+  let s = Buffer.contents buf in
+  match String.index_opt s ' ' with
+  | None -> 0
+  | Some i -> (
+    let rest = String.sub s (i + 1) (min 3 (String.length s - i - 1)) in
+    match int_of_string_opt rest with Some c -> c | None -> 0)
+
+let run cfg gen =
+  let rate = Float.max 0.001 cfg.rate in
+  let cap = max 1 (min 512 cfg.max_inflight) in
+  let timeout_ns = int_of_float (cfg.timeout_s *. 1e9) in
+  let rng = Random.State.make [| cfg.seed |] in
+  let reg = Metrics.create ~shards:1 () in
+  let hist =
+    Metrics.histogram reg ~help:"end-to-end request latency" ~shift:7
+      ~scale:1e-9 "loadgen_latency_seconds"
+  in
+  let t0 = Metrics.now_ns () in
+  let horizon = t0 + int_of_float (cfg.duration *. 1e9) in
+  (* the arrival process: the next scheduled send time, ns. Constant
+     spacing is derived from the arrival index (no drift accumulation);
+     Poisson draws exponential inter-arrival gaps. *)
+  let next_scheduled = ref t0 in
+  let arrivals_done = ref false in
+  let advance_arrival i =
+    match cfg.arrival with
+    | Constant ->
+      next_scheduled := t0 + int_of_float (float_of_int (i + 1) *. 1e9 /. rate)
+    | Poisson ->
+      let u = 1. -. Random.State.float rng 1. (* (0,1] *) in
+      next_scheduled :=
+        !next_scheduled + int_of_float (-.Float.log u /. rate *. 1e9)
+  in
+  let offered = ref 0 in
+  let sent = ref 0 in
+  let dropped = ref 0 in
+  let ok = ref 0 in
+  let errors = ref 0 in
+  let timeouts = ref 0 in
+  let statuses : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  let max_lat = ref 0 in
+  let last_completion = ref t0 in
+  let inflight : (Unix.file_descr, conn) Hashtbl.t = Hashtbl.create 64 in
+  let addr = Unix.ADDR_INET (cfg.host, cfg.port) in
+  let close_conn c =
+    Hashtbl.remove inflight c.fd;
+    try Unix.close c.fd with Unix.Unix_error _ -> ()
+  in
+  let note_status code =
+    Hashtbl.replace statuses code
+      (1 + Option.value ~default:0 (Hashtbl.find_opt statuses code))
+  in
+  let complete c now =
+    let code = status_of_response c.inbuf in
+    note_status code;
+    if code >= 200 && code < 300 then incr ok else incr errors;
+    let lat = now - c.scheduled_ns in
+    Metrics.observe hist lat;
+    if lat > !max_lat then max_lat := lat;
+    last_completion := now;
+    close_conn c
+  in
+  let fail c = (* transport error: no status line *)
+    note_status 0;
+    incr errors;
+    close_conn c
+  in
+  let start_request i scheduled_ns =
+    match Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 with
+    | exception Unix.Unix_error _ -> incr errors
+    | fd ->
+      Unix.set_nonblock fd;
+      let c =
+        {
+          fd;
+          scheduled_ns;
+          state = Connecting;
+          out = request_bytes (gen i);
+          out_off = 0;
+          inbuf = Buffer.create 256;
+        }
+      in
+      incr sent;
+      Hashtbl.replace inflight fd c;
+      (match Unix.connect fd addr with
+       | () -> c.state <- Sending
+       | exception Unix.Unix_error ((Unix.EINPROGRESS | Unix.EWOULDBLOCK), _, _)
+         ->
+         ()
+       | exception Unix.Unix_error _ -> fail c)
+  in
+  let pump_write c =
+    (* first writability after a nonblocking connect doubles as the
+       connect completion signal *)
+    if c.state = Connecting then begin
+      match Unix.getsockopt_error c.fd with
+      | Some _ -> fail c
+      | None -> c.state <- Sending
+    end;
+    if c.state = Sending then begin
+      match
+        Unix.write c.fd c.out c.out_off (Bytes.length c.out - c.out_off)
+      with
+      | n ->
+        c.out_off <- c.out_off + n;
+        if c.out_off >= Bytes.length c.out then c.state <- Receiving
+      | exception
+          Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+        ->
+        ()
+      | exception Unix.Unix_error _ -> fail c
+    end
+  in
+  let read_chunk = Bytes.create 4096 in
+  let pump_read c now =
+    match Unix.read c.fd read_chunk 0 (Bytes.length read_chunk) with
+    | 0 -> complete c now
+    | n -> Buffer.add_subbytes c.inbuf read_chunk 0 n
+    | exception
+        Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+      ->
+      ()
+    | exception Unix.Unix_error _ ->
+      (* connection reset with a partial response counts as an error
+         unless a full status line already arrived *)
+      if Buffer.length c.inbuf > 0 then complete c now else fail c
+  in
+  let rec loop () =
+    let now = Metrics.now_ns () in
+    (* 1. dispatch every arrival whose time has come *)
+    let rec dispatch now =
+      if (not !arrivals_done) && !next_scheduled <= now then begin
+        if !next_scheduled >= horizon then arrivals_done := true
+        else begin
+          let i = !offered in
+          incr offered;
+          let scheduled = !next_scheduled in
+          if Hashtbl.length inflight >= cap then incr dropped
+          else start_request i scheduled;
+          advance_arrival i;
+          if !next_scheduled >= horizon then arrivals_done := true;
+          dispatch now
+        end
+      end
+    in
+    dispatch now;
+    (* 2. expire requests past the response deadline *)
+    let stale =
+      Hashtbl.fold
+        (fun _ c acc ->
+          if now - c.scheduled_ns > timeout_ns then c :: acc else acc)
+        inflight []
+    in
+    List.iter
+      (fun c ->
+        incr timeouts;
+        incr errors;
+        note_status 0;
+        close_conn c)
+      stale;
+    if !arrivals_done && Hashtbl.length inflight = 0 then ()
+    else begin
+      (* 3. pump the in-flight sockets *)
+      let rd, wr =
+        Hashtbl.fold
+          (fun fd c (rd, wr) ->
+            match c.state with
+            | Receiving -> (fd :: rd, wr)
+            | Connecting | Sending -> (rd, fd :: wr))
+          inflight ([], [])
+      in
+      let wait_ns =
+        if !arrivals_done then 10_000_000
+        else max 0 (min (!next_scheduled - now) 10_000_000)
+      in
+      match Unix.select rd wr [] (float_of_int wait_ns /. 1e9) with
+      | rd_ready, wr_ready, _ ->
+        let now = Metrics.now_ns () in
+        List.iter
+          (fun fd ->
+            match Hashtbl.find_opt inflight fd with
+            | Some c -> pump_write c
+            | None -> ())
+          wr_ready;
+        List.iter
+          (fun fd ->
+            match Hashtbl.find_opt inflight fd with
+            | Some c -> pump_read c now
+            | None -> ())
+          rd_ready;
+        loop ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+    end
+  in
+  loop ();
+  let count, sum = Metrics.histogram_totals hist in
+  (* the bucket estimate can overshoot the true tail by up to a bucket
+     width; the recorded maximum is a tighter bound *)
+  let pct q =
+    Float.min (Metrics.percentile hist q) (float_of_int !max_lat /. 1e9)
+    *. 1e3
+  in
+  let elapsed_ns = max 1 (!last_completion - t0) in
+  {
+    r_offered = !offered;
+    r_sent = !sent;
+    r_dropped = !dropped;
+    r_ok = !ok;
+    r_errors = !errors;
+    r_timeouts = !timeouts;
+    r_statuses =
+      List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) statuses []);
+    r_p50_ms = pct 0.5;
+    r_p99_ms = pct 0.99;
+    r_p999_ms = pct 0.999;
+    r_mean_ms =
+      (if count = 0 then Float.nan
+       else float_of_int sum /. float_of_int count /. 1e6);
+    r_max_ms = float_of_int !max_lat /. 1e6;
+    r_elapsed_s = float_of_int elapsed_ns /. 1e9;
+    r_achieved_rate =
+      float_of_int (!ok + !errors) /. (float_of_int elapsed_ns /. 1e9);
+  }
+
+let report r =
+  let b = Buffer.create 512 in
+  Printf.bprintf b
+    "offered %d  sent %d  dropped(cap) %d  ok %d  errors %d  timeouts %d\n"
+    r.r_offered r.r_sent r.r_dropped r.r_ok r.r_errors r.r_timeouts;
+  if r.r_statuses <> [] then
+    Printf.bprintf b "statuses: %s\n"
+      (String.concat "  "
+         (List.map
+            (fun (c, n) ->
+              Printf.sprintf "%s=%d" (if c = 0 then "fail" else string_of_int c) n)
+            r.r_statuses));
+  Printf.bprintf b
+    "latency (end-to-end, from scheduled arrival):\n\
+    \  p50 %8.2f ms\n\
+    \  p99 %8.2f ms\n\
+    \  p999 %7.2f ms\n\
+    \  mean %7.2f ms   max %8.2f ms\n"
+    r.r_p50_ms r.r_p99_ms r.r_p999_ms r.r_mean_ms r.r_max_ms;
+  Printf.bprintf b "elapsed %.2f s   achieved %.1f req/s\n" r.r_elapsed_s
+    r.r_achieved_rate;
+  Buffer.contents b

@@ -1,0 +1,67 @@
+(** Open-loop HTTP load generator with latency percentiles.
+
+    Drives an {!Http}-served node (the [POST /enqueue/<queue>] ingress) at
+    a configured {e arrival rate}: request send times come from a fixed
+    arrival process (constant spacing or Poisson), decided before any
+    response is seen, and the generator never waits for a response before
+    dispatching the next request. This is the open-loop discipline Gray's
+    queueing analysis assumes — a closed loop (send, wait, send) silently
+    self-throttles when the server slows down and hides exactly the tail
+    latency the measurement exists to expose (coordinated omission).
+
+    Two guards keep the loop honest rather than unbounded:
+    - a hard in-flight cap: an arrival that would exceed it is {e counted
+      as dropped} and skipped — never delayed, so the arrival process is
+      undistorted and the drop counter itself is a load signal;
+    - per-request latency is measured from the {e scheduled} arrival time,
+      so any dispatch delay inside the generator charges the measurement,
+      not the server's alibi.
+
+    Single-domain, [select]-based, no dependencies beyond [Unix]. *)
+
+type arrival = Constant | Poisson
+
+type config = {
+  host : Unix.inet_addr;
+  port : int;
+  rate : float;  (** arrivals per second *)
+  duration : float;  (** seconds of arrivals *)
+  arrival : arrival;
+  max_inflight : int;  (** cap on open connections (clamped to 512) *)
+  timeout_s : float;  (** per-request response deadline *)
+  seed : int;  (** Poisson inter-arrival seed *)
+}
+
+val default_config : config
+(** loopback, 100 req/s for 5 s, Poisson, 256 in flight, 10 s timeout. *)
+
+type spec = { sp_path : string; sp_body : string }
+(** One request: POST [sp_body] to [sp_path] ([sp_body = ""] sends GET). *)
+
+type results = {
+  r_offered : int;  (** arrivals the process generated *)
+  r_sent : int;  (** requests actually dispatched *)
+  r_dropped : int;  (** arrivals refused by the in-flight cap *)
+  r_ok : int;  (** 2xx responses *)
+  r_errors : int;  (** non-2xx responses plus transport failures *)
+  r_timeouts : int;  (** requests with no response within [timeout_s] *)
+  r_statuses : (int * int) list;  (** status code -> count, sorted *)
+  r_p50_ms : float;
+  r_p99_ms : float;
+  r_p999_ms : float;
+  r_mean_ms : float;
+  r_max_ms : float;
+  r_elapsed_s : float;  (** first scheduled arrival to last completion *)
+  r_achieved_rate : float;  (** completed (ok + errors) per elapsed second *)
+}
+
+val run : config -> (int -> spec) -> results
+(** [run cfg gen] drives the full arrival schedule; [gen i] supplies the
+    i-th request. Returns once every dispatched request completed, failed,
+    or timed out. End-to-end latency (scheduled arrival -> last response
+    byte) is recorded in a log-scale {!Demaq_obs.Metrics} histogram;
+    percentiles in the results come from
+    {!Demaq_obs.Metrics.percentile}. *)
+
+val report : results -> string
+(** Human-readable latency/SLO table. *)

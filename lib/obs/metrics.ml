@@ -191,6 +191,47 @@ let observe h raw =
   s.hcount.(h.h_id) <- s.hcount.(h.h_id) + 1;
   s.hsum.(h.h_id) <- s.hsum.(h.h_id) + raw
 
+(* Percentile estimation from the log-scale buckets: find the bucket the
+   rank lands in, then interpolate linearly inside it (the bucket bounds
+   are powers of two, so the estimate is exact at bucket boundaries and
+   at worst off by half a bucket width inside). Observations past the
+   last bucket only exist in count/sum, so ranks landing there report the
+   last bucket's upper bound — a lower bound on the true quantile. *)
+let percentile h q =
+  let reg = h.h_reg in
+  let hd = reg.hdefs.(h.h_id) in
+  let count =
+    Array.fold_left (fun acc s -> acc + s.hcount.(h.h_id)) 0 reg.shards
+  in
+  if count = 0 then Float.nan
+  else begin
+    let q = Float.min 1. (Float.max 0. q) in
+    let rank = q *. float_of_int count in
+    let bucket_count b =
+      Array.fold_left
+        (fun acc s -> acc + s.hbuckets.((h.h_id * n_buckets) + b))
+        0 reg.shards
+    in
+    let rec go b cumulative =
+      if b >= n_buckets then
+        float_of_int (1 lsl (hd.h_shift + n_buckets)) *. hd.h_scale
+      else begin
+        let in_bucket = bucket_count b in
+        let cumulative' = cumulative + in_bucket in
+        if float_of_int cumulative' >= rank && in_bucket > 0 then begin
+          let upper = float_of_int (1 lsl (hd.h_shift + b + 1)) in
+          let lower = if b = 0 then 0. else upper /. 2. in
+          let frac = (rank -. float_of_int cumulative) /. float_of_int in_bucket in
+          (lower +. (frac *. (upper -. lower))) *. hd.h_scale
+        end
+        else go (b + 1) cumulative'
+      end
+    in
+    go 0 0
+  end
+
+let percentiles h qs = List.map (percentile h) qs
+
 let histogram_totals h =
   let count =
     Array.fold_left (fun acc s -> acc + s.hcount.(h.h_id)) 0 h.h_reg.shards

@@ -96,6 +96,19 @@ val value : counter -> int
 val histogram_totals : histogram -> int * int
 (** [(count, sum)] across all shards, in raw (unscaled) units. *)
 
+val percentile : histogram -> float -> float
+(** [percentile h q] estimates the [q]-quantile ([0. <= q <= 1.]) of the
+    recorded observations, in exposed units (raw × scale), by walking the
+    cumulative log-scale buckets and interpolating linearly inside the
+    bucket the rank lands in. The estimate is a true value's bucket, so
+    the relative error is bounded by the bucket width (a factor of 2 at
+    worst, typically much less after interpolation). [nan] when no
+    observation was recorded; ranks past the last bucket report its upper
+    bound. *)
+
+val percentiles : histogram -> float list -> float list
+(** [percentiles h [0.5; 0.99; 0.999]] — {!percentile}, mapped. *)
+
 type sample =
   | Counter of { name : string; help : string; value : float }
   | Gauge of { name : string; help : string; value : float }

@@ -172,3 +172,61 @@ let root_allowed t roots tree =
   | _ -> Error "document root must be an element"
 
 let declared_names t = List.map fst (Smap.bindings t)
+
+(* ---- sample-message generation ----
+
+   Walk a content model and synthesize an instance document — the
+   basex-utils get-example-xml.xq idea: the deployed schema, not a
+   hand-written corpus, determines the message shapes a workload sends.
+   [vary] perturbs repetition counts and leaf values so a stream of
+   generated messages is not byte-identical; generation is deterministic
+   in (schema, name, vary). *)
+
+let contains_word s sub =
+  let s = String.lowercase_ascii s and n = String.length sub in
+  let len = String.length s in
+  let rec go i =
+    i + n <= len && (String.sub s i n = sub || go (i + 1))
+  in
+  go 0
+
+let leaf_text name vary =
+  if contains_word name "id" then string_of_int (100000 + (vary * 7919 mod 899999))
+  else if
+    contains_word name "count" || contains_word name "qty"
+    || contains_word name "quantity" || contains_word name "priority"
+  then string_of_int (1 + (vary mod 9))
+  else if contains_word name "price" || contains_word name "amount"
+          || contains_word name "total" then
+    Printf.sprintf "%d.%02d" (10 + (vary mod 90)) (vary mod 100)
+  else if contains_word name "time" || contains_word name "date"
+          || contains_word name "deadline" then
+    string_of_int (1 + (vary mod 120))
+  else Printf.sprintf "%s-%d" name vary
+
+let example ?(vary = 0) ?(max_depth = 8) t name =
+  match Smap.find_opt name t with
+  | None -> None
+  | Some _ ->
+    let rec build depth name vary =
+      match if depth <= 0 then None else Some (Smap.find_opt name t) with
+      | None | Some (Some Empty) -> Tree.elem name []
+      | Some (None | Some (Any | Text_only | Mixed)) ->
+        Tree.elem name [ Tree.text (leaf_text name vary) ]
+      | Some (Some (Sequence ps)) ->
+        Tree.elem name
+          (List.concat
+             (List.mapi
+                (fun i { pname; occ } ->
+                  let v = vary + i in
+                  let n =
+                    match occ with
+                    | One -> 1
+                    | Optional -> if v mod 3 = 2 then 0 else 1
+                    | Many -> v mod 3  (* 0, 1 or 2 repetitions *)
+                    | Many1 -> 1 + (v mod 2)
+                  in
+                  List.init n (fun j -> build (depth - 1) pname (v + (j * 13))))
+                ps))
+    in
+    Some (build max_depth name vary)

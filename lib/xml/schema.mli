@@ -58,3 +58,13 @@ val root_allowed : t -> string list -> Tree.tree -> (unit, string) result
 
 val declared_names : t -> string list
 (** All element names with a declaration, sorted. *)
+
+val example : ?vary:int -> ?max_depth:int -> t -> string -> Tree.tree option
+(** [example t name] synthesizes an instance document for the declared
+    element [name] by walking its content model — sequences get one
+    subtree per particle (repetition counts perturbed by [vary]),
+    text-only elements get a plausible leaf value derived from the element
+    name and [vary], undeclared children become text leaves. Generation is
+    deterministic in [(t, name, vary)] and the result validates against
+    [t] for non-recursive schemas (recursion is cut at [max_depth],
+    default 8). [None] when [name] has no declaration. *)

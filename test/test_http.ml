@@ -1,0 +1,315 @@
+(* Tests for the real-socket HTTP layer: the multi-connection server, the
+   POST ingress path, the two regression bugs the load generator flushed
+   out (partial-head close clobbering responses; a stalled client wedging
+   the accept loop), and an end-to-end open-loop loadgen smoke. *)
+
+module Http = Demaq.Net.Http
+module Loadgen = Demaq.Net.Loadgen
+module Ingress = Demaq.Engine.Ingress
+module S = Demaq.Server
+
+let check = Alcotest.check
+let bool_ = Alcotest.bool
+let int_ = Alcotest.int
+let string_ = Alcotest.string
+
+let contains s sub =
+  let n = String.length sub in
+  let rec go i =
+    i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+  in
+  go 0
+
+let echo_handler (req : Http.request) =
+  match (req.Http.meth, req.Http.path) with
+  | Http.GET, "/ping" -> Some (Http.ok "pong\n")
+  | Http.POST, "/echo" ->
+    Some (Http.ok ~content_type:"application/xml" req.Http.body)
+  | _ -> None
+
+let with_server ?pool ?read_timeout ?max_body handler f =
+  match Http.start ?pool ?read_timeout ?max_body ~port:0 handler with
+  | Error msg -> Alcotest.failf "http start: %s" msg
+  | Ok server ->
+    Fun.protect ~finally:(fun () -> Http.stop server) (fun () -> f server)
+
+(* Raw client: send [chunks] (with [gap] seconds between them), then read
+   the whole response to EOF. *)
+let raw_roundtrip ~port ?(gap = 0.) chunks =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      List.iteri
+        (fun i c ->
+          if i > 0 && gap > 0. then Unix.sleepf gap;
+          ignore (Unix.write_substring sock c 0 (String.length c)))
+        chunks;
+      let buf = Buffer.create 1024 in
+      let chunk = Bytes.create 4096 in
+      let rec drain () =
+        match Unix.read sock chunk 0 (Bytes.length chunk) with
+        | 0 -> ()
+        | n ->
+          Buffer.add_subbytes buf chunk 0 n;
+          drain ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> drain ()
+      in
+      drain ();
+      Buffer.contents buf)
+
+(* ---- POST round-trips ---- *)
+
+let test_post_exact () =
+  with_server echo_handler (fun server ->
+      let port = Http.port server in
+      let body = "<order><id>42</id></order>" in
+      let status, got = Http.post ~port "/echo" body in
+      check int_ "202/200" 200 (Http.status_code status);
+      check string_ "body echoed" body got)
+
+let test_post_split_body () =
+  (* head and body arriving in separate packets must reassemble *)
+  with_server echo_handler (fun server ->
+      let port = Http.port server in
+      let body = String.concat "" (List.init 64 (fun i -> Printf.sprintf "<i>%d</i>" i)) in
+      let head =
+        Printf.sprintf "POST /echo HTTP/1.0\r\nContent-Length: %d\r\n\r\n"
+          (String.length body)
+      in
+      let half = String.length body / 2 in
+      let response =
+        raw_roundtrip ~port ~gap:0.05
+          [ head; String.sub body 0 half;
+            String.sub body half (String.length body - half) ]
+      in
+      check bool_ "200" true (contains response "200");
+      check bool_ "full body echoed" true
+        (contains response (String.sub body half (String.length body - half))))
+
+let test_post_oversized () =
+  with_server ~max_body:1024 echo_handler (fun server ->
+      let port = Http.port server in
+      let response =
+        raw_roundtrip ~port
+          [ "POST /echo HTTP/1.0\r\nContent-Length: 999999\r\n\r\n" ]
+      in
+      check bool_ "413" true (contains response "413"))
+
+let test_post_missing_length () =
+  with_server echo_handler (fun server ->
+      let port = Http.port server in
+      let response = raw_roundtrip ~port [ "POST /echo HTTP/1.0\r\n\r\n" ] in
+      check bool_ "411" true (contains response "411"))
+
+(* ---- regression: the full request head is drained before responding.
+
+   The seed server stopped reading at the first '\n' and closed with the
+   rest of the head unread; on Linux that close sends RST, which can
+   destroy the in-flight response for any client sending ordinary
+   multi-header requests (this exact shape failed before the fix). *)
+
+let test_multi_header_request_intact () =
+  with_server echo_handler (fun server ->
+      let port = Http.port server in
+      let headers =
+        String.concat ""
+          (List.init 24 (fun i ->
+               Printf.sprintf "X-Header-%02d: %s\r\n" i (String.make 80 'v')))
+      in
+      let req = "GET /ping HTTP/1.0\r\n" ^ headers ^ "\r\n" in
+      check bool_ "well over one read chunk" true (String.length req > 1024);
+      for _ = 1 to 10 do
+        let response = raw_roundtrip ~port [ req ] in
+        check bool_ "status intact" true (contains response "200 OK");
+        check bool_ "body intact" true (contains response "pong\n")
+      done)
+
+let test_head_too_large () =
+  with_server echo_handler (fun server ->
+      let port = Http.port server in
+      let response =
+        raw_roundtrip ~port
+          [ "GET /ping HTTP/1.0\r\nX-Pad: " ^ String.make 9000 'x' ^ "\r\n\r\n" ]
+      in
+      check bool_ "431" true (contains response "431"))
+
+(* ---- regression: a stalled client cannot wedge the endpoint.
+
+   The seed server did blocking reads with no deadline on a single accept
+   loop, so one connect-and-idle (slow loris) client blocked every
+   subsequent scrape forever. Now each connection has a receive deadline
+   (408 on expiry) and the accept pool keeps other connections moving
+   meanwhile. *)
+
+let test_slow_loris_gets_408 () =
+  with_server ~read_timeout:0.3 echo_handler (fun server ->
+      let port = Http.port server in
+      (* send a partial request line and stall; the server must answer 408
+         once the deadline passes *)
+      let response = raw_roundtrip ~port [ "GET /pi" ] in
+      check bool_ "408" true (contains response "408");
+      check int_ "timeout counted" 1 (Http.timeouts server))
+
+let test_slow_loris_does_not_block_scrapes () =
+  with_server ~read_timeout:5. echo_handler (fun server ->
+      let port = Http.port server in
+      (* park an idle connection occupying one pool slot *)
+      let idle = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close idle with Unix.Unix_error _ -> ())
+        (fun () ->
+          Unix.connect idle (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+          Unix.sleepf 0.05;
+          (* a normal request must complete long before the idle
+             connection's 5 s deadline *)
+          let t0 = Unix.gettimeofday () in
+          let status, body = Http.get ~port "/ping" in
+          let dt = Unix.gettimeofday () -. t0 in
+          check bool_ "200" true (contains status "200");
+          check string_ "body" "pong\n" body;
+          check bool_ "served while loris idles" true (dt < 2.)))
+
+(* ---- status paths and pool concurrency ---- *)
+
+let test_404_400_405 () =
+  with_server echo_handler (fun server ->
+      let port = Http.port server in
+      let status, _ = Http.get ~port "/nope" in
+      check int_ "404" 404 (Http.status_code status);
+      let response = raw_roundtrip ~port [ "NONSENSE\r\n\r\n" ] in
+      check bool_ "400" true (contains response "400");
+      let response = raw_roundtrip ~port [ "BREW /ping HTTP/1.0\r\n\r\n" ] in
+      check bool_ "405" true (contains response "405"))
+
+let test_concurrent_scrapes () =
+  with_server ~pool:4 echo_handler (fun server ->
+      let port = Http.port server in
+      let per_domain = 10 in
+      let domains =
+        Array.init 4 (fun _ ->
+            Domain.spawn (fun () ->
+                let ok = ref 0 in
+                for _ = 1 to per_domain do
+                  let status, body = Http.get ~port "/ping" in
+                  if contains status "200" && body = "pong\n" then incr ok
+                done;
+                !ok))
+      in
+      let total = Array.fold_left (fun acc d -> acc + Domain.join d) 0 domains in
+      check int_ "all scrapes served" (4 * per_domain) total;
+      check bool_ "counter saw them" true
+        (Http.connections_served server >= 4 * per_domain))
+
+(* ---- ingress: POST /enqueue/<queue> through the transactional path ---- *)
+
+let ingress_program = {|
+create queue orders kind basic mode persistent
+  schema {
+    element order { orderID }
+    element orderID { text }
+  }
+create queue acks kind basic mode persistent
+create rule acknowledge for orders
+  if (//order) then
+    do enqueue <ack>{string(//order/orderID)}</ack> into acks
+|}
+
+let test_ingress_enqueue () =
+  let srv = S.deploy ingress_program in
+  with_server (Ingress.handler srv) (fun server ->
+      let port = Http.port server in
+      let status, body =
+        Http.post ~port "/enqueue/orders" "<order><orderID>7</orderID></order>"
+      in
+      check int_ "202 accepted" 202 (Http.status_code status);
+      check bool_ "rid returned" true (contains body "rid=");
+      (* malformed XML *)
+      let status, _ = Http.post ~port "/enqueue/orders" "<order" in
+      check int_ "400 bad xml" 400 (Http.status_code status);
+      (* unknown queue *)
+      let status, _ = Http.post ~port "/enqueue/nothere" "<x/>" in
+      check int_ "404 unknown queue" 404 (Http.status_code status);
+      (* schema violation: admission rejection *)
+      let status, _ = Http.post ~port "/enqueue/orders" "<order><bogus/></order>" in
+      check int_ "429 rejected" 429 (Http.status_code status);
+      (* observability endpoints ride along *)
+      let status, _ = Http.get ~port "/metrics" in
+      check int_ "metrics" 200 (Http.status_code status);
+      let status, body = Http.get ~port "/healthz" in
+      check int_ "healthz" 200 (Http.status_code status);
+      check string_ "healthz body" "ok\n" body;
+      (* the accepted message processes through the engine *)
+      ignore (S.run srv);
+      check int_ "ack produced" 1 (List.length (S.queue_contents srv "acks")))
+
+(* ---- loadgen smoke: low rate against a live node ---- *)
+
+let test_loadgen_smoke () =
+  let srv = S.deploy ingress_program in
+  with_server (Ingress.handler srv) (fun server ->
+      let port = Http.port server in
+      (* pump domain: drain the dispatcher while requests arrive *)
+      let stop = Atomic.make false in
+      let pump =
+        Domain.spawn (fun () ->
+            while not (Atomic.get stop) do
+              ignore (S.run srv);
+              Unix.sleepf 0.001
+            done)
+      in
+      Fun.protect
+        ~finally:(fun () ->
+          Atomic.set stop true;
+          Domain.join pump)
+        (fun () ->
+          let cfg =
+            {
+              Loadgen.default_config with
+              Loadgen.port;
+              rate = 50.;
+              duration = 2.;
+              arrival = Loadgen.Constant;
+            }
+          in
+          let gen i =
+            {
+              Loadgen.sp_path = "/enqueue/orders";
+              sp_body = Printf.sprintf "<order><orderID>%d</orderID></order>" i;
+            }
+          in
+          let r = Loadgen.run cfg gen in
+          check int_ "100 arrivals at 50/s for 2s" 100 r.Loadgen.r_offered;
+          check int_ "nothing dropped" 0 r.Loadgen.r_dropped;
+          check int_ "no errors" 0 r.Loadgen.r_errors;
+          check int_ "all accepted" r.Loadgen.r_sent r.Loadgen.r_ok;
+          check bool_ "p50 populated" true (r.Loadgen.r_p50_ms > 0.);
+          check bool_ "percentiles ordered" true
+            (r.Loadgen.r_p50_ms <= r.Loadgen.r_p99_ms
+             && r.Loadgen.r_p99_ms <= r.Loadgen.r_p999_ms
+             && r.Loadgen.r_p999_ms <= r.Loadgen.r_max_ms +. 0.001);
+          (* every 202 really enqueued: drain and count the acks *)
+          Unix.sleepf 0.05;
+          ignore (S.run srv);
+          check int_ "every accepted request processed" r.Loadgen.r_ok
+            (List.length (S.queue_contents srv "acks"))))
+
+let suite =
+  [
+    ("post roundtrip exact", `Quick, test_post_exact);
+    ("post body split across packets", `Quick, test_post_split_body);
+    ("post oversized content-length", `Quick, test_post_oversized);
+    ("post missing content-length", `Quick, test_post_missing_length);
+    ("multi-header request gets intact response", `Quick,
+     test_multi_header_request_intact);
+    ("oversized head refused", `Quick, test_head_too_large);
+    ("slow loris answered 408", `Quick, test_slow_loris_gets_408);
+    ("slow loris does not block scrapes", `Quick,
+     test_slow_loris_does_not_block_scrapes);
+    ("404/400/405 paths", `Quick, test_404_400_405);
+    ("concurrent scrapes under the accept pool", `Quick,
+     test_concurrent_scrapes);
+    ("ingress enqueue paths", `Quick, test_ingress_enqueue);
+    ("loadgen smoke", `Slow, test_loadgen_smoke);
+  ]

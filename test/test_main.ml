@@ -22,5 +22,6 @@ let () =
       ("robustness", Test_robustness.suite);
       ("prefilter", Test_prefilter.suite);
       ("obs", Test_obs.suite);
+      ("http", Test_http.suite);
       ("sim", Test_sim.suite);
     ]

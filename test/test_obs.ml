@@ -143,6 +143,39 @@ let test_histogram_buckets () =
     check int_ "under 4" 3 (le 4.);
     check int_ "under 1024" 4 (le 1024.)
 
+let test_percentiles () =
+  let reg = M.create ~shards:1 () in
+  let h = M.histogram reg "demaq_test_records" ~shift:(-1) ~scale:1. in
+  check bool_ "empty histogram is nan" true (Float.is_nan (M.percentile h 0.5));
+  (* every observation in the (2,4] bucket: any quantile lands inside it *)
+  for _ = 1 to 100 do
+    M.observe h 3
+  done;
+  List.iter
+    (fun q ->
+      let v = M.percentile h q in
+      check bool_ (Printf.sprintf "q=%.3f inside bucket" q) true
+        (v > 2. && v <= 4.))
+    [ 0.1; 0.5; 0.99; 1.0 ];
+  (* a spread of observations: quantiles are monotone in q and bracket
+     the observed range *)
+  let h2 = M.histogram reg "demaq_test_spread" ~shift:(-1) ~scale:1. in
+  for v = 1 to 1000 do
+    M.observe h2 v
+  done;
+  let ps = M.percentiles h2 [ 0.5; 0.99; 0.999 ] in
+  (match ps with
+  | [ p50; p99; p999 ] ->
+    check bool_ "monotone" true (p50 <= p99 && p99 <= p999);
+    check bool_ "p50 near the middle" true (p50 > 256. && p50 <= 1024.);
+    check bool_ "p999 below the top bucket bound" true (p999 <= 1024.)
+  | _ -> Alcotest.fail "percentiles arity");
+  (* an overflow observation (beyond the last bucket) still yields a
+     finite estimate *)
+  let h3 = M.histogram reg "demaq_test_over" ~shift:(-1) ~scale:1. in
+  M.observe h3 max_int;
+  check bool_ "overflow finite" true (Float.is_finite (M.percentile h3 0.99))
+
 let test_timing_gate () =
   (* with timing off, [time] must not observe (and must not read a clock) *)
   let reg = M.create ~timing:false ~shards:1 () in
@@ -338,9 +371,11 @@ let test_http_endpoint () =
   let srv = S.deploy obs_program in
   ignore (inject_ok srv "in" "<ping>x</ping>");
   ignore (S.run srv);
-  let handler ~path =
-    match path with
-    | "/metrics" -> Some ("text/plain; version=0.0.4", S.exposition srv)
+  let handler (req : Http.request) =
+    match req.Http.path with
+    | "/metrics" ->
+      Some
+        (Http.ok ~content_type:"text/plain; version=0.0.4" (S.exposition srv))
     | _ -> None
   in
   match Http.start ~port:0 handler with
@@ -367,6 +402,7 @@ let suite =
     Alcotest.test_case "unbound domain falls back to shard 0" `Quick
       test_unbound_domain_falls_back_to_shard_zero;
     Alcotest.test_case "histogram buckets" `Quick test_histogram_buckets;
+    Alcotest.test_case "percentiles" `Quick test_percentiles;
     Alcotest.test_case "timing gate" `Quick test_timing_gate;
     Alcotest.test_case "exposition round-trips Server.stats" `Quick
       test_exposition_roundtrip;

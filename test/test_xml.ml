@@ -259,6 +259,60 @@ let test_schema_parse_errors () =
   check bool_ "garbage" true (Result.is_error (Schema.parse "element x { !!! }"));
   check bool_ "unterminated" true (Result.is_error (Schema.parse "element x { a, b"))
 
+let test_schema_example () =
+  (* generated samples must themselves validate against the schema that
+     produced them (that is what lets the load generator synthesize
+     admissible ingress messages from deployed queue schemas) *)
+  let src =
+    {|
+element order { orderID, customerID, priority?, items }
+element orderID { text }
+element customerID { text }
+element priority { text }
+element items { item+ }
+element item { sku, qty }
+element sku { text }
+element qty { text }
+|}
+  in
+  let s =
+    match Schema.parse src with
+    | Ok s -> s
+    | Error e -> Alcotest.failf "schema parse: %s" e
+  in
+  (match Schema.example s "order" with
+  | None -> Alcotest.fail "no example produced"
+  | Some doc ->
+    check bool_ "example validates" true (Result.is_ok (Schema.validate s doc));
+    check bool_ "rooted correctly" true
+      (Result.is_ok (Schema.root_allowed s [ "order" ] doc)));
+  (* varying the seed still validates, and produces different documents *)
+  let render v =
+    match Schema.example ~vary:v s "order" with
+    | Some doc -> Serializer.to_string doc
+    | None -> Alcotest.fail "no example"
+  in
+  List.iter
+    (fun v ->
+      match Schema.example ~vary:v s "order" with
+      | Some doc ->
+        check bool_
+          (Printf.sprintf "vary %d validates" v)
+          true
+          (Result.is_ok (Schema.validate s doc))
+      | None -> Alcotest.fail "no example")
+    [ 0; 1; 2; 3; 4; 5; 6; 7 ];
+  check bool_ "variation changes the document" true (render 0 <> render 1);
+  (* a recursive schema terminates at the depth bound *)
+  let rec_s =
+    match Schema.parse "element tree { label, tree? } element label { text }" with
+    | Ok s -> s
+    | Error e -> Alcotest.failf "schema parse: %s" e
+  in
+  check bool_ "recursive schema yields a doc" true
+    (Option.is_some (Schema.example rec_s "tree"));
+  check bool_ "unknown element" true (Schema.example s "nothere" = None)
+
 (* ---- qcheck properties ---- *)
 
 let gen_tree =
@@ -377,6 +431,7 @@ let suite =
     ("schema: violations", `Quick, test_schema_violations);
     ("schema: root restriction", `Quick, test_schema_root_restriction);
     ("schema: parse errors", `Quick, test_schema_parse_errors);
+    ("schema: generated example validates", `Quick, test_schema_example);
     QCheck_alcotest.to_alcotest prop_roundtrip;
     QCheck_alcotest.to_alcotest prop_pretty_roundtrip;
     QCheck_alcotest.to_alcotest prop_doc_order_total;
