@@ -179,19 +179,28 @@ let run_cmd file default_queue store_dir show_stats stats_json gc_at_end advance
   | exception S.Deployment_error msg ->
     Printf.eprintf "deployment failed:\n%s\n" msg;
     1
-  | srv ->
+  | srv -> (
     let endpoint = Option.bind metrics_port (start_metrics_endpoint srv) in
-    let ingress =
-      Option.bind ingress_port (fun port ->
-          match Http.start ~port (Demaq.Engine.Ingress.handler srv) with
-          | Ok server ->
-            Printf.eprintf "ingress: http://127.0.0.1:%d/enqueue/<queue>\n%!"
-              (Http.port server);
-            Some server
-          | Error msg ->
-            Printf.eprintf "%s\n" msg;
-            None)
-    in
+    match
+      match ingress_port with
+      | None -> Ok None
+      | Some port ->
+        Result.map Option.some
+          (Http.start ~port (Demaq.Engine.Ingress.handler srv))
+    with
+    | Error msg ->
+      (* asked to serve but cannot: fail loudly instead of degrading to
+         the batch path and exiting 0 without ever serving *)
+      Printf.eprintf "%s\n" msg;
+      Option.iter Http.stop endpoint;
+      Store.close store;
+      1
+    | Ok ingress ->
+    Option.iter
+      (fun server ->
+        Printf.eprintf "ingress: http://127.0.0.1:%d/enqueue/<queue>\n%!"
+          (Http.port server))
+      ingress;
     let inject queue xml_text =
       match Demaq.xml xml_text with
       | exception Demaq.Xml.Parser.Parse_error { msg; _ } ->
@@ -255,7 +264,7 @@ let run_cmd file default_queue store_dir show_stats stats_json gc_at_end advance
     Option.iter Http.stop ingress;
     Option.iter Http.stop endpoint;
     Store.close store;
-    0
+    0)
 
 (* ---- trace: run and dump lifecycle spans as JSONL ---- *)
 

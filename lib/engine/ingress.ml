@@ -22,10 +22,10 @@ let handle_enqueue srv queue body =
       | Error (Qm.Unknown_queue q) ->
         Http.response ~status:404 (Printf.sprintf "unknown queue %s\n" q)
       | Error e ->
-        (* schema violation, property error: the message was refused at
-           admission — 429 tells an open-loop client to count a rejection
-           without tearing down the run *)
-        Http.response ~status:429 (Qm.error_to_string e ^ "\n"))
+        (* schema violation, property error: a permanent admission
+           rejection — 422, not 429, so a well-behaved client won't
+           retry a message that can never be admitted *)
+        Http.response ~status:422 (Qm.error_to_string e ^ "\n"))
 
 let handler ?(enqueue = true) srv (req : Http.request) =
   match (req.Http.meth, req.Http.path) with

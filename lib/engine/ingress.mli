@@ -11,10 +11,10 @@
     - [POST /enqueue/<queue>] — parse the XML body and enqueue it through
       the transactional path ({!Server.inject}); answers [202 Accepted]
       with the assigned rid, [400] on malformed XML, [404] for an unknown
-      queue, and [429] when the queue manager rejects the message (schema
-      violation, property error — the admission-control signal a load
-      generator watches). The handler only enqueues; draining is the
-      serve loop's job. *)
+      queue, and [422] when the queue manager rejects the message (schema
+      violation, property error — a permanent rejection a client must not
+      retry; [429] stays reserved for genuine backpressure). The handler
+      only enqueues; draining is the serve loop's job. *)
 
 val handler : ?enqueue:bool -> Server.t -> Demaq_net.Http.handler
 (** [handler srv] with [enqueue] defaulting to [true]. Safe to call from

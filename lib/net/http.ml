@@ -22,11 +22,28 @@
      subsequent scrape).
    - Head scanning is incremental (resumes where the last fill stopped)
      instead of re-materializing the buffer per chunk, which was a
-     quadratic scan. *)
+     quadratic scan.
+   - SIGPIPE is ignored process-wide before any socket writing: a peer
+     that resets mid-response (an aborted curl, a loadgen client past its
+     deadline) turns the next write into EPIPE, which every write site
+     handles, instead of a signal that kills the node. *)
 
 let log = Logs.Src.create "demaq.http" ~doc:"Demaq HTTP endpoint"
 
 module Log = (val Logs.src_log log : Logs.LOG)
+
+(* Writing to a peer that already closed or reset its end (a loadgen
+   client past its response deadline, a curl aborted mid-/trace) must
+   surface as EPIPE — which every write site here handles — not as
+   SIGPIPE, whose default disposition kills the whole process. Forced by
+   the server, the one-shot clients and the load generator before their
+   first socket write. *)
+let sigpipe_ignored =
+  lazy
+    (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+     with Invalid_argument _ -> () (* platform without signals *))
+
+let ignore_sigpipe () = Lazy.force sigpipe_ignored
 
 type meth = GET | POST
 
@@ -53,7 +70,9 @@ type t = {
   stopping : bool Atomic.t;
   served : int Atomic.t;
   timed_out : int Atomic.t;
-  pool : unit Domain.t array;
+  mutable pool : unit Domain.t array;
+      (* written once by [start] before it returns, read only by [stop];
+         never touched from the pool domains themselves *)
 }
 
 let max_head = 8192
@@ -67,6 +86,7 @@ let reason_phrase = function
   | 408 -> "Request Timeout"
   | 411 -> "Length Required"
   | 413 -> "Payload Too Large"
+  | 422 -> "Unprocessable Content"
   | 429 -> "Too Many Requests"
   | 431 -> "Request Header Fields Too Large"
   | 500 -> "Internal Server Error"
@@ -193,10 +213,21 @@ let parse_head head =
        Some (meth, path, query, headers)
      | _ -> None)
 
+type length = No_length | Bad_length | Length of int
+
+(* Strictly plain decimal: [int_of_string_opt] alone would honor OCaml
+   literal forms ("0x10", "0o17", "1_000", leading '+'). *)
 let content_length headers =
   match List.assoc_opt "content-length" headers with
-  | None -> None
-  | Some v -> int_of_string_opt (String.trim v)
+  | None -> No_length
+  | Some v -> (
+    let v = String.trim v in
+    if v = "" || not (String.for_all (fun c -> c >= '0' && c <= '9') v) then
+      Bad_length
+    else
+      match int_of_string_opt v with
+      | Some n -> Length n
+      | None -> Bad_length (* overflow *))
 
 (* ---- writing the response ---- *)
 
@@ -280,12 +311,12 @@ let serve_conn t ~read_timeout ~max_body handler fd =
             dispatch { meth = GET; path; query; headers; body = "" }
           | "POST" -> (
             match content_length headers with
-            | None -> finish (response ~status:411 "length required\n")
-            | Some n when n < 0 ->
+            | No_length -> finish (response ~status:411 "length required\n")
+            | Bad_length ->
               finish (response ~status:400 "bad content-length\n")
-            | Some n when n > max_body ->
+            | Length n when n > max_body ->
               finish (response ~status:413 "payload too large\n")
-            | Some n -> (
+            | Length n -> (
               match read_body fd ~leftover ~length:n with
               | Body_timeout -> timeout ()
               | Body_closed ->
@@ -315,6 +346,7 @@ let accept_loop t ~read_timeout ~max_body handler =
 
 let start ?(addr = Unix.inet_addr_loopback) ?(pool = 4) ?(read_timeout = 10.)
     ?(max_body = 1 lsl 20) ~port handler =
+  ignore_sigpipe ();
   let pool = max 1 pool in
   let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   match
@@ -331,24 +363,14 @@ let start ?(addr = Unix.inet_addr_loopback) ?(pool = 4) ?(read_timeout = 10.)
     let stopping = Atomic.make false in
     let served = Atomic.make 0 in
     let timed_out = Atomic.make 0 in
-    let t_ref = ref None in
-    let spawn () =
-      Domain.spawn (fun () ->
-          (* wait for [t] to be published before entering the loop *)
-          let rec get () =
-            match !t_ref with
-            | Some t -> t
-            | None ->
-              Domain.cpu_relax ();
-              get ()
-          in
-          accept_loop (get ()) ~read_timeout ~max_body handler)
-    in
-    let t =
-      { sock; port; stopping; served; timed_out;
-        pool = Array.init pool (fun _ -> spawn ()) }
-    in
-    t_ref := Some t;
+    (* construct [t] fully before spawning: Domain.spawn orders every
+       prior write before the child runs, so the pool domains see an
+       initialized record with no publication handshake *)
+    let t = { sock; port; stopping; served; timed_out; pool = [||] } in
+    t.pool <-
+      Array.init pool (fun _ ->
+          Domain.spawn (fun () ->
+              accept_loop t ~read_timeout ~max_body handler));
     Log.info (fun f -> f "http endpoint listening on port %d (%d accept domains)" port pool);
     Ok t
   | exception Unix.Unix_error (err, _, _) ->
@@ -384,12 +406,16 @@ let find_header_end s =
   go 0
 
 let roundtrip ~port req =
+  ignore_sigpipe ();
   let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Fun.protect
     ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
     (fun () ->
       Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
-      ignore (Unix.write_substring sock req 0 (String.length req));
+      (* the server may answer-and-close before reading the whole request
+         (413/431): keep going and drain whatever response made it out *)
+      (try ignore (Unix.write_substring sock req 0 (String.length req))
+       with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> ());
       let buf = Buffer.create 4096 in
       let chunk = Bytes.create 4096 in
       let rec drain () =

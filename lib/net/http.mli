@@ -35,6 +35,13 @@ type handler = request -> response option
 
 type t
 
+val ignore_sigpipe : unit -> unit
+(** Set [SIGPIPE] to ignore (once; later calls are no-ops) so a write to
+    a peer that closed or reset its end raises [EPIPE] instead of
+    delivering a process-killing signal. {!start}, the one-shot clients
+    and {!Loadgen.run} call this themselves; exposed for other socket
+    writers. *)
+
 val start :
   ?addr:Unix.inet_addr ->
   ?pool:int ->

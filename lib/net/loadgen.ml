@@ -88,6 +88,9 @@ let status_of_response buf =
     match int_of_string_opt rest with Some c -> c | None -> 0)
 
 let run cfg gen =
+  (* a server that answers-and-closes early (413/431) makes our next
+     write EPIPE; without this that write is a process-killing SIGPIPE *)
+  Http.ignore_sigpipe ();
   let rate = Float.max 0.001 cfg.rate in
   let cap = max 1 (min 512 cfg.max_inflight) in
   let timeout_ns = int_of_float (cfg.timeout_s *. 1e9) in

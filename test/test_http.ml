@@ -103,6 +103,51 @@ let test_post_missing_length () =
       let response = raw_roundtrip ~port [ "POST /echo HTTP/1.0\r\n\r\n" ] in
       check bool_ "411" true (contains response "411"))
 
+let test_post_bad_length_forms () =
+  (* regression: int_of_string accepts OCaml literal forms ("0x10",
+     "0o17", "1_0", leading '+'), which are not valid HTTP — only plain
+     decimal digits may be honored *)
+  with_server echo_handler (fun server ->
+      let port = Http.port server in
+      List.iter
+        (fun v ->
+          let response =
+            raw_roundtrip ~port
+              [ Printf.sprintf
+                  "POST /echo HTTP/1.0\r\nContent-Length: %s\r\n\r\nxx" v ]
+          in
+          check bool_ (Printf.sprintf "%S rejected with 400" v) true
+            (contains response "400"))
+        [ "0x10"; "0o17"; "1_0"; "+2"; "-1"; "two"; "" ])
+
+(* ---- regression: a peer that resets mid-exchange must not kill the
+   process. Unix.write to a reset connection raises SIGPIPE unless the
+   signal is ignored; before the fix each iteration here could terminate
+   the whole test binary (in production: the whole node). ---- *)
+
+let test_peer_reset_does_not_kill () =
+  with_server echo_handler (fun server ->
+      let port = Http.port server in
+      let body = String.make 65536 'x' in
+      let req =
+        Printf.sprintf "POST /echo HTTP/1.0\r\nContent-Length: %d\r\n\r\n%s"
+          (String.length body) body
+      in
+      for _ = 1 to 5 do
+        let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+        (* linger 0: close sends RST, discarding the in-flight response,
+           so the server's next write hits a dead connection *)
+        Unix.setsockopt_optint sock Unix.SO_LINGER (Some 0);
+        ignore (Unix.write_substring sock req 0 (String.length req));
+        Unix.close sock
+      done;
+      Unix.sleepf 0.1;
+      (* the pool survived every reset and still serves *)
+      let status, body = Http.get ~port "/ping" in
+      check int_ "alive after resets" 200 (Http.status_code status);
+      check string_ "pong" "pong\n" body)
+
 (* ---- regression: the full request head is drained before responding.
 
    The seed server stopped reading at the first '\n' and closed with the
@@ -231,9 +276,9 @@ let test_ingress_enqueue () =
       (* unknown queue *)
       let status, _ = Http.post ~port "/enqueue/nothere" "<x/>" in
       check int_ "404 unknown queue" 404 (Http.status_code status);
-      (* schema violation: admission rejection *)
+      (* schema violation: permanent admission rejection, not retryable *)
       let status, _ = Http.post ~port "/enqueue/orders" "<order><bogus/></order>" in
-      check int_ "429 rejected" 429 (Http.status_code status);
+      check int_ "422 rejected" 422 (Http.status_code status);
       (* observability endpoints ride along *)
       let status, _ = Http.get ~port "/metrics" in
       check int_ "metrics" 200 (Http.status_code status);
@@ -301,6 +346,9 @@ let suite =
     ("post body split across packets", `Quick, test_post_split_body);
     ("post oversized content-length", `Quick, test_post_oversized);
     ("post missing content-length", `Quick, test_post_missing_length);
+    ("post non-decimal content-length", `Quick, test_post_bad_length_forms);
+    ("peer reset does not kill the process", `Quick,
+     test_peer_reset_does_not_kill);
     ("multi-header request gets intact response", `Quick,
      test_multi_header_request_intact);
     ("oversized head refused", `Quick, test_head_too_large);
