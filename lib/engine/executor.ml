@@ -87,7 +87,13 @@ type metrics = {
   m_txn_aborts : Metrics.counter;
   m_transmit_retries : Metrics.counter;
   m_dead_letters : Metrics.counter;
+  m_admission_scans : Metrics.counter;
+      (* messages whose rule admission resolved from the payload synopsis
+         without ever materializing a body tree *)
+  m_trees_materialized : Metrics.counter;  (* payload decodes into trees *)
+  m_decoded_bytes : Metrics.counter;  (* payload bytes those decodes read *)
   m_lock_seconds : Metrics.histogram;  (* setup: fetch + locks + plans *)
+  m_decode_seconds : Metrics.histogram;  (* lazy body decode inside setup *)
   m_eval_seconds : Metrics.histogram;  (* unlocked snapshot evaluation *)
   m_apply_seconds : Metrics.histogram;  (* locked apply + commit *)
   m_barrier_seconds : Metrics.histogram;  (* group-commit barriers *)
@@ -157,9 +163,21 @@ let make_metrics reg =
     m_dead_letters =
       Metrics.counter reg "demaq_dead_letters_total"
         ~help:"Reliable transmissions given up on";
+    m_admission_scans =
+      Metrics.counter reg "demaq_admission_scans_total"
+        ~help:"Messages admitted/skipped from the payload synopsis without materializing a tree";
+    m_trees_materialized =
+      Metrics.counter reg "demaq_trees_materialized_total"
+        ~help:"Stored payloads decoded into body trees";
+    m_decoded_bytes =
+      Metrics.counter reg "demaq_payload_decoded_bytes_total"
+        ~help:"Stored payload bytes read by body decodes";
     m_lock_seconds =
       Metrics.histogram reg "demaq_phase_lock_seconds"
         ~help:"Transaction setup: fetch, lock acquisition, plan lookup (sampled 1:8 unless tracing)";
+    m_decode_seconds =
+      Metrics.histogram reg "demaq_phase_decode_seconds"
+        ~help:"Lazy payload decode during setup (sampled 1:8 unless tracing)";
     m_eval_seconds =
       Metrics.histogram reg "demaq_phase_eval_seconds"
         ~help:"Unlocked snapshot rule evaluation (sampled 1:8 unless tracing)";
@@ -279,6 +297,17 @@ let register_interface t ~file text =
 
 (* ---- node handles for message bodies ---- *)
 
+(* Forcing a body that is still raw bytes is the decode the streaming
+   admission path exists to avoid; route every force through here so the
+   avoided/performed ratio is observable. Locally enqueued messages are
+   born with a forced body and never count. *)
+let force_body_unlocked t (m : Message.t) =
+  if not (Message.body_forced m) then begin
+    Metrics.incr t.met.m_trees_materialized;
+    Metrics.add t.met.m_decoded_bytes (String.length (Message.raw m))
+  end;
+  Message.body m
+
 (* Rules see messages as document nodes (§3.4: qs:message() "returns the
    document node of the currently processed message"); one document per
    message, cached, so node identity and document order are stable across
@@ -287,7 +316,7 @@ let message_node_unlocked t (m : Message.t) =
   match Hashtbl.find_opt t.node_cache m.Message.rid with
   | Some n -> n
   | None ->
-    let n = Eval.doc_node_of_tree (Message.body m) in
+    let n = Eval.doc_node_of_tree (force_body_unlocked t m) in
     Hashtbl.replace t.node_cache m.Message.rid n;
     n
 
@@ -492,9 +521,12 @@ and register_echo_timer t txn ?rule (m : Message.t) =
 
 (* ---- message injection (external arrivals / gateway replies) ---- *)
 
-let inject t ?(props = []) ~queue payload =
+(* One message's admission in its own transaction; assumes [state_mu]
+   held. Per-message transactions keep batch semantics simple: one
+   rejected document aborts only itself. *)
+let inject_unlocked t ~props ~queue payload =
   match
-    with_txn t (fun txn ->
+    in_txn t (fun txn ->
         match Qm.enqueue t.qm txn ~explicit:props ~queue ~payload () with
         | Ok m ->
           Metrics.incr t.met.m_messages_created;
@@ -508,6 +540,21 @@ let inject t ?(props = []) ~queue payload =
   with
   | m -> Ok m
   | exception Qm.Queue_error e -> Error e
+
+let inject t ?(props = []) ~queue payload =
+  locked t (fun () -> inject_unlocked t ~props ~queue payload)
+
+(* Batch ingress: admit a whole batch under one lock acquisition, so the
+   gateway path amortizes locking and encoder scratch warm-up across the
+   batch instead of paying them per document. *)
+let inject_many t ?(props = []) ~queue payloads =
+  locked t (fun () ->
+      List.map (fun payload -> inject_unlocked t ~props ~queue payload) payloads)
+
+let admission_stats t =
+  ( Metrics.value t.met.m_admission_scans,
+    Metrics.value t.met.m_trees_materialized,
+    Metrics.value t.met.m_decoded_bytes )
 
 (* ---- rule execution (§3.1) ---- *)
 
@@ -657,23 +704,27 @@ let message t rid =
   locked t @@ fun () ->
   match Qm.get t.qm rid with
   | Some m ->
-    (* force the lazy body parse while we hold the lock *)
-    ignore (Message.body m);
+    (* force the lazy body decode while we hold the lock *)
+    ignore (force_body_unlocked t m);
     Some m
   | None -> None
 
 (* Setup phase, under [state_mu]: fetch the message, open the transaction,
    take its 2PL locks, look up the pertinent rule plans and pre-filter
-   them against the body's element-name synopsis. When tracing is on,
-   pre-filtered rules are pushed onto [acts] as skipped activations. *)
-let prepare t ~acts rid =
+   them against the message's element-name synopsis. Binary payloads
+   carry the synopsis in their header, so admission is decided on the
+   raw bytes; the body tree is materialized only when at least one rule
+   survives the filter — a message every pertinent rule prefilters away
+   commits its no-op transaction without ever decoding. When tracing is
+   on, pre-filtered rules are pushed onto [acts] as skipped activations.
+   [now] is the (possibly free-running-zero) phase clock; the returned
+   decode time is a sub-interval of the caller's lock phase. *)
+let prepare t ~acts ~now rid =
   locked t @@ fun () ->
   match Qm.get t.qm rid with
   | None -> None  (* collected before its turn came *)
   | Some m when m.Message.processed -> None  (* rescheduled duplicate *)
   | Some m ->
-    ignore (Message.body m);
-    ignore (message_node_unlocked t m);
     let txn = Store.begin_txn t.st in
     acquire_locks t txn m;
     let units = units_for t m in
@@ -685,7 +736,14 @@ let prepare t ~acts rid =
           (match Hashtbl.find_opt t.name_cache m.Message.rid with
            | Some names -> names
            | None ->
-             let names = Prefilter.element_names (Message.body m) in
+             let names =
+               if Message.body_forced m then
+                 Prefilter.element_names (Message.body m)
+               else
+                 match Prefilter.payload_names (Message.raw m) with
+                 | Some names -> names  (* streaming: header read only *)
+                 | None -> Prefilter.element_names (force_body_unlocked t m)
+             in
              Hashtbl.replace t.name_cache m.Message.rid names;
              names)
       else None
@@ -707,7 +765,18 @@ let prepare t ~acts rid =
             end)
           units
     in
-    Some (m, txn, units)
+    let decode_ns =
+      if units = [] then begin
+        if not (Message.body_forced m) then Metrics.incr t.met.m_admission_scans;
+        0
+      end
+      else begin
+        let d0 = now () in
+        ignore (message_node_unlocked t m);
+        now () - d0
+      end
+    in
+    Some (m, txn, units, decode_ns)
 
 (* Phase 1: evaluate all pertinent rules against the same snapshot,
    accumulating the pending update list. Runs WITHOUT [state_mu]; the
@@ -754,9 +823,9 @@ let process t rid =
   let now () = if timed then Metrics.now t.reg else 0 in
   let t_start = now () in
   let acts = ref [] in
-  match prepare t ~acts rid with
+  match prepare t ~acts ~now rid with
   | None -> false
-  | Some (m, txn, units) ->
+  | Some (m, txn, units, decode_ns) ->
     let t_locked = now () in
     let blamed = ref None in
     let t_evaled = ref t_locked in
@@ -819,6 +888,7 @@ let process t rid =
                 (exn_description e2))));
     if timed then begin
       Metrics.observe t.met.m_lock_seconds (t_locked - t_start);
+      Metrics.observe t.met.m_decode_seconds decode_ns;
       Metrics.observe t.met.m_eval_seconds (!t_evaled - t_locked);
       Metrics.observe t.met.m_apply_seconds (!t_applied - !t_evaled)
     end;
@@ -831,6 +901,7 @@ let process t rid =
           sp_worker = Metrics.shard_index t.reg;
           sp_start_ns = t_start;
           sp_lock_ns = t_locked - t_start;
+          sp_decode_ns = decode_ns;
           sp_eval_ns = !t_evaled - t_locked;
           sp_apply_ns = !t_applied - !t_evaled;
           sp_barrier_ns = !barrier_ns;

@@ -70,7 +70,14 @@ type metrics = {
   m_txn_aborts : Metrics.counter;
   m_transmit_retries : Metrics.counter;
   m_dead_letters : Metrics.counter;
+  m_admission_scans : Metrics.counter;
+      (** rule admission resolved from the payload synopsis, no tree *)
+  m_trees_materialized : Metrics.counter;
+      (** stored payloads decoded into body trees *)
+  m_decoded_bytes : Metrics.counter;
+      (** payload bytes read by those decodes *)
   m_lock_seconds : Metrics.histogram;
+  m_decode_seconds : Metrics.histogram;
   m_eval_seconds : Metrics.histogram;
   m_apply_seconds : Metrics.histogram;
   m_barrier_seconds : Metrics.histogram;
@@ -197,6 +204,21 @@ val inject :
   Tree.tree ->
   (Message.t, Qm.error) result
 (** Inject an external arrival in its own transaction (locks itself). *)
+
+val inject_many :
+  t ->
+  ?props:(string * Value.atomic) list ->
+  queue:string ->
+  Tree.tree list ->
+  (Message.t, Qm.error) result list
+(** Batch form of {!inject}: one lock acquisition for the whole batch,
+    one transaction per document (a rejected document aborts only
+    itself). Results are in input order. *)
+
+val admission_stats : t -> int * int * int
+(** [(scans, decodes, decoded_bytes)]: messages whose admission resolved
+    from the payload synopsis without materializing a tree, payloads
+    decoded into trees, and the bytes those decodes read. *)
 
 val run_gc : t -> int
 (** Retention GC + cache purge (locks itself). *)

@@ -6,26 +6,66 @@ module Qm = Demaq_mq.Queue_manager
 
 let enqueue_prefix = "/enqueue/"
 
+let single_response queue = function
+  | Ok m ->
+    Http.response ~status:202 ~content_type:"application/xml"
+      (Printf.sprintf "<accepted rid=\"%d\" queue=\"%s\"/>\n"
+         m.Demaq_mq.Message.rid queue)
+  | Error (Qm.Unknown_queue q) ->
+    Http.response ~status:404 (Printf.sprintf "unknown queue %s\n" q)
+  | Error e ->
+    (* schema violation, property error: a permanent admission
+       rejection — 422, not 429, so a well-behaved client won't
+       retry a message that can never be admitted *)
+    Http.response ~status:422 (Qm.error_to_string e ^ "\n")
+
+(* A body holding several concatenated documents is admitted as a batch:
+   one parser pass, one engine lock acquisition, per-document
+   transactions. 202 only when every document was accepted; 404 when the
+   whole batch names an unknown queue; 422 otherwise, with a per-document
+   result report either way. *)
+let batch_response srv queue payloads =
+  let results = Server.inject_batch srv ~queue payloads in
+  let accepted, rejected =
+    List.fold_left
+      (fun (a, r) res -> match res with Ok _ -> (a + 1, r) | Error _ -> (a, r + 1))
+      (0, 0) results
+  in
+  let body = Buffer.create 256 in
+  Buffer.add_string body
+    (Printf.sprintf "<batch queue=\"%s\" accepted=\"%d\" rejected=\"%d\">\n" queue
+       accepted rejected);
+  List.iter
+    (fun res ->
+      Buffer.add_string body
+        (match res with
+        | Ok m ->
+          Printf.sprintf "  <accepted rid=\"%d\"/>\n" m.Demaq_mq.Message.rid
+        | Error e ->
+          Printf.sprintf "  <rejected reason=\"%s\"/>\n" (Qm.error_to_string e)))
+    results;
+  Buffer.add_string body "</batch>\n";
+  let status =
+    if rejected = 0 then 202
+    else if
+      accepted = 0
+      && List.for_all
+           (function Error (Qm.Unknown_queue _) -> true | _ -> false)
+           results
+    then 404
+    else 422
+  in
+  Http.response ~status ~content_type:"application/xml" (Buffer.contents body)
+
 let handle_enqueue srv queue body =
   if queue = "" then
     Http.response ~status:404 "missing queue name\n"
   else
-    match Demaq_xml.Parser.parse body with
+    match Demaq_xml.Parser.parse_many body with
     | exception Demaq_xml.Parser.Parse_error { msg; _ } ->
       Http.response ~status:400 (Printf.sprintf "bad XML: %s\n" msg)
-    | payload -> (
-      match Server.inject srv ~queue payload with
-      | Ok m ->
-        Http.response ~status:202 ~content_type:"application/xml"
-          (Printf.sprintf "<accepted rid=\"%d\" queue=\"%s\"/>\n"
-             m.Demaq_mq.Message.rid queue)
-      | Error (Qm.Unknown_queue q) ->
-        Http.response ~status:404 (Printf.sprintf "unknown queue %s\n" q)
-      | Error e ->
-        (* schema violation, property error: a permanent admission
-           rejection — 422, not 429, so a well-behaved client won't
-           retry a message that can never be admitted *)
-        Http.response ~status:422 (Qm.error_to_string e ^ "\n"))
+    | [ payload ] -> single_response queue (Server.inject srv ~queue payload)
+    | payloads -> batch_response srv queue payloads
 
 let handler ?(enqueue = true) srv (req : Http.request) =
   match (req.Http.meth, req.Http.path) with

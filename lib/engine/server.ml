@@ -120,6 +120,11 @@ let set_collection t name docs = Executor.set_collection t.ctx name docs
 let bind_gateway t = Executor.bind_gateway t.ctx
 let register_interface t = Executor.register_interface t.ctx
 let inject t ?props ~queue payload = Executor.inject t.ctx ?props ~queue payload
+
+let inject_batch t ?props ~queue payloads =
+  Executor.inject_many t.ctx ?props ~queue payloads
+
+let admission_stats t = Executor.admission_stats t.ctx
 let pump_gateways t = Externalizer.pump_gateways t.ctx
 let advance_time t ticks = Externalizer.advance_time t.ctx ticks
 let gc t = Executor.run_gc t.ctx
@@ -291,7 +296,7 @@ let expose t ~name ~queue =
 (* ---- deployment ---- *)
 
 let deploy ?(config = default_config) ?time_source ?store:st ?network:net
-    program_text =
+    ?payload_format program_text =
   let program =
     try Qdl.parse_program program_text
     with Qdl.Qdl_error msg -> raise (Deployment_error msg)
@@ -315,7 +320,7 @@ let deploy ?(config = default_config) ?time_source ?store:st ?network:net
                analysis.Analysis.diagnostics)));
   let st = match st with Some s -> s | None -> Store.open_store Store.default_config in
   let clk = Clock.create ?time_source () in
-  let qm = Qm.create ~clock:(fun () -> Clock.now clk) st in
+  let qm = Qm.create ~clock:(fun () -> Clock.now clk) ?payload_format st in
   List.iter (Qm.add_queue qm) (Qdl.queues program);
   List.iter (Qm.add_property qm) (Qdl.properties program);
   List.iter (Qm.add_slicing qm) (Qdl.slicings program);

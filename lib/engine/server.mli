@@ -82,6 +82,7 @@ val deploy :
   ?time_source:Demaq_obs.Time_source.t ->
   ?store:Store.t ->
   ?network:Demaq_net.Network.t ->
+  ?payload_format:[ `Binary | `Text ] ->
   string ->
   t
 (** Parse, analyze and compile the program text, register all definitions,
@@ -89,7 +90,8 @@ val deploy :
     messages are rescheduled; pending echo timeouts are re-registered).
     [time_source] (default real time) is linked to the engine clock and
     becomes the registry/span clock — pass a virtual source to run the
-    whole node on simulated time.
+    whole node on simulated time. [payload_format] selects the stored
+    payload representation (default compact binary; reads accept both).
     @raise Deployment_error when parsing or semantic analysis fails. *)
 
 val queue_manager : t -> Demaq_mq.Queue_manager.t
@@ -127,6 +129,20 @@ val inject :
   (Demaq_mq.Message.t, Demaq_mq.Queue_manager.error) result
 (** Deliver an external message into a queue (e.g. a request arriving at an
     incoming gateway), in its own transaction. *)
+
+val inject_batch :
+  t ->
+  ?props:(string * Value.atomic) list ->
+  queue:string ->
+  Tree.tree list ->
+  (Demaq_mq.Message.t, Demaq_mq.Queue_manager.error) result list
+(** Batch {!inject}: one lock acquisition for the whole batch, one
+    transaction per document, results in input order. *)
+
+val admission_stats : t -> int * int * int
+(** [(scans, decodes, decoded_bytes)]: rule admissions resolved from the
+    payload synopsis without materializing a tree, payloads decoded into
+    trees, and the bytes those decodes read. *)
 
 type step_result = Processed of Demaq_mq.Message.t | Idle
 

@@ -88,5 +88,17 @@ let element_names tree =
   in
   go Names.empty tree
 
+(* Streaming synopsis: binary payloads carry their element-name set in
+   the encoding header (computed once, at encode time), so admission
+   never has to materialize — or even token-scan — the message. [None]
+   means the payload is legacy text or corrupt binary; the caller falls
+   back to decoding and walking the tree. *)
+let payload_names payload =
+  if Demaq_xml.Bxml.is_binary payload then
+    match Demaq_xml.Bxml.synopsis payload with
+    | locals -> Some (List.fold_left (fun acc n -> Names.add n acc) Names.empty locals)
+    | exception Demaq_xml.Bxml.Decode_error _ -> None
+  else None
+
 let may_match ~requirements ~names =
   List.for_all (fun n -> Names.mem n names) requirements

@@ -27,5 +27,12 @@ val element_names : Demaq_xml.Tree.tree -> Names.t
 (** All element local names occurring in a message body (the per-message
     synopsis; the engine computes it once and caches it by rid). *)
 
+val payload_names : string -> Names.t option
+(** The same synopsis read directly from a stored payload: binary
+    payloads carry their element-name set in the {!Demaq_xml.Bxml}
+    header, so this costs O(header) and never builds a tree. [None] for
+    legacy text payloads (or corrupt binary) — fall back to
+    {!element_names} over the decoded body. *)
+
 val may_match : requirements:string list -> names:Names.t -> bool
 (** False only when the rule provably cannot fire on this message. *)

@@ -3,7 +3,6 @@
    [extra] blob. *)
 
 module Tree = Demaq_xml.Tree
-module Xml_parser = Demaq_xml.Parser
 module Value = Demaq_xquery.Value
 module Codec = Demaq_store.Codec
 
@@ -16,7 +15,8 @@ type membership = {
 type t = {
   rid : int;
   queue : string;
-  body : Tree.tree Lazy.t;  (* parsed on demand from the stored payload *)
+  raw : string Lazy.t;  (* stored payload bytes (binary bxml or legacy text) *)
+  body : Tree.tree Lazy.t;  (* decoded on demand from [raw] *)
   props : (string * Value.atomic) list;
   memberships : membership list;
   enqueued_at : int;
@@ -24,6 +24,8 @@ type t = {
 }
 
 let body m = Lazy.force m.body
+let raw m = Lazy.force m.raw
+let body_forced m = Lazy.is_val m.body
 
 let property m name = List.assoc_opt name m.props
 
@@ -94,12 +96,15 @@ let decode_extra extra =
 
 let of_store store (sm : Demaq_store.Message_store.message) =
   let props, memberships = decode_extra sm.extra in
+  (* spilled bodies are faulted in through the buffer pool on first
+     access and then held by this record's lazy cell; [raw] stays
+     un-forced until either an admission scan or a decode needs it *)
+  let raw = lazy (Demaq_store.Message_store.payload store sm) in
   {
     rid = sm.rid;
     queue = sm.queue;
-    (* spilled bodies are faulted in through the buffer pool on first
-       access and then held by this record's lazy cell *)
-    body = lazy (Xml_parser.parse (Demaq_store.Message_store.payload store sm));
+    raw;
+    body = lazy (Demaq_xml.Bxml.decode_any (Lazy.force raw));
     props;
     memberships;
     enqueued_at = sm.enqueued_at;

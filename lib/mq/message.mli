@@ -17,6 +17,10 @@ type membership = {
 type t = {
   rid : int;
   queue : string;
+  raw : string Lazy.t;
+      (** the stored payload bytes: binary {!Demaq_xml.Bxml} for messages
+          written since the binary format landed, legacy XML text for
+          older stores — {!body} decodes either *)
   body : Demaq_xml.Tree.tree Lazy.t;
   props : (string * Demaq_xquery.Value.atomic) list;
   memberships : membership list;
@@ -25,7 +29,17 @@ type t = {
 }
 
 val body : t -> Demaq_xml.Tree.tree
-(** Force the parsed payload. *)
+(** Force the decoded payload tree. *)
+
+val raw : t -> string
+(** Force the stored payload bytes (spilled bodies fault in through the
+    store's buffer pool). The streaming-admission path reads these
+    without ever materializing a tree. *)
+
+val body_forced : t -> bool
+(** Whether {!body} has already been materialized — the observability
+    seam that lets the engine count admission scans that avoided a
+    decode. *)
 
 val property : t -> string -> Demaq_xquery.Value.atomic option
 

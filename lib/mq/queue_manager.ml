@@ -33,6 +33,7 @@ type t = {
   collections : (string, Tree.tree list) Hashtbl.t;
   cache : (int, Message.t) Hashtbl.t;  (* rid -> decoded message *)
   clock : unit -> int;
+  encode_payload : Tree.tree -> string;  (* stored representation *)
 }
 
 let store t = t.store
@@ -259,7 +260,7 @@ let enqueue t txn ?rule ?trigger ?(explicit = []) ~queue ~payload () =
       | exception Queue_error e -> Error e
       | props ->
         let memberships = memberships_of t props in
-        let serialized = Serializer.to_string payload in
+        let serialized = t.encode_payload payload in
         let extra = Message.encode_extra ~props ~memberships in
         let enqueued_at =
           match List.assoc_opt Defs.Sysprop.timestamp props with
@@ -278,7 +279,8 @@ let enqueue t txn ?rule ?trigger ?(explicit = []) ~queue ~payload () =
           {
             Message.rid;
             queue;
-            body = lazy payload;
+            raw = Lazy.from_val serialized;
+            body = Lazy.from_val payload;
             props;
             memberships;
             enqueued_at;
@@ -340,8 +342,13 @@ let index_stats t =
     (fun name idx acc -> (name, Btree.cardinal idx, Btree.height idx) :: acc)
     t.indexes []
 
-let create ?clock store =
+let create ?clock ?(payload_format = `Binary) store =
   let clock = match clock with Some c -> c | None -> default_clock () in
+  let encode_payload =
+    match payload_format with
+    | `Binary -> Demaq_xml.Bxml.encode
+    | `Text -> fun tree -> Serializer.to_string tree
+  in
   let t =
     {
       store;
@@ -352,6 +359,7 @@ let create ?clock store =
       collections = Hashtbl.create 8;
       cache = Hashtbl.create 1024;
       clock;
+      encode_payload;
     }
   in
   rebuild_indexes t;

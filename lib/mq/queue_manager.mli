@@ -23,9 +23,14 @@ exception Queue_error of error
 
 type t
 
-val create : ?clock:(unit -> int) -> Store.t -> t
+val create :
+  ?clock:(unit -> int) -> ?payload_format:[ `Binary | `Text ] -> Store.t -> t
 (** [clock] supplies the virtual time tick used for the system timestamp
-    property (defaults to a counter incremented per enqueue). *)
+    property (defaults to a counter incremented per enqueue).
+    [payload_format] selects the stored payload representation: compact
+    binary {!Demaq_xml.Bxml} (the default) or legacy XML text (kept for
+    benchmarking the two paths against each other; reads accept both
+    formats regardless). *)
 
 val store : t -> Store.t
 

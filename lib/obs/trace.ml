@@ -22,6 +22,9 @@ type span = {
   sp_worker : int;  (* metrics shard of the processing domain; 0 = main *)
   sp_start_ns : int;  (* wall clock at setup start; 0 when timing is off *)
   sp_lock_ns : int;  (* setup: fetch + lock acquisition + plan lookup *)
+  sp_decode_ns : int;  (* lazy payload decode within setup (a sub-interval
+                          of [sp_lock_ns]; 0 when admission resolved from
+                          the payload synopsis without materializing) *)
   sp_eval_ns : int;  (* unlocked snapshot rule evaluation *)
   sp_apply_ns : int;  (* locked apply + commit *)
   sp_barrier_ns : int;  (* abort-path hardening; batch barriers are per
@@ -104,10 +107,10 @@ let span_json s =
   in
   Printf.sprintf
     "{\"rid\":%d,\"queue\":\"%s\",\"tick\":%d,\"worker\":%d,\"start_ns\":%d,\
-     \"lock_ns\":%d,\"eval_ns\":%d,\"apply_ns\":%d,\"barrier_ns\":%d,\
-     \"rules\":[%s],\"actions\":%d,\"outcome\":%s}"
+     \"lock_ns\":%d,\"decode_ns\":%d,\"eval_ns\":%d,\"apply_ns\":%d,\
+     \"barrier_ns\":%d,\"rules\":[%s],\"actions\":%d,\"outcome\":%s}"
     s.sp_rid (json_escape s.sp_queue) s.sp_tick s.sp_worker s.sp_start_ns
-    s.sp_lock_ns s.sp_eval_ns s.sp_apply_ns s.sp_barrier_ns
+    s.sp_lock_ns s.sp_decode_ns s.sp_eval_ns s.sp_apply_ns s.sp_barrier_ns
     (String.concat "," (List.map activation_json s.sp_activations))
     s.sp_actions outcome
 

@@ -21,6 +21,9 @@ type span = {
   sp_worker : int;  (** metrics shard of the processing domain *)
   sp_start_ns : int;  (** wall clock at setup start; 0 when timing is off *)
   sp_lock_ns : int;  (** setup: fetch + lock acquisition + plan lookup *)
+  sp_decode_ns : int;
+      (** lazy payload decode within setup (sub-interval of [sp_lock_ns];
+          0 when admission resolved from the synopsis without a tree) *)
   sp_eval_ns : int;  (** unlocked snapshot rule evaluation *)
   sp_apply_ns : int;  (** locked apply + commit *)
   sp_barrier_ns : int;  (** abort-path hardening *)

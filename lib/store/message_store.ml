@@ -6,6 +6,10 @@ type stored_payload =
   | Inline of string
   | Spilled of Heap_file.rid * int  (* record id in the heap file, length *)
 
+let log = Logs.Src.create "demaq.store" ~doc:"Demaq message store"
+
+module Log = (val Logs.src_log log : Logs.LOG)
+
 type message = {
   rid : int;
   queue : string;
@@ -94,13 +98,27 @@ let apply_insert t ~rid ~queue ~stored ~extra ~enqueued_at =
   if rid >= t.next_rid then t.next_rid <- rid + 1;
   m
 
+(* Recovery must degrade, never crash, on a corrupt payload (the same
+   contract as torn-tail WAL truncation): a record whose binary payload
+   fails structural validation is skipped with a warning, and later
+   operations referencing its rid fall through harmlessly. Only binary
+   payloads can be checked — they are self-describing; legacy text
+   payloads stay opaque here and surface errors at decode time, where
+   the executor's §3.6 error routing absorbs them. *)
+let payload_replayable payload =
+  (not (Demaq_xml.Bxml.is_binary payload)) || Demaq_xml.Bxml.validate payload
+
 let apply_op t (op : Wal.op) =
   match op with
   | Wal.Insert { rid; queue; payload; extra; enqueued_at } ->
-    (* recovery replay keeps bodies inline; the next checkpoint re-spills
-       anything above the threshold and the orphan sweep reclaims the
-       pre-crash heap records *)
-    ignore (apply_insert t ~rid ~queue ~stored:(Inline payload) ~extra ~enqueued_at)
+    if payload_replayable payload then
+      (* recovery replay keeps bodies inline; the next checkpoint re-spills
+         anything above the threshold and the orphan sweep reclaims the
+         pre-crash heap records *)
+      ignore (apply_insert t ~rid ~queue ~stored:(Inline payload) ~extra ~enqueued_at)
+    else
+      Log.warn (fun f ->
+          f "WAL replay: skipping #%d (queue %s): corrupt binary payload" rid queue)
   | Wal.Mark_processed { rid } -> (
     match Hashtbl.find_opt t.messages rid with
     | Some m -> m.processed <- true
@@ -187,8 +205,16 @@ let load_snapshot t path =
   in
   List.iter
     (fun (rid, queue, stored, extra, enqueued_at, processed) ->
-      let m = apply_insert t ~rid ~queue ~stored ~extra ~enqueued_at in
-      m.processed <- processed)
+      (* same degrade-not-crash contract as WAL replay; spilled payloads
+         stay out of line (unvalidated here — they fault in lazily) and
+         surface any corruption at decode time instead *)
+      match stored with
+      | Inline payload when not (payload_replayable payload) ->
+        Log.warn (fun f ->
+            f "snapshot: skipping #%d (queue %s): corrupt binary payload" rid queue)
+      | _ ->
+        let m = apply_insert t ~rid ~queue ~stored ~extra ~enqueued_at in
+        m.processed <- processed)
     messages;
   let lifetimes =
     Codec.get_list r (fun r ->

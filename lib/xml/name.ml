@@ -13,14 +13,30 @@ let interned : (string * string, t) Hashtbl.t = Hashtbl.create 256
 let interned_mu = Mutex.create ()
 let intern_cap = 4096
 
+(* Per-domain read-through cache in front of the shared table: steady
+   state interning (every element and attribute name of every message)
+   touches only domain-local state — no mutex, no contention. Misses
+   fill from the global table so all domains still share one value per
+   name. *)
+let local_cache : (string * string, t) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 256)
+
 let intern ?(uri = "") local =
+  let cache = Domain.DLS.get local_cache in
   let key = (uri, local) in
-  Mutex.protect interned_mu @@ fun () ->
-  match Hashtbl.find_opt interned key with
+  match Hashtbl.find_opt cache key with
   | Some t -> t
   | None ->
-    let t = { uri; local } in
-    if Hashtbl.length interned < intern_cap then Hashtbl.add interned key t;
+    let t =
+      Mutex.protect interned_mu @@ fun () ->
+      match Hashtbl.find_opt interned key with
+      | Some t -> t
+      | None ->
+        let t = { uri; local } in
+        if Hashtbl.length interned < intern_cap then Hashtbl.add interned key t;
+        t
+    in
+    if Hashtbl.length cache < intern_cap then Hashtbl.add cache key t;
     t
 let uri t = t.uri
 let local t = t.local

@@ -6,6 +6,9 @@ type state = {
   mutable line : int;
   mutable col : int;
   preserve_space : bool;
+  scratch : Buffer.t;
+      (* shared accumulator for attribute values that contain entity
+         references; attributes never nest, so one buffer suffices *)
 }
 
 let xml_ns = "http://www.w3.org/XML/1998/namespace"
@@ -34,9 +37,17 @@ let expect st c =
 let expect_string st s =
   String.iter (fun c -> expect st c) s
 
+(* Allocation-free prefix test: this runs once per content character in
+   [parse_content], so the obvious [String.sub] formulation dominated
+   the parser's allocation profile. *)
 let looking_at st s =
   let n = String.length s in
-  st.pos + n <= String.length st.src && String.sub st.src st.pos n = s
+  st.pos + n <= String.length st.src
+  &&
+  let rec eq i =
+    i = n || (String.unsafe_get st.src (st.pos + i) = String.unsafe_get s i && eq (i + 1))
+  in
+  eq 0
 
 let skip_string st s =
   if looking_at st s then begin
@@ -127,22 +138,44 @@ let read_attr_value st =
   let quote = peek st in
   if quote <> '"' && quote <> '\'' then error st "expected attribute value";
   advance st;
-  let buf = Buffer.create 16 in
-  let rec go () =
-    if at_end st then error st "unterminated attribute value"
-    else if peek st = quote then advance st
-    else if peek st = '&' then begin
-      read_entity st buf;
-      go ()
-    end
-    else begin
-      Buffer.add_char buf (peek st);
-      advance st;
-      go ()
-    end
-  in
-  go ();
-  Buffer.contents buf
+  (* Fast path: scan to the closing quote and slice, one allocation.
+     Only values containing an entity reference fall back to the shared
+     scratch buffer. *)
+  let start = st.pos in
+  while (not (at_end st)) && peek st <> quote && peek st <> '&' do
+    advance st
+  done;
+  if at_end st then error st "unterminated attribute value";
+  if peek st = quote then begin
+    let v = String.sub st.src start (st.pos - start) in
+    advance st;
+    v
+  end
+  else begin
+    let buf = st.scratch in
+    Buffer.clear buf;
+    Buffer.add_substring buf st.src start (st.pos - start);
+    let rec go () =
+      if at_end st then error st "unterminated attribute value"
+      else if peek st = quote then advance st
+      else if peek st = '&' then begin
+        read_entity st buf;
+        go ()
+      end
+      else begin
+        let start = st.pos in
+        while
+          (not (at_end st)) && peek st <> quote && peek st <> '&'
+        do
+          advance st
+        done;
+        Buffer.add_substring buf st.src start (st.pos - start);
+        go ()
+      end
+    in
+    go ();
+    Buffer.contents buf
+  end
 
 (* Namespace environment: prefix -> uri bindings; innermost first. *)
 let resolve_elem_name st env raw =
@@ -278,20 +311,55 @@ let rec parse_element st env =
 
 and parse_content st env =
   let acc = ref [] in
-  let buf = Buffer.create 32 in
+  (* Text accumulation avoids a per-element buffer: the common case — one
+     contiguous run with no entities or CDATA — is kept as a single
+     zero-copy slice in [pending]; only a second piece (or an entity)
+     promotes to a buffer. *)
+  let pending = ref "" in
+  let buf = ref None in
+  let add_piece s =
+    match !buf with
+    | Some b -> Buffer.add_string b s
+    | None ->
+      if !pending = "" then pending := s
+      else begin
+        let b = Buffer.create (String.length !pending + String.length s + 16) in
+        Buffer.add_string b !pending;
+        Buffer.add_string b s;
+        pending := "";
+        buf := Some b
+      end
+  in
+  let promote () =
+    match !buf with
+    | Some b -> b
+    | None ->
+      let b = Buffer.create 32 in
+      Buffer.add_string b !pending;
+      pending := "";
+      buf := Some b;
+      b
+  in
   let flush_text () =
-    if Buffer.length buf > 0 then begin
-      let s = Buffer.contents buf in
-      Buffer.clear buf;
-      if st.preserve_space || not (is_all_space s) then
-        acc := Tree.Text s :: !acc
-    end
+    let s =
+      match !buf with
+      | Some b ->
+        let s = Buffer.contents b in
+        buf := None;
+        s
+      | None ->
+        let s = !pending in
+        pending := "";
+        s
+    in
+    if s <> "" && (st.preserve_space || not (is_all_space s)) then
+      acc := Tree.Text s :: !acc
   in
   let rec go () =
     if at_end st then error st "unexpected end of input inside element"
     else if looking_at st "</" then flush_text ()
     else if looking_at st "<![CDATA[" then begin
-      Buffer.add_string buf (read_cdata st);
+      add_piece (read_cdata st);
       go ()
     end
     else if looking_at st "<!--" then begin
@@ -311,12 +379,17 @@ and parse_content st env =
       go ()
     end
     else if peek st = '&' then begin
-      read_entity st buf;
+      read_entity st (promote ());
       go ()
     end
     else begin
-      Buffer.add_char buf (peek st);
-      advance st;
+      let start = st.pos in
+      while
+        (not (at_end st)) && peek st <> '<' && peek st <> '&'
+      do
+        advance st
+      done;
+      add_piece (String.sub st.src start (st.pos - start));
       go ()
     end
   in
@@ -344,8 +417,11 @@ let parse_prolog st =
   in
   misc ()
 
+let make_state preserve_space src =
+  { src; pos = 0; line = 1; col = 1; preserve_space; scratch = Buffer.create 64 }
+
 let parse ?(preserve_space = false) src =
-  let st = { src; pos = 0; line = 1; col = 1; preserve_space } in
+  let st = make_state preserve_space src in
   parse_prolog st;
   if peek st <> '<' then error st "expected document element";
   let root = parse_element st [] in
@@ -365,6 +441,34 @@ let parse ?(preserve_space = false) src =
   in
   trailer ();
   root
+
+(* Batch form for the ingress path: a body holding several concatenated
+   documents is parsed in one pass with one shared parser state, so
+   buffer setup is amortized across the batch. *)
+let parse_many ?(preserve_space = false) src =
+  let st = make_state preserve_space src in
+  parse_prolog st;
+  if peek st <> '<' then error st "expected document element";
+  let docs = ref [] in
+  let rec misc () =
+    skip_space st;
+    if looking_at st "<!--" then begin
+      ignore (skip_comment st);
+      misc ()
+    end
+    else if looking_at st "<?" then begin
+      ignore (read_pi st);
+      misc ()
+    end
+  in
+  let rec go () =
+    docs := parse_element st [] :: !docs;
+    misc ();
+    if not (at_end st) then
+      if peek st = '<' then go () else error st "content after document element"
+  in
+  go ();
+  List.rev !docs
 
 let parse_document ?preserve_space src = Tree.doc (parse ?preserve_space src)
 

@@ -16,6 +16,14 @@ val parse : ?preserve_space:bool -> string -> Tree.tree
 
     @raise Parse_error on malformed input. *)
 
+val parse_many : ?preserve_space:bool -> string -> Tree.tree list
+(** [parse_many s] parses a sequence of concatenated XML documents
+    (optionally separated by whitespace, comments or PIs) sharing one
+    parser state — the batch-ingress form of {!parse}. At least one
+    document is required.
+
+    @raise Parse_error on malformed input. *)
+
 val parse_document : ?preserve_space:bool -> string -> Tree.document
 (** Like {!parse} but wraps the result as a fresh {!Tree.document}. *)
 

@@ -247,6 +247,46 @@ let test_torn_wal_tail () =
   check int_ "idle" 0 (S.run srv2);
   Store.close st2
 
+let test_corrupt_binary_payload_recovery () =
+  (* PR 7 pins: a corrupt *binary* payload reaching recovery (bit rot, a
+     buggy producer, pre-checksum memory corruption) must degrade exactly
+     like a torn tail — the record is skipped with a logged warning,
+     everything else replays, and the engine deploys and drains the
+     survivors. Replay must never crash on it. Both recovery paths are
+     exercised: WAL replay and snapshot load. *)
+  let dir = fresh_dir "corrupt-bxml" in
+  let cfg = Store.durable_config ~sync:Wal.Sync_never dir in
+  let st = Store.open_store cfg in
+  let extra = Demaq.Message.encode_extra ~props:[] ~memberships:[] in
+  let good s = Demaq.Xml.Bxml.encode (xml ("<ping>" ^ s ^ "</ping>")) in
+  let corrupt = Demaq.Xml.Bxml.magic ^ String.make 24 '\xee' in
+  let ins store payload at =
+    let txn = Store.begin_txn store in
+    ignore
+      (Store.insert txn ~queue:"in" ~payload ~extra ~enqueued_at:at
+         ~durable:true);
+    Store.commit txn
+  in
+  ins st (good "a") 1;
+  ins st corrupt 2;
+  ins st (good "b") 3;
+  (* WAL replay path: the corrupt record is dropped, its neighbours kept *)
+  let st2 = Fault.crash_restart cfg st in
+  check int_ "WAL replay skips the corrupt record" 2
+    (List.length (Store.all_messages st2));
+  (* snapshot path: checkpoint a store holding a corrupt payload, reload *)
+  ins st2 corrupt 4;
+  Store.checkpoint st2;
+  let st3 = Fault.crash_restart cfg st2 in
+  check int_ "snapshot load skips the corrupt record" 2
+    (List.length (Store.all_messages st3));
+  let srv = S.deploy ~store:st3 ping_pong in
+  ignore (S.run srv);
+  check bool_ "survivors drain normally" true
+    (List.sort compare (bodies srv "out")
+    = [ "<pong>a</pong>"; "<pong>b</pong>" ]);
+  Store.close st3
+
 let test_clock_monotonic_after_restart () =
   (* Recovery resumes the virtual clock at the MAXIMUM stored timestamp,
      regardless of the order unprocessed messages are listed in — a
@@ -475,6 +515,8 @@ let suite =
     ("lost acks re-invoke the handler", `Quick, test_duplicate_delivery_dedup);
     ("crash/restart processes exactly once", `Quick, test_crash_restart_exactly_once);
     ("torn WAL tail keeps intact prefix", `Quick, test_torn_wal_tail);
+    ("corrupt binary payload degrades like torn tail", `Quick,
+     test_corrupt_binary_payload_recovery);
     ("group commit: torn mid-batch keeps synced prefix", `Quick,
      test_group_commit_torn_batch);
     ("group commit: no transmission before its barrier", `Quick,

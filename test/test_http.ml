@@ -289,6 +289,42 @@ let test_ingress_enqueue () =
       ignore (S.run srv);
       check int_ "ack produced" 1 (List.length (S.queue_contents srv "acks")))
 
+let test_ingress_batch_enqueue () =
+  (* A body holding several concatenated documents is admitted as one
+     batch: per-document transactions, per-document result report, one
+     parser pass and one lock acquisition. *)
+  let srv = S.deploy ingress_program in
+  with_server (Ingress.handler srv) (fun server ->
+      let port = Http.port server in
+      let status, body =
+        Http.post ~port "/enqueue/orders"
+          "<order><orderID>1</orderID></order>\
+           <order><orderID>2</orderID></order>\
+           <!-- sep --><order><orderID>3</orderID></order>"
+      in
+      check int_ "202 all accepted" 202 (Http.status_code status);
+      check bool_ "batch report" true (contains body "accepted=\"3\"");
+      (* mixed batch: the schema violation rejects only its own document *)
+      let status, body =
+        Http.post ~port "/enqueue/orders"
+          "<order><orderID>4</orderID></order><order><bogus/></order>"
+      in
+      check int_ "422 mixed outcome" 422 (Http.status_code status);
+      check bool_ "one accepted" true (contains body "accepted=\"1\"");
+      check bool_ "one rejected" true (contains body "rejected=\"1\"");
+      (* whole batch against an unknown queue: plain 404 *)
+      let status, _ = Http.post ~port "/enqueue/nothere" "<x/><y/>" in
+      check int_ "404 unknown queue" 404 (Http.status_code status);
+      (* malformed XML anywhere rejects the whole body before admission *)
+      let status, _ =
+        Http.post ~port "/enqueue/orders"
+          "<order><orderID>9</orderID></order><oops"
+      in
+      check int_ "400 bad xml" 400 (Http.status_code status);
+      ignore (S.run srv);
+      check int_ "3 + 1 admitted documents produced acks" 4
+        (List.length (S.queue_contents srv "acks")))
+
 (* ---- loadgen smoke: low rate against a live node ---- *)
 
 let test_loadgen_smoke () =
@@ -359,5 +395,6 @@ let suite =
     ("concurrent scrapes under the accept pool", `Quick,
      test_concurrent_scrapes);
     ("ingress enqueue paths", `Quick, test_ingress_enqueue);
+    ("ingress batch enqueue", `Quick, test_ingress_batch_enqueue);
     ("loadgen smoke", `Slow, test_loadgen_smoke);
   ]

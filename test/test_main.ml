@@ -2,6 +2,7 @@ let () =
   Alcotest.run "demaq"
     [
       ("xml", Test_xml.suite);
+      ("bxml", Test_bxml.suite);
       ("value", Test_value.suite);
       ("xquery", Test_xquery.suite);
       ("xquery-ext", Test_xquery_ext.suite);
