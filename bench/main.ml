@@ -1275,6 +1275,152 @@ let b15 () =
       ignore (Bxml.synopsis bin))
 
 (* ------------------------------------------------------------------ *)
+(* B16: compile-on-deploy rule plans (PR 8)                            *)
+(* ------------------------------------------------------------------ *)
+
+module Compiler = Demaq.Lang.Compiler
+module Qdl = Demaq.Lang.Qdl
+module Dispatch = Demaq.Engine.Dispatch
+
+(* Part 1: the guarded plan vs per-rule interpretation. [rules] rules
+   share two guards and one common count-sum subexpression; the compiled
+   plan evaluates each guard and the hoisted sum once per message, while
+   per-rule interpretation re-evaluates them for every rule. Unlike B2
+   (which measures the legacy factored merge on condition-only sharing),
+   this measures the full pipeline: guard sharing + CSE hoisting. *)
+let b16_program rules =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    "create queue in kind basic mode persistent\ncreate queue out kind basic mode persistent\n";
+  for i = 1 to rules do
+    Buffer.add_string buf
+      (Printf.sprintf
+         "create rule r%d for in if (//order[seq mod %d = 0][customer != \"nobody\"]) \
+          then do enqueue <hit n=\"%d\">{count(//item) + count(//seq) + count(//customer)}</hit> into out\n"
+         i ((i mod 2) + 1) i)
+  done;
+  Buffer.contents buf
+
+let b16_run ~rules ~messages ~merged =
+  let cfg = { S.default_config with S.merged_plans = merged; S.workers = 1 } in
+  let srv = S.deploy ~config:cfg (b16_program rules) in
+  for i = 1 to messages do
+    ignore (S.inject srv ~queue:"in" (Demaq.xml (order_payload "k" i)))
+  done;
+  secs (fun () -> ignore (S.run srv))
+
+(* Part 2: conflict-set width. An [n]-way fanout queue whose rules each
+   write a different output queue: under queue-granularity dispatch every
+   message conflicts with every other on ["q:in"]; under the compiled
+   footprints messages admitted by different rules are disjoint. The
+   dispatcher is drained in waves — pop every dispatchable rid before
+   completing any — and the wave size is the achievable concurrency. *)
+let b16_fanout n =
+  "create queue in kind basic mode persistent\n"
+  ^ String.concat "\n"
+      (List.init n (fun i ->
+           Printf.sprintf "create queue o%d kind basic mode persistent" i))
+  ^ "\n"
+  ^ String.concat "\n"
+      (List.init n (fun i ->
+           Printf.sprintf
+             "create rule r%d for in if (//t%d) then do enqueue <y/> into o%d" i i i))
+
+let b16_width_run ~n ~messages ~granularity =
+  let c = Compiler.compile (Qdl.parse_program (b16_fanout n)) in
+  let plan = Option.get (Compiler.plan_for c "in") in
+  let footprint_res i =
+    match snd plan.Compiler.conflicts.(i) with
+    | Compiler.Conflict_resources { res; own_queue } ->
+      if own_queue then plan.Compiler.queue_resource :: res else res
+    | Compiler.Conflict_top -> Compiler.all_queue_resources c
+  in
+  let d = Dispatch.create () in
+  for j = 0 to messages - 1 do
+    let resources =
+      match granularity with
+      | `Queue -> [ plan.Compiler.queue_resource ]
+      | `Footprint -> footprint_res (j mod n)
+    in
+    Dispatch.schedule d ~priority:0 ~resources j
+  done;
+  let widths = ref [] in
+  let rec wave acc =
+    match Dispatch.next d with
+    | Dispatch.Ready rid -> wave (rid :: acc)
+    | Dispatch.Busy | Dispatch.Empty -> acc
+  in
+  let rec drain () =
+    match wave [] with
+    | [] -> ()
+    | batch ->
+      widths := List.length batch :: !widths;
+      List.iter (Dispatch.complete d) batch;
+      drain ()
+  in
+  drain ();
+  let l = !widths in
+  let maxw = List.fold_left max 0 l in
+  let avg = float (List.fold_left ( + ) 0 l) /. float (max 1 (List.length l)) in
+  (avg, maxw)
+
+let b16 () =
+  headline "B16 rule_compilation"
+    "compiled guarded plans: shared guards + hoisted CSE vs per-rule; conflict-set width";
+  table_header
+    [ ("rules", 6); ("messages", 9); ("per-rule msg/s", 15); ("compiled msg/s", 15);
+      ("speedup", 8) ];
+  let rules = 8 in
+  let messages = scale 400 in
+  let t_per_rule = b16_run ~rules ~messages ~merged:false in
+  let t_merged = b16_run ~rules ~messages ~merged:true in
+  row
+    [
+      cell 6 "%d" rules; cell 9 "%d" messages;
+      cell 15 "%.0f" (float messages /. t_per_rule);
+      cell 15 "%.0f" (float messages /. t_merged);
+      cell 8 "%.2fx" (t_per_rule /. t_merged);
+    ];
+  json_add
+    (Printf.sprintf
+       "{\"bench\": \"B16\", \"results\": [{\"mode\": \"per_rule\", \"rules\": %d, \
+        \"messages\": %d, \"msg_per_s\": %.0f}, {\"mode\": \"merged\", \"rules\": %d, \
+        \"messages\": %d, \"msg_per_s\": %.0f, \"speedup\": %.2f}]}"
+       rules messages
+       (float messages /. t_per_rule)
+       rules messages
+       (float messages /. t_merged)
+       (t_per_rule /. t_merged));
+  Printf.printf "\nconflict-set width (%d-way fanout, dispatcher waves):\n" 8;
+  table_header
+    [ ("granularity", 11); ("messages", 9); ("avg width", 10); ("max width", 10) ];
+  let messages = 256 in
+  let width_results =
+    List.map
+      (fun (name, granularity) ->
+        let avg, maxw = b16_width_run ~n:8 ~messages ~granularity in
+        row
+          [
+            cell 11 "%s" name; cell 9 "%d" messages;
+            cell 10 "%.2f" avg; cell 10 "%d" maxw;
+          ];
+        Printf.sprintf
+          "{\"granularity\": \"%s\", \"messages\": %d, \"avg_width\": %.2f, \
+           \"max_width\": %d}"
+          name messages avg maxw)
+      [ ("queue", `Queue); ("footprint", `Footprint) ]
+  in
+  (* no msg_per_s on purpose: width is a shape, not a throughput —
+     recorded for EXPERIMENTS.md, never gated by compare.py *)
+  json_add
+    (Printf.sprintf "{\"bench\": \"B16w\", \"results\": [%s]}"
+       (String.concat ", " width_results));
+  register_bechamel "B16/per-rule-8rules-20msgs" (fun () ->
+      ignore (b16_run ~rules:8 ~messages:20 ~merged:false));
+  register_bechamel "B16/compiled-8rules-20msgs" (fun () ->
+      ignore (b16_run ~rules:8 ~messages:20 ~merged:true))
+
+(* ------------------------------------------------------------------ *)
 (* Ablations: design choices called out in DESIGN.md §7                *)
 (* ------------------------------------------------------------------ *)
 
@@ -1555,7 +1701,7 @@ let run_bechamel () =
 let all_benches =
   [ ("B1", b1); ("B2", b2); ("B3", b3); ("B4", b4); ("B5", b5); ("B6", b6);
     ("B7", b7); ("B8", b8); ("B9", b9); ("B10", b10); ("B11", b11);
-    ("B12", b12); ("B13", b13); ("B15", b15);
+    ("B12", b12); ("B13", b13); ("B15", b15); ("B16", b16);
     ("A1", a1); ("A2", a2); ("A3", a3); ("A4", a4); ("A5", a5) ]
 
 let () =

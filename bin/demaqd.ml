@@ -755,7 +755,7 @@ let loadgen_cmd url rates duration arrival inflight timeout workload queue
 module Sim = Demaq.Sim.Sim
 module Schedule = Demaq.Sim.Schedule
 
-let sim_cmd seed iters events replay do_shrink blind_tear out =
+let sim_cmd seed iters events replay do_shrink blind_tear footprint out =
   match replay with
   | Some file -> (
     match Schedule.of_string (read_file file) with
@@ -763,8 +763,10 @@ let sim_cmd seed iters events replay do_shrink blind_tear out =
       Printf.eprintf "cannot parse %s: %s\n" file e;
       2
     | Ok sched ->
-      let sched = if do_shrink then Sim.shrink ~blind_tear sched else sched in
-      let o = Sim.run ~blind_tear sched in
+      let sched =
+        if do_shrink then Sim.shrink ~blind_tear ~footprint sched else sched
+      in
+      let o = Sim.run ~blind_tear ~footprint sched in
       print_string (Sim.report o);
       if o.Sim.violations = [] then 0 else 1)
   | None -> (
@@ -773,7 +775,7 @@ let sim_cmd seed iters events replay do_shrink blind_tear out =
         Printf.eprintf "  ... %d/%d schedules clean\n" i iters;
         flush stderr)
     in
-    match Sim.sweep ~blind_tear ~events ~progress ~seed ~iters () with
+    match Sim.sweep ~blind_tear ~footprint ~events ~progress ~seed ~iters () with
     | Sim.Clean n ->
       Printf.printf "sim: %d schedules (seeds %d..%d, %d events each), all \
                      invariants held\n"
@@ -1031,9 +1033,17 @@ let out_arg =
        & info [ "out" ] ~docv:"FILE"
            ~doc:"Where a sweep writes the shrunk counterexample")
 
+let footprint_arg =
+  Arg.(value & flag
+       & info [ "footprint" ]
+           ~doc:
+             "Run the episodes with conflict-footprint-driven dispatch \
+              (footprint_dispatch): messages claim only the resources of \
+              the rules they can trigger; all invariants must still hold")
+
 let sim_t =
   Term.(const sim_cmd $ seed_arg $ iters_arg $ events_arg $ replay_arg
-        $ shrink_arg $ blind_tear_arg $ out_arg)
+        $ shrink_arg $ blind_tear_arg $ footprint_arg $ out_arg)
 
 let cmds =
   [

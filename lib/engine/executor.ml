@@ -39,6 +39,7 @@ module Lock = Demaq_store.Lock_manager
 module Qm = Demaq_mq.Queue_manager
 module Message = Demaq_mq.Message
 module Defs = Demaq_mq.Defs
+module Plan_ir = Demaq_xquery.Plan
 module Compiler = Demaq_lang.Compiler
 module Prefilter = Demaq_lang.Prefilter
 module Network = Demaq_net.Network
@@ -52,6 +53,10 @@ module Log = (val Logs.src_log log : Logs.LOG)
 
 type config = {
   merged_plans : bool;
+  footprint_dispatch : bool;
+      (* partition dispatch on the compiled rules' static conflict
+         footprints instead of whole queues: same-queue messages whose
+         admitted rules touch disjoint resources run concurrently *)
   use_slice_index : bool;
   lock_granularity : [ `Queue | `Slice ];
   use_prefilter : bool;
@@ -386,20 +391,85 @@ let host_for t (m : Message.t) ~slice_ctx : Context.host =
 let queue_priority t name =
   match Qm.find_queue t.qm name with Some q -> q.Defs.priority | None -> 0
 
-(* The conflict resources the dispatcher partitions on: always the queue
-   (per-queue arrival order must survive parallelism), plus the slice
-   memberships under slice-granularity locking — exactly the resources the
-   lock manager would serialize on (§4.3). *)
+(* Footprint-driven conflict resources: the message claims only the
+   resources of the rules it can actually trigger (the per-rule conflict
+   templates the compiler cached on the plan, admission-filtered against
+   the payload synopsis when one is available without decoding), so two
+   same-queue messages with disjoint footprints run concurrently.
+   Per-queue arrival ORDER is then preserved only between messages whose
+   resource sets overlap — the relaxation this mode trades for dispatch
+   width. Membership slice resources are always claimed (slice rules read
+   their whole slice), and a ⊤ footprint (dynamically computed queue name)
+   expands to every declared queue. Reads the synopsis cache but never
+   populates it and never forces a body decode: a text payload without a
+   cached synopsis falls back to the plan's whole conflict union. *)
+let footprint_resources t (m : Message.t) =
+  let resources = ref [] in
+  let top = ref false in
+  let add rs =
+    List.iter
+      (fun r -> if not (List.mem r !resources) then resources := r :: !resources)
+      rs
+  in
+  let add_conflict = function
+    | Compiler.Conflict_top -> top := true
+    | Compiler.Conflict_resources { res; own_queue } ->
+      add res;
+      if own_queue then add [ "q:" ^ m.Message.queue ]
+  in
+  (match Compiler.plan_for t.compiled m.Message.queue with
+   | None -> ()
+   | Some plan -> (
+     let names =
+       if not t.cfg.use_prefilter then None
+       else
+         match Hashtbl.find_opt t.name_cache m.Message.rid with
+         | Some names -> Some names
+         | None ->
+           if Message.body_forced m then
+             Some (Prefilter.element_names (Message.body m))
+           else Prefilter.payload_names (Message.raw m)
+     in
+     match names with
+     | None -> add_conflict plan.Compiler.conflict_union
+     | Some names ->
+       Array.iter
+         (fun (requirements, conflict) ->
+           if Prefilter.may_match ~requirements ~names then add_conflict conflict)
+         plan.Compiler.conflicts));
+  List.iter
+    (fun (mem : Message.membership) ->
+      add [ Printf.sprintf "s:%s/%s" mem.Message.m_slicing mem.Message.m_key ];
+      match Compiler.plan_for t.compiled mem.Message.m_slicing with
+      | None -> ()
+      | Some plan -> add_conflict plan.Compiler.conflict_union)
+    m.Message.memberships;
+  if !top then add (Compiler.all_queue_resources t.compiled);
+  List.rev !resources
+
+(* The conflict resources the dispatcher partitions on. Default: always
+   the queue (per-queue arrival order must survive parallelism), plus the
+   slice memberships under slice-granularity locking — exactly the
+   resources the lock manager would serialize on (§4.3). The per-queue
+   resource string is the one the compiler interned on the plan, so
+   dispatch never rebuilds it per message. Under [footprint_dispatch] the
+   partition narrows to the admitted rules' static footprints. *)
 let resources_for t (m : Message.t) =
-  let queue_res = "q:" ^ m.Message.queue in
-  match t.cfg.lock_granularity with
-  | `Queue -> [ queue_res ]
-  | `Slice ->
-    queue_res
-    :: List.map
-         (fun (mem : Message.membership) ->
-           Printf.sprintf "s:%s/%s" mem.Message.m_slicing mem.Message.m_key)
-         m.Message.memberships
+  if t.cfg.footprint_dispatch then footprint_resources t m
+  else
+    let queue_res =
+      match Compiler.plan_for t.compiled m.Message.queue with
+      | Some plan -> plan.Compiler.queue_resource
+      | None -> "q:" ^ m.Message.queue
+    in
+    match t.cfg.lock_granularity with
+    | `Queue -> [ queue_res ]
+    | `Slice ->
+      queue_res
+      :: List.map
+           (fun (mem : Message.membership) ->
+             Printf.sprintf "s:%s/%s" mem.Message.m_slicing mem.Message.m_key)
+           m.Message.memberships
 
 let schedule_message t (m : Message.t) =
   t.schedule
@@ -566,26 +636,43 @@ type eval_unit = {
   eu_requirements : string list;
 }
 
+(* Update attribution: which rule produced a pending update (blame for
+   §3.6 error routing) and under which slice context it ran (resolves
+   [do reset] with no explicit slicing). *)
+type attribution = {
+  at_rule : string;
+  at_error_queue : string option;
+  at_slice_ctx : (string * string) option;
+}
+
+(* One compiled plan instance pending evaluation for a message.
+   [pw_admit] is the per-rule admission verdict, aligned with the plan's
+   guarded rules; [prepare] flips entries the condition pre-filter rules
+   out. *)
+type plan_work = {
+  pw_plan : Plan_ir.t;
+  pw_slice_ctx : (string * string) option;
+  pw_admit : bool array;
+}
+
+(* What [prepare] hands to [evaluate]: per-rule interpretation (the
+   reference semantics) or the compiler's guarded plans ([merged_plans],
+   the default). *)
+type work = Units of eval_unit list | Planned of plan_work list
+
 let units_for t (m : Message.t) =
   let queue_units =
     match Compiler.plan_for t.compiled m.Message.queue with
     | None -> []
     | Some plan ->
-      if t.cfg.merged_plans then
-        [ { eu_rule = "<merged:" ^ plan.Compiler.target ^ ">";
-            eu_error_queue = None;
+      List.map
+        (fun (r : Compiler.compiled_rule) ->
+          { eu_rule = r.cr_name;
+            eu_error_queue = r.cr_error_queue;
             eu_slice_ctx = None;
-            eu_body = plan.Compiler.merged;
-            eu_requirements = [] } ]
-      else
-        List.map
-          (fun (r : Compiler.compiled_rule) ->
-            { eu_rule = r.cr_name;
-              eu_error_queue = r.cr_error_queue;
-              eu_slice_ctx = None;
-              eu_body = r.cr_body;
-              eu_requirements = r.cr_requirements })
-          plan.Compiler.rules
+            eu_body = r.cr_body;
+            eu_requirements = r.cr_requirements })
+        plan.Compiler.rules
   in
   let slice_units =
     List.concat_map
@@ -596,27 +683,51 @@ let units_for t (m : Message.t) =
           | None -> []
           | Some plan ->
             let ctx = Some (mem.Message.m_slicing, mem.Message.m_key) in
-            if t.cfg.merged_plans then
-              [ { eu_rule = "<merged:" ^ plan.Compiler.target ^ ">";
-                  eu_error_queue = None;
+            List.map
+              (fun (r : Compiler.compiled_rule) ->
+                { eu_rule = r.cr_name;
+                  eu_error_queue = r.cr_error_queue;
                   eu_slice_ctx = ctx;
-                  eu_body = plan.Compiler.merged;
-                  eu_requirements = [] } ]
-            else
-              List.map
-                (fun (r : Compiler.compiled_rule) ->
-                  { eu_rule = r.cr_name;
-                    eu_error_queue = r.cr_error_queue;
-                    eu_slice_ctx = ctx;
-                    eu_body = r.cr_body;
-                    (* slice rules react to slice membership, not only to
-                       the triggering message's own content: conditions
-                       usually inspect qs:slice(), so no prefiltering *)
-                    eu_requirements = [] })
-                plan.Compiler.rules)
+                  eu_body = r.cr_body;
+                  (* slice rules react to slice membership, not only to
+                     the triggering message's own content: conditions
+                     usually inspect qs:slice(), so no prefiltering *)
+                  eu_requirements = [] })
+              plan.Compiler.rules)
       m.Message.memberships
   in
   queue_units @ slice_units
+
+let plan_works_for t (m : Message.t) =
+  let work_of plan ctx =
+    {
+      pw_plan = plan.Compiler.exec;
+      pw_slice_ctx = ctx;
+      pw_admit =
+        Array.make (List.length plan.Compiler.exec.Plan_ir.p_guarded) true;
+    }
+  in
+  let queue_work =
+    match Compiler.plan_for t.compiled m.Message.queue with
+    | None -> []
+    | Some plan -> [ work_of plan None ]
+  in
+  let slice_works =
+    List.filter_map
+      (fun (mem : Message.membership) ->
+        if not (Qm.membership_current t.qm m mem) then None
+        else
+          Option.map
+            (fun plan ->
+              work_of plan (Some (mem.Message.m_slicing, mem.Message.m_key)))
+            (Compiler.plan_for t.compiled mem.Message.m_slicing))
+      m.Message.memberships
+  in
+  queue_work @ slice_works
+
+let work_for t (m : Message.t) =
+  if t.cfg.merged_plans then Planned (plan_works_for t m)
+  else Units (units_for t m)
 
 let acquire_locks t txn (m : Message.t) =
   let locks = Store.locks t.st in
@@ -635,12 +746,12 @@ let acquire_locks t txn (m : Message.t) =
 
 let apply_updates t txn blamed (m : Message.t) tagged =
   List.iter
-    (fun (eu, update) ->
-      blamed := Some (eu.eu_rule, eu.eu_error_queue);
+    (fun (at, update) ->
+      blamed := Some (at.at_rule, at.at_error_queue);
       Option.iter Fault.before_apply t.fault;
       match update with
       | Update.Enqueue { payload; queue; props } ->
-        enqueue_internal t txn ~rule:eu.eu_rule ?rule_error_queue:eu.eu_error_queue
+        enqueue_internal t txn ~rule:at.at_rule ?rule_error_queue:at.at_error_queue
           ~trigger:(Some m) ~explicit:props ~queue ~payload
           ~origin_queue:m.Message.queue ()
       | Update.Reset { slicing; key } -> (
@@ -655,14 +766,14 @@ let apply_updates t txn blamed (m : Message.t) tagged =
               | Some a -> Some (s, Message.key_string a)
               | None -> None)
             | None -> None)
-          | None, _ -> eu.eu_slice_ctx
+          | None, _ -> at.at_slice_ctx
         in
         match resolved with
         | Some (slicing, key) -> Qm.reset_slice t.qm txn ~slicing ~key
         | None ->
           raise_error t txn ~kind:Errors.Evaluation_error
             ~description:"do reset: no slice in scope and none specified"
-            ~rule:eu.eu_rule ?rule_error_queue:eu.eu_error_queue
+            ~rule:at.at_rule ?rule_error_queue:at.at_error_queue
             ~source_queue:m.Message.queue ~initial_message:(Message.body m) ()))
     tagged
 
@@ -727,11 +838,20 @@ let prepare t ~acts ~now rid =
   | Some m ->
     let txn = Store.begin_txn t.st in
     acquire_locks t txn m;
-    let units = units_for t m in
+    let work = work_for t m in
+    let needs_names =
+      match work with
+      | Units units -> List.exists (fun eu -> eu.eu_requirements <> []) units
+      | Planned pws ->
+        List.exists
+          (fun pw ->
+            List.exists
+              (fun (g : Plan_ir.guarded) -> g.Plan_ir.g_requirements <> [])
+              pw.pw_plan.Plan_ir.p_guarded)
+          pws
+    in
     let message_names =
-      if t.cfg.use_prefilter
-         && List.exists (fun eu -> eu.eu_requirements <> []) units
-      then
+      if t.cfg.use_prefilter && needs_names then
         Some
           (match Hashtbl.find_opt t.name_cache m.Message.rid with
            | Some names -> names
@@ -748,25 +868,52 @@ let prepare t ~acts ~now rid =
              names)
       else None
     in
-    let units =
+    let skip rule =
+      Metrics.incr t.met.m_prefilter_skips;
+      if Trace.enabled t.spans then
+        acts := { Trace.a_rule = rule; a_updates = 0; a_skipped = true } :: !acts
+    in
+    let work =
       match message_names with
-      | None -> units
-      | Some names ->
-        List.filter
-          (fun eu ->
-            if Prefilter.may_match ~requirements:eu.eu_requirements ~names then true
-            else begin
-              Metrics.incr t.met.m_prefilter_skips;
-              if Trace.enabled t.spans then
-                acts :=
-                  { Trace.a_rule = eu.eu_rule; a_updates = 0; a_skipped = true }
-                  :: !acts;
-              false
-            end)
-          units
+      | None -> work
+      | Some names -> (
+        match work with
+        | Units units ->
+          Units
+            (List.filter
+               (fun eu ->
+                 if Prefilter.may_match ~requirements:eu.eu_requirements ~names
+                 then true
+                 else begin
+                   skip eu.eu_rule;
+                   false
+                 end)
+               units)
+        | Planned pws ->
+          List.iter
+            (fun pw ->
+              List.iteri
+                (fun i (g : Plan_ir.guarded) ->
+                  if
+                    not
+                      (Prefilter.may_match
+                         ~requirements:g.Plan_ir.g_requirements ~names)
+                  then begin
+                    pw.pw_admit.(i) <- false;
+                    skip g.Plan_ir.g_name
+                  end)
+                pw.pw_plan.Plan_ir.p_guarded)
+            pws;
+          Planned pws)
+    in
+    let live =
+      match work with
+      | Units units -> units <> []
+      | Planned pws ->
+        List.exists (fun pw -> Array.exists Fun.id pw.pw_admit) pws
     in
     let decode_ns =
-      if units = [] then begin
+      if not live then begin
         if not (Message.body_forced m) then Metrics.incr t.met.m_admission_scans;
         0
       end
@@ -776,41 +923,98 @@ let prepare t ~acts ~now rid =
         now () - d0
       end
     in
-    Some (m, txn, units, decode_ns)
+    Some (m, txn, work, decode_ns)
 
 (* Phase 1: evaluate all pertinent rules against the same snapshot,
    accumulating the pending update list. Runs WITHOUT [state_mu]; the
    host callbacks lock on demand, which is what lets several workers
-   evaluate CPU-heavy rules concurrently. *)
-let evaluate t txn blamed ~acts (m : Message.t) units =
-  List.concat_map
-    (fun eu ->
-      Metrics.incr t.met.m_rule_evaluations;
-      blamed := Some (eu.eu_rule, eu.eu_error_queue);
-      Option.iter Fault.before_eval t.fault;
-      let host = host_for t m ~slice_ctx:eu.eu_slice_ctx in
-      let env = Context.make ~host () in
-      let env =
-        { env with Context.item = Some (Value.Node (message_node t m)) }
-      in
-      match Eval.eval_with_updates env eu.eu_body with
-      | _, updates ->
-        if Trace.enabled t.spans then
-          acts :=
-            {
-              Trace.a_rule = eu.eu_rule;
-              a_updates = List.length updates;
-              a_skipped = false;
-            }
-            :: !acts;
-        List.map (fun u -> (eu, u)) updates
-      | exception Context.Eval_error description ->
-        locked t (fun () ->
-            raise_error t txn ~kind:Errors.Evaluation_error ~description
-              ~rule:eu.eu_rule ?rule_error_queue:eu.eu_error_queue
-              ~source_queue:m.Message.queue ~initial_message:(Message.body m) ());
-        [])
-    units
+   evaluate CPU-heavy rules concurrently. Both paths report failures
+   inline at the failing rule's turn, so a later rule that reads the
+   error queue observes the routed error exactly as it would under
+   per-rule interpretation. *)
+let evaluate t txn blamed ~acts (m : Message.t) work =
+  let fail rule rule_error_queue description =
+    locked t (fun () ->
+        raise_error t txn ~kind:Errors.Evaluation_error ~description ~rule
+          ?rule_error_queue ~source_queue:m.Message.queue
+          ~initial_message:(Message.body m) ())
+  in
+  match work with
+  | Units units ->
+    List.concat_map
+      (fun eu ->
+        Metrics.incr t.met.m_rule_evaluations;
+        blamed := Some (eu.eu_rule, eu.eu_error_queue);
+        Option.iter Fault.before_eval t.fault;
+        let host = host_for t m ~slice_ctx:eu.eu_slice_ctx in
+        let env = Context.make ~host () in
+        let env =
+          { env with Context.item = Some (Value.Node (message_node t m)) }
+        in
+        match Eval.eval_with_updates env eu.eu_body with
+        | _, updates ->
+          if Trace.enabled t.spans then
+            acts :=
+              {
+                Trace.a_rule = eu.eu_rule;
+                a_updates = List.length updates;
+                a_skipped = false;
+              }
+              :: !acts;
+          List.map
+            (fun u ->
+              ( { at_rule = eu.eu_rule;
+                  at_error_queue = eu.eu_error_queue;
+                  at_slice_ctx = eu.eu_slice_ctx },
+                u ))
+            updates
+        | exception Context.Eval_error description ->
+          fail eu.eu_rule eu.eu_error_queue description;
+          [])
+      units
+  | Planned pws ->
+    List.concat_map
+      (fun pw ->
+        if not (Array.exists Fun.id pw.pw_admit) then []
+        else begin
+          let host = host_for t m ~slice_ctx:pw.pw_slice_ctx in
+          let env = Context.make ~host () in
+          let env =
+            { env with Context.item = Some (Value.Node (message_node t m)) }
+          in
+          let tagged = ref [] in
+          Plan_ir.eval
+            ~admitted:(fun i _ -> pw.pw_admit.(i))
+            ~before:(fun (g : Plan_ir.guarded) ->
+              Metrics.incr t.met.m_rule_evaluations;
+              blamed := Some (g.Plan_ir.g_name, g.Plan_ir.g_error_queue);
+              Option.iter Fault.before_eval t.fault)
+            ~emit:(fun (g : Plan_ir.guarded) outcome ->
+              match outcome with
+              | Plan_ir.Updates updates ->
+                if Trace.enabled t.spans then
+                  acts :=
+                    {
+                      Trace.a_rule = g.Plan_ir.g_name;
+                      a_updates = List.length updates;
+                      a_skipped = false;
+                    }
+                    :: !acts;
+                let at =
+                  {
+                    at_rule = g.Plan_ir.g_name;
+                    at_error_queue = g.Plan_ir.g_error_queue;
+                    at_slice_ctx = pw.pw_slice_ctx;
+                  }
+                in
+                tagged :=
+                  List.fold_left (fun acc u -> (at, u) :: acc) !tagged updates
+              | Plan_ir.Failed description ->
+                fail g.Plan_ir.g_name g.Plan_ir.g_error_queue description)
+            env pw.pw_plan;
+          List.rev !tagged
+        end)
+      pws
 
 let process t rid =
   let tracing = Trace.enabled t.spans in
@@ -825,7 +1029,7 @@ let process t rid =
   let acts = ref [] in
   match prepare t ~acts ~now rid with
   | None -> false
-  | Some (m, txn, units, decode_ns) ->
+  | Some (m, txn, work, decode_ns) ->
     let t_locked = now () in
     let blamed = ref None in
     let t_evaled = ref t_locked in
@@ -834,7 +1038,7 @@ let process t rid =
     let actions = ref 0 in
     let outcome = ref Trace.Committed in
     (match
-       let tagged = evaluate t txn blamed ~acts m units in
+       let tagged = evaluate t txn blamed ~acts m work in
        t_evaled := now ();
        actions := List.length tagged;
        (* Phase 2, under [state_mu] again: execute the pending actions and

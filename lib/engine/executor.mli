@@ -36,6 +36,14 @@ module Trace = Demaq_obs.Trace
 
 type config = {
   merged_plans : bool;
+      (** evaluate the compiler's guarded plans (the default) instead of
+          interpreting rules one at a time; observationally equivalent,
+          including §3.6 error attribution *)
+  footprint_dispatch : bool;
+      (** partition dispatch on the compiled rules' static conflict
+          footprints instead of whole queues: same-queue messages whose
+          admitted rules touch disjoint resources run concurrently, at
+          the cost of per-queue arrival order between them *)
   use_slice_index : bool;
   lock_granularity : [ `Queue | `Slice ];
   use_prefilter : bool;
@@ -154,8 +162,11 @@ val note_outgoing : t -> Message.t -> unit
 val queue_priority : t -> string -> int
 
 val resources_for : t -> Message.t -> string list
-(** The conflict resources the dispatcher partitions on (queue, plus
-    slices per [lock_granularity]). *)
+(** The conflict resources the dispatcher partitions on: queue plus
+    slices per [lock_granularity], or — under [footprint_dispatch] — the
+    admitted rules' static conflict footprints from the compiled plan
+    (membership slice resources always included; ⊤ expands to every
+    declared queue). *)
 
 val schedule_message : t -> Message.t -> unit
 (** Route through the [schedule] hook (the worker pool). Safe under the

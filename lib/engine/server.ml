@@ -30,6 +30,7 @@ module Log = (val Logs.src_log log : Logs.LOG)
 
 type config = Executor.config = {
   merged_plans : bool;
+  footprint_dispatch : bool;
   use_slice_index : bool;
   lock_granularity : [ `Queue | `Slice ];
   use_prefilter : bool;
@@ -59,7 +60,11 @@ let default_workers =
 
 let default_config =
   {
-    merged_plans = false;
+    (* the compiled guarded plans are the default execution path; per-rule
+       interpretation remains as the reference semantics (benchmark B16
+       measures the gap) *)
+    merged_plans = true;
+    footprint_dispatch = false;
     use_slice_index = true;
     lock_granularity = `Slice;
     use_prefilter = true;

@@ -11,9 +11,18 @@ module Store := Demaq_store.Message_store
 
 type config = Executor.config = {
   merged_plans : bool;
-      (** evaluate one merged plan per queue instead of per-rule plans
-          (§4.4.1; benchmark B2). Per-rule is the default because it gives
-          precise rule-level error attribution. *)
+      (** evaluate the rule compiler's guarded plan per queue — merged
+          bodies with per-rule guards, hoisted common subexpressions,
+          shared guard evaluations (§4.4.1; benchmark B16). The default:
+          observationally equivalent to per-rule interpretation, including
+          precise rule-level error attribution (§3.6). [false] interprets
+          rules one at a time (the reference semantics). *)
+  footprint_dispatch : bool;
+      (** partition dispatch on the compiled rules' static conflict
+          footprints instead of whole queues: same-queue messages whose
+          admitted rules touch disjoint resources run concurrently. Trades
+          per-queue arrival order between disjoint messages for dispatch
+          width; off by default. *)
   use_slice_index : bool;
       (** serve [qs:slice()] from the materialized B-tree index rather than
           scanning the underlying queues (§4.3; benchmark B1) *)

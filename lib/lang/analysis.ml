@@ -86,6 +86,13 @@ let free_variables body =
     | Ast.Enqueue { payload; props; _ } ->
       List.fold_left (fun acc (_, e) -> go bound acc e) (go bound acc payload) props
     | Ast.Reset (Some (_, key)) -> go bound acc key
+    | Ast.Bind (binds, body) ->
+      let bound, acc =
+        List.fold_left
+          (fun (bound, acc) (v, e) -> (v :: bound, go bound acc e))
+          (bound, acc) binds
+      in
+      go bound acc body
     | Ast.Reset None | Ast.Literal _ | Ast.Empty_seq | Ast.Context_item | Ast.Root ->
       acc
   in
@@ -194,7 +201,23 @@ let analyze (program : Qdl.program) : result =
         (free_variables r.Qdl.body);
       (* A rule that can produce no update is almost certainly a mistake. *)
       if not (Ast.contains_update r.Qdl.body) then
-        emit (diag Warning where "rule body contains no update primitive"))
+        emit (diag Warning where "rule body contains no update primitive");
+      (* Statically dead rules: the condition requires element names the
+         target queue's (closed) schema vocabulary can never admit — the
+         compiler prunes such rules from the plan at deployment. *)
+      if not on_slicing then
+        match List.find_opt (fun q -> q.Defs.qname = r.Qdl.target) queues with
+        | Some { Defs.schema = Some schema; _ } -> (
+          let vocabulary = Prefilter.schema_vocabulary schema in
+          let requirements = Prefilter.rule_requirements r.Qdl.body in
+          match Prefilter.unsatisfiable vocabulary requirements with
+          | Some reason ->
+            emit
+              (diag Warning where
+                 "statically dead on queue %s: %s (rule will be pruned from the plan)"
+                 r.Qdl.target reason)
+          | None -> ())
+        | _ -> ())
     rules;
   let diagnostics = List.rev !ds in
   { diagnostics; ok = not (List.exists (fun d -> d.severity = Error) diagnostics) }

@@ -1,7 +1,7 @@
-(** The rule compiler (§4.4.1).
+(** The rule compiler (§4.2/§4.4.1): deployment is a multi-pass
+    compilation.
 
-    On deployment the compiler groups rules by their target queue or
-    slicing and rewrites their bodies:
+    Per-rule rewrites (unchanged since the first compiler):
 
     - {e fixed-property inlining}: [qs:property("p")] for a fixed property
       becomes its value expression for the rule's queue ("similar to
@@ -9,13 +9,28 @@
     - {e default-parameter supply}: [qs:queue()] becomes
       [qs:queue("<this queue>")];
     - {e constant folding} of literal subexpressions;
-    - {e condition pre-filter extraction} ({!Prefilter}): the element
-      names a rule's condition requires of the triggering message;
-    - {e merged plans with shared-condition factoring}: all rule bodies of
-      a target concatenated into one sequence expression, with rules that
-      test structurally identical conditions sharing a single evaluation
-      (§3.3 motivates the mandatory conditional shape of rule bodies with
-      exactly this optimization). *)
+    - {e condition pre-filter extraction} ({!Prefilter}).
+
+    Plan passes, per target:
+
+    + {e unsatisfiability pruning} — rules whose pre-filter requirements
+      fall outside the target queue's closed schema vocabulary are
+      statically dead and dropped (with the reason kept for explain);
+    + {e guard splitting} — conditional rule bodies (§3.3) decompose into
+      guard/then/else so the fused plan preserves per-rule error
+      attribution (§3.6);
+    + {e common-subexpression hoisting} — pure, stable expressions shared
+      by several rules become plan-level bindings, evaluated once per
+      message;
+    + {e guard sharing} — structurally identical stable guards share one
+      evaluation;
+    + {e conflict footprints} — the queues/slices each rule can touch
+      (⊤ for dynamic queue names), lowered to dispatcher resource strings
+      and cached on the plan as the dispatch template.
+
+    The legacy single-sequence [merged] expression (benchmark B2, with
+    shared-condition factoring) is still built; the engine executes the
+    guarded {!Demaq_xquery.Plan.t}. *)
 
 type compiled_rule = {
   cr_name : string;
@@ -27,17 +42,46 @@ type compiled_rule = {
           to possibly fire; empty = always evaluate *)
 }
 
+type footprint = {
+  fp_top : bool;  (** ⊤: a dynamically computed queue name *)
+  fp_queues : string list;  (** statically known queues read or written *)
+  fp_slices : (string * string) list;
+      (** slice resets with literal keys, as (slicing, key) *)
+  fp_dynamic_reset : string list;
+      (** slicings reset with a computed key *)
+  fp_own_queue : bool;  (** reads the triggering message's own queue *)
+}
+(** The statically derived set of shared resources a rule's execution can
+    touch — the conflict lattice element for footprint-driven dispatch. *)
+
+type conflict =
+  | Conflict_top  (** conflicts with every queue *)
+  | Conflict_resources of { res : string list; own_queue : bool }
+      (** dispatcher resource strings; [own_queue] adds the triggering
+          message's own queue resource at schedule time *)
+
 type plan = {
   target : string;  (** queue or slicing name *)
   on_slicing : bool;
-  rules : compiled_rule list;  (** declaration order *)
-  merged : Demaq_xquery.Ast.expr;  (** the single merged plan *)
+  rules : compiled_rule list;  (** surviving rules, declaration order *)
+  pruned : (string * string) list;
+      (** statically dead rules: (name, reason) *)
+  merged : Demaq_xquery.Ast.expr;  (** the legacy single merged plan *)
+  exec : Demaq_xquery.Plan.t;  (** the guarded execution plan *)
+  footprints : footprint list;  (** aligned with [exec]'s guarded rules *)
+  conflicts : (string list * conflict) array;
+      (** per guarded rule: (pre-filter requirements, conflict resources)
+          — the cached dispatch template *)
+  conflict_union : conflict;  (** union over all rules *)
+  queue_resource : string;  (** ["q:" ^ target], interned once *)
 }
 
 type t
 
 val compile : ?optimize:bool -> Qdl.program -> t
-(** [optimize:false] keeps rule bodies verbatim (benchmarks B2/B8). *)
+(** [optimize:false] keeps rule bodies verbatim (benchmarks B2/B8): no
+    rewrites, no pruning, no hoisting; the guarded plan then has exactly
+    per-rule semantics. *)
 
 val plan_for : t -> string -> plan option
 val plans : t -> plan list
@@ -47,9 +91,17 @@ val source_program : t -> Qdl.program
 (** The program the plans were compiled from (used by runtime
     evolution). *)
 
+val all_queue_resources : t -> string list
+(** One ["q:" ^ name] resource per declared queue: what a ⊤ footprint
+    expands to under footprint dispatch. *)
+
 val explain : t -> string
-(** Human-readable plan dump, including per-rule error queues and
-    pre-filter requirements. *)
+(** Human-readable plan dump: hoisted bindings, per-rule guards and
+    branches, error queues, pre-filter requirements, conflict footprints,
+    and pruned rules with their unsatisfiability reason. *)
+
+val footprint_to_string : footprint -> string
+val conflict_to_string : conflict -> string
 
 val factor_conditions : Demaq_xquery.Ast.expr list -> Demaq_xquery.Ast.expr
 (** Merge rule bodies, evaluating structurally identical top-level

@@ -102,3 +102,58 @@ let payload_names payload =
 
 let may_match ~requirements ~names =
   List.for_all (fun n -> Names.mem n names) requirements
+
+(* ---- static entailment against a queue schema ----
+
+   [rule_requirements] gives the element names a message must contain for
+   a rule to fire; a queue's schema (when present) bounds the element
+   names any admitted message CAN contain. When the schema's vocabulary is
+   closed and a required name falls outside it, the rule is statically
+   unsatisfiable on that queue: the compiler prunes it from the plan and
+   [Analysis] reports it as a dead rule.
+
+   The vocabulary is closed only when every declared element has a closed
+   content model (text, empty, or a sequence whose particles are all
+   themselves declared). [mixed]/[any] content — or an undeclared particle,
+   which validation treats as open — admits arbitrary descendants, and an
+   empty schema places no restriction on the root, so both yield ⊤ (open)
+   and suppress pruning. Admission ([Queue_manager.enqueue]) validates the
+   payload with the root restricted to declared names, which is what makes
+   the closed reading sound. *)
+
+module Schema = Demaq_xml.Schema
+
+type vocabulary = Open_vocabulary | Closed_vocabulary of Names.t
+
+let schema_vocabulary schema =
+  let declared = Schema.declared_names schema in
+  if declared = [] then Open_vocabulary
+  else
+    let closed =
+      List.for_all
+        (fun name ->
+          match Schema.declared schema name with
+          | Some (Schema.Text_only | Schema.Empty) -> true
+          | Some (Schema.Any | Schema.Mixed) | None -> false
+          | Some (Schema.Sequence particles) ->
+            List.for_all
+              (fun p -> Schema.declared schema p.Schema.pname <> None)
+              particles)
+        declared
+    in
+    if closed then
+      Closed_vocabulary (List.fold_left (fun acc n -> Names.add n acc) Names.empty declared)
+    else Open_vocabulary
+
+let unsatisfiable vocabulary requirements =
+  match vocabulary with
+  | Open_vocabulary -> None
+  | Closed_vocabulary names -> (
+    match List.filter (fun n -> not (Names.mem n names)) requirements with
+    | [] -> None
+    | missing ->
+      Some
+        (Printf.sprintf
+           "condition requires element%s <%s> which the queue schema cannot produce"
+           (if List.length missing = 1 then "" else "s")
+           (String.concat ">, <" missing)))

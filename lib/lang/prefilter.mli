@@ -36,3 +36,18 @@ val payload_names : string -> Names.t option
 
 val may_match : requirements:string list -> names:Names.t -> bool
 (** False only when the rule provably cannot fire on this message. *)
+
+type vocabulary = Open_vocabulary | Closed_vocabulary of Names.t
+(** The element names messages admitted to a queue can possibly contain:
+    closed when the queue schema declares every reachable content model,
+    open (⊤) when any content is [mixed]/[any], a particle is undeclared,
+    or the schema is empty. *)
+
+val schema_vocabulary : Demaq_xml.Schema.t -> vocabulary
+(** Lift a queue schema to its element-name vocabulary; conservative
+    (leans open). *)
+
+val unsatisfiable : vocabulary -> string list -> string option
+(** [unsatisfiable vocab requirements] is [Some reason] when some
+    required element name provably cannot occur in any message the
+    queue admits — the rule is statically dead on that queue. *)

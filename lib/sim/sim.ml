@@ -99,7 +99,7 @@ let cleanup_dir dir =
 
 (* ---- the episode ---- *)
 
-let run ?(blind_tear = false) (sched : Schedule.t) =
+let run ?(blind_tear = false) ?(footprint = false) (sched : Schedule.t) =
   let dir = fresh_dir () in
   let cfg =
     Store.durable_config
@@ -137,8 +137,9 @@ let run ?(blind_tear = false) (sched : Schedule.t) =
       []);
   let deploy () =
     let srv =
-      S.deploy ~config:sim_config ~time_source:ts ~store:!store ~network:net
-        workload
+      S.deploy
+        ~config:{ sim_config with S.footprint_dispatch = footprint }
+        ~time_source:ts ~store:!store ~network:net workload
     in
     S.bind_gateway srv ~queue:"gw" ~endpoint:"partner" ();
     S.set_fault srv (Some fault);
@@ -376,12 +377,12 @@ let run ?(blind_tear = false) (sched : Schedule.t) =
 
 (* ---- shrinking ---- *)
 
-let fails ?blind_tear events (s : Schedule.t) =
-  (run ?blind_tear { s with Schedule.events }).violations <> []
+let fails ?blind_tear ?footprint events (s : Schedule.t) =
+  (run ?blind_tear ?footprint { s with Schedule.events }).violations <> []
 
 (* One left-to-right pass removing aligned [chunk]-sized windows wherever
    the schedule still fails without them. *)
-let shrink_pass ?blind_tear (s : Schedule.t) chunk events =
+let shrink_pass ?blind_tear ?footprint (s : Schedule.t) chunk events =
   let rec go i events =
     if i >= List.length events then events
     else
@@ -389,19 +390,19 @@ let shrink_pass ?blind_tear (s : Schedule.t) chunk events =
         List.filteri (fun j _ -> j < i || j >= i + chunk) events
       in
       if List.length candidate < List.length events
-         && fails ?blind_tear candidate s
+         && fails ?blind_tear ?footprint candidate s
       then go i candidate
       else go (i + chunk) events
   in
   go 0 events
 
-let shrink ?blind_tear (s : Schedule.t) =
-  if not (fails ?blind_tear s.Schedule.events s) then s
+let shrink ?blind_tear ?footprint (s : Schedule.t) =
+  if not (fails ?blind_tear ?footprint s.Schedule.events s) then s
   else begin
     let events = ref s.Schedule.events in
     let chunk = ref (max 1 ((List.length !events + 1) / 2)) in
     while !chunk >= 1 do
-      let shrunk = shrink_pass ?blind_tear s !chunk !events in
+      let shrunk = shrink_pass ?blind_tear ?footprint s !chunk !events in
       let progress = List.length shrunk < List.length !events in
       events := shrunk;
       (* on progress, retry the same granularity: a removal can unlock
@@ -444,22 +445,23 @@ type sweep_result =
       shrunk_outcome : outcome;
     }
 
-let sweep ?blind_tear ?(events = 40) ?(progress = fun _ -> ()) ~seed ~iters () =
+let sweep ?blind_tear ?footprint ?(events = 40) ?(progress = fun _ -> ()) ~seed
+    ~iters () =
   let rec go i =
     if i >= iters then Clean iters
     else begin
       progress i;
       let s = Schedule.generate ~seed:(seed + i) ~events () in
-      let o = run ?blind_tear s in
+      let o = run ?blind_tear ?footprint s in
       if o.violations = [] then go (i + 1)
       else begin
-        let shrunk = shrink ?blind_tear s in
+        let shrunk = shrink ?blind_tear ?footprint s in
         Failed
           {
             seed = seed + i;
             outcome = o;
             shrunk;
-            shrunk_outcome = run ?blind_tear shrunk;
+            shrunk_outcome = run ?blind_tear ?footprint shrunk;
           }
       end
     end

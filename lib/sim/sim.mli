@@ -31,14 +31,18 @@ type outcome = {
   violations : violation list;
 }
 
-val run : ?blind_tear:bool -> Schedule.t -> outcome
+val run : ?blind_tear:bool -> ?footprint:bool -> Schedule.t -> outcome
 (** Execute the schedule against a fresh store in a temp directory
     (cleaned up afterwards). [blind_tear] applies [Crash] tears without
     capping them at the unsynced WAL tail — the tear may then destroy
     synced commits, which is a deliberately detectable durability
-    violation used to validate the checker and the shrinker. *)
+    violation used to validate the checker and the shrinker.
+    [footprint] runs the episode with conflict-footprint-driven dispatch
+    ([footprint_dispatch]); every invariant must hold unchanged — the
+    workload's producing rules all touch their output resource, so even
+    the relaxed ordering discipline preserves outq FIFO. *)
 
-val shrink : ?blind_tear:bool -> Schedule.t -> Schedule.t
+val shrink : ?blind_tear:bool -> ?footprint:bool -> Schedule.t -> Schedule.t
 (** Greedy delta-debugging: repeatedly drop event chunks (halving the
     chunk size down to 1) while the schedule still produces at least one
     violation. Returns a 1-minimal failing schedule, or the input
@@ -58,6 +62,7 @@ type sweep_result =
 
 val sweep :
   ?blind_tear:bool ->
+  ?footprint:bool ->
   ?events:int ->
   ?progress:(int -> unit) ->
   seed:int ->

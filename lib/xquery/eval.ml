@@ -228,6 +228,11 @@ let rec eval env expr : Value.t =
     in
     emit env (Update.Reset { slicing = Some slicing; key = Some key });
     []
+  | Bind (binds, body) ->
+    let env =
+      List.fold_left (fun env (v, e) -> bind env v (eval env e)) env binds
+    in
+    eval env body
 
 and constructor_name env name_expr =
   match atomize (eval env name_expr) with

@@ -1,0 +1,161 @@
+(* The guarded-plan IR: the execution artifact the rule compiler lowers a
+   queue's rule set into. All rules of one target are fused into a single
+   plan while each rule keeps its own guard, so §3.6 error attribution
+   survives the merge; common subexpressions hoisted out of the rule
+   bodies become plan-level bindings, and structurally identical guards
+   share one evaluation.
+
+   Evaluation preserves per-rule observational semantics exactly:
+
+   - rules run in declaration order, each reported through the caller's
+     callbacks at its own turn (so mid-plan error routing interleaves
+     with later rules the same way per-rule interpretation does);
+   - a hoisted binding or shared guard is evaluated once and memoized,
+     but the compiler only hoists pure, stable expressions (no updates,
+     no state-reading host calls), so sharing cannot change values;
+   - if a memoized binding or guard evaluation FAILS, the plan does not
+     guess which error the rule would have reported: every rule that
+     depends on it falls back to evaluating its original un-substituted
+     body inline, reproducing the per-rule error (and its position in
+     the error stream) exactly. *)
+
+type guarded = {
+  g_name : string;  (* rule name, for attribution *)
+  g_error_queue : string option;  (* rule-level error queue (§3.6) *)
+  g_guard : Ast.expr option;
+      (* split-out condition; [None] = evaluate [g_then] unconditionally *)
+  g_guard_id : int;
+      (* rules with structurally identical stable guards share an id —
+         and therefore one evaluation per plan instance *)
+  g_then : Ast.expr;
+  g_else : Ast.expr;
+  g_bindings : int list;
+      (* indices of the plan bindings the rule needs, ascending;
+         transitively closed, so earlier bindings a later one references
+         are always present *)
+  g_fallback : Ast.expr;
+      (* the rule's rewritten body with no hoisting applied: evaluated
+         inline when a shared binding or guard fails *)
+  g_requirements : string list;
+      (* condition pre-filter requirements (element names), as for
+         per-rule evaluation; empty = always evaluate *)
+}
+
+type t = {
+  p_bindings : (string * Ast.expr) list;
+      (* hoisted common subexpressions, in evaluation (dependency) order *)
+  p_guarded : guarded list;  (* declaration order *)
+  p_n_guards : int;  (* distinct guard ids *)
+}
+
+type outcome =
+  | Updates of Update.t list  (* pending updates, in emission order *)
+  | Failed of string  (* dynamic error description, to route per §3.6 *)
+
+let rules t = t.p_guarded
+let bindings t = t.p_bindings
+
+let of_rules rules =
+  {
+    p_bindings = [];
+    p_guarded =
+      List.mapi
+        (fun i (g_name, g_error_queue, body, g_requirements) ->
+          {
+            g_name;
+            g_error_queue;
+            g_guard = None;
+            g_guard_id = i;
+            g_then = body;
+            g_else = Ast.Empty_seq;
+            g_bindings = [];
+            g_fallback = body;
+            g_requirements;
+          })
+        rules;
+    p_n_guards = List.length rules;
+  }
+
+(* Lower the plan back to a single expression (explain output, tests):
+   the hoisted bindings become an [Ast.Bind] around the guarded bodies. *)
+let to_expr t =
+  let body_of g =
+    match g.g_guard with
+    | None -> g.g_then
+    | Some c -> Ast.If (c, g.g_then, g.g_else)
+  in
+  let body = Ast.Sequence (List.map body_of t.p_guarded) in
+  match t.p_bindings with [] -> body | binds -> Ast.Bind (binds, body)
+
+let eval ~admitted ~before ~emit env t =
+  let binds = Array.of_list t.p_bindings in
+  let b_memo = Array.make (Array.length binds) None in
+  let g_memo = Array.make (max 1 t.p_n_guards) None in
+  (* Evaluate binding [i] (memoized) given an env that already holds every
+     binding it references. *)
+  let force_binding env i =
+    match b_memo.(i) with
+    | Some r -> r
+    | None ->
+      let name, expr = binds.(i) in
+      let r =
+        match Eval.eval env expr with
+        | v -> Ok (name, v)
+        | exception Context.Eval_error d -> Error d
+      in
+      b_memo.(i) <- Some r;
+      r
+  in
+  let run_body g env body =
+    match Eval.eval_with_updates env body with
+    | _, updates -> emit g (Updates updates)
+    | exception Context.Eval_error d -> emit g (Failed d)
+  in
+  List.iteri
+    (fun idx g ->
+      if admitted idx g then begin
+        before g;
+        let env_r =
+          List.fold_left
+            (fun env_r i ->
+              match env_r with
+              | Error _ as e -> e
+              | Ok env -> (
+                match force_binding env i with
+                | Ok (name, v) -> Ok (Context.bind env name v)
+                | Error _ as e -> e))
+            (Ok env) g.g_bindings
+        in
+        match env_r with
+        | Error _ ->
+          (* a hoisted expression this rule depends on failed: replay the
+             rule's original body so the error surfaces exactly where (and
+             with the description) per-rule evaluation would produce it *)
+          run_body g env g.g_fallback
+        | Ok env -> (
+          let branch =
+            match g.g_guard with
+            | None -> Ok g.g_then
+            | Some guard -> (
+              let r =
+                match g_memo.(g.g_guard_id) with
+                | Some r -> r
+                | None ->
+                  let r =
+                    match Value.ebv (Eval.eval env guard) with
+                    | b -> Ok b
+                    | exception Context.Eval_error d -> Error d
+                    | exception Value.Type_error d -> Error d
+                  in
+                  g_memo.(g.g_guard_id) <- Some r;
+                  r
+              in
+              match r with
+              | Ok b -> Ok (if b then g.g_then else g.g_else)
+              | Error d -> Error d)
+          in
+          match branch with
+          | Ok body -> run_body g env body
+          | Error _ -> run_body g env g.g_fallback)
+      end)
+    t.p_guarded

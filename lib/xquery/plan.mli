@@ -1,0 +1,71 @@
+(** The guarded-plan IR: what the rule compiler lowers a target's rule
+    set into, and what the executor evaluates instead of interpreting
+    rules one at a time.
+
+    A plan fuses every rule of one queue or slicing while preserving each
+    rule's guard, error queue and pre-filter requirements, so error
+    attribution (§3.6) and condition pre-filtering survive the merge.
+    Plan-level {!t.p_bindings} hold common subexpressions hoisted across
+    rule bodies; rules with structurally identical stable guards share a
+    guard id and therefore a single evaluation per plan instance.
+
+    {!eval} is observationally equivalent to per-rule interpretation:
+    rules run in declaration order and report through the callbacks at
+    their own turn, memoized bindings/guards are restricted to pure,
+    stable expressions by the compiler, and if a shared evaluation fails
+    each dependent rule re-evaluates its original body inline so the
+    per-rule error (content and position) is reproduced exactly. *)
+
+type guarded = {
+  g_name : string;
+  g_error_queue : string option;
+  g_guard : Ast.expr option;
+      (** split-out condition; [None] = unconditional body *)
+  g_guard_id : int;  (** shared by structurally identical stable guards *)
+  g_then : Ast.expr;
+  g_else : Ast.expr;
+  g_bindings : int list;
+      (** plan-binding indices the rule needs; ascending, transitively
+          closed *)
+  g_fallback : Ast.expr;
+      (** original (un-hoisted) body, evaluated inline when a shared
+          binding or guard fails *)
+  g_requirements : string list;
+      (** condition pre-filter requirements; empty = always evaluate *)
+}
+
+type t = {
+  p_bindings : (string * Ast.expr) list;
+      (** hoisted subexpressions in dependency order *)
+  p_guarded : guarded list;  (** declaration order *)
+  p_n_guards : int;
+}
+
+type outcome =
+  | Updates of Update.t list
+  | Failed of string  (** dynamic error to route per §3.6 *)
+
+val rules : t -> guarded list
+val bindings : t -> (string * Ast.expr) list
+
+val of_rules : (string * string option * Ast.expr * string list) list -> t
+(** Trivial plan from [(name, error_queue, body, requirements)] rules: no
+    hoisting, no guard splitting — per-rule semantics verbatim. *)
+
+val to_expr : t -> Ast.expr
+(** Lower the plan to a single expression ({!Ast.Bind} around the guarded
+    bodies); used by explain output and tests. *)
+
+val eval :
+  admitted:(int -> guarded -> bool) ->
+  before:(guarded -> unit) ->
+  emit:(guarded -> outcome -> unit) ->
+  Context.env ->
+  t ->
+  unit
+(** Evaluate the plan for one message. [admitted] is the pre-filter
+    verdict, given the rule's position in {!t.p_guarded} (skipped rules
+    are not evaluated and not reported); [before]
+    fires at each admitted rule's turn (metrics, blame tracking); [emit]
+    delivers that rule's outcome inline, so the caller can route errors
+    between rules exactly as per-rule interpretation would. *)

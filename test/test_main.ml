@@ -14,6 +14,7 @@ let () =
       ("wsdl", Test_wsdl.suite);
       ("mq", Test_mq.suite);
       ("lang", Test_lang.suite);
+      ("plan", Test_plan.suite);
       ("engine", Test_engine.suite);
       ("crash", Test_crash.suite);
       ("procurement", Test_procurement.suite);
