@@ -268,7 +268,8 @@ let run_cmd file default_queue store_dir show_stats stats_json gc_at_end advance
 
 (* ---- trace: run and dump lifecycle spans as JSONL ---- *)
 
-let trace_cmd file default_queue capacity advance log_level =
+let trace_cmd file default_queue capacity advance filter_queue filter_rid
+    log_level =
   setup_logs log_level;
   let config =
     { S.default_config with S.trace_capacity = max 1 capacity; metrics = true }
@@ -311,8 +312,103 @@ let trace_cmd file default_queue capacity advance log_level =
       S.advance_time srv advance;
       ignore (S.run srv)
     end;
-    print_string (S.spans_jsonl srv);
+    print_string
+      (S.spans_jsonl ?queue:filter_queue ?rid:filter_rid srv);
     0
+
+(* ---- flow: render one causal cascade as an ASCII tree ---- *)
+
+let flow_cmd file default_queue id store_dir advance log_level =
+  setup_logs log_level;
+  let store =
+    match store_dir with
+    | Some dir ->
+      (* reopening a crashed node's store recovers the durable provenance
+         triples, so pre-crash hops still appear in the tree (their
+         timings are gone with the span ring: they render as "pending") *)
+      Store.open_store (Store.durable_config dir)
+    | None -> Store.open_store Store.default_config
+  in
+  let config =
+    { S.default_config with S.trace_capacity = 4096; metrics = true }
+  in
+  match S.deploy ~config ~store (read_file file) with
+  | exception S.Deployment_error msg ->
+    Printf.eprintf "deployment failed:\n%s\n" msg;
+    1
+  | srv ->
+    let inject queue xml_text =
+      match Demaq.xml xml_text with
+      | exception Demaq.Xml.Parser.Parse_error { msg; _ } ->
+        Printf.eprintf "bad XML (%s): %s\n" msg xml_text
+      | payload -> (
+        match Demaq.inject srv ~queue payload with
+        | Ok _ -> ()
+        | Error e ->
+          Printf.eprintf "rejected: %s\n" (Demaq.Mq.Queue_manager.error_to_string e))
+    in
+    (try
+       while true do
+         let line = String.trim (input_line stdin) in
+         if line <> "" then
+           if line.[0] = '<' then
+             match default_queue with
+             | Some q -> inject q line
+             | None ->
+               Printf.eprintf
+                 "no target queue: use '<queue> <xml>' lines or --queue\n"
+           else
+             match String.index_opt line ' ' with
+             | Some i ->
+               inject (String.sub line 0 i)
+                 (String.trim (String.sub line i (String.length line - i)))
+             | None -> Printf.eprintf "cannot parse input line: %s\n" line
+       done
+     with End_of_file -> ());
+    ignore (S.run srv);
+    if advance > 0 then begin
+      S.advance_time srv advance;
+      ignore (S.run srv)
+    end;
+    let rc =
+      match id with
+      | None ->
+        (* no id: list the retained flows, most recent first *)
+        let summaries = Demaq.Obs.Flow.summaries (S.flow_store srv) in
+        if summaries = [] then print_endline "no flows recorded"
+        else begin
+          Printf.printf "%-32s %6s %8s %12s\n" "FLOW" "NODES" "DROPPED"
+            "LAST-TICK";
+          List.iter
+            (fun (s : Demaq.Obs.Flow.summary) ->
+              Printf.printf "%-32s %6d %8d %12d\n" s.Demaq.Obs.Flow.s_flow
+                s.Demaq.Obs.Flow.s_nodes s.Demaq.Obs.Flow.s_dropped
+                s.Demaq.Obs.Flow.s_last_tick)
+            summaries
+        end;
+        0
+      | Some id -> (
+        let flow_id =
+          match int_of_string_opt id with
+          | Some rid -> S.flow_id_of_rid srv rid
+          | None -> Some id
+        in
+        match flow_id with
+        | None ->
+          Printf.eprintf "no flow recorded for rid %s\n" id;
+          1
+        | Some fid ->
+          if S.flow_nodes srv fid = [] then begin
+            Printf.eprintf "unknown flow %s\n" fid;
+            1
+          end
+          else begin
+            print_string (S.flow_ascii srv fid);
+            0
+          end)
+    in
+    Store.close store;
+    rc
 
 (* ---- query ---- *)
 
@@ -545,7 +641,7 @@ let queue_schema file queue =
          (Demaq.Lang.Qdl.queues program))
       (fun q -> q.Defs.schema)
 
-let make_generator ~queue ~program =
+let make_generator ~queue ~program ~flow_prefix =
   let path = "/enqueue/" ^ queue in
   let fallback i =
     Printf.sprintf "<msg><id>%d</id><payload>sample-%d</payload></msg>" i i
@@ -575,7 +671,12 @@ let make_generator ~queue ~program =
       fallback
     | None -> fallback
   in
-  fun i -> { Lg.sp_path = path; sp_body = body_of i }
+  let flow_of =
+    match flow_prefix with
+    | None -> fun _ -> ""
+    | Some p -> fun i -> Printf.sprintf "%s-%d" p i
+  in
+  fun i -> { Lg.sp_path = path; sp_body = body_of i; sp_flow = flow_of i }
 
 let parse_url url =
   let rest =
@@ -652,7 +753,7 @@ let result_entry rate (r : Lg.results) =
     r.Lg.r_ok r.Lg.r_errors r.Lg.r_dropped r.Lg.r_timeouts r.Lg.r_offered
 
 let loadgen_cmd url rates duration arrival inflight timeout workload queue
-    program json_file slo_p99 seed log_level =
+    program json_file slo_p99 seed flow_prefix log_level =
   setup_logs log_level;
   let fail msg =
     Printf.eprintf "loadgen: %s\n" msg;
@@ -697,7 +798,7 @@ let loadgen_cmd url rates duration arrival inflight timeout workload queue
           let arrival =
             match arrival with "constant" -> Lg.Constant | _ -> Lg.Poisson
           in
-          let gen = make_generator ~queue ~program in
+          let gen = make_generator ~queue ~program ~flow_prefix in
           let entries = ref [] in
           let worst_p99 = ref 0. in
           let total_bad = ref 0 in
@@ -971,19 +1072,53 @@ let lg_seed_arg =
   Arg.(value & opt int 1
        & info [ "seed" ] ~docv:"SEED" ~doc:"Poisson arrival-process seed")
 
+let flow_prefix_arg =
+  Arg.(value & opt (some string) None
+       & info [ "flow-prefix" ] ~docv:"PREFIX"
+           ~doc:
+             "Stamp an X-Demaq-Flow: PREFIX-<i> header on the i-th request, \
+              so each injected message roots a client-named causal flow \
+              (inspect with 'demaqd flow' or GET /flow/PREFIX-<i>)")
+
 let loadgen_t =
   Term.(const loadgen_cmd $ url_arg $ rate_arg $ duration_arg $ arrival_arg
         $ inflight_arg $ lg_timeout_arg $ workload_arg $ lg_queue_arg
-        $ program_arg $ lg_json_arg $ slo_arg $ lg_seed_arg $ log_arg)
+        $ program_arg $ lg_json_arg $ slo_arg $ lg_seed_arg $ flow_prefix_arg
+        $ log_arg)
 
 let capacity_arg =
   Arg.(value & opt int 1024
        & info [ "capacity" ] ~docv:"N"
            ~doc:"Lifecycle spans retained (oldest evicted first)")
 
+let filter_queue_arg =
+  Arg.(value & opt (some string) None
+       & info [ "filter-queue" ] ~docv:"QUEUE"
+           ~doc:
+             "Only print spans of messages in QUEUE (the /trace endpoint's \
+              ?queue= parameter)")
+
+let filter_rid_arg =
+  Arg.(value & opt (some int) None
+       & info [ "rid" ] ~docv:"RID"
+           ~doc:
+             "Only print spans of message RID (the /trace endpoint's ?rid= \
+              parameter)")
+
 let trace_t =
   Term.(const trace_cmd $ file_arg $ queue_arg $ capacity_arg $ advance_arg
-        $ log_arg)
+        $ filter_queue_arg $ filter_rid_arg $ log_arg)
+
+let flow_id_arg =
+  Arg.(value & pos 1 (some string) None
+       & info [] ~docv:"ID"
+           ~doc:
+             "A message rid (all digits; resolved to its flow) or a flow id. \
+              Omitted: list the retained flows.")
+
+let flow_t =
+  Term.(const flow_cmd $ file_arg $ queue_arg $ flow_id_arg $ store_arg
+        $ advance_arg $ log_arg)
 
 let expr_arg =
   Arg.(required & pos 0 (some string) None
@@ -1056,6 +1191,14 @@ let cmds =
            "Deploy a program, process stdin messages with lifecycle tracing \
             on, and dump the retained spans as JSONL")
       trace_t;
+    Cmd.v
+      (Cmd.info "flow"
+         ~doc:
+           "Deploy a program, process stdin messages, and render one causal \
+            cascade (by rid or flow id) as an ASCII tree with per-hop \
+            queue-wait and phase timings; with --store, flows recovered \
+            from a previous (possibly crashed) run are included")
+      flow_t;
     Cmd.v
       (Cmd.info "query" ~doc:"Evaluate a QML expression against an XML document")
       query_t;

@@ -46,6 +46,7 @@ module Network = Demaq_net.Network
 module Wsdl = Demaq_net.Wsdl
 module Metrics = Demaq_obs.Metrics
 module Trace = Demaq_obs.Trace
+module Flow = Demaq_obs.Flow
 
 let log = Logs.Src.create "demaq.executor" ~doc:"Demaq executor"
 
@@ -61,6 +62,10 @@ type config = {
   lock_granularity : [ `Queue | `Slice ];
   use_prefilter : bool;
   trace_capacity : int;
+  flow_tracing : bool;
+      (* mint/propagate/persist the causal provenance triple (flow id,
+         parent rid, causing rule) and feed the bounded flow store; off
+         reproduces the pre-flow extra blobs byte for byte *)
   gc_every : int;
   system_error_queue : string option;
   optimize : bool;
@@ -137,6 +142,17 @@ type t = {
   reg : Metrics.registry;  (* shard 0 = coordinator, i+1 = worker i *)
   met : metrics;
   spans : Trace.t;  (* per-message lifecycle ring (capacity from cfg) *)
+  flows : Flow.t;  (* bounded causal flow store (cascade trees) *)
+  mutable flow_seq : int;
+      (* next flow-id sequence number; seeded past the store's rid
+         high-water mark so ids minted after a crash-restart can never
+         collide with flows persisted before it (every mint is followed
+         by at least one rid allocation, so used seqs stay <= max rid) *)
+  pending_ns : (int, int) Hashtbl.t;
+      (* rid -> clock at schedule time, for enqueue->dispatch queue-wait
+         attribution; populated only while timing or tracing is on *)
+  wait_hists : (string, Metrics.histogram) Hashtbl.t;
+      (* per-queue demaq_queue_wait_seconds, registered lazily *)
   mutable fault : Fault.t option;  (* armed fault-injection points *)
 }
 
@@ -221,6 +237,14 @@ let create ~cfg ~qm ~st ~net ~compiled ~clk () =
     reg;
     met = make_metrics reg;
     spans = Trace.create ~capacity:cfg.trace_capacity;
+    flows = Flow.create ();
+    flow_seq =
+      1
+      + List.fold_left
+          (fun acc (sm : Store.message) -> max acc sm.Store.rid)
+          0 (Store.all_messages st);
+    pending_ns = Hashtbl.create 256;
+    wait_hists = Hashtbl.create 8;
     fault = None;
   }
 
@@ -288,6 +312,73 @@ let note_outgoing t (m : Message.t) =
   | Some { Defs.kind = Defs.Outgoing_gateway; _ } ->
     Queue.push m.Message.rid (outbox_for t m.Message.queue)
   | _ -> ()
+
+(* ---- causal provenance (flow tracing); assumes [state_mu] held ---- *)
+
+let mint_flow t ~origin =
+  let seq = t.flow_seq in
+  t.flow_seq <- seq + 1;
+  Printf.sprintf "%s-%s-%d" t.cfg.node_name origin seq
+
+(* Root provenance for a message entering from outside the cascade:
+   adopt the caller-supplied flow id (X-Demaq-Flow) or mint one. *)
+let root_prov t ?flow ~origin () =
+  if not t.cfg.flow_tracing then Message.no_provenance
+  else
+    let f =
+      match flow with Some f when f <> "" -> f | _ -> mint_flow t ~origin
+    in
+    { Message.p_flow = f; p_parent = -1; p_cause = origin }
+
+(* Child provenance: inherit the causing message's flow, point the edge at
+   it, blame [cause] (the rule, or an origin kind like "timer"/"error"). *)
+let derived_prov t ~cause (m : Message.t) =
+  if not t.cfg.flow_tracing then Message.no_provenance
+  else
+    {
+      Message.p_flow = m.Message.prov.Message.p_flow;
+      p_parent = m.Message.rid;
+      p_cause = cause;
+    }
+
+(* §3.6: an error message is caused by the message whose processing
+   failed; the edge keeps the failing rule's name when one is blamed. *)
+let error_prov t ?rule (m : Message.t) =
+  if not t.cfg.flow_tracing then None
+  else Some (derived_prov t ~cause:(Option.value ~default:"error" rule) m)
+
+let note_flow t (m : Message.t) =
+  if t.cfg.flow_tracing && m.Message.prov.Message.p_flow <> "" then
+    Flow.observe t.flows ~rid:m.Message.rid ~queue:m.Message.queue
+      ~flow:m.Message.prov.Message.p_flow
+      ~parent:m.Message.prov.Message.p_parent
+      ~cause:m.Message.prov.Message.p_cause ~tick:m.Message.enqueued_at
+
+(* Per-queue wait histograms are registered on first use; the registry
+   has bounded histogram capacity, so past [max_wait_hists] distinct
+   queues the remainder share one "other" series (never silently: the
+   cap only coarsens attribution, every observation still lands). *)
+let max_wait_hists = 24
+let wait_overflow_key = "\x00other"
+
+let wait_hist_for t queue =
+  match Hashtbl.find_opt t.wait_hists queue with
+  | Some h -> h
+  | None ->
+    let key, name =
+      if Hashtbl.length t.wait_hists < max_wait_hists then
+        (queue, Printf.sprintf "demaq_queue_wait_seconds{queue=\"%s\"}" queue)
+      else (wait_overflow_key, "demaq_queue_wait_seconds{queue=\"other\"}")
+    in
+    (match Hashtbl.find_opt t.wait_hists key with
+     | Some h -> h
+     | None ->
+       let h =
+         Metrics.histogram t.reg name
+           ~help:"Enqueue-to-dispatch queueing delay, per queue"
+       in
+       Hashtbl.replace t.wait_hists key h;
+       h)
 
 let bind_gateway t ~queue ?endpoint ?replies_to () =
   let endpoint = Option.value ~default:queue endpoint in
@@ -472,6 +563,10 @@ let resources_for t (m : Message.t) =
            m.Message.memberships
 
 let schedule_message t (m : Message.t) =
+  (* queue-wait attribution starts at schedule time; only paid for when
+     someone will consume the timings *)
+  if Metrics.timing_on t.reg || Trace.enabled t.spans then
+    Hashtbl.replace t.pending_ns m.Message.rid (Metrics.now t.reg);
   t.schedule
     ~priority:(queue_priority t m.Message.queue)
     ~resources:(resources_for t m) m.Message.rid
@@ -512,7 +607,7 @@ let pp_trace_entry fmt e =
 (* ---- error routing (§3.6); assumes [state_mu] held ---- *)
 
 let rec raise_error t txn ~kind ~description ?rule ?rule_error_queue
-    ~source_queue ?initial_message () =
+    ?provenance ~source_queue ?initial_message () =
   Metrics.incr t.met.m_errors_raised;
   let queue_error_queue =
     match Qm.find_queue t.qm source_queue with
@@ -542,16 +637,29 @@ let rec raise_error t txn ~kind ~description ?rule ?rule_error_queue
     let payload =
       Errors.to_xml ~kind ~description ?rule ~queue:source_queue ?initial_message ()
     in
-    enqueue_internal t txn ?rule ~trigger:None ~explicit:[] ~queue:error_queue
-      ~payload ~origin_queue:source_queue ()
+    enqueue_internal t txn ?rule ?provenance ~trigger:None ~explicit:[]
+      ~queue:error_queue ~payload ~origin_queue:source_queue ()
 
 (* Enqueue + schedule + echo-timer registration; failures are routed as
-   errors themselves (bounded by the loop protection above). *)
-and enqueue_internal t txn ?rule ?rule_error_queue ?(trigger = None) ~explicit
-    ~queue ~payload ~origin_queue () =
-  match Qm.enqueue t.qm txn ?rule ?trigger ~explicit ~queue ~payload () with
+   errors themselves (bounded by the loop protection above). The child's
+   provenance defaults to an edge derived from [trigger] (inherit its
+   flow, blame [rule]); [provenance] overrides for paths with no trigger
+   message in hand (error routing, timer fires). *)
+and enqueue_internal t txn ?rule ?rule_error_queue ?(trigger = None) ?provenance
+    ~explicit ~queue ~payload ~origin_queue () =
+  let provenance =
+    if not t.cfg.flow_tracing then Message.no_provenance
+    else
+      match provenance, trigger with
+      | Some p, _ -> p
+      | None, Some trig ->
+        derived_prov t ~cause:(Option.value ~default:"" rule) trig
+      | None, None -> Message.no_provenance
+  in
+  match Qm.enqueue t.qm txn ?rule ?trigger ~provenance ~explicit ~queue ~payload () with
   | Ok m ->
     Metrics.incr t.met.m_messages_created;
+    note_flow t m;
     schedule_message t m;
     note_outgoing t m;
     (match Qm.find_queue t.qm queue with
@@ -564,8 +672,12 @@ and enqueue_internal t txn ?rule ?rule_error_queue ?(trigger = None) ~explicit
       | Qm.Schema_violation _ -> Errors.Schema_violation
       | Qm.Fixed_property_set _ | Qm.Property_error _ -> Errors.Property_error
     in
+    let provenance =
+      match trigger with Some trig -> error_prov t ?rule trig | None -> None
+    in
     raise_error t txn ~kind ~description:(Qm.error_to_string e) ?rule
-      ?rule_error_queue ~source_queue:origin_queue ~initial_message:payload ()
+      ?rule_error_queue ?provenance ~source_queue:origin_queue
+      ~initial_message:payload ()
 
 and register_echo_timer t txn ?rule (m : Message.t) =
   let timeout =
@@ -587,19 +699,22 @@ and register_echo_timer t txn ?rule (m : Message.t) =
     raise_error t txn ~kind:Errors.Property_error
       ~description:
         "echo queue messages need integer 'timeout' and string 'target' properties"
-      ?rule ~source_queue:m.Message.queue ~initial_message:(Message.body m) ()
+      ?rule
+      ?provenance:(error_prov t ?rule m)
+      ~source_queue:m.Message.queue ~initial_message:(Message.body m) ()
 
 (* ---- message injection (external arrivals / gateway replies) ---- *)
 
 (* One message's admission in its own transaction; assumes [state_mu]
    held. Per-message transactions keep batch semantics simple: one
    rejected document aborts only itself. *)
-let inject_unlocked t ~props ~queue payload =
+let inject_unlocked t ~props ~provenance ~queue payload =
   match
     in_txn t (fun txn ->
-        match Qm.enqueue t.qm txn ~explicit:props ~queue ~payload () with
+        match Qm.enqueue t.qm txn ~provenance ~explicit:props ~queue ~payload () with
         | Ok m ->
           Metrics.incr t.met.m_messages_created;
+          note_flow t m;
           schedule_message t m;
           note_outgoing t m;
           (match Qm.find_queue t.qm queue with
@@ -611,15 +726,24 @@ let inject_unlocked t ~props ~queue payload =
   | m -> Ok m
   | exception Qm.Queue_error e -> Error e
 
-let inject t ?(props = []) ~queue payload =
-  locked t (fun () -> inject_unlocked t ~props ~queue payload)
+let inject t ?(props = []) ?flow ?(origin = "ingress") ~queue payload =
+  locked t (fun () ->
+      inject_unlocked t ~props
+        ~provenance:(root_prov t ?flow ~origin ())
+        ~queue payload)
 
 (* Batch ingress: admit a whole batch under one lock acquisition, so the
    gateway path amortizes locking and encoder scratch warm-up across the
-   batch instead of paying them per document. *)
-let inject_many t ?(props = []) ~queue payloads =
+   batch instead of paying them per document. Each document is its own
+   cascade root: without an adopted [flow] each mints its own flow id. *)
+let inject_many t ?(props = []) ?flow ?(origin = "ingress") ~queue payloads =
   locked t (fun () ->
-      List.map (fun payload -> inject_unlocked t ~props ~queue payload) payloads)
+      List.map
+        (fun payload ->
+          inject_unlocked t ~props
+            ~provenance:(root_prov t ?flow ~origin ())
+            ~queue payload)
+        payloads)
 
 let admission_stats t =
   ( Metrics.value t.met.m_admission_scans,
@@ -774,6 +898,7 @@ let apply_updates t txn blamed (m : Message.t) tagged =
           raise_error t txn ~kind:Errors.Evaluation_error
             ~description:"do reset: no slice in scope and none specified"
             ~rule:at.at_rule ?rule_error_queue:at.at_error_queue
+            ?provenance:(error_prov t ~rule:at.at_rule m)
             ~source_queue:m.Message.queue ~initial_message:(Message.body m) ()))
     tagged
 
@@ -789,6 +914,7 @@ let purge_collected t rids =
         Hashtbl.replace collected rid ();
         Hashtbl.remove t.node_cache rid;
         Hashtbl.remove t.name_cache rid;
+        Hashtbl.remove t.pending_ns rid;
         Hashtbl.remove t.sent rid)
       rids;
     Hashtbl.iter
@@ -836,6 +962,20 @@ let prepare t ~acts ~now rid =
   | None -> None  (* collected before its turn came *)
   | Some m when m.Message.processed -> None  (* rescheduled duplicate *)
   | Some m ->
+    (* queue-wait: time from schedule to this dispatch. The entry is
+       popped unconditionally (it may exist while timing is sampled off);
+       the observation lands only on timed runs, mirroring the phase
+       histograms' 1:8 sampling. *)
+    let wait_ns =
+      match Hashtbl.find_opt t.pending_ns rid with
+      | None -> 0
+      | Some t_sched ->
+        Hashtbl.remove t.pending_ns rid;
+        let n = now () in
+        if n > 0 then max 0 (n - t_sched) else 0
+    in
+    if wait_ns > 0 && Metrics.timing_on t.reg then
+      Metrics.observe (wait_hist_for t m.Message.queue) wait_ns;
     let txn = Store.begin_txn t.st in
     acquire_locks t txn m;
     let work = work_for t m in
@@ -923,7 +1063,7 @@ let prepare t ~acts ~now rid =
         now () - d0
       end
     in
-    Some (m, txn, work, decode_ns)
+    Some (m, txn, work, decode_ns, wait_ns)
 
 (* Phase 1: evaluate all pertinent rules against the same snapshot,
    accumulating the pending update list. Runs WITHOUT [state_mu]; the
@@ -936,8 +1076,9 @@ let evaluate t txn blamed ~acts (m : Message.t) work =
   let fail rule rule_error_queue description =
     locked t (fun () ->
         raise_error t txn ~kind:Errors.Evaluation_error ~description ~rule
-          ?rule_error_queue ~source_queue:m.Message.queue
-          ~initial_message:(Message.body m) ())
+          ?rule_error_queue
+          ?provenance:(error_prov t ~rule m)
+          ~source_queue:m.Message.queue ~initial_message:(Message.body m) ())
   in
   match work with
   | Units units ->
@@ -1029,7 +1170,7 @@ let process t rid =
   let acts = ref [] in
   match prepare t ~acts ~now rid with
   | None -> false
-  | Some (m, txn, work, decode_ns) ->
+  | Some (m, txn, work, decode_ns, wait_ns) ->
     let t_locked = now () in
     let blamed = ref None in
     let t_evaled = ref t_locked in
@@ -1096,14 +1237,18 @@ let process t rid =
       Metrics.observe t.met.m_eval_seconds (!t_evaled - t_locked);
       Metrics.observe t.met.m_apply_seconds (!t_applied - !t_evaled)
     end;
-    if tracing then
-      Trace.record t.spans
+    if tracing then begin
+      let span =
         {
           Trace.sp_rid = m.Message.rid;
           sp_queue = m.Message.queue;
+          sp_flow = m.Message.prov.Message.p_flow;
+          sp_parent = m.Message.prov.Message.p_parent;
+          sp_cause = m.Message.prov.Message.p_cause;
           sp_tick = Clock.now t.clk;
           sp_worker = Metrics.shard_index t.reg;
           sp_start_ns = t_start;
+          sp_wait_ns = wait_ns;
           sp_lock_ns = t_locked - t_start;
           sp_decode_ns = decode_ns;
           sp_eval_ns = !t_evaled - t_locked;
@@ -1112,7 +1257,11 @@ let process t rid =
           sp_activations = List.rev !acts;
           sp_actions = !actions;
           sp_outcome = !outcome;
-        };
+        }
+      in
+      Trace.record t.spans span;
+      if t.cfg.flow_tracing then Flow.attach t.flows span
+    end;
     Metrics.incr t.met.m_processed;
     if
       t.cfg.gc_every > 0

@@ -33,6 +33,7 @@ module Network = Demaq_net.Network
 module Wsdl = Demaq_net.Wsdl
 module Metrics = Demaq_obs.Metrics
 module Trace = Demaq_obs.Trace
+module Flow = Demaq_obs.Flow
 
 type config = {
   merged_plans : bool;
@@ -48,6 +49,11 @@ type config = {
   lock_granularity : [ `Queue | `Slice ];
   use_prefilter : bool;
   trace_capacity : int;
+  flow_tracing : bool;
+      (** mint, propagate and durably persist the causal provenance
+          triple (flow id, parent rid, causing rule) on every message,
+          and feed the bounded flow store; off writes extra blobs
+          identical to pre-flow builds *)
   gc_every : int;
   system_error_queue : string option;
   optimize : bool;
@@ -120,6 +126,12 @@ type t = {
   reg : Metrics.registry;
   met : metrics;
   spans : Trace.t;
+  flows : Flow.t;
+      (** bounded causal flow store; fed on enqueue ({!note_flow} via the
+          enqueue paths) and span completion when [flow_tracing] is on *)
+  mutable flow_seq : int;
+  pending_ns : (int, int) Hashtbl.t;
+  wait_hists : (string, Metrics.histogram) Hashtbl.t;
   mutable fault : Fault.t option;
 }
 
@@ -185,11 +197,14 @@ val raise_error :
   description:string ->
   ?rule:string ->
   ?rule_error_queue:string ->
+  ?provenance:Message.provenance ->
   source_queue:string ->
   ?initial_message:Tree.tree ->
   unit ->
   unit
-(** §3.6 error routing. Assumes the lock. *)
+(** §3.6 error routing. Assumes the lock. [provenance] links the routed
+    error message into the failing message's causal flow; derive it with
+    {!error_prov}. *)
 
 val enqueue_internal :
   t ->
@@ -197,13 +212,38 @@ val enqueue_internal :
   ?rule:string ->
   ?rule_error_queue:string ->
   ?trigger:Message.t option ->
+  ?provenance:Message.provenance ->
   explicit:(string * Value.atomic) list ->
   queue:string ->
   payload:Tree.tree ->
   origin_queue:string ->
   unit ->
   unit
-(** Enqueue + schedule + echo-timer registration. Assumes the lock. *)
+(** Enqueue + schedule + echo-timer registration. Assumes the lock.
+    Without an explicit [provenance] the child's causal edge derives from
+    [trigger]: inherit its flow id, parent = trigger rid, cause = [rule]. *)
+
+val mint_flow : t -> origin:string -> string
+(** Fresh node-unique flow id ("<node>-<origin>-<seq>"); deterministic,
+    and collision-free across crash-restarts (the sequence is seeded past
+    the store's rid high-water mark). Assumes the lock. *)
+
+val root_prov :
+  t -> ?flow:string -> origin:string -> unit -> Message.provenance
+(** Provenance for a cascade root: adopt [flow] (e.g. an [X-Demaq-Flow]
+    header value) or mint one. {!Message.no_provenance} when flow tracing
+    is off. Assumes the lock. *)
+
+val derived_prov : t -> cause:string -> Message.t -> Message.provenance
+(** Child edge: inherit the causing message's flow, blame [cause]. *)
+
+val error_prov : t -> ?rule:string -> Message.t -> Message.provenance option
+(** Edge for a §3.6 error message caused by a failure while processing
+    [m]; [None] when flow tracing is off. *)
+
+val note_flow : t -> Message.t -> unit
+(** Report a traced message's provenance edge to the flow store. Assumes
+    the lock; called by the enqueue paths, exposed for recovery replay. *)
 
 val register_echo_timer : t -> Store.txn -> ?rule:string -> Message.t -> unit
 (** Assumes the lock. *)
@@ -211,20 +251,28 @@ val register_echo_timer : t -> Store.txn -> ?rule:string -> Message.t -> unit
 val inject :
   t ->
   ?props:(string * Value.atomic) list ->
+  ?flow:string ->
+  ?origin:string ->
   queue:string ->
   Tree.tree ->
   (Message.t, Qm.error) result
-(** Inject an external arrival in its own transaction (locks itself). *)
+(** Inject an external arrival in its own transaction (locks itself).
+    The message becomes a cascade root: its flow id is [flow] when
+    supplied (adopted from the client) or freshly minted; [origin]
+    (default ["ingress"]) labels the root's cause. *)
 
 val inject_many :
   t ->
   ?props:(string * Value.atomic) list ->
+  ?flow:string ->
+  ?origin:string ->
   queue:string ->
   Tree.tree list ->
   (Message.t, Qm.error) result list
 (** Batch form of {!inject}: one lock acquisition for the whole batch,
     one transaction per document (a rejected document aborts only
-    itself). Results are in input order. *)
+    itself). Results are in input order. Each document is its own
+    cascade root; without [flow] each mints its own flow id. *)
 
 val admission_stats : t -> int * int * int
 (** [(scans, decodes, decoded_bytes)]: messages whose admission resolved

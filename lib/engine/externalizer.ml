@@ -111,7 +111,9 @@ let transmit (t : E.t) ?(attempt = 1) (m : Message.t) (qdef : Defs.queue_def) =
         let creating_rule, rule_error_queue = creating_rule_route t m in
         E.in_txn t (fun txn ->
             E.raise_error t txn ~kind ~description ?rule:creating_rule
-              ?rule_error_queue ~source_queue:m.Message.queue
+              ?rule_error_queue
+              ?provenance:(E.error_prov t ?rule:creating_rule m)
+              ~source_queue:m.Message.queue
               ~initial_message:(Message.body m) ()))
   in
   match
@@ -141,18 +143,26 @@ let transmit (t : E.t) ?(attempt = 1) (m : Message.t) (qdef : Defs.queue_def) =
     E.locked t (fun () -> Hashtbl.replace t.E.sent m.Message.rid ());
     (match binding.E.replies_to with
      | Some incoming ->
+       (* a reply continues the causal flow of the transmission that
+          solicited it, rather than starting a fresh cascade *)
+       let flow =
+         match m.Message.prov.Message.p_flow with
+         | "" -> None
+         | f -> Some f
+       in
        List.iter
          (fun reply ->
            match
              E.inject t
                ~props:[ (Defs.Sysprop.sender, Value.String endpoint) ]
-               ~queue:incoming reply
+               ?flow ~origin:"reply" ~queue:incoming reply
            with
            | Ok _ -> ()
            | Error e ->
              E.with_txn t (fun txn ->
                  E.raise_error t txn ~kind:Errors.Schema_violation
-                   ~description:(Qm.error_to_string e) ~source_queue:incoming
+                   ~description:(Qm.error_to_string e)
+                   ?provenance:(E.error_prov t m) ~source_queue:incoming
                    ~initial_message:reply ()))
          replies
      | None -> ())
@@ -225,8 +235,10 @@ let fire_echo (t : E.t) ~rid ~target =
     M.incr t.E.met.E.m_timers_fired;
     try
       E.with_txn t (fun txn ->
-          E.enqueue_internal t txn ~trigger:(Some echo_msg) ~explicit:[]
-            ~queue:target ~payload:(Message.body echo_msg)
+          E.enqueue_internal t txn ~trigger:(Some echo_msg)
+            ~provenance:(E.derived_prov t ~cause:"timer" echo_msg)
+            ~explicit:[] ~queue:target
+            ~payload:(Message.body echo_msg)
             ~origin_queue:echo_msg.Message.queue ();
           Qm.mark_processed t.E.qm txn echo_msg)
     with e ->
@@ -238,6 +250,7 @@ let fire_echo (t : E.t) ~rid ~target =
          E.with_txn t (fun txn ->
              E.raise_error t txn ~kind:Errors.System_error
                ~description:(E.exn_description e)
+               ?provenance:(E.error_prov t echo_msg)
                ~source_queue:echo_msg.Message.queue
                ~initial_message:(Message.body echo_msg) ();
              Qm.mark_processed t.E.qm txn echo_msg)

@@ -4,7 +4,11 @@
     Observability endpoints (always served):
     - [GET /metrics] — Prometheus text exposition
     - [GET /stats.json] — full registry snapshot
-    - [GET /trace] — retained lifecycle spans, JSONL
+    - [GET /trace] — retained lifecycle spans, JSONL; [?queue=<name>]
+      and [?rid=<n>] narrow to one queue / one message
+    - [GET /flows] — retained causal-flow summaries, JSON array
+    - [GET /flow/<id>] — one flow's cascade tree as JSON; [<id>] is a
+      flow id, or a bare rid (all digits) resolved to its flow first
     - [GET /healthz] — liveness probe
 
     Message ingress (when [enqueue] is on):
@@ -13,8 +17,10 @@
       with the assigned rid, [400] on malformed XML, [404] for an unknown
       queue, and [422] when the queue manager rejects the message (schema
       violation, property error — a permanent rejection a client must not
-      retry; [429] stays reserved for genuine backpressure). The handler
-      only enqueues; draining is the serve loop's job. *)
+      retry; [429] stays reserved for genuine backpressure). An
+      [X-Demaq-Flow] request header is adopted as the injected message's
+      flow id, so a client can stitch its own end-to-end traces. The
+      handler only enqueues; draining is the serve loop's job. *)
 
 val handler : ?enqueue:bool -> Server.t -> Demaq_net.Http.handler
 (** [handler srv] with [enqueue] defaulting to [true]. Safe to call from

@@ -23,6 +23,7 @@ module Compiler = Demaq_lang.Compiler
 module Network = Demaq_net.Network
 module Metrics = Demaq_obs.Metrics
 module Obs_trace = Demaq_obs.Trace
+module Flow = Demaq_obs.Flow
 
 let log = Logs.Src.create "demaq.server" ~doc:"Demaq server"
 
@@ -35,6 +36,7 @@ type config = Executor.config = {
   lock_granularity : [ `Queue | `Slice ];
   use_prefilter : bool;
   trace_capacity : int;
+  flow_tracing : bool;
   gc_every : int;
   system_error_queue : string option;
   optimize : bool;
@@ -69,6 +71,9 @@ let default_config =
     lock_granularity = `Slice;
     use_prefilter = true;
     trace_capacity = 0;
+    (* provenance is three small extra-blob fields per message and one
+       bounded-store insert; B17 holds the cascade overhead under 5% *)
+    flow_tracing = true;
     gc_every = 0;
     system_error_queue = None;
     optimize = true;
@@ -124,10 +129,11 @@ let set_fault t fault = Executor.set_fault t.ctx fault
 let set_collection t name docs = Executor.set_collection t.ctx name docs
 let bind_gateway t = Executor.bind_gateway t.ctx
 let register_interface t = Executor.register_interface t.ctx
-let inject t ?props ~queue payload = Executor.inject t.ctx ?props ~queue payload
+let inject t ?props ?flow ~queue payload =
+  Executor.inject t.ctx ?props ?flow ~queue payload
 
-let inject_batch t ?props ~queue payloads =
-  Executor.inject_many t.ctx ?props ~queue payloads
+let inject_batch t ?props ?flow ~queue payloads =
+  Executor.inject_many t.ctx ?props ?flow ~queue payloads
 
 let admission_stats t = Executor.admission_stats t.ctx
 let pump_gateways t = Externalizer.pump_gateways t.ctx
@@ -220,9 +226,90 @@ let stats t =
 
 let registry t = t.ctx.Executor.reg
 let exposition t = Metrics.render t.ctx.Executor.reg
-let spans t = Obs_trace.spans t.ctx.Executor.spans
-let spans_jsonl t = Obs_trace.dump_jsonl t.ctx.Executor.spans
+
+let span_matches ?queue ?rid (s : Obs_trace.span) =
+  (match queue with None -> true | Some q -> s.Obs_trace.sp_queue = q)
+  && match rid with None -> true | Some r -> s.Obs_trace.sp_rid = r
+
+let spans ?queue ?rid t =
+  List.filter (span_matches ?queue ?rid) (Obs_trace.spans t.ctx.Executor.spans)
+
+let spans_jsonl ?queue ?rid t =
+  match queue, rid with
+  | None, None -> Obs_trace.dump_jsonl t.ctx.Executor.spans
+  | _ ->
+    let buf = Buffer.create 1024 in
+    List.iter
+      (fun s ->
+        Buffer.add_string buf (Obs_trace.span_json s);
+        Buffer.add_char buf '\n')
+      (List.rev (spans ?queue ?rid t));
+    Buffer.contents buf
+
 let pp_span = Obs_trace.pp_span
+
+(* ---- causal flows ---- *)
+
+let flow_store t = t.ctx.Executor.flows
+
+(* Resolve a rid to its flow id: the in-memory store first, then durable
+   provenance (survives both restart and flow-store eviction). *)
+let flow_id_of_rid t rid =
+  match Flow.flow_of_rid t.ctx.Executor.flows rid with
+  | Some f -> Some f
+  | None ->
+    Executor.locked t.ctx (fun () ->
+        match Qm.get t.ctx.Executor.qm rid with
+        | Some m when m.Message.prov.Message.p_flow <> "" ->
+          Some m.Message.prov.Message.p_flow
+        | _ -> None)
+
+(* A flow's nodes, merged from three sources so trees render across
+   crash-restart: durable provenance (the store scan — survives
+   everything), the bounded flow store (adds messages the GC already
+   collected), and the span ring (timings for whatever it still holds). *)
+let flow_nodes t flow_id =
+  let ctx = t.ctx in
+  let by_rid = Hashtbl.create 32 in
+  Executor.locked ctx (fun () ->
+      List.iter
+        (fun (sm : Store.message) ->
+          let _, _, prov = Message.decode_extra sm.Store.extra in
+          if prov.Message.p_flow = flow_id then
+            Hashtbl.replace by_rid sm.Store.rid
+              {
+                Flow.n_rid = sm.Store.rid;
+                n_queue = sm.Store.queue;
+                n_flow = flow_id;
+                n_parent = prov.Message.p_parent;
+                n_cause = prov.Message.p_cause;
+                n_span = None;
+              })
+        (Store.all_messages ctx.Executor.st));
+  List.iter
+    (fun (n : Flow.node) ->
+      match Hashtbl.find_opt by_rid n.Flow.n_rid with
+      | Some stored -> stored.Flow.n_span <- n.Flow.n_span
+      | None -> Hashtbl.replace by_rid n.Flow.n_rid n)
+    (Flow.nodes ctx.Executor.flows flow_id);
+  List.iter
+    (fun (sp : Obs_trace.span) ->
+      if sp.Obs_trace.sp_flow = flow_id then
+        match Hashtbl.find_opt by_rid sp.Obs_trace.sp_rid with
+        | Some n when n.Flow.n_span = None -> n.Flow.n_span <- Some sp
+        | _ -> ())
+    (Obs_trace.spans ctx.Executor.spans);
+  Hashtbl.fold (fun _ n acc -> n :: acc) by_rid []
+  |> List.sort (fun (a : Flow.node) b -> compare a.Flow.n_rid b.Flow.n_rid)
+
+let flow_ascii t flow_id = Flow.render_ascii flow_id (flow_nodes t flow_id)
+let flow_json t flow_id = Flow.render_json flow_id (flow_nodes t flow_id)
+
+let flows_json t =
+  "["
+  ^ String.concat ","
+      (List.map Flow.summary_json (Flow.summaries t.ctx.Executor.flows))
+  ^ "]"
 
 (* Machine-readable stats: the full registry snapshot (counters, sampled
    gauges, histogram count/sum) plus the derived ratios [stats] computes,
@@ -300,6 +387,15 @@ let expose t ~name ~queue =
 
 (* ---- deployment ---- *)
 
+(* Build identity for demaq_build_info. The commit is stamped by the
+   build/CI environment when available; there is no git at runtime. *)
+let build_version = "0.9.0"
+
+let build_commit =
+  match Sys.getenv_opt "DEMAQ_BUILD_COMMIT" with
+  | Some c when c <> "" -> c
+  | _ -> "unknown"
+
 let deploy ?(config = default_config) ?time_source ?store:st ?network:net
     ?payload_format program_text =
   let program =
@@ -334,6 +430,22 @@ let deploy ?(config = default_config) ?time_source ?store:st ?network:net
   let net = match net with Some n -> n | None -> Network.create () in
   let ctx = Executor.create ~cfg:config ~qm ~st ~net ~compiled ~clk () in
   Store.instrument st ctx.Executor.reg;
+  let reg = ctx.Executor.reg in
+  Metrics.counter_fn reg "demaq_trace_dropped_total"
+    ~help:"Lifecycle spans evicted from the bounded span ring"
+    (fun () ->
+      float_of_int
+        (max 0
+           (Obs_trace.total ctx.Executor.spans
+           - Obs_trace.capacity ctx.Executor.spans)));
+  Metrics.gauge_fn reg
+    (Printf.sprintf "demaq_build_info{version=\"%s\",commit=\"%s\"}"
+       build_version build_commit)
+    ~help:"Build identity; the value is always 1" (fun () -> 1.);
+  let started_ns = Metrics.now reg in
+  Metrics.gauge_fn reg "demaq_uptime_seconds"
+    ~help:"Seconds since this node deployed (virtual under simulation)"
+    (fun () -> float_of_int (Metrics.now reg - started_ns) *. 1e-9);
   let pool =
     Worker_pool.create ~registry:ctx.Executor.reg ~workers:config.workers ()
   in
@@ -366,4 +478,18 @@ let deploy ?(config = default_config) ?time_source ?store:st ?network:net
         Executor.with_txn ctx (fun txn -> Executor.register_echo_timer ctx txn m)
       | _ -> Executor.schedule_message ctx m)
     unprocessed;
+  (* Refill the flow store from durable provenance so /flows and the flow
+     trees pick up where the crashed process left off (spans are gone —
+     those hops render without timings — but the causal edges survive). *)
+  if config.flow_tracing then
+    Executor.locked ctx (fun () ->
+        Store.all_messages st
+        |> List.sort (fun (a : Store.message) b -> compare a.Store.rid b.Store.rid)
+        |> List.iter (fun (sm : Store.message) ->
+               let _, _, prov = Message.decode_extra sm.Store.extra in
+               if prov.Message.p_flow <> "" then
+                 Flow.observe ctx.Executor.flows ~rid:sm.Store.rid
+                   ~queue:sm.Store.queue ~flow:prov.Message.p_flow
+                   ~parent:prov.Message.p_parent ~cause:prov.Message.p_cause
+                   ~tick:sm.Store.enqueued_at));
   t

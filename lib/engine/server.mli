@@ -36,6 +36,14 @@ type config = Executor.config = {
   trace_capacity : int;
       (** keep the last N rule activations for inspection (§2.3.3 names
           "tracing system behavior" as a retention concern); 0 disables *)
+  flow_tracing : bool;
+      (** causal flow tracing (on by default): every message carries a
+          provenance triple — flow id minted at its cascade's origin (or
+          adopted from an [X-Demaq-Flow] header), parent rid, causing
+          rule — persisted through the extra blob so flows survive
+          crash-restart, and assembled into cascade trees ({!flow_tree},
+          [/flows]). Off writes extra blobs identical to pre-flow
+          builds. *)
   gc_every : int;
       (** run the retention GC after every N processed messages;
           0 disables automatic GC ("physical cleanup is decoupled from
@@ -133,20 +141,25 @@ val set_collection : t -> string -> Tree.tree list -> unit
 val inject :
   t ->
   ?props:(string * Value.atomic) list ->
+  ?flow:string ->
   queue:string ->
   Tree.tree ->
   (Demaq_mq.Message.t, Demaq_mq.Queue_manager.error) result
 (** Deliver an external message into a queue (e.g. a request arriving at an
-    incoming gateway), in its own transaction. *)
+    incoming gateway), in its own transaction. The message roots a causal
+    flow: [flow] adopts a client-supplied id (the HTTP ingress passes the
+    [X-Demaq-Flow] header through here), otherwise one is minted. *)
 
 val inject_batch :
   t ->
   ?props:(string * Value.atomic) list ->
+  ?flow:string ->
   queue:string ->
   Tree.tree list ->
   (Demaq_mq.Message.t, Demaq_mq.Queue_manager.error) result list
 (** Batch {!inject}: one lock acquisition for the whole batch, one
-    transaction per document, results in input order. *)
+    transaction per document, results in input order. Without [flow] each
+    document mints its own flow id. *)
 
 val admission_stats : t -> int * int * int
 (** [(scans, decodes, decoded_bytes)]: rule admissions resolved from the
@@ -276,13 +289,44 @@ val stats_json : t -> string
 (** The registry snapshot (counters, gauges, histogram count/sum) plus
     derived ratios, as one JSON object. *)
 
-val spans : t -> Demaq_obs.Trace.span list
-(** Retained lifecycle spans, newest first. *)
+val spans : ?queue:string -> ?rid:int -> t -> Demaq_obs.Trace.span list
+(** Retained lifecycle spans, newest first, optionally scoped to one
+    queue and/or one rid. *)
 
-val spans_jsonl : t -> string
-(** Retained spans as JSONL, oldest first. *)
+val spans_jsonl : ?queue:string -> ?rid:int -> t -> string
+(** Retained spans as JSONL, oldest first, with the same filters. *)
 
 val pp_span : Format.formatter -> Demaq_obs.Trace.span -> unit
+
+(** {1 Causal flows}
+
+    With [config.flow_tracing] (the default) every message carries a
+    durable provenance triple; these assemble them into cascade trees.
+    Tree queries merge three sources — durable provenance from the store
+    scan (survives crash-restart), the bounded in-memory flow store
+    (covers messages the retention GC already collected), and the span
+    ring (per-hop wait/phase timings) — so a tree renders wherever any
+    evidence of the flow remains. *)
+
+val flow_store : t -> Demaq_obs.Flow.t
+
+val flow_id_of_rid : t -> int -> string option
+(** The flow a message belongs to, from the in-memory index or its
+    durable provenance. *)
+
+val flow_nodes : t -> string -> Demaq_obs.Flow.node list
+(** All known nodes of a flow, rid order, spans attached where held. *)
+
+val flow_ascii : t -> string -> string
+(** ASCII cascade tree with per-hop outcome + wait/phase breakdown and
+    the critical path marked ([demaqd flow], minus the rid resolution). *)
+
+val flow_json : t -> string -> string
+(** The same tree as JSON (the [/flow/<id>] endpoint body). *)
+
+val flows_json : t -> string
+(** JSON array of retained flow summaries (the [/flows] endpoint body),
+    most recent activity first. *)
 
 (** {1 Dynamic evolution (paper §5 future work)} *)
 

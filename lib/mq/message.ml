@@ -12,6 +12,15 @@ type membership = {
   m_lifetime : int;  (* slice lifetime at insertion (§2.3.2) *)
 }
 
+type provenance = {
+  p_flow : string;  (* flow id minted at the cascade's origin; "" = none *)
+  p_parent : int;  (* rid of the causing message; -1 = cascade root *)
+  p_cause : string;  (* rule that enqueued this, or an origin kind *)
+}
+
+let no_provenance = { p_flow = ""; p_parent = -1; p_cause = "" }
+let is_root p = p.p_parent < 0
+
 type t = {
   rid : int;
   queue : string;
@@ -19,6 +28,7 @@ type t = {
   body : Tree.tree Lazy.t;  (* decoded on demand from [raw] *)
   props : (string * Value.atomic) list;
   memberships : membership list;
+  prov : provenance;
   enqueued_at : int;
   processed : bool;
 }
@@ -62,7 +72,7 @@ let get_atomic r =
   | 'u' -> Value.Untyped (Codec.get_string r)
   | c -> raise (Codec.Decode_error (Printf.sprintf "bad atomic tag %C" c))
 
-let encode_extra ~props ~memberships =
+let encode_extra ?(provenance = no_provenance) ~props ~memberships () =
   let buf = Buffer.create 128 in
   Codec.put_list buf
     (fun buf (name, a) ->
@@ -75,6 +85,11 @@ let encode_extra ~props ~memberships =
       Codec.put_string buf m.m_key;
       Codec.put_int buf m.m_lifetime)
     memberships;
+  (* provenance rides at the tail so blobs written before flow tracing
+     landed still decode: [decode_extra] probes [at_end] *)
+  Codec.put_string buf provenance.p_flow;
+  Codec.put_int buf provenance.p_parent;
+  Codec.put_string buf provenance.p_cause;
   Buffer.contents buf
 
 let decode_extra extra =
@@ -92,10 +107,18 @@ let decode_extra extra =
         let m_lifetime = Codec.get_int r in
         { m_slicing; m_key; m_lifetime })
   in
-  (props, memberships)
+  let provenance =
+    if Codec.at_end r then no_provenance
+    else
+      let p_flow = Codec.get_string r in
+      let p_parent = Codec.get_int r in
+      let p_cause = Codec.get_string r in
+      { p_flow; p_parent; p_cause }
+  in
+  (props, memberships, provenance)
 
 let of_store store (sm : Demaq_store.Message_store.message) =
-  let props, memberships = decode_extra sm.extra in
+  let props, memberships, prov = decode_extra sm.extra in
   (* spilled bodies are faulted in through the buffer pool on first
      access and then held by this record's lazy cell; [raw] stays
      un-forced until either an admission scan or a decode needs it *)
@@ -107,6 +130,7 @@ let of_store store (sm : Demaq_store.Message_store.message) =
     body = lazy (Demaq_xml.Bxml.decode_any (Lazy.force raw));
     props;
     memberships;
+    prov;
     enqueued_at = sm.enqueued_at;
     processed = sm.processed;
   }

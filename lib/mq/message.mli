@@ -14,6 +14,23 @@ type membership = {
           current while it equals the slice's counter (§2.3.2) *)
 }
 
+type provenance = {
+  p_flow : string;
+      (** flow id minted where the cascade entered the system (ingress,
+          gateway, timer) or adopted from the client's [X-Demaq-Flow]
+          header; [""] on messages predating flow tracing *)
+  p_parent : int;  (** rid of the causing message; [-1] = cascade root *)
+  p_cause : string;
+      (** the rule whose [do enqueue] created this message, or an origin
+          kind ("ingress", "timer", "reply", ...) for roots *)
+}
+
+val no_provenance : provenance
+(** [{p_flow = ""; p_parent = -1; p_cause = ""}] — untraced / legacy. *)
+
+val is_root : provenance -> bool
+(** No parent rid, i.e. the message entered from outside the cascade. *)
+
 type t = {
   rid : int;
   queue : string;
@@ -24,6 +41,9 @@ type t = {
   body : Demaq_xml.Tree.tree Lazy.t;
   props : (string * Demaq_xquery.Value.atomic) list;
   memberships : membership list;
+  prov : provenance;
+      (** causal provenance (flow id / parent rid / causing rule),
+          persisted in the extra blob so flows survive crash-restart *)
   enqueued_at : int;  (** virtual-clock tick *)
   processed : bool;
 }
@@ -51,12 +71,18 @@ val key_string : Demaq_xquery.Value.atomic -> string
     Properties and memberships ride in the store's opaque [extra] blob. *)
 
 val encode_extra :
+  ?provenance:provenance ->
   props:(string * Demaq_xquery.Value.atomic) list ->
   memberships:membership list ->
+  unit ->
   string
+(** [provenance] defaults to {!no_provenance}. The provenance triple is
+    appended after the membership list, so blobs written by older builds
+    decode to {!no_provenance} rather than failing. *)
 
 val decode_extra :
-  string -> (string * Demaq_xquery.Value.atomic) list * membership list
+  string ->
+  (string * Demaq_xquery.Value.atomic) list * membership list * provenance
 
 val of_store : Demaq_store.Message_store.t -> Demaq_store.Message_store.message -> t
 (** Decode a store record (spilled bodies are faulted in lazily through

@@ -241,7 +241,8 @@ let memberships_of t props =
           })
     t.slicings
 
-let enqueue t txn ?rule ?trigger ?(explicit = []) ~queue ~payload () =
+let enqueue t txn ?rule ?trigger ?(provenance = Message.no_provenance)
+    ?(explicit = []) ~queue ~payload () =
   match find_queue t queue with
   | None -> Error (Unknown_queue queue)
   | Some qdef -> (
@@ -261,7 +262,7 @@ let enqueue t txn ?rule ?trigger ?(explicit = []) ~queue ~payload () =
       | props ->
         let memberships = memberships_of t props in
         let serialized = t.encode_payload payload in
-        let extra = Message.encode_extra ~props ~memberships in
+        let extra = Message.encode_extra ~provenance ~props ~memberships () in
         let enqueued_at =
           match List.assoc_opt Defs.Sysprop.timestamp props with
           | Some (Value.Integer tick) -> tick
@@ -283,6 +284,7 @@ let enqueue t txn ?rule ?trigger ?(explicit = []) ~queue ~payload () =
             body = Lazy.from_val payload;
             props;
             memberships;
+            prov = provenance;
             enqueued_at;
             processed = false;
           }

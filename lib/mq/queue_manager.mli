@@ -58,6 +58,7 @@ val enqueue :
   Store.txn ->
   ?rule:string ->
   ?trigger:Message.t ->
+  ?provenance:Message.provenance ->
   ?explicit:(string * Value.atomic) list ->
   queue:string ->
   payload:Tree.tree ->
@@ -67,7 +68,9 @@ val enqueue :
     [trigger], then the per-queue value expression), validates against the
     queue schema, records slice memberships at the slices' current
     lifetimes, and inserts the message. Durable iff the queue is
-    persistent and the store is durable. *)
+    persistent and the store is durable. [provenance] (default
+    {!Message.no_provenance}) is persisted in the extra blob alongside the
+    properties, so causal flow edges survive crash-restart. *)
 
 (** {1 Reads} *)
 

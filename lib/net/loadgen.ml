@@ -37,7 +37,7 @@ let default_config =
     seed = 1;
   }
 
-type spec = { sp_path : string; sp_body : string }
+type spec = { sp_path : string; sp_body : string; sp_flow : string }
 
 type results = {
   r_offered : int;
@@ -68,14 +68,19 @@ type conn = {
 }
 
 let request_bytes spec =
+  let flow_header =
+    if spec.sp_flow = "" then ""
+    else Printf.sprintf "X-Demaq-Flow: %s\r\n" spec.sp_flow
+  in
   if spec.sp_body = "" then
-    Bytes.of_string (Printf.sprintf "GET %s HTTP/1.0\r\n\r\n" spec.sp_path)
+    Bytes.of_string
+      (Printf.sprintf "GET %s HTTP/1.0\r\n%s\r\n" spec.sp_path flow_header)
   else
     Bytes.of_string
       (Printf.sprintf
-         "POST %s HTTP/1.0\r\nContent-Type: application/xml\r\n\
+         "POST %s HTTP/1.0\r\nContent-Type: application/xml\r\n%s\
           Content-Length: %d\r\n\r\n%s"
-         spec.sp_path
+         spec.sp_path flow_header
          (String.length spec.sp_body)
          spec.sp_body)
 

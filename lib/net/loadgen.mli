@@ -35,8 +35,10 @@ type config = {
 val default_config : config
 (** loopback, 100 req/s for 5 s, Poisson, 256 in flight, 10 s timeout. *)
 
-type spec = { sp_path : string; sp_body : string }
-(** One request: POST [sp_body] to [sp_path] ([sp_body = ""] sends GET). *)
+type spec = { sp_path : string; sp_body : string; sp_flow : string }
+(** One request: POST [sp_body] to [sp_path] ([sp_body = ""] sends GET).
+    A non-empty [sp_flow] is stamped as an [X-Demaq-Flow] header, so the
+    server adopts it as the message's causal flow id. *)
 
 type results = {
   r_offered : int;  (** arrivals the process generated *)

@@ -18,9 +18,13 @@ type outcome = Committed | Aborted of string
 type span = {
   sp_rid : int;
   sp_queue : string;
+  sp_flow : string;  (* causal flow id; "" when the message is untraced *)
+  sp_parent : int;  (* rid of the causing message; -1 = cascade root *)
+  sp_cause : string;  (* rule (or origin kind) that enqueued the message *)
   sp_tick : int;  (* logical clock at commit/abort *)
   sp_worker : int;  (* metrics shard of the processing domain; 0 = main *)
   sp_start_ns : int;  (* wall clock at setup start; 0 when timing is off *)
+  sp_wait_ns : int;  (* enqueue/schedule -> dispatch queueing delay *)
   sp_lock_ns : int;  (* setup: fetch + lock acquisition + plan lookup *)
   sp_decode_ns : int;  (* lazy payload decode within setup (a sub-interval
                           of [sp_lock_ns]; 0 when admission resolved from
@@ -106,10 +110,13 @@ let span_json s =
     | Aborted reason -> Printf.sprintf "\"aborted:%s\"" (json_escape reason)
   in
   Printf.sprintf
-    "{\"rid\":%d,\"queue\":\"%s\",\"tick\":%d,\"worker\":%d,\"start_ns\":%d,\
-     \"lock_ns\":%d,\"decode_ns\":%d,\"eval_ns\":%d,\"apply_ns\":%d,\
-     \"barrier_ns\":%d,\"rules\":[%s],\"actions\":%d,\"outcome\":%s}"
-    s.sp_rid (json_escape s.sp_queue) s.sp_tick s.sp_worker s.sp_start_ns
+    "{\"rid\":%d,\"queue\":\"%s\",\"flow\":\"%s\",\"parent\":%d,\
+     \"cause\":\"%s\",\"tick\":%d,\"worker\":%d,\"start_ns\":%d,\
+     \"wait_ns\":%d,\"lock_ns\":%d,\"decode_ns\":%d,\"eval_ns\":%d,\
+     \"apply_ns\":%d,\"barrier_ns\":%d,\"rules\":[%s],\"actions\":%d,\
+     \"outcome\":%s}"
+    s.sp_rid (json_escape s.sp_queue) (json_escape s.sp_flow) s.sp_parent
+    (json_escape s.sp_cause) s.sp_tick s.sp_worker s.sp_start_ns s.sp_wait_ns
     s.sp_lock_ns s.sp_decode_ns s.sp_eval_ns s.sp_apply_ns s.sp_barrier_ns
     (String.concat "," (List.map activation_json s.sp_activations))
     s.sp_actions outcome

@@ -17,9 +17,17 @@ type outcome = Committed | Aborted of string
 type span = {
   sp_rid : int;
   sp_queue : string;
+  sp_flow : string;  (** causal flow id; [""] when the message is untraced *)
+  sp_parent : int;  (** rid of the causing message; [-1] = cascade root *)
+  sp_cause : string;
+      (** rule (or origin kind: "ingress", "timer", ...) that enqueued the
+          message *)
   sp_tick : int;  (** logical clock at commit/abort *)
   sp_worker : int;  (** metrics shard of the processing domain *)
   sp_start_ns : int;  (** wall clock at setup start; 0 when timing is off *)
+  sp_wait_ns : int;
+      (** enqueue/schedule → dispatch queueing delay: how long the message
+          sat runnable before a worker picked it up (0 when timing is off) *)
   sp_lock_ns : int;  (** setup: fetch + lock acquisition + plan lookup *)
   sp_decode_ns : int;
       (** lazy payload decode within setup (sub-interval of [sp_lock_ns];
@@ -46,6 +54,10 @@ val record : t -> span -> unit
 
 val spans : t -> span list
 (** Retained spans, newest first. *)
+
+val json_escape : string -> string
+(** JSON string-body escaping (quotes, backslash, control characters) —
+    shared by the span JSONL and the flow-tree renderers. *)
 
 val span_json : span -> string
 (** One span as a single-line JSON object. *)

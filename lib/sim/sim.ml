@@ -195,6 +195,44 @@ let run ?(blind_tear = false) ?(footprint = false) (sched : Schedule.t) =
            "error queue has %d messages, expected %d (base %d + %d aborts + %d \
             dead letters)"
            actual expected !errs_base st.S.txn_aborts st.S.dead_letters);
+    (* provenance: every message's durable causal edge is well-formed —
+       a recorded parent implies a non-empty flow id, the parent rid is
+       strictly smaller (edges acyclic), it still exists (the sim never
+       GCs), and it carries the same flow id. Checked after every event,
+       so it also holds across crash-redo with a torn WAL tail: a tear
+       removes a suffix, and a child's parent always has a smaller rid. *)
+    let prov_by_rid = Hashtbl.create 64 in
+    let all = Store.all_messages !store in
+    List.iter
+      (fun (sm : Store.message) ->
+        let _, _, p = Message.decode_extra sm.Store.extra in
+        Hashtbl.replace prov_by_rid sm.Store.rid p)
+      all;
+    List.iter
+      (fun (sm : Store.message) ->
+        let p = Hashtbl.find prov_by_rid sm.Store.rid in
+        if p.Message.p_parent >= 0 then begin
+          if p.Message.p_flow = "" then
+            violate "provenance"
+              (Printf.sprintf "rid=%d has a parent but no flow id" sm.Store.rid);
+          if p.Message.p_parent >= sm.Store.rid then
+            violate "provenance"
+              (Printf.sprintf "rid=%d has parent %d >= itself (cycle)"
+                 sm.Store.rid p.Message.p_parent);
+          match Hashtbl.find_opt prov_by_rid p.Message.p_parent with
+          | None ->
+            violate "provenance"
+              (Printf.sprintf "rid=%d's parent %d is not in the store"
+                 sm.Store.rid p.Message.p_parent)
+          | Some pp ->
+            if pp.Message.p_flow <> p.Message.p_flow then
+              violate "provenance"
+                (Printf.sprintf
+                   "rid=%d (flow %s) and its parent %d (flow %s) disagree"
+                   sm.Store.rid p.Message.p_flow p.Message.p_parent
+                   pp.Message.p_flow)
+        end)
+      all;
     if Store.unsynced_commits !store = 0 then durable := snapshot ()
   in
   let apply_event (ev : Schedule.event) =

@@ -257,7 +257,7 @@ let test_corrupt_binary_payload_recovery () =
   let dir = fresh_dir "corrupt-bxml" in
   let cfg = Store.durable_config ~sync:Wal.Sync_never dir in
   let st = Store.open_store cfg in
-  let extra = Demaq.Message.encode_extra ~props:[] ~memberships:[] in
+  let extra = Demaq.Message.encode_extra ~props:[] ~memberships:[] () in
   let good s = Demaq.Xml.Bxml.encode (xml ("<ping>" ^ s ^ "</ping>")) in
   let corrupt = Demaq.Xml.Bxml.magic ^ String.make 24 '\xee' in
   let ins store payload at =

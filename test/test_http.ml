@@ -358,6 +358,7 @@ let test_loadgen_smoke () =
             {
               Loadgen.sp_path = "/enqueue/orders";
               sp_body = Printf.sprintf "<order><orderID>%d</orderID></order>" i;
+              sp_flow = (if i mod 2 = 0 then Printf.sprintf "lg-%d" i else "");
             }
           in
           let r = Loadgen.run cfg gen in

@@ -365,6 +365,186 @@ let test_spans_across_crash_restart () =
     (S.stats srv2).S.processed;
   Store.close st2
 
+(* ---- JSONL escaping ---- *)
+
+let nasty_span =
+  {
+    Trace.sp_rid = 1;
+    sp_queue = "q\"uote";
+    sp_flow = "f\\low";
+    sp_parent = -1;
+    sp_cause = "in\ngress";
+    sp_tick = 0;
+    sp_worker = 0;
+    sp_start_ns = 0;
+    sp_wait_ns = 0;
+    sp_lock_ns = 0;
+    sp_decode_ns = 0;
+    sp_eval_ns = 0;
+    sp_apply_ns = 0;
+    sp_barrier_ns = 0;
+    sp_activations =
+      [ { Trace.a_rule = "rule\twith\ttabs"; a_updates = 1; a_skipped = false } ];
+    sp_actions = 1;
+    sp_outcome = Trace.Aborted "ctrl\x01char and \"quote\"";
+  }
+
+let test_jsonl_escaping () =
+  check string_ "quote" {|a\"b|} (Trace.json_escape {|a"b|});
+  check string_ "backslash" {|a\\b|} (Trace.json_escape {|a\b|});
+  check string_ "newline" {|a\nb|} (Trace.json_escape "a\nb");
+  check string_ "control" {|a\u0001b|} (Trace.json_escape "a\x01b");
+  let js = Trace.span_json nasty_span in
+  (* a line of JSONL must never contain a raw control character or an
+     unescaped quote inside a string body *)
+  String.iter
+    (fun c ->
+      check bool_ "no raw control chars" true (Char.code c >= 0x20))
+    js;
+  check bool_ "queue quote escaped" true (contains js {|"queue":"q\"uote"|});
+  check bool_ "flow backslash escaped" true (contains js {|"flow":"f\\low"|});
+  check bool_ "cause newline escaped" true (contains js {|in\ngress|});
+  check bool_ "rule tabs escaped" true (contains js {|rule\twith\ttabs|});
+  check bool_ "abort reason escaped" true
+    (contains js {|ctrl\u0001char and \"quote\"|});
+  (* the ring dumps it as one well-formed line *)
+  let ring = Trace.create ~capacity:4 in
+  Trace.record ring nasty_span;
+  let lines =
+    List.filter (fun l -> l <> "") (String.split_on_char '\n' (Trace.dump_jsonl ring))
+  in
+  check int_ "one line" 1 (List.length lines);
+  List.iter
+    (fun l ->
+      check bool_ "line is an object" true
+        (l.[0] = '{' && l.[String.length l - 1] = '}'))
+    lines
+
+(* ---- flow/wait metrics in the exposition ---- *)
+
+let test_flow_metrics_exposition () =
+  let config =
+    { S.default_config with S.trace_capacity = 2; metrics = true }
+  in
+  let srv = S.deploy ~config obs_program in
+  for i = 1 to 5 do
+    ignore (inject_ok srv "in" (Printf.sprintf "<ping>%d</ping>" i))
+  done;
+  ignore (S.run srv);
+  let ex = S.exposition srv in
+  (* queue-wait histograms: per-queue series, with HELP/TYPE on the
+     label-free family name *)
+  check bool_ "wait histogram present" true
+    (contains ex "demaq_queue_wait_seconds{queue=");
+  check bool_ "wait family typed" true
+    (contains ex "# TYPE demaq_queue_wait_seconds histogram");
+  (* span-ring drop accounting: 5 pings -> 10 spans, capacity 2 *)
+  check int_ "trace drops exposed" 8 (scrape_int ex "demaq_trace_dropped_total");
+  check bool_ "trace drops typed" true
+    (contains ex "# TYPE demaq_trace_dropped_total counter");
+  (* build info + uptime *)
+  check bool_ "build info labels" true
+    (contains ex "demaq_build_info{version=\"");
+  check bool_ "uptime gauge" true (contains ex "demaq_uptime_seconds");
+  (* and all of it round-trips into the JSON snapshot *)
+  let js = S.stats_json srv in
+  check bool_ "drops in stats json" true
+    (contains js "\"demaq_trace_dropped_total\":8")
+
+(* ---- flow store: trees, bounds, critical path ---- *)
+
+module Flow = Demaq.Obs.Flow
+
+let span_for ?(wait = 0) ?(eval = 0) ~flow ~rid ~parent ~cause () =
+  {
+    nasty_span with
+    Trace.sp_rid = rid;
+    sp_queue = "q";
+    sp_flow = flow;
+    sp_parent = parent;
+    sp_cause = cause;
+    sp_wait_ns = wait;
+    sp_eval_ns = eval;
+    sp_activations = [];
+    sp_outcome = Trace.Committed;
+  }
+
+let test_flow_store_trees () =
+  let t = Flow.create ~max_flows:2 ~max_nodes_per_flow:3 () in
+  let edge ~rid ~parent ~cause flow =
+    Flow.observe t ~rid ~queue:"q" ~flow ~parent ~cause ~tick:rid
+  in
+  edge ~rid:1 ~parent:(-1) ~cause:"ingress" "f1";
+  edge ~rid:2 ~parent:1 ~cause:"a" "f1";
+  edge ~rid:3 ~parent:1 ~cause:"b" "f1";
+  edge ~rid:1 ~parent:(-1) ~cause:"ingress" "f1" (* idempotent per rid *);
+  edge ~rid:4 ~parent:2 ~cause:"c" "f1" (* over the per-flow cap *);
+  check int_ "per-flow cap holds" 3 (List.length (Flow.nodes t "f1"));
+  check int_ "overflow counted" 1 (Flow.dropped t "f1");
+  check (Alcotest.option string_) "reverse index" (Some "f1")
+    (Flow.flow_of_rid t 2);
+  (* spans attach by flow + rid; the slow branch wins the critical path *)
+  Flow.attach t (span_for ~wait:10 ~flow:"f1" ~rid:1 ~parent:(-1) ~cause:"ingress" ());
+  Flow.attach t (span_for ~wait:5 ~flow:"f1" ~rid:2 ~parent:1 ~cause:"a" ());
+  Flow.attach t (span_for ~wait:100 ~eval:50 ~flow:"f1" ~rid:3 ~parent:1 ~cause:"b" ());
+  (match Flow.forest_of_nodes (Flow.nodes t "f1") with
+   | [ root ] ->
+     check int_ "root rid" 1 root.Flow.t_node.Flow.n_rid;
+     check int_ "two children" 2 (List.length root.Flow.t_children);
+     let total, path = Flow.critical_path root in
+     check int_ "critical path cost" 160 total;
+     check (Alcotest.list int_) "critical path rids" [ 1; 3 ] path
+   | forest -> Alcotest.failf "expected one root, got %d" (List.length forest));
+  let ascii = Flow.render_ascii "f1" (Flow.nodes t "f1") in
+  check bool_ "ascii names the cause" true (contains ascii "<-ingress");
+  check bool_ "ascii marks critical path" true (contains ascii "*");
+  (* FIFO flow eviction: two more flows push f1 out *)
+  edge ~rid:10 ~parent:(-1) ~cause:"ingress" "f2";
+  edge ~rid:11 ~parent:(-1) ~cause:"ingress" "f3";
+  check int_ "f1 evicted" 0 (List.length (Flow.nodes t "f1"));
+  check int_ "one eviction" 1 (Flow.evicted t);
+  check (Alcotest.option string_) "evicted rid unindexed" None
+    (Flow.flow_of_rid t 2);
+  check int_ "nothing overwritten" 0 (Flow.overwritten t)
+
+(* ---- provenance across crash-restart ---- *)
+
+let test_provenance_across_crash_restart () =
+  let dir = fresh_dir "prov" in
+  let cfg = Store.durable_config ~sync:Wal.Sync_always dir in
+  let st = Store.open_store cfg in
+  let config = { S.default_config with S.trace_capacity = 16 } in
+  let srv = S.deploy ~config ~store:st obs_program in
+  let root = inject_ok srv "in" "<ping>a</ping>" in
+  let rid = root.Demaq.Message.rid in
+  ignore (S.run srv);
+  let flow =
+    match S.flow_id_of_rid srv rid with
+    | Some f -> f
+    | None -> Alcotest.fail "no flow for the injected root"
+  in
+  check int_ "cascade recorded" 2 (List.length (S.flow_nodes srv flow));
+  (* crash: reopen the store; the provenance triples must come back from
+     the WAL even though the span ring and flow store restart empty *)
+  let st2 = Fault.crash_restart cfg st in
+  let srv2 = S.deploy ~config ~store:st2 obs_program in
+  check (Alcotest.option string_) "rid still resolves" (Some flow)
+    (S.flow_id_of_rid srv2 rid);
+  let nodes = S.flow_nodes srv2 flow in
+  check int_ "both hops survive" 2 (List.length nodes);
+  let child =
+    match List.find_opt (fun n -> n.Flow.n_rid <> rid) nodes with
+    | Some n -> n
+    | None -> Alcotest.fail "child hop missing"
+  in
+  check int_ "edge intact" rid child.Flow.n_parent;
+  check string_ "cause intact" "pong" child.Flow.n_cause;
+  check string_ "same flow" flow child.Flow.n_flow;
+  (* pre-crash timings are gone, never invented *)
+  check bool_ "pre-crash hops render pending" true
+    (contains (S.flow_ascii srv2 flow) "pending");
+  Store.close st2
+
 (* ---- scrape endpoint ---- *)
 
 let test_http_endpoint () =
@@ -413,5 +593,11 @@ let suite =
     Alcotest.test_case "span abort outcome" `Quick test_span_abort_outcome;
     Alcotest.test_case "spans across crash-restart" `Quick
       test_spans_across_crash_restart;
+    Alcotest.test_case "jsonl escaping" `Quick test_jsonl_escaping;
+    Alcotest.test_case "flow/wait metrics exposition" `Quick
+      test_flow_metrics_exposition;
+    Alcotest.test_case "flow store trees" `Quick test_flow_store_trees;
+    Alcotest.test_case "provenance across crash-restart" `Quick
+      test_provenance_across_crash_restart;
     Alcotest.test_case "http endpoint" `Quick test_http_endpoint;
   ]
