@@ -13,6 +13,13 @@ This catches exactly the regressions the benches exist to watch — e.g.
 metrics or tracing overhead creeping up relative to the off mode — while
 staying immune to runner speed.
 
+Counter-style metrics (admission-gate shed counts, GC collections, 429
+rejections) are gated on zero-ness rather than magnitude: the absolute
+counts depend on machine speed, but "the gate never sheds in this
+configuration" or "the GC reclaims something here" are machine-independent
+claims. A counter key present in both files must be zero in the current
+run iff it is zero in the baseline.
+
 Entries are matched by (bench, variant) where the variant is the entry's
 distinguishing key: "mode", "batch", "workers" or "rate". Benches present
 in only one file are reported and skipped. Raw throughput ratios are
@@ -38,6 +45,9 @@ VARIANT_KEYS = ("mode", "batch", "workers", "rate")
 # the same number of cores
 SCALING_SENSITIVE = {"workers"}
 
+# counter-style result fields: gated on zero vs non-zero, never magnitude
+COUNTER_KEYS = ("admitted", "shed", "shed_hard", "rejected", "gc_collected")
+
 
 def entry_key(entry):
     for k in VARIANT_KEYS:
@@ -62,11 +72,23 @@ def load(path):
     benches = {}
     for bench in doc.get("benches", []):
         name = bench.get("bench")
-        results = [r for r in bench.get("results", []) if "msg_per_s" in r]
-        if name and results:
-            benches[name] = {entry_key(r): r["msg_per_s"] for r in results}
-            benches[name]["__ref__"] = entry_key(results[0])
-            benches[name]["__kind__"] = variant_kind(results[0])
+        results = bench.get("results", [])
+        throughput = {entry_key(r): r["msg_per_s"]
+                      for r in results if "msg_per_s" in r}
+        counters = {}
+        for r in results:
+            cs = {k: r[k] for k in COUNTER_KEYS if k in r}
+            if cs:
+                counters[entry_key(r)] = cs
+        if not name or (not throughput and not counters):
+            continue
+        info = {"tp": throughput, "counters": counters,
+                "ref": None, "kind": "default"}
+        with_tp = [r for r in results if "msg_per_s" in r]
+        if with_tp:
+            info["ref"] = entry_key(with_tp[0])
+            info["kind"] = variant_kind(with_tp[0])
+        benches[name] = info
     cores = doc.get("meta", {}).get("cores")
     return benches, cores
 
@@ -96,30 +118,53 @@ def main():
     checked = 0
     for name in common:
         c, b = cur[name], base[name]
-        if cores_differ and b.get("__kind__") in SCALING_SENSITIVE:
+
+        # throughput: relative to the bench's reference entry
+        if cores_differ and b["kind"] in SCALING_SENSITIVE:
             print(f"  warn: {name} is scaling-sensitive (variant "
-                  f"'{b['__kind__']}') and core counts differ "
+                  f"'{b['kind']}') and core counts differ "
                   f"(current {cur_cores}, baseline {base_cores}); skipped")
-            continue
-        ref = b["__ref__"]
-        if ref not in c or c[ref] <= 0 or b[ref] <= 0:
-            print(f"  note: {name} reference entry {ref} missing, skipped")
-            continue
-        print(f"{name} (normalized by {ref}):")
-        for key in sorted(k for k in b if not k.startswith("__")):
-            if key == ref or key not in c:
-                continue
-            rel_c = c[key] / c[ref]
-            rel_b = b[key] / b[ref]
-            dev = rel_c / rel_b - 1.0
-            checked += 1
-            ok = abs(dev) <= args.tolerance
-            status = "ok" if ok else "FAIL"
-            if not ok:
-                failures += 1
-            print(f"  {status:4s} {key:14s} relative {rel_c:6.3f} "
-                  f"(baseline {rel_b:6.3f}, {dev:+.1%}, "
-                  f"raw {c[key]:.0f} vs {b[key]:.0f} msg/s)")
+        else:
+            ref = b["ref"]
+            if ref is None or ref not in c["tp"] or \
+                    c["tp"].get(ref, 0) <= 0 or b["tp"].get(ref, 0) <= 0:
+                if b["tp"]:
+                    print(f"  note: {name} reference entry {ref} missing, "
+                          f"skipped")
+            else:
+                print(f"{name} (normalized by {ref}):")
+                for key in sorted(b["tp"]):
+                    if key == ref or key not in c["tp"]:
+                        continue
+                    rel_c = c["tp"][key] / c["tp"][ref]
+                    rel_b = b["tp"][key] / b["tp"][ref]
+                    dev = rel_c / rel_b - 1.0
+                    checked += 1
+                    ok = abs(dev) <= args.tolerance
+                    status = "ok" if ok else "FAIL"
+                    if not ok:
+                        failures += 1
+                    print(f"  {status:4s} {key:14s} relative {rel_c:6.3f} "
+                          f"(baseline {rel_b:6.3f}, {dev:+.1%}, "
+                          f"raw {c['tp'][key]:.0f} vs {b['tp'][key]:.0f} "
+                          f"msg/s)")
+
+        # counters: zero-ness must agree
+        counter_keys = sorted(set(b["counters"]) & set(c["counters"]))
+        if counter_keys:
+            print(f"{name} (counters, zero-ness gated):")
+            for key in counter_keys:
+                for ck in sorted(set(b["counters"][key])
+                                 & set(c["counters"][key])):
+                    bv = b["counters"][key][ck]
+                    cv = c["counters"][key][ck]
+                    checked += 1
+                    ok = (bv == 0) == (cv == 0)
+                    status = "ok" if ok else "FAIL"
+                    if not ok:
+                        failures += 1
+                    print(f"  {status:4s} {key:14s} {ck}: {cv} "
+                          f"(baseline {bv})")
 
     if failures:
         print(f"compare.py: {failures}/{checked} entries outside "

@@ -1771,6 +1771,187 @@ let b17 () =
       ignore (b17_run ~messages:20 ~flow_tracing:true))
 
 (* ------------------------------------------------------------------ *)
+(* B18: adaptive runtime (PR 10) — the AIMD group-commit controller    *)
+(* discovering fsync-amortization headroom from a deliberately conser- *)
+(* vative start (batch target 1), against the same engine with the     *)
+(* controller off; plus the admission gate's deterministic mechanics   *)
+(* and the GC/compaction path that keeps the store bounded.            *)
+(* ------------------------------------------------------------------ *)
+
+module Gate = Demaq.Engine.Gate
+
+let b18_dir tag =
+  let dir = Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "demaq-bench-b18-%s-%d" tag (Unix.getpid ())) in
+  if Sys.file_exists dir then
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  dir
+
+let b18_program = {|
+    create queue in kind basic mode persistent
+    create queue out kind basic mode persistent
+    create rule fwd for in if (//m) then do enqueue <ack/> into out
+  |}
+
+type b18_result = {
+  b18_t : float;
+  b18_batch_final : int;
+  b18_increases : int;
+  b18_decreases : int;
+  b18_gc_collected : int;
+  b18_live_after : int;
+  b18_wal_before : int;
+  b18_wal_after : int;
+}
+
+(* Arrivals in bursts of [chunk] with a drain (and, when adaptive, a
+   controller tick) between bursts — the shape a serving node sees. Both
+   modes start at batch target 1: off stays there (fsync per message),
+   on climbs as far as the observed barrier p99 allows. *)
+let b18_run ~messages ~adaptive =
+  let tag = if adaptive then "on" else "off" in
+  let store =
+    Store.open_store
+      (Store.durable_config
+         ~sync:(Wal.Sync_batch { max_records = 256; max_bytes = 1 lsl 20 })
+         (b18_dir tag))
+  in
+  let cfg =
+    { S.default_config with
+      S.batch_size = 1; group_commit = true; metrics = true }
+  in
+  let srv = S.deploy ~config:cfg ~store b18_program in
+  let ctl = if adaptive then Some (S.enable_adaptive srv) else None in
+  let payload = Demaq.xml "<m/>" in
+  Gc.full_major ();
+  let chunk = 50 in
+  let t =
+    secs (fun () ->
+        let injected = ref 0 in
+        while !injected < messages do
+          let n = min chunk (messages - !injected) in
+          for _ = 1 to n do
+            ignore (S.inject srv ~queue:"in" payload)
+          done;
+          injected := !injected + n;
+          ignore (S.run srv);
+          if adaptive then ignore (S.controller_tick srv)
+        done)
+  in
+  let batch_final = S.batch_target srv in
+  let increases, decreases =
+    match ctl with
+    | Some c ->
+      (Demaq.Engine.Controller.increases c, Demaq.Engine.Controller.decreases c)
+    | None -> (0, 0)
+  in
+  (* the bounded-store story: incremental GC in budgeted steps until a
+     full cursor cycle finds nothing, then one compaction folding the
+     retired log into a fresh snapshot *)
+  let wal_before = (Store.stats store).Store.wal_bytes in
+  let budget = 1024 in
+  let live = (Store.stats store).Store.live_messages in
+  let gc_collected = ref 0 in
+  for _ = 0 to (live / budget) + 2 do
+    let collected, _ = S.maintain ~gc_budget:budget srv in
+    gc_collected := !gc_collected + collected
+  done;
+  let _, _reclaimed = S.maintain ~max_wal_bytes:1 srv in
+  let wal_after = (Store.stats store).Store.wal_bytes in
+  let live_after = (Store.stats store).Store.live_messages in
+  Store.close store;
+  {
+    b18_t = t;
+    b18_batch_final = batch_final;
+    b18_increases = increases;
+    b18_decreases = decreases;
+    b18_gc_collected = !gc_collected;
+    b18_live_after = live_after;
+    b18_wal_before = wal_before;
+    b18_wal_after = wal_after;
+  }
+
+(* The gate's mechanics, deterministically: with the WAL-byte threshold
+   at one byte, the first unhardened commit saturates the gate, so of
+   [n] arrivals consulted one-by-one exactly one is admitted and the
+   rest shed hard — on every machine, every run. *)
+let b18_gate () =
+  let store =
+    Store.open_store
+      (Store.durable_config
+         ~sync:(Wal.Sync_batch { max_records = 1024; max_bytes = 0 })
+         (b18_dir "gate"))
+  in
+  let cfg =
+    { S.default_config with S.batch_size = 256; group_commit = true }
+  in
+  let srv = S.deploy ~config:cfg ~store b18_program in
+  let gate =
+    S.enable_gate
+      ~cfg:{ Gate.default_config with Gate.max_pending = max_int;
+             max_wal_bytes = 1 }
+      srv
+  in
+  let payload = Demaq.xml "<m/>" in
+  for _ = 1 to 100 do
+    match S.admission srv ~queue:"in" with
+    | Gate.Admit -> ignore (S.inject srv ~queue:"in" payload)
+    | Gate.Shed _ -> ()
+  done;
+  let admitted = Gate.admitted gate in
+  let shed = Gate.shed gate in
+  let shed_hard = Gate.shed_hard gate in
+  ignore (S.run srv);
+  Store.close store;
+  (admitted, shed, shed_hard)
+
+let b18 () =
+  headline "B18 adaptive_runtime"
+    "AIMD group-commit controller vs fixed batch 1; admission gate; GC + compaction";
+  table_header
+    [ ("mode", 10); ("messages", 9); ("msg/s", 10); ("batch", 6);
+      ("gc", 7); ("wal-after", 10) ];
+  let messages = scale 6000 in
+  let off = b18_run ~messages ~adaptive:false in
+  let on = b18_run ~messages ~adaptive:true in
+  let entry name (r : b18_result) =
+    row
+      [
+        cell 10 "%s" name; cell 9 "%d" messages;
+        cell 10 "%.0f" (float messages /. r.b18_t);
+        cell 6 "%d" r.b18_batch_final;
+        cell 7 "%d" r.b18_gc_collected;
+        cell 10 "%d" r.b18_wal_after;
+      ];
+    Printf.sprintf
+      "{\"mode\": \"%s\", \"messages\": %d, \"msg_per_s\": %.0f, \
+       \"batch_final\": %d, \"increases\": %d, \"decreases\": %d, \
+       \"gc_collected\": %d, \"live_after\": %d, \"wal_before\": %d, \
+       \"wal_after\": %d}"
+      name messages (float messages /. r.b18_t)
+      r.b18_batch_final r.b18_increases r.b18_decreases r.b18_gc_collected
+      r.b18_live_after r.b18_wal_before r.b18_wal_after
+  in
+  let off_json = entry "off" off in
+  let on_json = entry "on" on in
+  let admitted, shed, shed_hard = b18_gate () in
+  Printf.printf
+    "gate mechanics: admitted=%d shed=%d (hard %d) of 100 arrivals\n"
+    admitted shed shed_hard;
+  Printf.printf "controller speedup: %.2fx (batch 1 -> %d)\n"
+    (off.b18_t /. on.b18_t) on.b18_batch_final;
+  let gate_json =
+    Printf.sprintf
+      "{\"mode\": \"gate\", \"admitted\": %d, \"shed\": %d, \"shed_hard\": %d}"
+      admitted shed shed_hard
+  in
+  json_add
+    (Printf.sprintf "{\"bench\": \"B18\", \"results\": [%s, %s, %s]}"
+       off_json on_json gate_json);
+  register_bechamel "B18/adaptive-200msgs" (fun () ->
+      ignore (b18_run ~messages:200 ~adaptive:true))
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel run                                                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -1806,6 +1987,7 @@ let all_benches =
   [ ("B1", b1); ("B2", b2); ("B3", b3); ("B4", b4); ("B5", b5); ("B6", b6);
     ("B7", b7); ("B8", b8); ("B9", b9); ("B10", b10); ("B11", b11);
     ("B12", b12); ("B13", b13); ("B15", b15); ("B16", b16); ("B17", b17);
+    ("B18", b18);
     ("A1", a1); ("A2", a2); ("A3", a3); ("A4", a4); ("A5", a5) ]
 
 let () =

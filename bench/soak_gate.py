@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Overload-soak gate: prove the node sheds under overload and recovers.
+
+Usage:
+  python3 bench/soak_gate.py UNDER.json OVER.json RECOVER.json \
+      --stats-url http://127.0.0.1:PORT/stats.json \
+      [--fanout 6] [--p99-bound 250] [--drain-timeout 30]
+
+The three JSON files are `demaqd loadgen --json` artifacts from the three
+phases of the rate-step soak: comfortably under the knee, at ~2x the
+knee, and back under it. The gate holds the adaptive runtime to its
+contract:
+
+  1. under the knee the admission gate stays open — zero 429s, zero
+     errors, zero drops;
+  2. over the knee the gate sheds (429s observed) but the node never
+     *fails* — zero errors, zero timeouts turning into transport faults;
+  3. after the step-down shedding stops again and p99 recovers below the
+     bound — saturation is a state the node leaves, not a ratchet;
+  4. zero accepted-then-lost: every 202 across all three phases must be
+     processed. The live node's /stats.json is polled until
+     demaq_processed_total reaches fanout * total_accepted (each accepted
+     order multiplies into `fanout` processed messages under the
+     order-fanout program); stabilizing below that is exactly the
+     "accepted then lost under pressure" bug this soak exists to catch.
+     The node's own shed counter must also cover every 429 the client saw.
+
+Exit status: 0 when every gate holds, 1 on a violation, 2 on bad input.
+"""
+
+import argparse
+import json
+import sys
+import time
+import urllib.request
+
+FANOUT_DEFAULT = 6  # order-fanout: 1 order + 5 derived messages
+
+
+def load_phase(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"soak_gate.py: cannot read {path}: {e}")
+    entries = []
+    for bench in doc.get("benches", []):
+        entries.extend(bench.get("results", []))
+    if not entries:
+        sys.exit(f"soak_gate.py: no results in {path}")
+    return {
+        "ok": sum(e.get("ok", 0) for e in entries),
+        "rejected": sum(e.get("rejected", 0) for e in entries),
+        "errors": sum(e.get("errors", 0) for e in entries),
+        "dropped": sum(e.get("dropped", 0) for e in entries),
+        "p99_ms": max((e.get("p99_ms") or 0.0) for e in entries),
+    }
+
+
+def scrape(url):
+    with urllib.request.urlopen(url, timeout=5) as resp:
+        return json.load(resp)
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("under")
+    ap.add_argument("over")
+    ap.add_argument("recover")
+    ap.add_argument("--stats-url", required=True)
+    ap.add_argument("--fanout", type=int, default=FANOUT_DEFAULT)
+    ap.add_argument("--p99-bound", type=float, default=250.0)
+    ap.add_argument("--drain-timeout", type=float, default=30.0)
+    args = ap.parse_args()
+
+    phases = {name: load_phase(path) for name, path in
+              [("under", args.under), ("over", args.over),
+               ("recover", args.recover)]}
+    for name, p in phases.items():
+        print(f"{name:8s} ok={p['ok']} rejected={p['rejected']} "
+              f"errors={p['errors']} dropped={p['dropped']} "
+              f"p99={p['p99_ms']:.1f}ms")
+
+    failures = []
+
+    def gate(cond, msg):
+        status = "ok  " if cond else "FAIL"
+        print(f"  {status} {msg}")
+        if not cond:
+            failures.append(msg)
+
+    u, o, r = phases["under"], phases["over"], phases["recover"]
+    # 429s only while over the knee
+    gate(u["rejected"] == 0, f"no shedding under the knee "
+         f"(rejected={u['rejected']})")
+    gate(o["rejected"] > 0, f"overload actually shed "
+         f"(rejected={o['rejected']})")
+    gate(r["rejected"] == 0, f"shedding stopped after step-down "
+         f"(rejected={r['rejected']})")
+    # overload degrades to 429, never to failure
+    for name, p in phases.items():
+        gate(p["errors"] == 0, f"{name}: zero errors (errors={p['errors']})")
+        gate(p["dropped"] == 0, f"{name}: zero client-side drops "
+             f"(dropped={p['dropped']})")
+    # p99 recovers once the pressure is gone
+    gate(r["p99_ms"] <= args.p99_bound,
+         f"recovery p99 {r['p99_ms']:.1f}ms within {args.p99_bound:.0f}ms")
+
+    # zero accepted-then-lost: poll the live node until every accepted
+    # message (and its fanout) has been processed
+    total_ok = sum(p["ok"] for p in phases.values())
+    total_rejected = sum(p["rejected"] for p in phases.values())
+    expected = args.fanout * total_ok
+    deadline = time.monotonic() + args.drain_timeout
+    processed, shed = -1, -1
+    while time.monotonic() < deadline:
+        try:
+            stats = scrape(args.stats_url)
+        except OSError as e:
+            sys.exit(f"soak_gate.py: cannot scrape {args.stats_url}: {e}")
+        processed = int(stats.get("demaq_processed_total", -1))
+        shed = int(stats.get("demaq_gate_shed_total", -1))
+        if processed >= expected:
+            break
+        time.sleep(0.5)
+    gate(processed == expected,
+         f"zero accepted-then-lost: processed {processed} == "
+         f"{args.fanout} x {total_ok} accepted")
+    gate(shed >= total_rejected,
+         f"node shed counter covers every client 429 "
+         f"({shed} >= {total_rejected})")
+
+    if failures:
+        print(f"soak_gate.py: {len(failures)} gate(s) violated")
+        return 1
+    print("soak_gate.py: all gates hold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

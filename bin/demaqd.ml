@@ -89,7 +89,7 @@ let start_metrics_endpoint srv port =
 
 let serve_stop = ref false
 
-let serve_loop srv ~seconds ~tick_every =
+let serve_loop srv ~seconds ~tick_every ~maintenance =
   let previous =
     List.map
       (fun s ->
@@ -101,6 +101,7 @@ let serve_loop srv ~seconds ~tick_every =
     if seconds <= 0. then Float.infinity else t_start +. seconds
   in
   let last_tick = ref t_start in
+  let last_maint = ref t_start in
   while (not !serve_stop) && Unix.gettimeofday () < deadline do
     let processed = S.run srv in
     (if tick_every > 0. then begin
@@ -111,6 +112,15 @@ let serve_loop srv ~seconds ~tick_every =
          last_tick := !last_tick +. (float_of_int due *. tick_every)
        end
      end);
+    (* background maintenance (controller tick, incremental GC, log
+       compaction) at a fixed cadence: often enough that the controller
+       tracks load shifts, rare enough that the GC's store scan never
+       dominates the drain *)
+    let now = Unix.gettimeofday () in
+    if now -. !last_maint >= 0.05 then begin
+      maintenance ();
+      last_maint := now
+    end;
     if processed = 0 then Unix.sleepf 0.001
   done;
   List.iter (fun (s, h) -> Sys.set_signal s h) previous
@@ -150,17 +160,29 @@ let explain_cmd file =
 (* ---- run ---- *)
 
 let run_cmd file default_queue store_dir show_stats stats_json gc_at_end advance
-    batch workers metrics_port ingress_port serve_for tick_every log_level =
+    batch workers metrics_port ingress_port serve_for tick_every adaptive
+    gate_pending gate_wal gc_budget compact_wal log_level =
   setup_logs log_level;
-  let group_commit = batch > 1 in
+  let module Controller = Demaq.Engine.Controller in
+  let module Gate = Demaq.Engine.Gate in
+  let group_commit = batch > 1 || adaptive in
   let store =
     match store_dir with
     | Some dir ->
       (* group commit: commits append their WAL record immediately, the
-         fsync is amortized over the batch (with a byte-size safety valve) *)
+         fsync is amortized over the batch (with a byte-size safety
+         valve). Under --adaptive the WAL's own record valve opens to the
+         controller's ceiling — barriers are driven by the moving batch
+         target, not a fixed cap picked at open time. *)
       let sync =
         if group_commit then
-          Demaq.Store.Wal.Sync_batch { max_records = batch; max_bytes = 1 lsl 20 }
+          Demaq.Store.Wal.Sync_batch
+            {
+              max_records =
+                (if adaptive then Controller.default_config.Controller.max_batch
+                 else batch);
+              max_bytes = 1 lsl 20;
+            }
         else Demaq.Store.Wal.Sync_always
       in
       Store.open_store (Store.durable_config ~sync dir)
@@ -171,8 +193,9 @@ let run_cmd file default_queue store_dir show_stats stats_json gc_at_end advance
       S.batch_size = max 1 batch;
       group_commit;
       workers = max 1 workers;
-      (* a scrape target wants latency histograms, not just totals *)
-      metrics = metrics_port <> None || ingress_port <> None;
+      (* a scrape target wants latency histograms, not just totals; the
+         controller needs the barrier histogram it steers against *)
+      metrics = metrics_port <> None || ingress_port <> None || adaptive;
     }
   in
   match S.deploy ~config ~store (read_file file) with
@@ -180,13 +203,34 @@ let run_cmd file default_queue store_dir show_stats stats_json gc_at_end advance
     Printf.eprintf "deployment failed:\n%s\n" msg;
     1
   | srv -> (
+    if adaptive then begin
+      let ctl = S.enable_adaptive srv in
+      Printf.eprintf "adaptive: group-commit controller armed (batch %d..%d)\n%!"
+        (Controller.config ctl).Controller.min_batch
+        (Controller.config ctl).Controller.max_batch
+    end;
+    if gate_pending > 0 || gate_wal > 0 then begin
+      let g = Gate.default_config in
+      ignore
+        (S.enable_gate
+           ~cfg:
+             { g with
+               Gate.max_pending =
+                 (if gate_pending > 0 then gate_pending else g.Gate.max_pending);
+               max_wal_bytes =
+                 (if gate_wal > 0 then gate_wal else g.Gate.max_wal_bytes);
+             }
+           srv)
+    end;
     let endpoint = Option.bind metrics_port (start_metrics_endpoint srv) in
     match
       match ingress_port with
       | None -> Ok None
       | Some port ->
         Result.map Option.some
-          (Http.start ~port (Demaq.Engine.Ingress.handler srv))
+          (Http.start ~port
+             ~gate:(Demaq.Engine.Ingress.gate srv)
+             (Demaq.Engine.Ingress.handler srv))
     with
     | Error msg ->
       (* asked to serve but cannot: fail loudly instead of degrading to
@@ -234,7 +278,10 @@ let run_cmd file default_queue store_dir show_stats stats_json gc_at_end advance
       S.advance_time srv advance;
       ignore (S.run srv)
     end;
-    if ingress <> None then serve_loop srv ~seconds:serve_for ~tick_every;
+    if ingress <> None then
+      serve_loop srv ~seconds:serve_for ~tick_every
+        ~maintenance:(fun () ->
+          ignore (S.maintain ~gc_budget ~max_wal_bytes:compact_wal srv));
     Printf.printf "processed %d messages\n"
       (if ingress = None then processed else (S.stats srv).S.processed);
     (* serving mode: queues can hold an entire load-test corpus, so the
@@ -747,10 +794,12 @@ let result_entry rate (r : Lg.results) =
   Printf.sprintf
     "{\"rate\": %g, \"msg_per_s\": %.1f, \"p50_ms\": %s, \"p99_ms\": %s, \
      \"p999_ms\": %s, \"mean_ms\": %s, \"max_ms\": %s, \"ok\": %d, \
-     \"errors\": %d, \"dropped\": %d, \"timeouts\": %d, \"offered\": %d}"
+     \"errors\": %d, \"rejected\": %d, \"dropped\": %d, \"timeouts\": %d, \
+     \"offered\": %d}"
     rate r.Lg.r_achieved_rate (fmt_ms r.Lg.r_p50_ms) (fmt_ms r.Lg.r_p99_ms)
     (fmt_ms r.Lg.r_p999_ms) (fmt_ms r.Lg.r_mean_ms) (fmt_ms r.Lg.r_max_ms)
-    r.Lg.r_ok r.Lg.r_errors r.Lg.r_dropped r.Lg.r_timeouts r.Lg.r_offered
+    r.Lg.r_ok r.Lg.r_errors r.Lg.r_rejected r.Lg.r_dropped r.Lg.r_timeouts
+    r.Lg.r_offered
 
 let loadgen_cmd url rates duration arrival inflight timeout workload queue
     program json_file slo_p99 seed flow_prefix log_level =
@@ -829,6 +878,8 @@ let loadgen_cmd url rates duration arrival inflight timeout workload queue
               entries := !entries @ [ result_entry rate r ];
               if not (Float.is_nan r.Lg.r_p99_ms) then
                 worst_p99 := Float.max !worst_p99 r.Lg.r_p99_ms;
+              (* 429s are the node's backpressure working as designed, so
+                 they never count against the SLO — errors and drops do *)
               total_bad := !total_bad + r.Lg.r_errors + r.Lg.r_dropped)
             rates;
           (match json_file with
@@ -990,11 +1041,52 @@ let log_arg =
              "Log threshold: debug, info, warning, error or quiet. Defaults \
               to \\$DEMAQ_LOG, else warning.")
 
+let adaptive_arg =
+  Arg.(value & flag
+       & info [ "adaptive" ]
+           ~doc:
+             "Self-tune the group-commit batch target and flush deadline \
+              against the observed batch fill and barrier p99 (AIMD). \
+              Implies group commit; --batch sets the starting target.")
+
+let gate_pending_arg =
+  Arg.(value & opt int 0
+       & info [ "gate-pending" ] ~docv:"N"
+           ~doc:
+             "Arm the ingress admission gate: shed enqueues with 429 + \
+              Retry-After once the dispatch backlog reaches N (0, the \
+              default, leaves the gate down unless --gate-wal arms it).")
+
+let gate_wal_arg =
+  Arg.(value & opt int 0
+       & info [ "gate-wal" ] ~docv:"BYTES"
+           ~doc:
+             "Admission-gate threshold on unsynced WAL bytes: shed \
+              enqueues once the group-commit exposure reaches BYTES \
+              (0 disables this axis).")
+
+let gc_budget_arg =
+  Arg.(value & opt int 0
+       & info [ "gc-budget" ] ~docv:"N"
+           ~doc:
+             "With --ingress-port: run the incremental retention GC from \
+              the serve loop, examining at most N messages per maintenance \
+              tick (0, the default, disables background GC).")
+
+let compact_wal_arg =
+  Arg.(value & opt int 0
+       & info [ "compact-wal" ] ~docv:"BYTES"
+           ~doc:
+             "With --ingress-port and --store: compact the log (snapshot + \
+              WAL truncation, crash-safe) whenever it grows past BYTES \
+              since the last checkpoint (0 disables).")
+
 let run_t =
   Term.(const run_cmd $ file_arg $ queue_arg $ store_arg $ stats_arg
         $ stats_json_arg $ gc_arg $ advance_arg $ batch_arg $ workers_arg
         $ metrics_port_arg $ ingress_port_arg $ serve_for_arg
-        $ tick_every_arg $ log_arg)
+        $ tick_every_arg $ adaptive_arg $ gate_pending_arg $ gate_wal_arg
+        $ gc_budget_arg $ compact_wal_arg $ log_arg)
 
 (* loadgen *)
 

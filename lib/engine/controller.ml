@@ -1,0 +1,178 @@
+(* The self-tuning group-commit controller (ROADMAP item 5).
+
+   Fixed [batch_size] is wrong most of the time: too small and every
+   message pays a near-private fsync; too large and the durability
+   barrier — which gates every externalized effect — grows a latency tail.
+   The controller closes the loop from the metrics registry back into the
+   engine, AIMD-style (the TCP congestion-avoidance shape, which is the
+   right one here for the same reason it is there: the cost of
+   overshooting is asymmetric):
+
+   - additive increase: while barriers stay under the latency target and
+     the observed batch fill keeps up with the current target (i.e. the
+     offered load can actually use a bigger batch), grow the target by a
+     fixed step;
+   - multiplicative decrease: the moment the windowed barrier p99 blows
+     the target, cut the batch target (and the flush deadline) by a
+     factor and hold still for a cooldown, so one congested fsync device
+     does not trigger a full-depth oscillation.
+
+   The core is a pure state machine over explicit observations — no
+   clocks, no registry — so the unit tests can drive it through overload
+   steps deterministically. [sampler] is the small impure shim that
+   derives those observations from the live metrics registry (windowed
+   batch fill from counter deltas, windowed barrier p99 from histogram
+   bucket deltas). *)
+
+module Metrics = Demaq_obs.Metrics
+
+type config = {
+  min_batch : int;
+  max_batch : int;
+  target_barrier_ms : float;  (* windowed barrier p99 budget *)
+  fill_ratio : float;
+      (* grow only when observed fill >= fill_ratio * current target:
+         an idle node never inflates its batch target on no evidence *)
+  increase : int;  (* additive step, messages *)
+  decrease : float;  (* multiplicative cut, in (0, 1) *)
+  cooldown : int;  (* ticks to hold after a decrease *)
+  min_flush_ms : float;
+  max_flush_ms : float;
+}
+
+let default_config =
+  {
+    min_batch = 1;
+    max_batch = 256;
+    target_barrier_ms = 5.;
+    fill_ratio = 0.5;
+    increase = 4;
+    decrease = 0.5;
+    cooldown = 4;
+    min_flush_ms = 1.;
+    max_flush_ms = 50.;
+  }
+
+type decision = Increased | Decreased | Held
+
+type t = {
+  cfg : config;
+  mutable batch : int;
+  mutable flush_ms : float;
+  mutable cooldown_left : int;
+  mutable increases : int;
+  mutable decreases : int;
+}
+
+let create ?(cfg = default_config) ?batch () =
+  let batch =
+    match batch with
+    | Some b -> min cfg.max_batch (max cfg.min_batch b)
+    | None -> cfg.min_batch
+  in
+  {
+    cfg;
+    batch;
+    flush_ms = cfg.max_flush_ms;
+    cooldown_left = 0;
+    increases = 0;
+    decreases = 0;
+  }
+
+let config t = t.cfg
+let batch t = t.batch
+let flush_ms t = t.flush_ms
+let increases t = t.increases
+let decreases t = t.decreases
+
+(* One control tick. [fill] is the average messages per barrier over the
+   window; [barrier_p99_ms] its barrier p99 (nan = no barriers observed,
+   treated as "no congestion signal"). *)
+let tick t ~fill ~barrier_p99_ms =
+  let cfg = t.cfg in
+  let congested =
+    (not (Float.is_nan barrier_p99_ms)) && barrier_p99_ms > cfg.target_barrier_ms
+  in
+  if congested && (t.batch > cfg.min_batch || t.flush_ms > cfg.min_flush_ms)
+  then begin
+    t.batch <-
+      max cfg.min_batch (int_of_float (float_of_int t.batch *. cfg.decrease));
+    t.flush_ms <- Float.max cfg.min_flush_ms (t.flush_ms *. cfg.decrease);
+    t.cooldown_left <- cfg.cooldown;
+    t.decreases <- t.decreases + 1;
+    Decreased
+  end
+  else if congested then begin
+    (* already at the floor: keep holding, don't run the cooldown out *)
+    t.cooldown_left <- cfg.cooldown;
+    Held
+  end
+  else if t.cooldown_left > 0 then begin
+    t.cooldown_left <- t.cooldown_left - 1;
+    Held
+  end
+  else if
+    t.batch < cfg.max_batch
+    && (not (Float.is_nan fill))
+    && fill >= cfg.fill_ratio *. float_of_int t.batch
+  then begin
+    t.batch <- min cfg.max_batch (t.batch + cfg.increase);
+    t.flush_ms <- Float.min cfg.max_flush_ms (t.flush_ms *. 1.25);
+    t.increases <- t.increases + 1;
+    Increased
+  end
+  else Held
+
+(* ---- deriving observations from the live registry ---- *)
+
+(* Windowed rather than cumulative: the controller must see the last
+   control interval, not the process lifetime — a cumulative batch-fill
+   average would take thousands of barriers to notice a regime change. *)
+type sampler = {
+  ctl : t;
+  barrier_window : Metrics.window;
+  mutable last_processed : int;
+  mutable last_group_syncs : int;
+}
+
+let sampler ctl ~barrier_hist ~processed ~group_syncs =
+  {
+    ctl;
+    barrier_window = Metrics.window barrier_hist;
+    last_processed = processed ();
+    last_group_syncs = group_syncs ();
+  }
+
+(* Sample the window and run one control tick. [processed]/[group_syncs]
+   read the cumulative counters; their deltas give the windowed fill. *)
+let sample_and_tick s ~processed ~group_syncs =
+  let p = processed () in
+  let g = group_syncs () in
+  let dp = p - s.last_processed in
+  let dg = g - s.last_group_syncs in
+  s.last_processed <- p;
+  s.last_group_syncs <- g;
+  let barriers, p99_s = Metrics.window_delta s.barrier_window 0.99 in
+  let fill =
+    if dg > 0 then float_of_int dp /. float_of_int dg
+    else if dp > 0 then
+      (* commits happened but no barrier synced (all no-ops / in-memory):
+         report the full delta as one batch so fill still reflects load *)
+      float_of_int dp
+    else Float.nan
+  in
+  let barrier_p99_ms = if barriers > 0 then p99_s *. 1e3 else Float.nan in
+  tick s.ctl ~fill ~barrier_p99_ms
+
+let instrument t reg =
+  Metrics.gauge_fn reg "demaq_controller_batch_target"
+    ~help:"Group-commit batch target chosen by the adaptive controller"
+    (fun () -> float_of_int t.batch);
+  Metrics.gauge_fn reg "demaq_controller_flush_deadline_ms"
+    ~help:"Flush deadline (ms) chosen by the adaptive controller"
+    (fun () -> t.flush_ms);
+  Metrics.counter_fn reg "demaq_controller_increases_total"
+    ~help:"Additive batch-target increases" (fun () -> float_of_int t.increases);
+  Metrics.counter_fn reg "demaq_controller_decreases_total"
+    ~help:"Multiplicative batch-target decreases"
+    (fun () -> float_of_int t.decreases)

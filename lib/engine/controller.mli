@@ -1,0 +1,72 @@
+(** Self-tuning group-commit controller (AIMD).
+
+    Closes the loop from the metrics registry back into the engine: grows
+    the group-commit batch target additively while the durability barrier
+    stays within its latency budget and the observed batch fill shows the
+    load can use a bigger batch; cuts it multiplicatively (and holds for a
+    cooldown) when the windowed barrier p99 exceeds the budget. The core
+    {!tick} is a pure state machine over explicit observations so tests
+    can drive it deterministically; {!sampler} derives those observations
+    from the live registry. *)
+
+type config = {
+  min_batch : int;
+  max_batch : int;
+  target_barrier_ms : float;  (** windowed barrier p99 budget *)
+  fill_ratio : float;
+      (** grow only when observed fill >= fill_ratio * current target *)
+  increase : int;  (** additive step, messages *)
+  decrease : float;  (** multiplicative cut, in (0, 1) *)
+  cooldown : int;  (** ticks to hold after a decrease *)
+  min_flush_ms : float;
+  max_flush_ms : float;
+}
+
+val default_config : config
+
+type decision = Increased | Decreased | Held
+type t
+
+val create : ?cfg:config -> ?batch:int -> unit -> t
+(** [create ?cfg ?batch ()] starts at [batch] (clamped; default
+    [cfg.min_batch]) with the flush deadline at [cfg.max_flush_ms]. *)
+
+val config : t -> config
+(** The (immutable) configuration the controller was created with. *)
+
+val batch : t -> int
+(** Current group-commit batch target. *)
+
+val flush_ms : t -> float
+(** Current flush deadline in milliseconds: how long the coordinator may
+    defer a barrier waiting for the batch to fill. *)
+
+val increases : t -> int
+val decreases : t -> int
+
+val tick : t -> fill:float -> barrier_p99_ms:float -> decision
+(** One control tick. [fill] is the average messages per barrier over the
+    last window ([nan] = no evidence, never grows); [barrier_p99_ms] the
+    windowed barrier p99 ([nan] = no barriers observed, treated as no
+    congestion signal). *)
+
+(** {1 Sampling the live registry} *)
+
+type sampler
+
+val sampler :
+  t ->
+  barrier_hist:Demaq_obs.Metrics.histogram ->
+  processed:(unit -> int) ->
+  group_syncs:(unit -> int) ->
+  sampler
+(** Capture baselines: a {!Demaq_obs.Metrics.window} over the barrier
+    histogram and the current cumulative counter values. *)
+
+val sample_and_tick :
+  sampler -> processed:(unit -> int) -> group_syncs:(unit -> int) -> decision
+(** Read the counters, derive windowed fill and barrier p99 since the last
+    call, advance the baselines, and run one {!tick}. *)
+
+val instrument : t -> Demaq_obs.Metrics.registry -> unit
+(** Register [demaq_controller_*] gauges/counters. *)

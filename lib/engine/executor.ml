@@ -139,6 +139,9 @@ type t = {
          rescans whole queues *)
   mutable schedule : priority:int -> resources:string list -> int -> unit;
       (* set by the composition root to the worker pool's scheduler *)
+  mutable batch_target : int;
+      (* group-commit batch the coordinator drains per barrier; fixed at
+         cfg.batch_size unless the adaptive controller is steering it *)
   reg : Metrics.registry;  (* shard 0 = coordinator, i+1 = worker i *)
   met : metrics;
   spans : Trace.t;  (* per-message lifecycle ring (capacity from cfg) *)
@@ -234,6 +237,7 @@ let create ~cfg ~qm ~st ~net ~compiled ~clk () =
     sent = Hashtbl.create 1024;
     outbox = Hashtbl.create 8;
     schedule = (fun ~priority:_ ~resources:_ _ -> ());
+    batch_target = max 1 cfg.batch_size;
     reg;
     met = make_metrics reg;
     spans = Trace.create ~capacity:cfg.trace_capacity;
@@ -935,6 +939,17 @@ let run_gc_unlocked t =
 
 let run_gc t = locked t (fun () -> run_gc_unlocked t)
 
+(* Budgeted GC slice for the background maintenance tick: at most
+   [budget] deletability checks, cursor-resumed, so the tick never stalls
+   the dispatch loop behind a full-store sweep. *)
+let run_gc_step t ~budget =
+  locked t @@ fun () ->
+  let rids = Qm.gc_step t.qm ~budget in
+  purge_collected t rids;
+  let n = List.length rids in
+  Metrics.add t.met.m_gc_collected n;
+  n
+
 (* ---- the single-message transaction ---- *)
 
 let message t rid =
@@ -1256,6 +1271,7 @@ let process t rid =
           sp_barrier_ns = !barrier_ns;
           sp_activations = List.rev !acts;
           sp_actions = !actions;
+          sp_batch = t.batch_target;
           sp_outcome = !outcome;
         }
       in

@@ -123,6 +123,9 @@ type t = {
   sent : (int, unit) Hashtbl.t;
   outbox : (string, int Queue.t) Hashtbl.t;
   mutable schedule : priority:int -> resources:string list -> int -> unit;
+  mutable batch_target : int;
+      (** group-commit batch the coordinator drains per barrier; fixed at
+          [cfg.batch_size] unless the adaptive controller is steering it *)
   reg : Metrics.registry;
   met : metrics;
   spans : Trace.t;
@@ -281,6 +284,11 @@ val admission_stats : t -> int * int * int
 
 val run_gc : t -> int
 (** Retention GC + cache purge (locks itself). *)
+
+val run_gc_step : t -> budget:int -> int
+(** Incremental slice of {!run_gc} for the background maintenance tick:
+    at most [budget] deletability checks ({!Demaq_mq.Queue_manager.gc_step}),
+    cursor-resumed, plus the cache purge for whatever was collected. *)
 
 val message : t -> int -> Message.t option
 (** Fetch a message and force its body parse, under the lock. *)

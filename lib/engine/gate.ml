@@ -1,0 +1,106 @@
+(* Bounded ingress: the admission gate (Gray: "a queue is the natural
+   overload response — but the queue itself has to stay bounded").
+
+   Unbounded admission converts overload into either an unbounded
+   dispatch heap or an unbounded run of unsynced WAL bytes; both turn a
+   throughput problem into a durability/latency problem. The gate watches
+   exactly those two quantities and sheds *at the door*, before any state
+   is touched, so a shed message is never half-applied: it was never
+   admitted at all.
+
+   Saturation is the worse of the two ratios (dispatch depth over its
+   bound, unsynced WAL bytes over theirs). Two bands:
+
+   - soft (saturation >= 1): shed only messages bound for queues at or
+     below the priority floor — high-priority queues degrade last, which
+     is the same policy the scheduler applies to messages already inside;
+   - hard (saturation >= [hard]): shed everything until the node drains.
+
+   Shedding is transient by construction (429 + Retry-After upstream),
+   distinct from the permanent 422 admission rejection: the client did
+   nothing wrong, the node is momentarily full. *)
+
+module Metrics = Demaq_obs.Metrics
+
+type config = {
+  max_pending : int;  (* dispatch-heap depth where soft shedding starts *)
+  max_wal_bytes : int;  (* unsynced WAL bytes where soft shedding starts *)
+  hard : float;  (* saturation multiple where even priority won't help *)
+  priority_floor : int;  (* soft band sheds queues with priority <= this *)
+  retry_after : int;  (* seconds hinted at the base of the soft band *)
+}
+
+let default_config =
+  {
+    max_pending = 4096;
+    max_wal_bytes = 8 * 1024 * 1024;
+    hard = 2.;
+    priority_floor = 0;
+    retry_after = 1;
+  }
+
+type decision = Admit | Shed of { retry_after : int; hard : bool }
+
+type t = {
+  cfg : config;
+  mutable saturation : float;  (* last computed; exposed as a gauge *)
+  admitted : int Atomic.t;
+  shed : int Atomic.t;
+  shed_hard : int Atomic.t;
+}
+
+let create ?(cfg = default_config) () =
+  {
+    cfg;
+    saturation = 0.;
+    admitted = Atomic.make 0;
+    shed = Atomic.make 0;
+    shed_hard = Atomic.make 0;
+  }
+
+let saturation ~cfg ~pending ~unsynced_bytes =
+  let ratio num den = if den <= 0 then 0. else float_of_int num /. float_of_int den in
+  Float.max
+    (ratio pending cfg.max_pending)
+    (ratio unsynced_bytes cfg.max_wal_bytes)
+
+let decide t ~pending ~unsynced_bytes ~priority =
+  let cfg = t.cfg in
+  let s = saturation ~cfg ~pending ~unsynced_bytes in
+  t.saturation <- s;
+  if s < 1. then begin
+    Atomic.incr t.admitted;
+    Admit
+  end
+  else if s >= cfg.hard then begin
+    Atomic.incr t.shed;
+    Atomic.incr t.shed_hard;
+    (* deeper saturation -> back off longer; clamp to keep the hint sane *)
+    Shed { retry_after = min 30 (cfg.retry_after * int_of_float s); hard = true }
+  end
+  else if priority <= cfg.priority_floor then begin
+    Atomic.incr t.shed;
+    Shed { retry_after = cfg.retry_after; hard = false }
+  end
+  else begin
+    Atomic.incr t.admitted;
+    Admit
+  end
+
+let admitted t = Atomic.get t.admitted
+let shed t = Atomic.get t.shed
+let shed_hard t = Atomic.get t.shed_hard
+
+let instrument t reg =
+  Metrics.counter_fn reg "demaq_gate_admitted_total"
+    ~help:"Messages admitted through the ingress gate" (fun () ->
+      float_of_int (Atomic.get t.admitted));
+  Metrics.counter_fn reg "demaq_gate_shed_total"
+    ~help:"Messages shed at the ingress gate (soft + hard)" (fun () ->
+      float_of_int (Atomic.get t.shed));
+  Metrics.counter_fn reg "demaq_gate_shed_hard_total"
+    ~help:"Messages shed with the gate fully closed (hard band)" (fun () ->
+      float_of_int (Atomic.get t.shed_hard));
+  Metrics.gauge_fn reg "demaq_gate_saturation"
+    ~help:"Ingress saturation (1.0 = soft shedding threshold)" (fun () ->
+      t.saturation)

@@ -1,0 +1,37 @@
+(** Ingress admission gate: bounded backpressure at the door.
+
+    Watches dispatch depth and unsynced WAL bytes; saturation is the
+    worse of the two ratios against their configured bounds. In the soft
+    band ([1 <= saturation < hard]) only queues at or below the priority
+    floor are shed — high-priority queues degrade last; in the hard band
+    everything is shed until the node drains. A shed message was never
+    admitted, so it is never half-applied. Upstream answers 429 +
+    Retry-After (transient), distinct from the permanent 422 rejection. *)
+
+type config = {
+  max_pending : int;  (** dispatch-heap depth where soft shedding starts *)
+  max_wal_bytes : int;  (** unsynced WAL bytes where soft shedding starts *)
+  hard : float;  (** saturation multiple where even priority won't help *)
+  priority_floor : int;
+      (** soft band sheds queues with priority <= this *)
+  retry_after : int;  (** seconds hinted at the base of the soft band *)
+}
+
+val default_config : config
+
+type decision = Admit | Shed of { retry_after : int; hard : bool }
+type t
+
+val create : ?cfg:config -> unit -> t
+
+val decide :
+  t -> pending:int -> unsynced_bytes:int -> priority:int -> decision
+(** One admission decision; updates the shed/admit counters and the
+    saturation gauge. Safe from any domain. *)
+
+val admitted : t -> int
+val shed : t -> int
+val shed_hard : t -> int
+
+val instrument : t -> Demaq_obs.Metrics.registry -> unit
+(** Register [demaq_gate_*] counters and the saturation gauge. *)

@@ -118,6 +118,32 @@ let handle_flow srv id =
       Http.response ~status:404 (Printf.sprintf "unknown flow %s\n" fid)
     else Http.ok ~content_type:"application/json" body
 
+(* The admission gate as an [Http.start ?gate] hook: consulted after the
+   request head is parsed but before the body is read or an XML tree
+   built, so a shed request costs the node a header parse and nothing
+   else. Only enqueue POSTs are gated — the observability endpoints must
+   stay readable precisely when the node is overloaded. 429 + Retry-After
+   marks the rejection transient, in contrast to the permanent 422 the
+   enqueue path answers for schema violations. *)
+let gate srv (req : Http.request) =
+  match (req.Http.meth, req.Http.path) with
+  | Http.POST, path when String.starts_with ~prefix:enqueue_prefix path ->
+    let queue =
+      String.sub path (String.length enqueue_prefix)
+        (String.length path - String.length enqueue_prefix)
+    in
+    (match Server.admission srv ~queue with
+     | Gate.Admit -> None
+     | Gate.Shed { retry_after; hard } ->
+       Some
+         (Http.response ~status:429
+            ~headers:[ ("Retry-After", string_of_int retry_after) ]
+            (Printf.sprintf "overloaded (%s), retry after %ds\n"
+               (if hard then "shedding all traffic"
+                else "shedding below the priority floor")
+               retry_after)))
+  | _ -> None
+
 let handler ?(enqueue = true) srv (req : Http.request) =
   match (req.Http.meth, req.Http.path) with
   | Http.GET, "/metrics" ->

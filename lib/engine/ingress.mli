@@ -26,3 +26,11 @@ val handler : ?enqueue:bool -> Server.t -> Demaq_net.Http.handler
 (** [handler srv] with [enqueue] defaulting to [true]. Safe to call from
     several accept-pool domains concurrently ({!Server.inject} is
     transactional and mutex-protected). *)
+
+val gate :
+  Server.t -> Demaq_net.Http.request -> Demaq_net.Http.response option
+(** The admission gate as an [Http.start ?gate] hook: for an enqueue POST
+    that {!Server.admission} sheds, answers [429] with a [Retry-After]
+    header — before the request body is read, so a refused request costs
+    a head parse and nothing else. [None] (admit) for everything else;
+    observability GETs are never gated. *)

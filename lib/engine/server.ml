@@ -115,7 +115,23 @@ type stats = {
   syncs_per_message : float;
 }
 
-type t = { ctx : Executor.t; pool : Worker_pool.t }
+(* The self-tuning state, when [enable_adaptive] switched it on: the AIMD
+   controller plus the sampler that feeds it windowed observations. *)
+type adaptive = {
+  a_ctl : Controller.t;
+  a_sampler : Controller.sampler;
+  a_processed : unit -> int;
+  a_group_syncs : unit -> int;
+}
+
+type t = {
+  ctx : Executor.t;
+  pool : Worker_pool.t;
+  mutable adaptive : adaptive option;
+  mutable gate : Gate.t option;
+  mutable compactions : int;
+  mutable compacted_bytes : int;
+}
 
 exception Deployment_error of string
 
@@ -168,13 +184,17 @@ let step t =
 let run ?(max_steps = max_int) t =
   let processed = ref 0 in
   let continue_ = ref true in
-  let batch_size = max 1 t.ctx.Executor.cfg.batch_size in
+  let reg = t.ctx.Executor.reg in
+  let last_harden = ref (Metrics.now reg) in
   (* [max_steps] bounds processed messages only: rescheduled duplicates and
      collected rids are skipped inside the pool without touching the
      budget. *)
   while !continue_ && !processed < max_steps do
-    (* drain up to [batch_size] messages (across all workers); their
-       commits share one durability barrier instead of one fsync each *)
+    (* drain up to the batch target (across all workers); their commits
+       share one durability barrier instead of one fsync each. Read per
+       iteration: the adaptive controller moves [batch_target] between
+       drains. *)
+    let batch_size = max 1 t.ctx.Executor.batch_target in
     let budget = min batch_size (max_steps - !processed) in
     let n =
       Worker_pool.drain t.pool ~budget ~process:(fun rid -> Executor.process t.ctx rid)
@@ -182,12 +202,111 @@ let run ?(max_steps = max_int) t =
     processed := !processed + n;
     (* one barrier covers the whole batch; the pump re-checks it before
        every transmission, so error-routing commits made while pumping are
-       hardened before they can externalize *)
-    Executor.harden t.ctx;
+       hardened before they can externalize. Under the adaptive
+       controller a short drain (batch not filled) may defer the barrier
+       until the flush deadline — safe, because every externalization
+       path hardens for itself; the deferral only trades commit-to-disk
+       latency for fewer fsyncs, bounded by the deadline. *)
+    let flush_due =
+      match t.adaptive with
+      | None -> true  (* fixed batch: barrier per drain, the seed behaviour *)
+      | Some a ->
+        n >= batch_size
+        || float_of_int (Metrics.now reg - !last_harden) /. 1e6
+           >= Controller.flush_ms a.a_ctl
+    in
+    if flush_due then begin
+      Executor.harden t.ctx;
+      last_harden := Metrics.now reg
+    end;
     let sent = Externalizer.pump_gateways t.ctx in
     if n = 0 && sent = 0 then continue_ := false
   done;
   !processed
+
+(* ---- adaptive runtime ---- *)
+
+let batch_target t = t.ctx.Executor.batch_target
+
+let enable_adaptive ?cfg t =
+  let ctx = t.ctx in
+  let ctl = Controller.create ?cfg ~batch:ctx.Executor.batch_target () in
+  Controller.instrument ctl ctx.Executor.reg;
+  let a_processed () = Metrics.value ctx.Executor.met.Executor.m_processed in
+  let a_group_syncs () = Store.wal_group_syncs ctx.Executor.st in
+  let a_sampler =
+    Controller.sampler ctl
+      ~barrier_hist:ctx.Executor.met.Executor.m_barrier_seconds
+      ~processed:a_processed ~group_syncs:a_group_syncs
+  in
+  ctx.Executor.batch_target <- Controller.batch ctl;
+  t.adaptive <- Some { a_ctl = ctl; a_sampler; a_processed; a_group_syncs };
+  ctl
+
+let controller_tick t =
+  match t.adaptive with
+  | None -> None
+  | Some a ->
+    let d =
+      Controller.sample_and_tick a.a_sampler ~processed:a.a_processed
+        ~group_syncs:a.a_group_syncs
+    in
+    t.ctx.Executor.batch_target <- Controller.batch a.a_ctl;
+    Some d
+
+let enable_gate ?cfg t =
+  let g = Gate.create ?cfg () in
+  Gate.instrument g t.ctx.Executor.reg;
+  t.gate <- Some g;
+  g
+
+(* One admission decision for a message bound for [queue]: dispatch depth
+   and unsynced WAL bytes are the two unbounded queues overload would
+   otherwise grow. Admit-all when no gate is enabled. *)
+let admission t ~queue =
+  match t.gate with
+  | None -> Gate.Admit
+  | Some g ->
+    Gate.decide g
+      ~pending:(Worker_pool.pending t.pool)
+      ~unsynced_bytes:(Store.unsynced_bytes t.ctx.Executor.st)
+      ~priority:(Executor.queue_priority t.ctx queue)
+
+(* One background maintenance tick, called off the hot path (the serve
+   loop, between drains): run the controller, spend a bounded GC budget,
+   and compact the log when it has outgrown its bound. Returns
+   [(collected, reclaimed_bytes)]. *)
+let maintain ?(gc_budget = 0) ?(max_wal_bytes = 0) t =
+  ignore (controller_tick t);
+  (* straggler flush: [run] defers the group-commit barrier to the flush
+     deadline, but an idle drain exits without ever reaching it — when a
+     burst stops dead, the unsynced tail would otherwise linger
+     indefinitely and hold the WAL axis of the admission gate closed on
+     an idle node. The maintenance cadence is the idle-time bound on
+     commit-to-disk latency. A direct barrier, not {!Executor.harden}:
+     the tail exists under any [Sync_batch] policy (group commit or
+     not), and an idle flush must not feed the controller's barrier-p99
+     window a trivially fast sample. *)
+  if Store.unsynced_bytes t.ctx.Executor.st > 0 then
+    ignore (Store.barrier t.ctx.Executor.st);
+  let collected =
+    if gc_budget > 0 then Executor.run_gc_step t.ctx ~budget:gc_budget else 0
+  in
+  let reclaimed =
+    if
+      max_wal_bytes > 0
+      && Store.compaction_due t.ctx.Executor.st ~max_wal_bytes
+    then begin
+      let b = Executor.locked t.ctx (fun () -> Store.compact t.ctx.Executor.st) in
+      if b > 0 then begin
+        t.compactions <- t.compactions + 1;
+        t.compacted_bytes <- t.compacted_bytes + b
+      end;
+      b
+    end
+    else 0
+  in
+  (collected, reclaimed)
 
 (* ---- introspection ---- *)
 
@@ -451,7 +570,15 @@ let deploy ?(config = default_config) ?time_source ?store:st ?network:net
   in
   ctx.Executor.schedule <-
     (fun ~priority ~resources rid -> Worker_pool.schedule pool ~priority ~resources rid);
-  let t = { ctx; pool } in
+  let t =
+    { ctx; pool; adaptive = None; gate = None; compactions = 0; compacted_bytes = 0 }
+  in
+  Metrics.counter_fn reg "demaq_store_compactions_total"
+    ~help:"Background WAL/snapshot compactions performed" (fun () ->
+      float_of_int t.compactions);
+  Metrics.counter_fn reg "demaq_store_compacted_bytes_total"
+    ~help:"WAL bytes retired by background compaction" (fun () ->
+      float_of_int t.compacted_bytes);
   (* Recovery: refill gateway outboxes (retransmission after restart is
      at-least-once, matching WS-ReliableMessaging semantics), resume the
      clock past every stored timestamp, reschedule unprocessed messages,

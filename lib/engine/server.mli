@@ -199,6 +199,45 @@ val run : ?max_steps:int -> t -> int
     processed messages only — rescheduled duplicates and already-collected
     rids are skipped for free. Does not advance time. *)
 
+(** {1 Adaptive runtime}
+
+    The self-tuning pieces are opt-in and composable: {!enable_adaptive}
+    turns on the AIMD group-commit controller (the {!run} loop then reads
+    its moving batch target and flush deadline), {!enable_gate} arms the
+    ingress admission gate, and {!maintain} is the periodic background
+    tick that drives the controller, a budgeted GC slice, and log
+    compaction. *)
+
+val enable_adaptive : ?cfg:Controller.config -> t -> Controller.t
+(** Switch group commit to the AIMD controller, seeded at the configured
+    [batch_size]. Registers the [demaq_controller_*] metrics. *)
+
+val enable_gate : ?cfg:Gate.config -> t -> Gate.t
+(** Arm the ingress admission gate (consulted by {!admission} /
+    {!Ingress.gate}). Registers the [demaq_gate_*] metrics. *)
+
+val admission : t -> queue:string -> Gate.decision
+(** One admission decision for a message bound for [queue], from the
+    current dispatch depth and unsynced WAL bytes. Always
+    {!Gate.Admit} when no gate is enabled. *)
+
+val controller_tick : t -> Controller.decision option
+(** Sample the metrics window and run one controller tick, moving the
+    run loop's batch target. [None] when adaptive mode is off. *)
+
+val maintain : ?gc_budget:int -> ?max_wal_bytes:int -> t -> int * int
+(** One background maintenance tick: {!controller_tick}, then a
+    straggler flush (any unsynced group-commit tail left by an idle
+    drain is hardened, so the WAL axis of the admission gate cannot
+    stay closed on an idle node), then at most [gc_budget]
+    incremental-GC deletability checks, then a log compaction if the
+    WAL has outgrown [max_wal_bytes] (0 disables either). Returns
+    [(messages collected, WAL bytes reclaimed)]. *)
+
+val batch_target : t -> int
+(** The group-commit batch target currently in force (fixed
+    [batch_size], or the controller's choice under adaptive mode). *)
+
 (** {1 Fault injection} *)
 
 val set_fault : t -> Fault.t option -> unit

@@ -34,6 +34,9 @@ type t = {
   cache : (int, Message.t) Hashtbl.t;  (* rid -> decoded message *)
   clock : unit -> int;
   encode_payload : Tree.tree -> string;  (* stored representation *)
+  mutable gc_cursor : int;
+      (* next rid the incremental GC scan examines; wraps to 0 at the end
+         of the store so every message is eventually revisited *)
 }
 
 let store t = t.store
@@ -304,8 +307,9 @@ let deletable t (m : Message.t) =
   m.Message.processed
   && List.for_all (fun mem -> not (membership_current t m mem)) m.Message.memberships
 
-let gc_collect t =
-  let doomed = List.filter (deletable t) (List.map (of_store_cached t) (Store.all_messages t.store)) in
+(* Tombstone a batch of deletable messages in one transaction, evicting
+   their cache entries and index postings. Returns the reclaimed rids. *)
+let delete_batch t doomed =
   if doomed = [] then []
   else begin
     let txn = Store.begin_txn t.store in
@@ -325,7 +329,41 @@ let gc_collect t =
     List.map (fun (m : Message.t) -> m.Message.rid) doomed
   end
 
+let gc_collect t =
+  delete_batch t
+    (List.filter (deletable t)
+       (List.map (of_store_cached t) (Store.all_messages t.store)))
+
 let gc t = List.length (gc_collect t)
+
+(* Incremental GC: examine at most [budget] messages per call, resuming
+   at a wrapping rid cursor. The enumeration itself is a cheap fold over
+   live rids; the budget bounds the expensive part — decoding each
+   candidate and checking its slice memberships for currency — so a
+   maintenance tick costs O(budget), not O(store). A short window (fewer
+   than [budget] rids past the cursor) ends the sweep and wraps the
+   cursor to 0, so every message is revisited on the next pass. *)
+let gc_step t ~budget =
+  if budget <= 0 then []
+  else begin
+    let past_cursor =
+      List.filter
+        (fun (sm : Store.message) -> sm.Store.rid >= t.gc_cursor)
+        (Store.all_messages t.store)
+    in
+    let rec take n = function
+      | x :: rest when n > 0 -> x :: take (n - 1) rest
+      | _ -> []
+    in
+    let window = take budget past_cursor in
+    if List.length window < budget then t.gc_cursor <- 0
+    else (
+      match List.rev window with
+      | last :: _ -> t.gc_cursor <- last.Store.rid + 1
+      | [] -> ());
+    delete_batch t
+      (List.filter (deletable t) (List.map (of_store_cached t) window))
+  end
 
 let rebuild_indexes t =
   Hashtbl.iter (fun _ idx -> Btree.clear idx) t.indexes;
@@ -362,6 +400,7 @@ let create ?clock ?(payload_format = `Binary) store =
       cache = Hashtbl.create 1024;
       clock;
       encode_payload;
+      gc_cursor = 0;
     }
   in
   rebuild_indexes t;

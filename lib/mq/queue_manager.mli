@@ -114,6 +114,13 @@ val gc_collect : t -> int list
     holding per-rid caches of their own (the engine's node, name-synopsis
     and sent tables) can purge them. *)
 
+val gc_step : t -> budget:int -> int list
+(** Incremental {!gc_collect}: examine at most [budget] messages, resuming
+    at an internal rid cursor that wraps at the end of the store, and
+    collect the deletable ones among them. A maintenance tick costs
+    O(budget) deletability checks instead of O(store); repeated calls
+    eventually revisit every message. Returns the collected rids. *)
+
 val rebuild_indexes : t -> unit
 (** Rebuild all slice indexes from the store (after recovery: index data is
     derived, §4.1). Called automatically by {!create}. *)

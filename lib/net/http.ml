@@ -55,10 +55,15 @@ type request = {
   body : string;
 }
 
-type response = { status : int; content_type : string; resp_body : string }
+type response = {
+  status : int;
+  content_type : string;
+  extra_headers : (string * string) list;  (* e.g. Retry-After on a 429 *)
+  resp_body : string;
+}
 
-let response ~status ?(content_type = "text/plain") resp_body =
-  { status; content_type; resp_body }
+let response ~status ?(content_type = "text/plain") ?(headers = []) resp_body =
+  { status; content_type; extra_headers = headers; resp_body }
 
 let ok ?(content_type = "text/plain") body = response ~status:200 ~content_type body
 
@@ -241,12 +246,17 @@ let write_all fd payload =
   in
   go 0
 
-let respond fd { status; content_type; resp_body } =
+let respond fd { status; content_type; extra_headers; resp_body } =
+  let extra =
+    String.concat ""
+      (List.map (fun (k, v) -> Printf.sprintf "%s: %s\r\n" k v) extra_headers)
+  in
   let head =
     Printf.sprintf
-      "HTTP/1.0 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\n\
+      "HTTP/1.0 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\n%s\
        Connection: close\r\n\r\n"
       status (reason_phrase status) content_type (String.length resp_body)
+      extra
   in
   write_all fd (Bytes.of_string (head ^ resp_body))
 
@@ -270,7 +280,26 @@ let lingering_close fd =
 
 (* ---- per-connection servicing ---- *)
 
-let serve_conn t ~read_timeout ~max_body handler fd =
+(* Read and discard up to [n] request-body bytes. The shed path (an
+   admission-gate 429) uses this before answering: responding while the
+   client is still streaming its body and then closing turns the unread
+   data into an RST that can destroy the 429 on the wire — the client
+   would see a connection error instead of the backpressure signal it is
+   supposed to honor. Gives up quietly on EOF/timeout/reset; the
+   lingering close mops up any remainder. *)
+let drain_body fd n =
+  let chunk = Bytes.create 4096 in
+  let rec go remaining =
+    if remaining > 0 then
+      match Unix.read fd chunk 0 (min (Bytes.length chunk) remaining) with
+      | 0 -> ()
+      | k -> go (remaining - k)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go remaining
+      | exception Unix.Unix_error _ -> ()
+  in
+  go n
+
+let serve_conn t ~read_timeout ~max_body ~gate handler fd =
   Fun.protect
     ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
     (fun () ->
@@ -306,31 +335,47 @@ let serve_conn t ~read_timeout ~max_body handler fd =
         match parse_head head with
         | None -> finish (response ~status:400 "bad request\n")
         | Some (meth, path, query, headers) -> (
+          (* shed before the body is read: drain what the client declared
+             (bounded at [max_body]; oversized requests would have been
+             413 anyway) so the refusal arrives intact, then answer *)
+          let shed resp =
+            (match content_length headers with
+             | Length n when n > 0 ->
+               drain_body fd (min n max_body - String.length leftover)
+             | Length _ | No_length | Bad_length -> ());
+            finish resp
+          in
           match meth with
-          | "GET" ->
-            dispatch { meth = GET; path; query; headers; body = "" }
+          | "GET" -> (
+            let req = { meth = GET; path; query; headers; body = "" } in
+            match gate req with
+            | Some resp -> shed resp
+            | None -> dispatch req)
           | "POST" -> (
-            match content_length headers with
-            | No_length -> finish (response ~status:411 "length required\n")
-            | Bad_length ->
-              finish (response ~status:400 "bad content-length\n")
-            | Length n when n > max_body ->
-              finish (response ~status:413 "payload too large\n")
-            | Length n -> (
-              match read_body fd ~leftover ~length:n with
-              | Body_timeout -> timeout ()
-              | Body_closed ->
-                finish (response ~status:400 "truncated body\n")
-              | Body body ->
-                dispatch { meth = POST; path; query; headers; body }))
+            match gate { meth = POST; path; query; headers; body = "" } with
+            | Some resp -> shed resp
+            | None -> (
+              match content_length headers with
+              | No_length -> finish (response ~status:411 "length required\n")
+              | Bad_length ->
+                finish (response ~status:400 "bad content-length\n")
+              | Length n when n > max_body ->
+                finish (response ~status:413 "payload too large\n")
+              | Length n -> (
+                match read_body fd ~leftover ~length:n with
+                | Body_timeout -> timeout ()
+                | Body_closed ->
+                  finish (response ~status:400 "truncated body\n")
+                | Body body ->
+                  dispatch { meth = POST; path; query; headers; body })))
           | _ -> finish (response ~status:405 "method not allowed\n"))))
 
-let accept_loop t ~read_timeout ~max_body handler =
+let accept_loop t ~read_timeout ~max_body ~gate handler =
   let rec loop () =
     if not (Atomic.get t.stopping) then begin
       (match Unix.accept t.sock with
        | conn, _ -> (
-         try serve_conn t ~read_timeout ~max_body handler conn
+         try serve_conn t ~read_timeout ~max_body ~gate handler conn
          with e ->
            Log.warn (fun f ->
                f "request handling failed: %s" (Printexc.to_string e)))
@@ -345,7 +390,7 @@ let accept_loop t ~read_timeout ~max_body handler =
   loop ()
 
 let start ?(addr = Unix.inet_addr_loopback) ?(pool = 4) ?(read_timeout = 10.)
-    ?(max_body = 1 lsl 20) ~port handler =
+    ?(max_body = 1 lsl 20) ?(gate = fun _ -> None) ~port handler =
   ignore_sigpipe ();
   let pool = max 1 pool in
   let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
@@ -370,7 +415,7 @@ let start ?(addr = Unix.inet_addr_loopback) ?(pool = 4) ?(read_timeout = 10.)
     t.pool <-
       Array.init pool (fun _ ->
           Domain.spawn (fun () ->
-              accept_loop t ~read_timeout ~max_body handler));
+              accept_loop t ~read_timeout ~max_body ~gate handler));
     Log.info (fun f -> f "http endpoint listening on port %d (%d accept domains)" port pool);
     Ok t
   | exception Unix.Unix_error (err, _, _) ->
@@ -405,7 +450,9 @@ let find_header_end s =
   in
   go 0
 
-let roundtrip ~port req =
+(* Like {!roundtrip} but keeps the whole response head (status line +
+   headers) — for callers that need a header, e.g. Retry-After on 429. *)
+let roundtrip_full ~port req =
   ignore_sigpipe ();
   let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Fun.protect
@@ -431,22 +478,41 @@ let roundtrip ~port req =
       let response = Buffer.contents buf in
       match find_header_end response with
       | Some i ->
-        let status =
-          match String.index_opt response '\r' with
-          | Some eol -> String.sub response 0 eol
-          | None -> response
-        in
-        (status, String.sub response i (String.length response - i))
+        ( String.sub response 0 i,
+          String.sub response i (String.length response - i) )
       | None -> (response, ""))
+
+let roundtrip ~port req =
+  let head, body = roundtrip_full ~port req in
+  let status =
+    match String.index_opt head '\r' with
+    | Some eol -> String.sub head 0 eol
+    | None -> head
+  in
+  (status, body)
 
 let get ~port path =
   roundtrip ~port (Printf.sprintf "GET %s HTTP/1.0\r\n\r\n" path)
 
-let post ~port ?(content_type = "application/xml") path body =
-  roundtrip ~port
-    (Printf.sprintf
-       "POST %s HTTP/1.0\r\nContent-Type: %s\r\nContent-Length: %d\r\n\r\n%s"
-       path content_type (String.length body) body)
+let post_request ?(content_type = "application/xml") path body =
+  Printf.sprintf
+    "POST %s HTTP/1.0\r\nContent-Type: %s\r\nContent-Length: %d\r\n\r\n%s"
+    path content_type (String.length body) body
+
+let post ~port ?content_type path body =
+  roundtrip ~port (post_request ?content_type path body)
+
+let post_full ~port ?content_type path body =
+  roundtrip_full ~port (post_request ?content_type path body)
+
+let header name head =
+  let name = String.lowercase_ascii name in
+  String.split_on_char '\n' head
+  |> List.find_map (fun line ->
+         match String.index_opt line ':' with
+         | Some i when String.lowercase_ascii (String.sub line 0 i) = name ->
+           Some (String.trim (String.sub line (i + 1) (String.length line - i - 1)))
+         | _ -> None)
 
 let status_code status_line =
   match String.split_on_char ' ' status_line with

@@ -21,13 +21,20 @@ type request = {
 type response = {
   status : int;  (** e.g. 200, 202, 404 *)
   content_type : string;
+  extra_headers : (string * string) list;
+      (** additional response headers, e.g. [Retry-After] on a 429 *)
   resp_body : string;
 }
 
 val ok : ?content_type:string -> string -> response
 (** 200 with the given body (default content type [text/plain]). *)
 
-val response : status:int -> ?content_type:string -> string -> response
+val response :
+  status:int ->
+  ?content_type:string ->
+  ?headers:(string * string) list ->
+  string ->
+  response
 
 type handler = request -> response option
 (** [handler req] returns [Some response], or [None] for 404. May be
@@ -47,6 +54,7 @@ val start :
   ?pool:int ->
   ?read_timeout:float ->
   ?max_body:int ->
+  ?gate:(request -> response option) ->
   port:int ->
   handler ->
   (t, string) result
@@ -60,7 +68,15 @@ val start :
     for at most the deadline instead of wedging the accept loop forever.
 
     [max_body] (default 1 MiB) caps [Content-Length]; larger requests are
-    refused with [413]. Request heads are bounded at 8 KiB ([431]). *)
+    refused with [413]. Request heads are bounded at 8 KiB ([431]).
+
+    [gate] is consulted after the head is parsed but {e before} the body
+    is read ([request.body] is [""] at that point): returning
+    [Some response] sheds the request — the declared body is drained
+    (bounded, discarded) so the refusal arrives intact rather than racing
+    an RST, then the response is written. The admission gate answers
+    [429 + Retry-After] through this hook without paying for body
+    transfer or XML parsing on a request it is about to refuse. *)
 
 val port : t -> int
 
@@ -82,6 +98,15 @@ val get : port:int -> string -> string * string
 val post :
   port:int -> ?content_type:string -> string -> string -> string * string
 (** [post ~port path body] returns [(status_line, body)]. *)
+
+val post_full :
+  port:int -> ?content_type:string -> string -> string -> string * string
+(** Like {!post} but the first component is the whole response head
+    (status line + headers) — pick headers out with {!header}. *)
+
+val header : string -> string -> string option
+(** [header name head] finds a header value (case-insensitive name) in a
+    response head as returned by {!post_full}. *)
 
 val status_code : string -> int
 (** Parse the numeric code out of a status line ("HTTP/1.0 202 Accepted"

@@ -44,6 +44,7 @@ type results = {
   r_sent : int;
   r_dropped : int;
   r_ok : int;
+  r_rejected : int;  (* 429s: shed by the admission gate, not failures *)
   r_errors : int;
   r_timeouts : int;
   r_statuses : (int * int) list;
@@ -125,6 +126,7 @@ let run cfg gen =
   let sent = ref 0 in
   let dropped = ref 0 in
   let ok = ref 0 in
+  let rejected = ref 0 in
   let errors = ref 0 in
   let timeouts = ref 0 in
   let statuses : (int, int) Hashtbl.t = Hashtbl.create 8 in
@@ -143,10 +145,17 @@ let run cfg gen =
   let complete c now =
     let code = status_of_response c.inbuf in
     note_status code;
-    if code >= 200 && code < 300 then incr ok else incr errors;
-    let lat = now - c.scheduled_ns in
-    Metrics.observe hist lat;
-    if lat > !max_lat then max_lat := lat;
+    (* a 429 is backpressure working as designed, not a failure, and not
+       service either: it stays out of both the error count and the
+       latency distribution (a refusal is fast by construction — mixing
+       it in would flatter the over-knee percentiles) *)
+    if code = 429 then incr rejected
+    else begin
+      if code >= 200 && code < 300 then incr ok else incr errors;
+      let lat = now - c.scheduled_ns in
+      Metrics.observe hist lat;
+      if lat > !max_lat then max_lat := lat
+    end;
     last_completion := now;
     close_conn c
   in
@@ -296,6 +305,7 @@ let run cfg gen =
     r_sent = !sent;
     r_dropped = !dropped;
     r_ok = !ok;
+    r_rejected = !rejected;
     r_errors = !errors;
     r_timeouts = !timeouts;
     r_statuses =
@@ -315,8 +325,10 @@ let run cfg gen =
 let report r =
   let b = Buffer.create 512 in
   Printf.bprintf b
-    "offered %d  sent %d  dropped(cap) %d  ok %d  errors %d  timeouts %d\n"
-    r.r_offered r.r_sent r.r_dropped r.r_ok r.r_errors r.r_timeouts;
+    "offered %d  sent %d  dropped(cap) %d  ok %d  rejected(429) %d  \
+     errors %d  timeouts %d\n"
+    r.r_offered r.r_sent r.r_dropped r.r_ok r.r_rejected r.r_errors
+    r.r_timeouts;
   if r.r_statuses <> [] then
     Printf.bprintf b "statuses: %s\n"
       (String.concat "  "

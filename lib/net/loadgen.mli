@@ -45,7 +45,10 @@ type results = {
   r_sent : int;  (** requests actually dispatched *)
   r_dropped : int;  (** arrivals refused by the in-flight cap *)
   r_ok : int;  (** 2xx responses *)
-  r_errors : int;  (** non-2xx responses plus transport failures *)
+  r_rejected : int;
+      (** 429s — shed by the admission gate; excluded from both [r_errors]
+          and the latency distribution (backpressure is not failure) *)
+  r_errors : int;  (** non-2xx/non-429 responses plus transport failures *)
   r_timeouts : int;  (** requests with no response within [timeout_s] *)
   r_statuses : (int * int) list;  (** status code -> count, sorted *)
   r_p50_ms : float;

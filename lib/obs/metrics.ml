@@ -241,6 +241,70 @@ let histogram_totals h =
   in
   (count, sum)
 
+(* ---- windowed reads ----
+
+   A controller reacting to *current* conditions must not average over the
+   whole process lifetime: one overloaded minute buried under an hour of
+   calm would vanish from the cumulative percentile. A window remembers
+   the per-bucket counts at its last flush; [window_delta] estimates the
+   quantile of only the observations recorded since, then advances the
+   baseline. Reads race benignly with writers, like every other read. *)
+
+type window = {
+  w_hist : histogram;
+  mutable w_buckets : int array;  (* per-bucket counts at the last flush *)
+  mutable w_count : int;
+}
+
+let bucket_totals h =
+  let reg = h.h_reg in
+  Array.init n_buckets (fun b ->
+      Array.fold_left
+        (fun acc s -> acc + s.hbuckets.((h.h_id * n_buckets) + b))
+        0 reg.shards)
+
+let window h =
+  {
+    w_hist = h;
+    w_buckets = bucket_totals h;
+    w_count = fst (histogram_totals h);
+  }
+
+let window_delta w q =
+  let h = w.w_hist in
+  let hd = h.h_reg.hdefs.(h.h_id) in
+  let buckets = bucket_totals h in
+  let count = fst (histogram_totals h) in
+  let n = count - w.w_count in
+  let result =
+    if n <= 0 then (0, Float.nan)
+    else begin
+      let q = Float.min 1. (Float.max 0. q) in
+      let rank = q *. float_of_int n in
+      let rec go b cumulative =
+        if b >= n_buckets then
+          (n, float_of_int (1 lsl (hd.h_shift + n_buckets)) *. hd.h_scale)
+        else begin
+          let in_bucket = buckets.(b) - w.w_buckets.(b) in
+          let cumulative' = cumulative + in_bucket in
+          if float_of_int cumulative' >= rank && in_bucket > 0 then begin
+            let upper = float_of_int (1 lsl (hd.h_shift + b + 1)) in
+            let lower = if b = 0 then 0. else upper /. 2. in
+            let frac =
+              (rank -. float_of_int cumulative) /. float_of_int in_bucket
+            in
+            (n, (lower +. (frac *. (upper -. lower))) *. hd.h_scale)
+          end
+          else go (b + 1) cumulative'
+        end
+      in
+      go 0 0
+    end
+  in
+  w.w_buckets <- buckets;
+  w.w_count <- count;
+  result
+
 let now_ns () = Time_source.now_ns Time_source.real
 let now reg = Time_source.now_ns reg.ts
 

@@ -109,6 +109,20 @@ val percentile : histogram -> float -> float
 val percentiles : histogram -> float list -> float list
 (** [percentiles h [0.5; 0.99; 0.999]] — {!percentile}, mapped. *)
 
+type window
+(** A movable baseline over one histogram, for windowed quantiles: the
+    adaptive controller reacts to the barrier latency of the last control
+    interval, not the whole process lifetime. *)
+
+val window : histogram -> window
+(** Open a window whose baseline is the histogram's current contents. *)
+
+val window_delta : window -> float -> int * float
+(** [window_delta w q] estimates the [q]-quantile (exposed units, same
+    bucket-interpolation contract as {!percentile}) of only the
+    observations recorded since the window's baseline, returns it with
+    their count ([(0, nan)] when none), and advances the baseline. *)
+
 type sample =
   | Counter of { name : string; help : string; value : float }
   | Gauge of { name : string; help : string; value : float }

@@ -35,6 +35,9 @@ type span = {
                            batch and recorded in the barrier histogram *)
   sp_activations : activation list;  (* in evaluation order *)
   sp_actions : int;  (* updates applied (enqueues + resets) *)
+  sp_batch : int;  (* group-commit batch target in force at dispatch; the
+                      adaptive controller moves it, so spans record which
+                      regime the message ran under *)
   sp_outcome : outcome;
 }
 
@@ -114,12 +117,12 @@ let span_json s =
      \"cause\":\"%s\",\"tick\":%d,\"worker\":%d,\"start_ns\":%d,\
      \"wait_ns\":%d,\"lock_ns\":%d,\"decode_ns\":%d,\"eval_ns\":%d,\
      \"apply_ns\":%d,\"barrier_ns\":%d,\"rules\":[%s],\"actions\":%d,\
-     \"outcome\":%s}"
+     \"batch\":%d,\"outcome\":%s}"
     s.sp_rid (json_escape s.sp_queue) (json_escape s.sp_flow) s.sp_parent
     (json_escape s.sp_cause) s.sp_tick s.sp_worker s.sp_start_ns s.sp_wait_ns
     s.sp_lock_ns s.sp_decode_ns s.sp_eval_ns s.sp_apply_ns s.sp_barrier_ns
     (String.concat "," (List.map activation_json s.sp_activations))
-    s.sp_actions outcome
+    s.sp_actions s.sp_batch outcome
 
 (* Oldest first — a JSONL dump reads naturally top to bottom. *)
 let dump_jsonl t =

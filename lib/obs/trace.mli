@@ -37,6 +37,9 @@ type span = {
   sp_barrier_ns : int;  (** abort-path hardening *)
   sp_activations : activation list;  (** in evaluation order *)
   sp_actions : int;
+  sp_batch : int;
+      (** group-commit batch target in force when the message was
+          dispatched; moves under the adaptive controller *)
   sp_outcome : outcome;
 }
 

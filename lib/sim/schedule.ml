@@ -13,25 +13,33 @@ type event =
   | Reconnect of string
   | Fail_eval
   | Fail_apply
+  | Burst of int
+  | Compact
+  | Torn_compact of int
 
 type t = { seed : int; events : event list }
 
 (* Weights out of 100. Steps dominate — interleaving choice is where the
    interesting bugs hide — with a steady drip of arrivals so there is
-   always work to interleave, and rarer catastrophic events. *)
+   always work to interleave, and rarer catastrophic events. Bursts and
+   compactions are rare enough that most schedules still exercise the
+   steady-state paths, common enough that a modest sweep hits them. *)
 let generate ~seed ?(events = 40) () =
   let rng = Random.State.make [| 0x51; seed |] in
   let gen_event () =
     let r = Random.State.int rng 100 in
     if r < 24 then Inject (if Random.State.bool rng then "qa" else "qb")
-    else if r < 60 then Step (Random.State.int rng 1024)
-    else if r < 68 then Advance (1 + Random.State.int rng 12)
-    else if r < 78 then Barrier
-    else if r < 83 then Crash (Random.State.int rng 97)
-    else if r < 87 then Partition "partner"
-    else if r < 92 then Reconnect "partner"
-    else if r < 96 then Fail_eval
-    else Fail_apply
+    else if r < 55 then Step (Random.State.int rng 1024)
+    else if r < 63 then Advance (1 + Random.State.int rng 12)
+    else if r < 72 then Barrier
+    else if r < 77 then Crash (Random.State.int rng 97)
+    else if r < 81 then Partition "partner"
+    else if r < 85 then Reconnect "partner"
+    else if r < 89 then Fail_eval
+    else if r < 92 then Fail_apply
+    else if r < 96 then Burst (4 + Random.State.int rng 28)
+    else if r < 99 then Compact
+    else Torn_compact (Random.State.int rng 2)
   in
   { seed; events = List.init events (fun _ -> gen_event ()) }
 
@@ -45,6 +53,9 @@ let event_to_string = function
   | Reconnect e -> "reconnect " ^ e
   | Fail_eval -> "fail-eval"
   | Fail_apply -> "fail-apply"
+  | Burst n -> Printf.sprintf "burst %d" n
+  | Compact -> "compact"
+  | Torn_compact n -> Printf.sprintf "torn-compact %d" n
 
 let event_of_string line =
   let fail () = Error (Printf.sprintf "unrecognized event %S" line) in
@@ -61,6 +72,9 @@ let event_of_string line =
   | [ "reconnect"; e ] -> Ok (Reconnect e)
   | [ "fail-eval" ] -> Ok Fail_eval
   | [ "fail-apply" ] -> Ok Fail_apply
+  | [ "burst"; n ] -> int_arg n (fun n -> Burst n)
+  | [ "compact" ] -> Ok Compact
+  | [ "torn-compact"; n ] -> int_arg n (fun n -> Torn_compact n)
   | _ -> fail ()
 
 let to_string t =

@@ -22,6 +22,17 @@ type event =
   | Reconnect of string
   | Fail_eval  (** arm an injected fault on the next rule evaluation *)
   | Fail_apply  (** arm a fault on the next pending-update application *)
+  | Burst of int
+      (** a load spike: that many arrivals pushed through the admission
+          gate back-to-back; messages the gate sheds are counted but never
+          injected *)
+  | Compact
+      (** log compaction: harden the group-commit batch and fold the WAL
+          into a fresh snapshot *)
+  | Torn_compact of int
+      (** a compaction that dies at its commit point — before the snapshot
+          rename when the integer is even, just after it when odd — then a
+          restart from whatever is on disk *)
 
 type t = { seed : int; events : event list }
 

@@ -13,6 +13,7 @@ module Store = Demaq_store.Message_store
 module Wal = Demaq_store.Wal
 module Net = Demaq_net.Network
 module S = Demaq_engine.Server
+module Gate = Demaq_engine.Gate
 module Fault = Demaq_engine.Fault
 module Clock = Demaq_engine.Clock
 module Message = Demaq_mq.Message
@@ -21,6 +22,8 @@ module Defs = Demaq_mq.Defs
 module Time_source = Demaq_obs.Time_source
 module Xml_parser = Demaq_xml.Parser
 module Serializer = Demaq_xml.Serializer
+
+exception Torn_compaction
 
 type violation = { invariant : string; detail : string }
 
@@ -120,6 +123,10 @@ let run ?(blind_tear = false) ?(footprint = false) (sched : Schedule.t) =
      outbox is refilled on redeploy, WS-RM style) *)
   let delivered = Hashtbl.create 64 in
   let delivered_inc = Hashtbl.create 16 in
+  (* ids the admission gate shed during a [Burst]: they were never
+     injected, so they must never surface anywhere in the store — not
+     even across crash-restarts (the table outlives incarnations) *)
+  let shed_ids = Hashtbl.create 16 in
   Net.register net ~name:"partner" ~handler:(fun ~sender:_ body ->
       let exposure = Store.unsynced_commits !store in
       if exposure > 0 then
@@ -143,6 +150,14 @@ let run ?(blind_tear = false) ?(footprint = false) (sched : Schedule.t) =
     in
     S.bind_gateway srv ~queue:"gw" ~endpoint:"partner" ();
     S.set_fault srv (Some fault);
+    (* the admission gate, driven purely by unsynced WAL bytes so its
+       decisions are deterministic (pending dispatch depth is always 0
+       with one cooperative worker). [qb] (priority 0) sheds first; [qa]
+       (priority 10) only in the hard band at twice the threshold. *)
+    ignore
+      (S.enable_gate
+         ~cfg:{ Gate.default_config with Gate.max_pending = max_int; max_wal_bytes = 4096 }
+         srv);
     srv
   in
   let srv = ref (deploy ()) in
@@ -168,6 +183,32 @@ let run ?(blind_tear = false) ?(footprint = false) (sched : Schedule.t) =
   in
   let durable = ref [] in
   let next_id = ref 1 in
+  (* kill-and-redeploy (shared by [Crash] and [Torn_compact]): reopen the
+     store from disk, check the durability floor, then bring a fresh
+     server up on the surviving state *)
+  let restart ~tear_bytes =
+    let st2 = Fault.crash_restart ~tear_bytes cfg !store in
+    store := st2;
+    List.iter
+      (fun (rid, queue, payload, processed) ->
+        match Store.get st2 rid with
+        | None ->
+          violate "durability"
+            (Printf.sprintf "synced rid=%d (queue %s) lost across restart" rid
+               queue)
+        | Some m ->
+          if m.Store.queue <> queue || Store.payload st2 m <> payload then
+            violate "durability"
+              (Printf.sprintf "synced rid=%d changed across restart" rid)
+          else if processed && not m.Store.processed then
+            violate "durability"
+              (Printf.sprintf "synced rid=%d lost its processed mark" rid))
+      !durable;
+    Hashtbl.reset delivered_inc;
+    srv := deploy ();
+    errs_base := errs_len ();
+    durable := snapshot ()
+  in
   (* invariants checked after every event *)
   let check () =
     (* order: qa is drained FIFO, and its outputs land in [outq] in
@@ -232,6 +273,28 @@ let run ?(blind_tear = false) ?(footprint = false) (sched : Schedule.t) =
                    sm.Store.rid p.Message.p_flow p.Message.p_parent
                    pp.Message.p_flow)
         end)
+      all;
+    (* shed-isolation: a message the gate refused was never admitted, so
+       no trace of its id may exist in the store — shedding must not
+       half-apply. Match the exact workload element shapes (an error-queue
+       body embeds other messages plus numeric metadata, so folding all
+       its digits into one number would cry wolf). *)
+    let leaked body id =
+      contains body (Printf.sprintf "<id>%d</id>" id)
+      || contains body (Printf.sprintf "<out>%d</out>" id)
+      || contains body (Printf.sprintf "<req>%d</req>" id)
+    in
+    List.iter
+      (fun (sm : Store.message) ->
+        let body = Store.payload !store sm in
+        Hashtbl.iter
+          (fun id () ->
+            if leaked body id then
+              violate "shed-isolation"
+                (Printf.sprintf
+                   "shed id %d surfaced in the store (rid=%d queue=%s)" id
+                   sm.Store.rid sm.Store.queue))
+          shed_ids)
       all;
     if Store.unsynced_commits !store = 0 then durable := snapshot ()
   in
@@ -304,31 +367,61 @@ let run ?(blind_tear = false) ?(footprint = false) (sched : Schedule.t) =
         if blind_tear then min n (Store.stats !store).Store.wal_bytes
         else min n (Store.unsynced_bytes !store)
       in
-      let st2 = Fault.crash_restart ~tear_bytes:tear cfg !store in
-      store := st2;
-      List.iter
-        (fun (rid, queue, payload, processed) ->
-          match Store.get st2 rid with
-          | None ->
-            violate "durability"
-              (Printf.sprintf "synced rid=%d (queue %s) lost across restart" rid
-                 queue)
-          | Some m ->
-            if m.Store.queue <> queue || Store.payload st2 m <> payload then
-              violate "durability"
-                (Printf.sprintf "synced rid=%d changed across restart" rid)
-            else if processed && not m.Store.processed then
-              violate "durability"
-                (Printf.sprintf "synced rid=%d lost its processed mark" rid))
-        !durable;
-      Hashtbl.reset delivered_inc;
-      srv := deploy ();
-      errs_base := errs_len ();
-      durable := snapshot ();
+      restart ~tear_bytes:tear;
       emit
         (Printf.sprintf "crash tear=%d -> live=%d unprocessed=%d" tear
-           (List.length (Store.all_messages st2))
-           (List.length (Store.unprocessed st2)))
+           (List.length (Store.all_messages !store))
+           (List.length (Store.unprocessed !store)))
+    | Schedule.Burst n ->
+      (* a load spike through the admission gate: alternate the default-
+         priority and high-priority queues so the priority floor is
+         exercised — in the soft band only [qb] arrivals are refused *)
+      let accepted = ref 0 in
+      let shed = ref 0 in
+      for i = 1 to n do
+        let q = if i mod 2 = 0 then "qa" else "qb" in
+        let id = !next_id in
+        incr next_id;
+        match S.admission !srv ~queue:q with
+        | Gate.Shed _ ->
+          incr shed;
+          Hashtbl.replace shed_ids id ()
+        | Gate.Admit -> (
+          let payload =
+            Xml_parser.parse (Printf.sprintf "<m><id>%d</id></m>" id)
+          in
+          match S.inject !srv ~queue:q payload with
+          | Ok _ -> incr accepted
+          | Error _ -> ())
+      done;
+      emit (Printf.sprintf "burst %d accepted=%d shed=%d" n !accepted !shed)
+    | Schedule.Compact ->
+      (* [compact] hardens the pending batch first, so pumping the
+         gateways right after is barrier-safe — same shape as [Barrier] *)
+      let reclaimed = Store.compact !store in
+      let sent = S.pump_gateways !srv in
+      emit (Printf.sprintf "compact reclaimed=%d sent=%d" reclaimed sent)
+    | Schedule.Torn_compact n ->
+      (* die at the compaction commit point, then restart from whatever
+         the disk holds. The barrier below runs before the fault can
+         fire, so the entire pre-compaction state is the durability
+         floor the restart must preserve — on either side of the
+         rename. *)
+      ignore (Store.barrier !store);
+      durable := snapshot ();
+      let stage =
+        if n mod 2 = 0 then Store.Before_rename else Store.After_rename
+      in
+      Store.set_compaction_fault !store
+        (Some (fun s -> if s = stage then raise Torn_compaction));
+      (try ignore (Store.compact !store) with Torn_compaction -> ());
+      restart ~tear_bytes:0;
+      emit
+        (Printf.sprintf "torn-compact %s -> live=%d"
+           (match stage with
+           | Store.Before_rename -> "before-rename"
+           | Store.After_rename -> "after-rename")
+           (List.length (Store.all_messages !store)))
   in
   let finish () =
     (* final drain: heal the world, then run every retry and timer to

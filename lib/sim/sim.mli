@@ -6,8 +6,10 @@
     through a reliable outgoing gateway [gw] to the endpoint [partner],
     both with error queue [errs]) runs on a durable group-commit store
     while the schedule injects messages, picks dispatcher steps, tears WAL
-    tails across crash-restarts, partitions the endpoint and arms
-    evaluator faults. Same schedule, same trace — bit for bit.
+    tails across crash-restarts, partitions the endpoint, arms evaluator
+    faults, pushes load bursts through the admission gate, and compacts
+    the log — including compactions torn at their commit point. Same
+    schedule, same trace — bit for bit.
 
     After every event, and again after the final drain, the harness checks
     the §3.1/§3.6 invariants:
@@ -19,9 +21,12 @@
     - {b barrier-before-transmission}: the endpoint never observes
       unsynced commits at delivery time;
     - {b durability}: no message whose commit was synced disappears across
-      a crash-restart;
+      a crash-restart — including a restart after a compaction torn on
+      either side of its snapshot rename;
     - {b abort-error}: the error queue grew by exactly one message per
-      transaction abort and per dead-lettered transmission. *)
+      transaction abort and per dead-lettered transmission;
+    - {b shed-isolation}: an arrival the admission gate refused leaves no
+      trace in the store, in this incarnation or any later one. *)
 
 type violation = { invariant : string; detail : string }
 

@@ -53,7 +53,12 @@ type t = {
       (* [Wal.records_written] as of the last checkpoint; -1 forces the
          first checkpoint after a recovery replay (the log must still be
          truncated even if this session wrote nothing new) *)
+  mutable compaction_fault : (compaction_stage -> unit) option;
+      (* crash-injection hook for the checkpoint/compaction commit points
+         (tests raise from it to simulate a torn compaction) *)
 }
+
+and compaction_stage = Before_rename | After_rename
 
 let payload t m =
   match m.stored with
@@ -111,7 +116,13 @@ let payload_replayable payload =
 let apply_op t (op : Wal.op) =
   match op with
   | Wal.Insert { rid; queue; payload; extra; enqueued_at } ->
-    if payload_replayable payload then
+    if Hashtbl.mem t.messages rid then
+      (* a crash between the snapshot rename and the WAL truncation
+         leaves the old log alongside the new snapshot; replaying its
+         inserts on top of the snapshot-loaded message would push the rid
+         into the queue vec a second time and enumerate it twice *)
+      ()
+    else if payload_replayable payload then
       (* recovery replay keeps bodies inline; the next checkpoint re-spills
          anything above the threshold and the orphan sweep reclaims the
          pre-crash heap records *)
@@ -268,12 +279,18 @@ let open_store config =
       last_logged_txn = 0;
       durable_txn = 0;
       wal_records_at_checkpoint = 0;
+      compaction_fault = None;
     }
   in
   match config.dir with
   | None -> t
   | Some dir ->
     if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+    (* a crash mid-compaction can strand the half-written temporary
+       snapshot; it was never renamed, so it is dead weight — the real
+       snapshot + WAL still hold the authoritative state *)
+    (let tmp = snapshot_path dir ^ ".tmp" in
+     if Sys.file_exists tmp then Sys.remove tmp);
     if Sys.file_exists (snapshot_path dir) then load_snapshot t (snapshot_path dir);
     let valid =
       Wal.replay (wal_path dir) (function
@@ -405,6 +422,11 @@ let unsynced_commits t =
 let unsynced_bytes t =
   match t.wal with Some wal -> Wal.pending_bytes wal | None -> 0
 
+(* cheap accessor for the adaptive controller's per-tick sampling: [stats]
+   folds the whole message table, which a control loop must not pay for *)
+let wal_group_syncs t =
+  match t.wal with Some wal -> Wal.group_syncs_performed wal | None -> 0
+
 let abort txn =
   check_active txn;
   txn.finished <- true;
@@ -490,7 +512,13 @@ let checkpoint t =
        flush oc;
        Unix.fsync (Unix.descr_of_out_channel oc);
        close_out oc;
+       (* the rename is the commit point of the compaction: before it the
+          old snapshot + full WAL are authoritative, after it the new
+          snapshot is — either way a crash loses nothing. The fault hook
+          lets tests crash on both sides of the point. *)
+       (match t.compaction_fault with Some f -> f Before_rename | None -> ());
        Sys.rename tmp (snapshot_path dir);
+       (match t.compaction_fault with Some f -> f After_rename | None -> ());
        Option.iter Wal.reset t.wal;
        t.wal_records_at_checkpoint <- wal_records;
        (* everything logged so far now lives in the fsynced snapshot *)
@@ -498,6 +526,30 @@ let checkpoint t =
      end);
   drop_tombstones t;
   t.checkpoints <- t.checkpoints + 1
+
+(* Compaction is checkpoint + WAL truncation viewed as space reclamation:
+   harden the pending batch through the normal barrier, fold everything
+   into a fresh snapshot, and report how many log bytes that retired. The
+   rename inside [checkpoint] is the commit point, so compaction is
+   crash-safe by construction — a torn run leaves either the old
+   snapshot + full WAL or the new snapshot + stale WAL (whose replay is
+   idempotent against snapshot-loaded state). *)
+let compact t =
+  ignore (barrier t);
+  let wal_bytes () =
+    match t.wal with Some w -> Wal.bytes_written w | None -> 0
+  in
+  let before = wal_bytes () in
+  checkpoint t;
+  max 0 (before - wal_bytes ())
+
+let compaction_due t ~max_wal_bytes =
+  max_wal_bytes > 0
+  && (match t.wal with
+     | Some w -> Wal.bytes_written w >= max_wal_bytes
+     | None -> false)
+
+let set_compaction_fault t fault = t.compaction_fault <- fault
 
 type stats = {
   live_messages : int;

@@ -115,6 +115,10 @@ val unsynced_bytes : t -> int
     can lose at most this much of the log tail; simulated crashes bound
     their tears by it. Always 0 outside [Sync_batch]. *)
 
+val wal_group_syncs : t -> int
+(** Barriers that actually synced, without the O(messages) fold of
+    {!stats} — the adaptive controller samples this every tick. *)
+
 (** {1 Reads} *)
 
 val get : t -> int -> message option
@@ -138,6 +142,25 @@ val checkpoint : t -> unit
     nothing reached the log or the heap file since the last checkpoint the
     snapshot write and its fsync are skipped (tombstones are still
     dropped). *)
+
+val compact : t -> int
+(** Log compaction: harden the pending group-commit batch, fold the state
+    into a fresh snapshot ({!checkpoint}), and return the WAL bytes that
+    retired. The snapshot rename is the commit point — a crash on either
+    side of it loses nothing (the stale log's replay is idempotent
+    against snapshot-loaded state). [0] when the store is in-memory or
+    nothing new reached the log. *)
+
+val compaction_due : t -> max_wal_bytes:int -> bool
+(** True when the log has grown past [max_wal_bytes] since the last
+    checkpoint (false for in-memory stores or [max_wal_bytes <= 0]) — the
+    trigger the background maintenance tick polls. *)
+
+type compaction_stage = Before_rename | After_rename
+
+val set_compaction_fault : t -> (compaction_stage -> unit) option -> unit
+(** Crash-injection hook around the compaction commit point; tests raise
+    from it to simulate a torn compaction. [None] clears it. *)
 
 type stats = {
   live_messages : int;

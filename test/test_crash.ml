@@ -505,6 +505,67 @@ let test_gc_purges_caches () =
     (fun (name, n) -> check int_ (Printf.sprintf "%s cache purged" name) 0 n)
     (S.cache_sizes srv)
 
+(* ---- torn compaction ---- *)
+
+let test_torn_compaction_keeps_state () =
+  (* Compaction dies at its commit point — on either side of the snapshot
+     rename — and a restart must still see every hardened message exactly
+     once (before the rename: the old snapshot + full log replay; after
+     it: the new snapshot + an idempotent replay of the stale log), with
+     the stray tmp file cleaned up and the rid high-water mark intact. *)
+  List.iter
+    (fun stage ->
+      let tag =
+        match stage with
+        | Store.Before_rename -> "before-rename"
+        | Store.After_rename -> "after-rename"
+      in
+      let dir = fresh_dir ("torn-compact-" ^ tag) in
+      let cfg =
+        Store.durable_config
+          ~sync:(Wal.Sync_batch { max_records = 100; max_bytes = 0 })
+          dir
+      in
+      let st = Store.open_store cfg in
+      let rids =
+        List.init 5 (fun i ->
+            let txn = Store.begin_txn st in
+            let r =
+              Store.insert txn ~queue:"q"
+                ~payload:(Printf.sprintf "<m n='%d'/>" i)
+                ~extra:"" ~enqueued_at:1 ~durable:true
+            in
+            Store.commit txn;
+            r)
+      in
+      ignore (Store.barrier st);
+      Store.set_compaction_fault st
+        (Some (fun s -> if s = stage then failwith "torn compaction"));
+      (match Store.compact st with
+       | _ -> Alcotest.fail (tag ^ ": fault did not fire")
+       | exception Failure _ -> ());
+      (* the node is dead mid-compaction: restart from the disk image *)
+      let st2 = Fault.crash_restart cfg st in
+      List.iter
+        (fun r ->
+          check bool_ (Printf.sprintf "%s: rid %d survives" tag r) true
+            (Store.get st2 r <> None))
+        rids;
+      check int_ (tag ^ ": exactly once, no replay duplicates") 5
+        (List.length (Store.queue_rids st2 "q"));
+      check bool_ (tag ^ ": stray snapshot tmp cleaned") false
+        (Sys.file_exists (Filename.concat dir "snapshot.bin.tmp"));
+      let txn = Store.begin_txn st2 in
+      let r_new =
+        Store.insert txn ~queue:"q" ~payload:"<new/>" ~extra:""
+          ~enqueued_at:2 ~durable:true
+      in
+      Store.commit txn;
+      check bool_ (tag ^ ": rid high-water mark intact") true
+        (r_new > List.fold_left max 0 rids);
+      Store.close st2)
+    [ Store.Before_rename; Store.After_rename ]
+
 let suite =
   [
     ("eval fault aborts cleanly", `Quick, test_eval_fault_aborts);
@@ -529,4 +590,6 @@ let suite =
      test_multi_worker_barrier_before_transmission);
     ("clock monotonic after restart", `Quick, test_clock_monotonic_after_restart);
     ("gc purges per-rid caches", `Quick, test_gc_purges_caches);
+    ("torn compaction keeps hardened state", `Quick,
+     test_torn_compaction_keeps_state);
   ]

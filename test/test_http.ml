@@ -6,6 +6,9 @@
 module Http = Demaq.Net.Http
 module Loadgen = Demaq.Net.Loadgen
 module Ingress = Demaq.Engine.Ingress
+module Gate = Demaq.Engine.Gate
+module Store = Demaq.Store.Message_store
+module Wal = Demaq.Store.Wal
 module S = Demaq.Server
 
 let check = Alcotest.check
@@ -325,6 +328,105 @@ let test_ingress_batch_enqueue () =
       check int_ "3 + 1 admitted documents produced acks" 4
         (List.length (S.queue_contents srv "acks")))
 
+(* ---- admission gate at the HTTP layer: shed before the body ---- *)
+
+let test_gate_shed_drains_and_closes () =
+  (* a gate that sheds every enqueue POST: the 429 must carry
+     Retry-After, set Connection: close, and the server must drain the
+     declared body before responding so the client's in-flight write
+     never dies on an RST *)
+  let gate (req : Http.request) =
+    match (req.Http.meth, req.Http.path) with
+    | Http.POST, "/enqueue/q" ->
+      Some
+        (Http.response ~status:429
+           ~headers:[ ("Retry-After", "3") ]
+           "overloaded\n")
+    | _ -> None
+  in
+  match Http.start ~gate ~port:0 echo_handler with
+  | Error msg -> Alcotest.failf "http start: %s" msg
+  | Ok server ->
+    Fun.protect
+      ~finally:(fun () -> Http.stop server)
+      (fun () ->
+        let port = Http.port server in
+        (* large body: the drain has real work to do *)
+        let big = String.make 200_000 'x' in
+        let head, body = Http.post_full ~port "/enqueue/q" big in
+        check int_ "shed answered 429" 429 (Http.status_code head);
+        check bool_ "retry hint present" true
+          (Http.header "Retry-After" head = Some "3");
+        check bool_ "connection closed after shed" true
+          (Http.header "Connection" head = Some "close");
+        check bool_ "shed body names the condition" true
+          (contains body "overloaded");
+        (* ungated paths on the same server stay live *)
+        let status, echoed = Http.post ~port "/echo" "<x/>" in
+        check int_ "echo past the gate" 200 (Http.status_code status);
+        check string_ "echo body intact" "<x/>" echoed;
+        let status, _ = Http.get ~port "/ping" in
+        check int_ "GET never gated" 200 (Http.status_code status))
+
+let test_ingress_gate_end_to_end () =
+  (* wire the real admission gate under the real ingress handler over a
+     durable store: the first enqueue is admitted, the unsynced WAL bytes
+     it leaves behind push saturation past the hard band (threshold 1
+     byte), the next enqueue is shed 429, and a barrier reopens the
+     valve.  Observability stays readable throughout. *)
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "demaq-http-gate-%d" (Unix.getpid ()))
+  in
+  if Sys.file_exists dir then
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  let store =
+    Store.open_store
+      (Store.durable_config
+         ~sync:(Wal.Sync_batch { max_records = 1000; max_bytes = 0 })
+         dir)
+  in
+  let srv = S.deploy ~store ingress_program in
+  ignore
+    (S.enable_gate
+       ~cfg:{ Gate.default_config with Gate.max_pending = max_int; max_wal_bytes = 1 }
+       srv);
+  match
+    Http.start ~gate:(Ingress.gate srv) ~port:0 (Ingress.handler srv)
+  with
+  | Error msg -> Alcotest.failf "http start: %s" msg
+  | Ok server ->
+    Fun.protect
+      ~finally:(fun () ->
+        Http.stop server;
+        Store.close store)
+      (fun () ->
+        let port = Http.port server in
+        let status, _ =
+          Http.post ~port "/enqueue/orders" "<order><orderID>1</orderID></order>"
+        in
+        check int_ "first enqueue admitted" 202 (Http.status_code status);
+        let head, _ =
+          Http.post_full ~port "/enqueue/orders"
+            "<order><orderID>2</orderID></order>"
+        in
+        check int_ "unsynced log sheds the next" 429 (Http.status_code head);
+        check bool_ "transient marker present" true
+          (Http.header "Retry-After" head <> None);
+        (* the node must stay observable precisely while shedding *)
+        let status, _ = Http.get ~port "/metrics" in
+        check int_ "metrics scrape during overload" 200
+          (Http.status_code status);
+        (* a barrier retires the unsynced bytes: traffic flows again *)
+        ignore (Store.barrier store);
+        let status, _ =
+          Http.post ~port "/enqueue/orders" "<order><orderID>3</orderID></order>"
+        in
+        check int_ "post-barrier enqueue admitted" 202 (Http.status_code status);
+        ignore (S.run srv);
+        check int_ "only admitted messages produced acks" 2
+          (List.length (S.queue_contents srv "acks")))
+
 (* ---- loadgen smoke: low rate against a live node ---- *)
 
 let test_loadgen_smoke () =
@@ -397,5 +499,9 @@ let suite =
      test_concurrent_scrapes);
     ("ingress enqueue paths", `Quick, test_ingress_enqueue);
     ("ingress batch enqueue", `Quick, test_ingress_batch_enqueue);
+    ("gate shed drains body, closes connection", `Quick,
+     test_gate_shed_drains_and_closes);
+    ("ingress gate end to end over durable store", `Quick,
+     test_ingress_gate_end_to_end);
     ("loadgen smoke", `Slow, test_loadgen_smoke);
   ]

@@ -24,6 +24,7 @@ let () =
       ("robustness", Test_robustness.suite);
       ("prefilter", Test_prefilter.suite);
       ("obs", Test_obs.suite);
+      ("adaptive", Test_adaptive.suite);
       ("http", Test_http.suite);
       ("sim", Test_sim.suite);
     ]

@@ -386,6 +386,7 @@ let nasty_span =
     sp_activations =
       [ { Trace.a_rule = "rule\twith\ttabs"; a_updates = 1; a_skipped = false } ];
     sp_actions = 1;
+    sp_batch = 1;
     sp_outcome = Trace.Aborted "ctrl\x01char and \"quote\"";
   }
 
